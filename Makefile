@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures validate report examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every paper figure (quick mode) plus the micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Paper-scale sweeps (long).
+bench-full:
+	EBRC_BENCH_FULL=1 dune exec bench/main.exe
+
+figures:
+	dune exec bin/ebrc_cli.exe -- figure all
+
+validate:
+	dune exec bin/ebrc_cli.exe -- validate
+
+report:
+	dune exec bin/ebrc_cli.exe -- report -o report.md
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/audio_rate_control.exe
+	dune exec examples/bottleneck_sharing.exe
+	dune exec examples/many_sources_demo.exe
+	dune exec examples/theorem_explorer.exe
+	dune exec examples/design_advisor.exe
+
+clean:
+	dune clean
