@@ -1,0 +1,279 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   in quick (scaled-down) mode, printing the same rows/series the paper
+   reports — set EBRC_BENCH_FULL=1 for the paper-scale sweeps.
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per figure (a
+   representative kernel of that figure's computation) plus the
+   component kernels and the ablation comparisons called out in
+   DESIGN.md (closed-form vs ODE comprehensive engine, DropTail vs
+   RED). *)
+
+open Bechamel
+open Toolkit
+
+let quick = Sys.getenv_opt "EBRC_BENCH_FULL" <> Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate all figures/tables.                              *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_figures () =
+  Printf.printf
+    "#############################################################\n\
+     # Regenerating all paper figures/tables (%s mode)\n\
+     #############################################################\n\n"
+    (if quick then "quick" else "FULL");
+  List.iter
+    (fun (id, desc, runner) ->
+      Printf.printf "--- figure %s: %s ---\n%!" id desc;
+      let t0 = Unix.gettimeofday () in
+      let tables = runner ~quick () in
+      List.iter Ebrc.Table.print tables;
+      Printf.printf "(figure %s regenerated in %.1f s)\n\n%!" id
+        (Unix.gettimeofday () -. t0))
+    Ebrc.Figures.registry
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Component kernels. *)
+
+let bench_formula_eval kind =
+  let f = Ebrc.Formula.create ~rtt:0.1 kind in
+  Staged.stage (fun () ->
+      let acc = ref 0.0 in
+      for i = 1 to 100 do
+        acc := !acc +. Ebrc.Formula.eval f (float_of_int i /. 250.0)
+      done;
+      !acc)
+
+let bench_estimator () =
+  let e = Ebrc.Loss_interval.of_tfrc ~l:8 in
+  Ebrc.Loss_interval.prime e 20.0;
+  Staged.stage (fun () ->
+      for i = 1 to 100 do
+        Ebrc.Loss_interval.record e (10.0 +. float_of_int (i mod 20));
+        ignore (Ebrc.Loss_interval.estimate e)
+      done)
+
+let bench_event_queue () =
+  Staged.stage (fun () ->
+      let q = Ebrc.Event_queue.create () in
+      for i = 1 to 256 do
+        Ebrc.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 997)) i
+      done;
+      while not (Ebrc.Event_queue.is_empty q) do
+        ignore (Ebrc.Event_queue.pop q)
+      done)
+
+let bench_red_offer () =
+  let open Ebrc.Queue_discipline in
+  let q =
+    create ~service_rate:1000.0 ~capacity:200 (Red (default_red ~bdp:80.0))
+  in
+  let rng = Ebrc.Prng.create ~seed:1 in
+  Staged.stage (fun () ->
+      for _ = 1 to 100 do
+        match offer q ~now:0.0 ~u:(Ebrc.Prng.float_unit rng) with
+        | Enqueue -> if occupancy q > 100 then departure q ~now:0.0
+        | Drop -> ()
+      done)
+
+(* Figure kernels: a scaled-down unit of the per-figure computation. *)
+
+let kernel_fig1 () =
+  let fs = List.map Ebrc.Formula.create Ebrc.Formula.all_paper_kinds in
+  Staged.stage (fun () ->
+      List.iter
+        (fun f ->
+          for i = 2 to 100 do
+            let x = float_of_int i /. 2.0 in
+            ignore (Ebrc.Formula.g f x);
+            ignore (Ebrc.Formula.h f x)
+          done)
+        fs)
+
+let kernel_fig2 () =
+  let f = Ebrc.Formula.create ~rtt:1.0 ~b:1.0 Ebrc.Formula.Pftk_standard in
+  Staged.stage (fun () ->
+      ignore
+        (Ebrc.Convexity.deviation_ratio ~samples:2048 (Ebrc.Formula.g f)
+           ~lo:3.25 ~hi:3.5))
+
+let kernel_basic_control ~kind () =
+  Staged.stage (fun () ->
+      let rng = Ebrc.Prng.create ~seed:5 in
+      let process =
+        Ebrc.Loss_process.iid_shifted_exponential rng ~p:0.1 ~cv:0.9
+      in
+      let formula = Ebrc.Formula.create ~rtt:1.0 kind in
+      let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+      ignore
+        (Ebrc.Basic_control.simulate ~formula ~estimator ~process ~cycles:2000
+           ()))
+
+let kernel_comprehensive ~engine () =
+  Staged.stage (fun () ->
+      let rng = Ebrc.Prng.create ~seed:5 in
+      let process =
+        Ebrc.Loss_process.iid_shifted_exponential rng ~p:0.1 ~cv:0.9
+      in
+      let formula =
+        Ebrc.Formula.create ~rtt:1.0 Ebrc.Formula.Pftk_simplified
+      in
+      let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+      ignore
+        (Ebrc.Comprehensive_control.simulate ~engine ~formula ~estimator
+           ~process ~cycles:500 ()))
+
+let kernel_scenario ~queue () =
+  Staged.stage (fun () ->
+      let cfg =
+        {
+          Ebrc.Scenario.default_config with
+          n_tfrc = 2;
+          n_tcp = 2;
+          queue;
+          duration = 10.0;
+          warmup = 2.0;
+          seed = 9;
+        }
+      in
+      ignore (Ebrc.Scenario.run cfg))
+
+let kernel_audio () =
+  Staged.stage (fun () ->
+      ignore
+        (Ebrc.Audio_scenario.run
+           {
+             Ebrc.Audio_scenario.default_config with
+             duration = 60.0;
+             warmup = 6.0;
+           }))
+
+let kernel_many_sources () =
+  let cp =
+    [|
+      { Ebrc.Many_sources.p_i = 0.001; pi_i = 0.5 };
+      { Ebrc.Many_sources.p_i = 0.01; pi_i = 0.3 };
+      { Ebrc.Many_sources.p_i = 0.05; pi_i = 0.2 };
+    |]
+  in
+  let formula = Ebrc.Formula.create ~rtt:0.05 Ebrc.Formula.Pftk_standard in
+  let rates =
+    Ebrc.Many_sources.responsive_profile cp ~formula_rate:(fun p ->
+        Ebrc.Formula.eval formula p)
+  in
+  Staged.stage (fun () ->
+      let rng = Ebrc.Prng.create ~seed:3 in
+      ignore
+        (Ebrc.Many_sources.monte_carlo rng cp ~rates ~mean_sojourn:100.0
+           ~steps:5000))
+
+let kernel_few_flows () =
+  Staged.stage (fun () ->
+      let params =
+        { Ebrc.Few_flows.alpha = 1.0; beta = 0.5; capacity = 100.0 }
+      in
+      ignore (Ebrc.Few_flows.simulate_aimd ~cycles:200 params);
+      ignore (Ebrc.Few_flows.simulate_ebrc ~cycles:200 params))
+
+let tests =
+  Test.make_grouped ~name:"ebrc"
+    [
+      Test.make_grouped ~name:"components"
+        [
+          Test.make ~name:"formula-eval-sqrt-x100"
+            (bench_formula_eval Ebrc.Formula.Sqrt);
+          Test.make ~name:"formula-eval-pftk-std-x100"
+            (bench_formula_eval Ebrc.Formula.Pftk_standard);
+          Test.make ~name:"formula-eval-pftk-simpl-x100"
+            (bench_formula_eval Ebrc.Formula.Pftk_simplified);
+          Test.make ~name:"estimator-record+estimate-x100" (bench_estimator ());
+          Test.make ~name:"event-queue-256" (bench_event_queue ());
+          Test.make ~name:"red-offer-x100" (bench_red_offer ());
+        ];
+      Test.make_grouped ~name:"figures"
+        [
+          Test.make ~name:"fig1-functionals" (kernel_fig1 ());
+          Test.make ~name:"fig2-convex-closure" (kernel_fig2 ());
+          Test.make ~name:"fig3-basic-sqrt"
+            (kernel_basic_control ~kind:Ebrc.Formula.Sqrt ());
+          Test.make ~name:"fig3-basic-pftk"
+            (kernel_basic_control ~kind:Ebrc.Formula.Pftk_simplified ());
+          Test.make ~name:"fig4-basic-cv-sweep"
+            (kernel_basic_control ~kind:Ebrc.Formula.Pftk_simplified ());
+          Test.make ~name:"fig5-red-bottleneck"
+            (kernel_scenario
+               ~queue:(Ebrc.Scenario.Red_auto { capacity = 0 })
+               ());
+          Test.make ~name:"fig6-audio-bernoulli" (kernel_audio ());
+          Test.make ~name:"fig7-loss-rate-ordering"
+            (kernel_scenario
+               ~queue:(Ebrc.Scenario.Red_auto { capacity = 0 })
+               ());
+          Test.make ~name:"fig17-droptail"
+            (kernel_scenario
+               ~queue:(Ebrc.Scenario.Drop_tail { capacity = 64 })
+               ());
+          Test.make ~name:"c3-many-sources-mc" (kernel_many_sources ());
+          Test.make ~name:"c4-few-flows" (kernel_few_flows ());
+        ];
+      Test.make_grouped ~name:"ablations"
+        [
+          Test.make ~name:"comprehensive-closed-form"
+            (kernel_comprehensive
+               ~engine:Ebrc.Comprehensive_control.Closed_form ());
+          Test.make ~name:"comprehensive-ode"
+            (kernel_comprehensive
+               ~engine:Ebrc.Comprehensive_control.Ode_integration ());
+          Test.make ~name:"scenario-droptail"
+            (kernel_scenario
+               ~queue:(Ebrc.Scenario.Drop_tail { capacity = 100 })
+               ());
+          Test.make ~name:"scenario-red"
+            (kernel_scenario
+               ~queue:(Ebrc.Scenario.Red_auto { capacity = 0 })
+               ());
+        ];
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bench_results merged =
+  Printf.printf
+    "#############################################################\n\
+     # Bechamel micro-benchmarks (monotonic clock, ns per run)\n\
+     #############################################################\n\n";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n" name est
+          | Some ests ->
+              Printf.printf "  %-45s %s\n" name
+                (String.concat ", " (List.map (Printf.sprintf "%.0f") ests))
+          | None -> Printf.printf "  %-45s (no estimate)\n" name)
+        rows)
+    merged
+
+let () =
+  regenerate_figures ();
+  print_bench_results (benchmark ());
+  print_endline "\nbench: done."

@@ -1,0 +1,373 @@
+(* Command-line front end for the reproduction: regenerate any paper
+   figure or table, list the experiment registry, or run a quick demo. *)
+
+open Cmdliner
+
+let print_tables ?csv_dir tables =
+  List.iteri
+    (fun i t ->
+      Ebrc.Table.print t;
+      print_newline ();
+      match csv_dir with
+      | Some dir ->
+          let path = Filename.concat dir (Printf.sprintf "table_%02d.csv" i) in
+          Ebrc.Table.save_csv t ~path;
+          Printf.printf "(csv written to %s)\n" path
+      | None -> ())
+    tables
+
+(* --- figure --- *)
+
+let figure_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:
+            "Figure or table id: 1-19, t1 (Table I), c3, c4, or 'all'.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Run the paper-scale sweeps (long). Default is the quick \
+             (scaled-down) mode.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+  in
+  let run id full csv =
+    let quick = not full in
+    try
+      let tables =
+        if id = "all" then Ebrc.Figures.run_all ~quick ()
+        else Ebrc.Figures.run_one ~quick id
+      in
+      print_tables ?csv_dir:csv tables;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "figure"
+      ~doc:"Regenerate a figure or table from the paper's evaluation."
+  in
+  Cmd.v info Term.(ret (const run $ id $ full $ csv))
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (id, d) -> Printf.printf "%-4s %s\n" id d)
+      (Ebrc.Figures.describe ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the figure/table registry.")
+    Term.(const run $ const ())
+
+(* --- quickstart --- *)
+
+let quickstart_cmd =
+  let run () =
+    let module F = Ebrc.Formula in
+    let f = F.create ~rtt:0.1 F.Pftk_standard in
+    Printf.printf "PFTK-standard, rtt = 100 ms:\n";
+    List.iter
+      (fun p -> Printf.printf "  f(%.3f) = %.1f pkt/s\n" p (F.eval f p))
+      [ 0.001; 0.01; 0.05; 0.1 ];
+    let rng = Ebrc.Prng.create ~seed:1 in
+    let process = Ebrc.Loss_process.iid_shifted_exponential rng ~p:0.05 ~cv:0.9 in
+    let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+    let r =
+      Ebrc.Basic_control.simulate ~formula:f ~estimator ~process
+        ~cycles:50_000 ()
+    in
+    Printf.printf
+      "\nBasic control on iid losses (p = 0.05, cv = 0.9, L = 8):\n\
+      \  throughput       = %.1f pkt/s\n\
+      \  normalized x/f(p) = %.3f  (conservative: %b)\n"
+      r.Ebrc.Basic_control.throughput r.normalized (r.normalized <= 1.0)
+  in
+  Cmd.v
+    (Cmd.info "quickstart"
+       ~doc:"Evaluate the formulas and run a small basic-control simulation.")
+    Term.(const run $ const ())
+
+(* --- breakdown: run a custom dumbbell and print the four ratios --- *)
+
+let breakdown_cmd =
+  let n_tfrc =
+    Arg.(value & opt int 4 & info [ "tfrc" ] ~docv:"N" ~doc:"Number of TFRC flows.")
+  in
+  let n_tcp =
+    Arg.(value & opt int 4 & info [ "tcp" ] ~docv:"N" ~doc:"Number of TCP flows.")
+  in
+  let mbps =
+    Arg.(
+      value & opt float 15.0
+      & info [ "mbps" ] ~docv:"MBPS" ~doc:"Bottleneck rate in Mb/s.")
+  in
+  let rtt_ms =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rtt" ] ~docv:"MS" ~doc:"Base round-trip time in milliseconds.")
+  in
+  let droptail =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "droptail" ] ~docv:"PKTS"
+          ~doc:"Use a DropTail queue of $(docv) packets instead of RED.")
+  in
+  let l = Arg.(value & opt int 8 & info [ "l" ] ~docv:"L" ~doc:"TFRC history window.") in
+  let duration =
+    Arg.(
+      value & opt float 120.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run n_tfrc n_tcp mbps rtt_ms droptail l duration seed =
+    if n_tfrc < 1 || n_tcp < 1 then
+      `Error (false, "need at least one TFRC and one TCP flow")
+    else begin
+      let module S = Ebrc.Scenario in
+      let module B = Ebrc.Breakdown in
+      let cfg =
+        {
+          S.default_config with
+          seed;
+          n_tfrc;
+          n_tcp;
+          bottleneck_bps = mbps *. 1e6;
+          one_way_delay = rtt_ms /. 2000.0;
+          queue =
+            (match droptail with
+            | Some capacity -> S.Drop_tail { capacity }
+            | None -> S.Red_auto { capacity = 0 });
+          tfrc_l = l;
+          duration;
+          warmup = duration /. 5.0;
+        }
+      in
+      let r = S.run cfg in
+      let formula =
+        Ebrc.Formula.create ~rtt:(S.base_rtt cfg) cfg.S.tfrc_formula_kind
+      in
+      let b =
+        B.create
+          ~ebrc:
+            {
+              B.throughput = S.mean_throughput r.S.tfrc;
+              p = S.pooled_loss_rate r.S.tfrc;
+              rtt = S.mean_rtt r.S.tfrc;
+            }
+          ~tcp:
+            {
+              B.throughput = S.mean_throughput r.S.tcp;
+              p = S.pooled_loss_rate r.S.tcp;
+              rtt = S.mean_rtt r.S.tcp;
+            }
+          ~formula
+      in
+      Printf.printf "utilization %.1f%%, %d drops\n"
+        (100.0 *. r.S.link_utilization)
+        r.S.queue_drops;
+      Printf.printf "TFRC: x=%.1f pkt/s  p=%.5f  rtt=%.1f ms\n"
+        (S.mean_throughput r.S.tfrc)
+        (S.pooled_loss_rate r.S.tfrc)
+        (1000.0 *. S.mean_rtt r.S.tfrc);
+      Printf.printf "TCP : x=%.1f pkt/s  p=%.5f  rtt=%.1f ms\n"
+        (S.mean_throughput r.S.tcp)
+        (S.pooled_loss_rate r.S.tcp)
+        (1000.0 *. S.mean_rtt r.S.tcp);
+      Printf.printf "breakdown: %s\n"
+        (Format.asprintf "%a" B.pp b);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:
+         "Run a custom TFRC-vs-TCP dumbbell and print the four-way \
+          TCP-friendliness breakdown.")
+    Term.(
+      ret
+        (const run $ n_tfrc $ n_tcp $ mbps $ rtt_ms $ droptail $ l $ duration
+       $ seed))
+
+(* --- convexity: classify a formula's functionals over a region --- *)
+
+let convexity_cmd =
+  let kind =
+    let kind_conv =
+      Arg.enum
+        [
+          ("sqrt", Ebrc.Formula.Sqrt);
+          ("pftk-standard", Ebrc.Formula.Pftk_standard);
+          ("pftk-simplified", Ebrc.Formula.Pftk_simplified);
+        ]
+    in
+    Arg.(
+      value & opt kind_conv Ebrc.Formula.Pftk_standard
+      & info [ "formula" ] ~docv:"KIND"
+          ~doc:"Formula: sqrt, pftk-standard or pftk-simplified.")
+  in
+  let lo = Arg.(value & opt float 1.5 & info [ "lo" ] ~docv:"X" ~doc:"Region lower edge (packets).") in
+  let hi = Arg.(value & opt float 1000.0 & info [ "hi" ] ~docv:"X" ~doc:"Region upper edge (packets).") in
+  let run kind lo hi =
+    if not (0.0 < lo && lo < hi) then `Error (false, "need 0 < lo < hi")
+    else begin
+      let f = Ebrc.Formula.create ~rtt:1.0 kind in
+      let region = { Ebrc.Conditions.x_lo = lo; x_hi = hi } in
+      Printf.printf "%s on x in [%g, %g] (p in [%g, %g]):\n"
+        (Ebrc.Formula.name f) lo hi (1.0 /. hi) (1.0 /. lo);
+      Printf.printf "  (F1)  1/f(1/x) convex : %b\n"
+        (Ebrc.Conditions.f1_holds ~region f);
+      Printf.printf "  (F2)  f(1/x) concave  : %b\n"
+        (Ebrc.Conditions.f2_holds ~region f);
+      Printf.printf "  (F2c) f(1/x) convex   : %b\n"
+        (Ebrc.Conditions.f2c_holds ~region f);
+      Printf.printf "  Prop-4 deviation r    : %.5f\n"
+        (Ebrc.Conditions.deviation_ratio ~region f);
+      (match Ebrc.Conditions.h_inflection f with
+      | Some x ->
+          Printf.printf "  f(1/x) inflection     : x = %.2f (p = %.4f)\n" x
+            (1.0 /. x)
+      | None -> Printf.printf "  f(1/x) inflection     : none (concave)\n");
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "convexity"
+       ~doc:
+         "Classify a throughput formula against the paper's conditions \
+          (F1)/(F2)/(F2c) on a loss-interval region.")
+    Term.(ret (const run $ kind $ lo $ hi))
+
+(* --- design: the conservativeness-as-objective advisor --- *)
+
+let design_cmd =
+  let target =
+    Arg.(
+      value & opt float 0.8
+      & info [ "target" ] ~docv:"FRAC"
+          ~doc:
+            "Worst-case efficiency target: the fraction of f(p) the \
+             control must attain across the operating region.")
+  in
+  let cv =
+    Arg.(
+      value & opt float 0.9
+      & info [ "cv" ] ~docv:"CV"
+          ~doc:"Coefficient of variation of the loss intervals.")
+  in
+  let l_max =
+    Arg.(value & opt int 64 & info [ "l-max" ] ~docv:"L" ~doc:"Largest window to consider.")
+  in
+  let run target cv l_max =
+    if target <= 0.0 || target >= 1.0 then
+      `Error (false, "target must be in (0, 1)")
+    else if cv <= 0.0 || cv > 1.0 then `Error (false, "cv must be in (0, 1]")
+    else begin
+      let module Dz = Ebrc.Design in
+      let formula = Ebrc.Formula.create ~rtt:0.1 Ebrc.Formula.Pftk_standard in
+      let region = { Dz.default_region with cv } in
+      (match Dz.recommend_window ~region ~l_max ~formula ~target () with
+      | Some r ->
+          Printf.printf
+            "recommended window L = %d (worst-case efficiency %.3f over p in \
+             {%s}, cv = %g)\n"
+            r.Dz.l r.Dz.efficiency
+            (String.concat ", "
+               (List.map (Printf.sprintf "%g") region.Dz.p_values))
+            cv;
+          List.iter
+            (fun (p, e) -> Printf.printf "  p = %-5g  x/f(p) = %.3f\n" p e)
+            r.Dz.per_p
+      | None ->
+          Printf.printf
+            "target %.2f unreachable within L <= %d; best at L = %d is %.3f\n"
+            target l_max l_max
+            (Dz.worst_case_efficiency ~region ~formula ~l:l_max ()));
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:
+         "Recommend the smallest estimator window meeting a worst-case \
+          conservative-efficiency target (the paper's design-for-\
+          conservativeness direction).")
+    Term.(ret (const run $ target $ cv $ l_max))
+
+(* --- report: regenerate figures into a markdown document --- *)
+
+let report_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "report.md"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output markdown file.")
+  in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Figure ids to include (default: all).")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
+  in
+  let run out ids full =
+    let options =
+      { Ebrc.Report.ids; quick = not full;
+        heading = "EBRC reproduction report" }
+    in
+    Ebrc.Report.save ~options ~path:out ();
+    Printf.printf "report written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate figures into a self-contained markdown report.")
+    Term.(const run $ out $ ids $ full)
+
+(* --- validate: assert the paper's qualitative claims --- *)
+
+let validate_cmd =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
+  in
+  let run full =
+    let outcomes = Ebrc.Validate.run_all ~quick:(not full) () in
+    Ebrc.Table.print (Ebrc.Validate.to_table outcomes);
+    if Ebrc.Validate.all_passed outcomes then begin
+      print_endline "all claims validated";
+      `Ok ()
+    end
+    else `Error (false, "one or more claim validations FAILED")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Run the automated paper-claim validation suite (a scientific CI \
+          gate).")
+    Term.(ret (const run $ full))
+
+let main =
+  let doc =
+    "Reproduction of 'On the Long-Run Behavior of Equation-Based Rate \
+     Control' (Vojnovic & Le Boudec, SIGCOMM 2002)."
+  in
+  Cmd.group
+    (Cmd.info "ebrc" ~version:Ebrc.version ~doc)
+    [ figure_cmd; list_cmd; quickstart_cmd; breakdown_cmd; convexity_cmd;
+      report_cmd; design_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval main)

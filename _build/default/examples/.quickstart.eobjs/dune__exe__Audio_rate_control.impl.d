@@ -1,0 +1,1 @@
+examples/audio_rate_control.ml: Ebrc List Printf

@@ -1,0 +1,1 @@
+examples/chain_demo.ml: Ebrc Printf

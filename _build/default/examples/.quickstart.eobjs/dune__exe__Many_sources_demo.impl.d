@@ -1,0 +1,1 @@
+examples/many_sources_demo.ml: Array Ebrc List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ebrc List Printf

@@ -1,0 +1,1 @@
+examples/theorem_explorer.ml: Array Ebrc Format Printf

@@ -1,0 +1,79 @@
+(* TFRC and TCP sharing a RED bottleneck (the paper's ns-2 setup), with
+   the TCP-friendliness verdict broken into the paper's four
+   sub-conditions instead of a bare throughput ratio.
+
+   Run with: dune exec examples/bottleneck_sharing.exe *)
+
+module S = Ebrc.Scenario
+module F = Ebrc.Formula
+module B = Ebrc.Breakdown
+
+let () =
+  let cfg =
+    {
+      S.default_config with
+      n_tfrc = 4;
+      n_tcp = 4;
+      duration = 120.0;
+      warmup = 30.0;
+      seed = 3;
+    }
+  in
+  Printf.printf
+    "Dumbbell: %d TFRC + %d TCP + 1 Poisson probe over a %.0f Mb/s RED \
+     bottleneck, base RTT %.0f ms.\nSimulating %.0f s...\n\n"
+    cfg.S.n_tfrc cfg.S.n_tcp
+    (cfg.S.bottleneck_bps /. 1e6)
+    (1000.0 *. S.base_rtt cfg)
+    cfg.S.duration;
+  let r = S.run cfg in
+  Printf.printf "link utilization: %.1f%%   queue drops: %d\n\n"
+    (100.0 *. r.S.link_utilization)
+    r.S.queue_drops;
+  let formula = F.create ~rtt:(S.base_rtt cfg) cfg.S.tfrc_formula_kind in
+  let b =
+    B.create
+      ~ebrc:
+        {
+          B.throughput = S.mean_throughput r.S.tfrc;
+          p = S.pooled_loss_rate r.S.tfrc;
+          rtt = S.mean_rtt r.S.tfrc;
+        }
+      ~tcp:
+        {
+          B.throughput = S.mean_throughput r.S.tcp;
+          p = S.pooled_loss_rate r.S.tcp;
+          rtt = S.mean_rtt r.S.tcp;
+        }
+      ~formula
+  in
+  Printf.printf "per-class means:\n";
+  Printf.printf "  TFRC: x = %6.1f pkt/s   p = %.5f   rtt = %.1f ms\n"
+    (S.mean_throughput r.S.tfrc)
+    (S.pooled_loss_rate r.S.tfrc)
+    (1000.0 *. S.mean_rtt r.S.tfrc);
+  Printf.printf "  TCP : x = %6.1f pkt/s   p = %.5f   rtt = %.1f ms\n"
+    (S.mean_throughput r.S.tcp)
+    (S.pooled_loss_rate r.S.tcp)
+    (1000.0 *. S.mean_rtt r.S.tcp);
+  (match r.S.probe with
+  | Some m ->
+      Printf.printf "  Poisson probe: p'' = %.5f\n" m.S.loss_event_rate
+  | None -> ());
+  Printf.printf "\nTCP-friendliness breakdown (paper Figures 12-15):\n";
+  Printf.printf "  (1) conservativeness  x/f(p,r)   = %.3f  (<= 1 ?)\n"
+    (B.conservativeness_ratio b);
+  Printf.printf "  (2) loss-event rates  p'/p       = %.3f  (<= 1 ?)\n"
+    (B.loss_rate_ratio b);
+  Printf.printf "  (3) round-trip times  r'/r       = %.3f  (<= 1 ?)\n"
+    (B.rtt_ratio b);
+  Printf.printf "  (4) TCP obeys formula x'/f(p',r') = %.3f  (>= 1 ?)\n"
+    (B.tcp_obedience_ratio b);
+  Printf.printf "  headline              x/x'       = %.3f  (<= 1 = friendly)\n"
+    (B.friendliness_ratio b);
+  let v = B.verdict b in
+  Printf.printf
+    "\nverdict: friendly = %b; all four sub-conditions hold = %b\n\
+     (the paper's point: judge the sub-conditions, not just x/x')\n"
+    v.B.tcp_friendly
+    (B.sub_conditions_imply_friendliness v)

@@ -1,0 +1,41 @@
+(* The two-router chain: reproduce the paper's lab topology (second
+   router as pure delay) and then load the second link with cross
+   traffic, showing the end-to-end loss process become a superposition
+   of two congestion points.
+
+   Run with: dune exec examples/chain_demo.exe *)
+
+module C = Ebrc.Chain_scenario
+
+let show name cfg =
+  let r = C.run cfg in
+  Printf.printf "%s\n" name;
+  Printf.printf "  drops: link1 %d, link2 %d    utilization: %.2f / %.2f\n"
+    r.C.drops_link1 r.C.drops_link2 r.C.utilization1 r.C.utilization2;
+  Printf.printf
+    "  TFRC: x = %6.1f pkt/s  p = %.5f  rtt = %.1f ms\n"
+    r.C.tfrc.throughput_pps r.C.tfrc.loss_event_rate
+    (1000.0 *. r.C.tfrc.mean_rtt);
+  Printf.printf
+    "  TCP : x = %6.1f pkt/s  p = %.5f  rtt = %.1f ms\n\n"
+    r.C.tcp.throughput_pps r.C.tcp.loss_event_rate
+    (1000.0 *. r.C.tcp.mean_rtt)
+
+let () =
+  let base =
+    { C.default_config with duration = 120.0; warmup = 30.0; seed = 4 }
+  in
+  Printf.printf
+    "Two-router chain: 2 TFRC + 2 TCP through link1 (10 Mb/s) then link2.\n\n";
+  show "1. Paper's lab shape: link2 fast (100 Mb/s), no cross traffic"
+    { base with link2_bps = 100e6; cross_rate_fraction = 0.0 };
+  show "2. Equal links, no cross traffic (losses still at link1)"
+    { base with cross_rate_fraction = 0.0 };
+  show "3. Equal links + 30% Poisson cross traffic joining at router 2"
+    base;
+  print_endline
+    "Reading: in setup 1 the chain degenerates to the paper's dumbbell; in \
+     setup 3 the\ncross traffic moves congestion to link 2 and both \
+     protocols' loss-event processes\nbecome superpositions of two \
+     bottlenecks — the loss-history aggregation handles it\nunchanged \
+     (losses within one RTT still collapse to one event)."

@@ -1,0 +1,59 @@
+(* The paper's closing design direction, end to end: pick the estimator
+   window for a provable conservativeness/efficiency trade-off instead
+   of tuning for TCP-friendliness, then confirm the recommendation by
+   Monte Carlo and show why the intro's ad-hoc "shrink the formula" fix
+   achieves nothing.
+
+   Run with: dune exec examples/design_advisor.exe *)
+
+module Dz = Ebrc.Design
+module F = Ebrc.Formula
+
+let () =
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  print_endline
+    "Design objective: conservative control that wastes as little of f(p) \
+     as possible\nover p in {0.01, 0.02, 0.05, 0.1, 0.2}, cv = 0.9 (iid \
+     losses: Theorem 1 guarantees\nconservativeness; the only question is \
+     efficiency).\n";
+  List.iter
+    (fun target ->
+      match Dz.recommend_window ~formula ~target () with
+      | Some r ->
+          Printf.printf
+            "  target %.2f -> window L = %-3d (worst case %.3f)\n" target
+            r.Dz.l r.Dz.efficiency
+      | None -> Printf.printf "  target %.2f -> unreachable\n" target)
+    [ 0.5; 0.7; 0.8; 0.9; 0.95 ];
+
+  print_endline "\nConfirm the L = 16 recommendation by Monte Carlo:";
+  let rng = Ebrc.Prng.create ~seed:5 in
+  List.iter
+    (fun p ->
+      let process =
+        Ebrc.Loss_process.iid_shifted_exponential rng ~p ~cv:0.9
+      in
+      let estimator =
+        Ebrc.Loss_interval.create ~weights:(Ebrc.Weights.uniform 16)
+      in
+      let r =
+        Ebrc.Basic_control.simulate ~formula ~estimator ~process
+          ~cycles:100_000 ()
+      in
+      let exact = Ebrc.Exact.normalized_throughput ~formula ~l:16 ~p ~cv:0.9 in
+      Printf.printf "  p = %-5g  exact %.3f   Monte Carlo %.3f\n" p exact
+        r.Ebrc.Basic_control.normalized)
+    [ 0.01; 0.05; 0.2 ];
+
+  print_endline
+    "\nWhy the intro's ad-hoc fix (scale f down by 0.8) achieves nothing:";
+  let vs_orig, vs_own =
+    Dz.scaling_effect ~formula ~l:8 ~p:0.05 ~cv:0.9 ~scale:0.8
+  in
+  Printf.printf
+    "  throughput vs the original f drops to %.3f of f(p) (you just gave \
+     away rate),\n  but vs the scaled formula it is still %.3f — the \
+     conservativeness verdict is\n  scale-invariant, so nothing was \
+     'fixed'. Address the loss-event-rate deviation\n  (sub-condition 2) \
+     instead, as the paper argues.\n"
+    vs_orig vs_own

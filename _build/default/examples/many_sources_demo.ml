@@ -1,0 +1,56 @@
+(* Claim 3 (the many-sources limit): a source riding an exogenous
+   congestion process observes the Eq.-13 loss-event rate — a send-rate
+   weighted average of the per-state rates. The more responsive the
+   source, the more it avoids bad states, so
+
+       p' (TCP-like)  <=  p (equation-based)  <=  p'' (Poisson).
+
+   Run with: dune exec examples/many_sources_demo.exe *)
+
+module MS = Ebrc.Many_sources
+module F = Ebrc.Formula
+
+let () =
+  (* A three-state congestion process: good, busy, congested. *)
+  let cp =
+    [|
+      { MS.p_i = 0.001; pi_i = 0.5 };
+      { MS.p_i = 0.01; pi_i = 0.3 };
+      { MS.p_i = 0.05; pi_i = 0.2 };
+    |]
+  in
+  Printf.printf "congestion process states (p_i, pi_i):\n";
+  Array.iter
+    (fun s -> Printf.printf "  p_i = %.3f  pi_i = %.1f\n" s.MS.p_i s.MS.pi_i)
+    cp;
+  let formula = F.create ~rtt:0.05 F.Pftk_standard in
+  let formula_rate p = F.eval formula p in
+  let p'' =
+    MS.limit_loss_event_rate cp ~rates:(MS.poisson_profile cp)
+  in
+  let p' =
+    MS.limit_loss_event_rate cp
+      ~rates:(MS.responsive_profile cp ~formula_rate)
+  in
+  Printf.printf
+    "\nEq. (13) limits:\n  p'' (Poisson, non-adaptive)    = %.5f\n\
+    \  p'  (TCP-like, fully adaptive) = %.5f\n\n" p'' p';
+  Printf.printf
+    "partially responsive sources (the averaging window L makes TFRC \
+     sluggish):\n";
+  List.iter
+    (fun resp ->
+      let rates =
+        MS.partially_responsive_profile cp ~formula_rate ~responsiveness:resp
+      in
+      let limit = MS.limit_loss_event_rate cp ~rates in
+      let rng = Ebrc.Prng.create ~seed:(100 + int_of_float (resp *. 100.0)) in
+      let mc = MS.monte_carlo rng cp ~rates ~mean_sojourn:100.0 ~steps:50_000 in
+      Printf.printf
+        "  responsiveness %.2f: p = %.5f (limit)  %.5f (Monte-Carlo)\n" resp
+        limit mc.MS.observed_p)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  Printf.printf
+    "\np decreases monotonically with responsiveness: Claim 3's ordering\n\
+     p' <= p <= p'' holds, and smoother TFRC (larger L, lower \
+     responsiveness)\nsits closer to the Poisson end.\n"

@@ -1,0 +1,62 @@
+(* Quickstart: the library in five minutes.
+
+   1. Evaluate the paper's throughput formulas.
+   2. Check the Theorem-1 convexity condition.
+   3. Run the basic control against a designed loss process and verify
+      conservativeness (Claim 1).
+   4. Compare with the comprehensive control (Proposition 2).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module F = Ebrc.Formula
+module C = Ebrc.Conditions
+
+let () =
+  print_endline "=== 1. Throughput formulas (rtt = 100 ms, q = 4 rtt) ===";
+  let formulas =
+    List.map (fun k -> F.create ~rtt:0.1 k) F.all_paper_kinds
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "  %-16s f(0.01) = %7.1f pkt/s   f(0.1) = %6.1f pkt/s\n"
+        (F.name f) (F.eval f 0.01) (F.eval f 0.1))
+    formulas;
+
+  print_endline "\n=== 2. Theorem-1 condition (F1): is 1/f(1/x) convex? ===";
+  List.iter
+    (fun f ->
+      Printf.printf "  %-16s (F1) holds: %b   deviation ratio r = %.5f\n"
+        (F.name f) (C.f1_holds f) (C.deviation_ratio f))
+    formulas;
+
+  print_endline "\n=== 3. Basic control on iid shifted-exponential losses ===";
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  let rng = Ebrc.Prng.create ~seed:7 in
+  let process =
+    Ebrc.Loss_process.iid_shifted_exponential rng ~p:0.05 ~cv:0.9
+  in
+  let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+  let r =
+    Ebrc.Basic_control.simulate ~formula ~estimator ~process ~cycles:100_000 ()
+  in
+  Printf.printf
+    "  p = %.4f   throughput = %.1f pkt/s   x/f(p) = %.3f\n\
+    \  cov[theta, thetahat] p^2 = %.4f   (C1 holds: %b -> conservative)\n"
+    r.Ebrc.Basic_control.p_observed r.throughput r.normalized
+    (r.cov_theta_thetahat *. r.p_observed *. r.p_observed)
+    (r.cov_theta_thetahat <= 0.01);
+
+  print_endline "\n=== 4. Comprehensive control (Proposition 2) ===";
+  let rng2 = Ebrc.Prng.create ~seed:7 in
+  let process2 =
+    Ebrc.Loss_process.iid_shifted_exponential rng2 ~p:0.05 ~cv:0.9
+  in
+  let formula_s = F.create ~rtt:0.1 F.Pftk_simplified in
+  let est2 = Ebrc.Loss_interval.of_tfrc ~l:8 in
+  let rc =
+    Ebrc.Comprehensive_control.simulate ~formula:formula_s ~estimator:est2
+      ~process:process2 ~cycles:100_000 ()
+  in
+  Printf.printf
+    "  comprehensive x/f(p) = %.3f  (>= basic, as Proposition 2 predicts)\n"
+    rc.Ebrc.Comprehensive_control.normalized

@@ -1,0 +1,83 @@
+(* Explore Theorems 1 and 2 across loss-process families: for each
+   driving process, measure the covariance conditions on the trajectory,
+   ask the theorem predicates for their prediction, and compare with the
+   measured outcome — including the (C3) conditional-expectation
+   diagnostic that implies (C2) via Harris' inequality.
+
+   Run with: dune exec examples/theorem_explorer.exe *)
+
+module F = Ebrc.Formula
+module LI = Ebrc.Loss_interval
+module LP = Ebrc.Loss_process
+module BC = Ebrc.Basic_control
+module Th = Ebrc.Theorems
+module D = Ebrc.Descriptive
+
+let explore ~name ~formula ~process ~l =
+  let estimator = LI.of_tfrc ~l in
+  let r =
+    BC.simulate ~collect_pairs:true ~formula ~estimator ~process
+      ~cycles:150_000 ()
+  in
+  let thetahats =
+    Array.map
+      (fun (x, _) -> 1.0 /. Ebrc.Formula.invert formula ~rate:x)
+      (Array.sub r.BC.rate_duration_pairs 0 512)
+  in
+  let obs =
+    {
+      Th.cov_theta_thetahat = r.BC.cov_theta_thetahat;
+      cov_rate_duration = r.BC.cov_rate_duration;
+      thetahat_lo = D.quantile thetahats 0.05;
+      thetahat_hi = D.quantile thetahats 0.95;
+      estimator_has_variance = r.BC.cv_thetahat > 1e-6;
+    }
+  in
+  let prediction = Th.predict ~cov_tol:(0.002 /. (r.BC.p_observed ** 2.0)) formula obs in
+  let c3 = Th.check_c3 ~bins:6 ~tolerance:0.1 r.BC.rate_duration_pairs in
+  Printf.printf
+    "%-28s x/f(p) = %.3f   cov[th,th^]p^2 = %+.4f   cov[X,S] sign = %+d   \
+     C3 = %-5b   prediction: %s\n"
+    name r.BC.normalized
+    (r.BC.cov_theta_thetahat *. r.BC.p_observed *. r.BC.p_observed)
+    (compare r.BC.cov_rate_duration 0.0)
+    c3.Th.holds
+    (Format.asprintf "%a" Th.pp_prediction prediction)
+
+let () =
+  let formula = F.create ~rtt:1.0 F.Pftk_simplified in
+  Printf.printf
+    "Basic control with PFTK-simplified, L = 4, across loss processes:\n\n";
+  let l = 4 in
+  explore ~name:"iid shifted-exp (p=0.05)" ~formula ~l
+    ~process:
+      (LP.iid_shifted_exponential (Ebrc.Prng.create ~seed:1) ~p:0.05 ~cv:0.9);
+  explore ~name:"iid exponential (p=0.05)" ~formula ~l
+    ~process:(LP.iid_exponential (Ebrc.Prng.create ~seed:2) ~p:0.05);
+  explore ~name:"batch losses (UMELB-like)" ~formula ~l
+    ~process:
+      (LP.batch (Ebrc.Prng.create ~seed:3) ~p:0.02 ~batch_p:0.3 ~batch_size:3);
+  explore ~name:"slow phases (predictable)" ~formula ~l
+    ~process:
+      (LP.markov_phases (Ebrc.Prng.create ~seed:4) ~mean_good:60.0
+         ~mean_bad:4.0 ~phase_length:40.0);
+  explore ~name:"AR(1) rho=+0.9" ~formula ~l
+    ~process:(LP.ar1 (Ebrc.Prng.create ~seed:5) ~p:0.05 ~rho:0.9 ~sigma:0.5);
+  explore ~name:"AR(1) rho=-0.9" ~formula ~l
+    ~process:(LP.ar1 (Ebrc.Prng.create ~seed:6) ~p:0.05 ~rho:(-0.9) ~sigma:0.5);
+  print_newline ();
+  Printf.printf
+    "Same predictable-phase process under SQRT (where Claim 1's variability \
+     penalty is mild):\n\n";
+  explore ~name:"slow phases, SQRT" ~formula:(F.create ~rtt:1.0 F.Sqrt) ~l
+    ~process:
+      (LP.markov_phases (Ebrc.Prng.create ~seed:4) ~mean_good:60.0
+         ~mean_bad:4.0 ~phase_length:40.0);
+  print_newline ();
+  Printf.printf
+    "Reading: processes satisfying (C1) are conservative (Theorem 1). When \
+     the loss process is\npredictable (cov > 0) the theorems make no \
+     prediction; under PFTK the estimator-variability\npenalty (Claim 1) \
+     still dominates and the control stays deeply conservative, while under\n\
+     SQRT the same phases push the normalized throughput above the iid \
+     level \xe2\x80\x94 the paper's\nSection III-B.2 example.\n"

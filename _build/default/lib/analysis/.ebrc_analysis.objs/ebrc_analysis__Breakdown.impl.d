@@ -1,0 +1,1 @@
+lib/analysis/breakdown.ml: Ebrc_formulas Fmt

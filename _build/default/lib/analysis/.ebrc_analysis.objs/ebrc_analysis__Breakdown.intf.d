@@ -1,0 +1,1 @@
+lib/analysis/breakdown.mli: Ebrc_formulas Format

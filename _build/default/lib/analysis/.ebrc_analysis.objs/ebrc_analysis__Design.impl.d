@@ -1,0 +1,1 @@
+lib/analysis/design.ml: Ebrc_control Ebrc_formulas Float List

@@ -1,0 +1,1 @@
+lib/analysis/design.mli: Ebrc_formulas

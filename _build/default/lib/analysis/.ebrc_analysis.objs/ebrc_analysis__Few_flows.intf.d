@@ -1,0 +1,1 @@
+lib/analysis/few_flows.mli:

@@ -1,0 +1,1 @@
+lib/analysis/many_sources.mli: Ebrc_rng

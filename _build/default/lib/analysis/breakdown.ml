@@ -1,0 +1,97 @@
+(* The paper's central methodological point: TCP-friendliness must be
+   decomposed into four sub-conditions and each verified separately.
+   Writing x for the EBRC source and x' for TCP:
+
+     (1) conservativeness:      x_bar          <= f(p, r)
+     (2) loss-event rates:      p              >= p'
+     (3) round-trip times:      r              >= r'
+     (4) TCP formula obedience: x_bar'         >= f(p', r')
+
+   Their conjunction implies x_bar <= x_bar' (TCP-friendliness), since
+   f is non-increasing in p and r. This module carries the measured
+   quantities and computes each ratio exactly as plotted in the paper's
+   Figures 12-15 and 18-19. *)
+
+module Formula = Ebrc_formulas.Formula
+
+type measurement = {
+  throughput : float;       (* x_bar, packets/s *)
+  p : float;                (* loss-event rate *)
+  rtt : float;              (* average round-trip time, s *)
+}
+
+type t = {
+  ebrc : measurement;
+  tcp : measurement;
+  formula : Formula.t;      (* the formula the EBRC sender used *)
+}
+
+let create ~ebrc ~tcp ~formula =
+  let check name (m : measurement) =
+    if m.throughput < 0.0 then invalid_arg ("Breakdown: negative x for " ^ name);
+    if m.p < 0.0 then invalid_arg ("Breakdown: negative p for " ^ name);
+    if m.rtt < 0.0 then invalid_arg ("Breakdown: negative rtt for " ^ name)
+  in
+  check "ebrc" ebrc;
+  check "tcp" tcp;
+  { ebrc; tcp; formula }
+
+let formula_at t ~p ~rtt =
+  if p <= 0.0 then infinity
+  else Formula.eval (Formula.with_rtt t.formula ~rtt) p
+
+(* Sub-condition ratios, each <= 1 (or >= 1 for the ones stated as lower
+   bounds) when the corresponding condition holds. *)
+
+(* (1) x_bar / f(p, r): <= 1 iff conservative. *)
+let conservativeness_ratio t =
+  let f = formula_at t ~p:t.ebrc.p ~rtt:t.ebrc.rtt in
+  if f = infinity then 0.0 else t.ebrc.throughput /. f
+
+(* (2) p' / p: <= 1 iff TCP's loss-event rate is not larger. The paper
+   plots this ratio; sub-condition 2 holds when p >= p', i.e. ratio <= 1. *)
+let loss_rate_ratio t = if t.ebrc.p = 0.0 then nan else t.tcp.p /. t.ebrc.p
+
+(* (3) r' / r: <= 1 iff TCP's RTT is not larger. *)
+let rtt_ratio t = if t.ebrc.rtt = 0.0 then nan else t.tcp.rtt /. t.ebrc.rtt
+
+(* (4) x_bar' / f(p', r'): >= 1 iff TCP obeys (meets or beats) its
+   formula. *)
+let tcp_obedience_ratio t =
+  let f = formula_at t ~p:t.tcp.p ~rtt:t.tcp.rtt in
+  if f = infinity then infinity else t.tcp.throughput /. f
+
+(* Headline ratio x_bar / x_bar': <= 1 iff TCP-friendly. *)
+let friendliness_ratio t =
+  if t.tcp.throughput = 0.0 then nan
+  else t.ebrc.throughput /. t.tcp.throughput
+
+type verdict = {
+  conservative : bool;
+  loss_rate_ordered : bool;     (* p >= p' *)
+  rtt_ordered : bool;           (* r >= r' *)
+  tcp_obeys_formula : bool;     (* x_bar' >= f(p', r') *)
+  tcp_friendly : bool;          (* x_bar <= x_bar' *)
+}
+
+let verdict ?(slack = 0.05) t =
+  {
+    conservative = conservativeness_ratio t <= 1.0 +. slack;
+    loss_rate_ordered = loss_rate_ratio t <= 1.0 +. slack;
+    rtt_ordered = rtt_ratio t <= 1.0 +. slack;
+    tcp_obeys_formula = tcp_obedience_ratio t >= 1.0 -. slack;
+    tcp_friendly = friendliness_ratio t <= 1.0 +. slack;
+  }
+
+(* The conjunction of the four sub-conditions implies friendliness; the
+   converse direction does not hold, which is the paper's warning about
+   judging protocols by throughput ratios alone. *)
+let sub_conditions_imply_friendliness v =
+  v.conservative && v.loss_rate_ordered && v.rtt_ordered
+  && v.tcp_obeys_formula
+
+let pp ppf t =
+  Fmt.pf ppf
+    "x/f(p,r)=%.3f  p'/p=%.3f  r'/r=%.3f  x'/f(p',r')=%.3f  x/x'=%.3f"
+    (conservativeness_ratio t) (loss_rate_ratio t) (rtt_ratio t)
+    (tcp_obedience_ratio t) (friendliness_ratio t)

@@ -1,0 +1,49 @@
+(** The TCP-friendliness breakdown (the paper's four sub-conditions):
+    (1) conservativeness, (2) loss-event-rate ordering, (3) RTT
+    ordering, (4) TCP's obedience to its throughput formula. Their
+    conjunction implies TCP-friendliness; each ratio is exactly what
+    the paper plots in Figures 12–15 and 18–19. *)
+
+type measurement = {
+  throughput : float;  (** x̄, packets/s *)
+  p : float;           (** loss-event rate *)
+  rtt : float;         (** average round-trip time, s *)
+}
+
+type t
+
+val create :
+  ebrc:measurement -> tcp:measurement -> formula:Ebrc_formulas.Formula.t -> t
+
+val conservativeness_ratio : t -> float
+(** x̄ / f(p, r); ≤ 1 iff conservative. *)
+
+val loss_rate_ratio : t -> float
+(** p′/p; ≤ 1 iff sub-condition 2 holds. *)
+
+val rtt_ratio : t -> float
+(** r′/r; ≤ 1 iff sub-condition 3 holds. *)
+
+val tcp_obedience_ratio : t -> float
+(** x̄′ / f(p′, r′); ≥ 1 iff TCP meets its formula. *)
+
+val friendliness_ratio : t -> float
+(** x̄ / x̄′; ≤ 1 iff TCP-friendly. *)
+
+type verdict = {
+  conservative : bool;
+  loss_rate_ordered : bool;
+  rtt_ordered : bool;
+  tcp_obeys_formula : bool;
+  tcp_friendly : bool;
+}
+
+val verdict : ?slack:float -> t -> verdict
+(** Boolean view with a relative [slack] (default 5%) absorbing
+    measurement noise. *)
+
+val sub_conditions_imply_friendliness : verdict -> bool
+(** True when all four sub-conditions hold (which implies
+    friendliness — the converse is the paper's warning). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+(* The paper's closing "further study" direction, implemented:
+   conservativeness as a design objective.
+
+   The conclusion argues that designing for *conservativeness* (rather
+   than TCP-friendliness) "would allow for the design of more effective
+   controls ... while guaranteeing a safe behaviour". The design lever
+   the paper identifies is the estimator window L (Claim 1: larger L,
+   less variability, less throughput lost to conservativeness) traded
+   against responsiveness (larger L reacts more slowly; Claim 3: a
+   smoother source also observes a larger loss-event rate).
+
+   This module quantifies that trade-off with the exact iid machinery
+   of {!Ebrc_control.Exact}: for a candidate window L, the *efficiency*
+   at an operating point (p, cv) is the normalized throughput
+   x_bar/f(p) in [0, 1] — the fraction of the formula's allowance the
+   control actually uses while remaining provably conservative
+   (Theorem 1 applies: iid intervals and convex g). The advisor finds
+   the smallest L whose worst-case efficiency over an operating region
+   meets a target. *)
+
+module Formula = Ebrc_formulas.Formula
+module Exact = Ebrc_control.Exact
+
+type operating_region = {
+  p_values : float list;   (* loss-event rates to cover *)
+  cv : float;              (* interval coefficient of variation *)
+}
+
+let default_region =
+  { p_values = [ 0.01; 0.02; 0.05; 0.1; 0.2 ]; cv = 0.9 }
+
+let check_region r =
+  if r.p_values = [] then invalid_arg "Design: empty operating region";
+  List.iter
+    (fun p -> if p <= 0.0 then invalid_arg "Design: non-positive p")
+    r.p_values;
+  if r.cv <= 0.0 || r.cv > 1.0 then
+    invalid_arg "Design: cv must be in (0, 1]"
+
+(* Worst-case (over the region) fraction of f(p) the control attains
+   with a window of [l] uniform weights. *)
+let worst_case_efficiency ?(region = default_region) ~formula ~l () =
+  check_region region;
+  if l < 1 then invalid_arg "Design.worst_case_efficiency: l >= 1";
+  List.fold_left
+    (fun acc p ->
+      Float.min acc
+        (Exact.normalized_throughput ~formula ~l ~p ~cv:region.cv))
+    infinity region.p_values
+
+type recommendation = {
+  l : int;                      (* chosen window *)
+  efficiency : float;           (* worst-case normalized throughput *)
+  per_p : (float * float) list; (* (p, efficiency at p) *)
+}
+
+(* Smallest window whose worst-case efficiency meets [target]; [None]
+   if even [l_max] falls short (then the caller must accept the l_max
+   efficiency or change formula). *)
+let recommend_window ?(region = default_region) ?(l_max = 64) ~formula
+    ~target () =
+  check_region region;
+  if target <= 0.0 || target >= 1.0 then
+    invalid_arg "Design.recommend_window: target must be in (0, 1)";
+  if l_max < 1 then invalid_arg "Design.recommend_window: l_max >= 1";
+  let rec search l =
+    if l > l_max then None
+    else begin
+      let eff = worst_case_efficiency ~region ~formula ~l () in
+      if eff >= target then
+        Some
+          {
+            l;
+            efficiency = eff;
+            per_p =
+              List.map
+                (fun p ->
+                  ( p,
+                    Exact.normalized_throughput ~formula ~l ~p ~cv:region.cv
+                  ))
+                region.p_values;
+          }
+      else search (if l < 4 then l + 1 else l * 2)
+    end
+  in
+  search 1
+
+(* The paper's intro cautions against the ad-hoc fix of shrinking the
+   throughput function to compensate an observed deviation. This
+   utility quantifies why: scaling f by s scales the attained
+   throughput by exactly s under the basic control (both X_n and 1/S_n
+   scale), so the *normalized* throughput against the original f scales
+   linearly and the conservativeness verdict against the scaled f is
+   unchanged. Returns (normalized vs original f, normalized vs scaled
+   f) to make the invariance observable in tests and docs. *)
+let scaling_effect ~formula ~l ~p ~cv ~scale =
+  if scale <= 0.0 then invalid_arg "Design.scaling_effect: scale <= 0";
+  let base = Exact.normalized_throughput ~formula ~l ~p ~cv in
+  (scale *. base, base)

@@ -1,0 +1,51 @@
+(** The paper's closing "further study" direction implemented:
+    conservativeness as a design objective.
+
+    Quantifies the Claim-1 trade-off — larger estimator windows lose
+    less throughput to conservativeness but react more slowly — using
+    the exact iid machinery of {!Ebrc_control.Exact}, and recommends
+    the smallest window meeting a worst-case efficiency target over an
+    operating region. *)
+
+type operating_region = {
+  p_values : float list;  (** Loss-event rates to cover. *)
+  cv : float;             (** Interval coefficient of variation. *)
+}
+
+val default_region : operating_region
+(** p ∈ {0.01, 0.02, 0.05, 0.1, 0.2}, cv = 0.9. *)
+
+val worst_case_efficiency :
+  ?region:operating_region ->
+  formula:Ebrc_formulas.Formula.t ->
+  l:int ->
+  unit ->
+  float
+(** Worst-case (over the region) normalized throughput x̄/f(p) of the
+    basic control with [l] uniform weights — the fraction of the
+    formula's allowance used while provably conservative. *)
+
+type recommendation = {
+  l : int;
+  efficiency : float;
+  per_p : (float * float) list;
+}
+
+val recommend_window :
+  ?region:operating_region ->
+  ?l_max:int ->
+  formula:Ebrc_formulas.Formula.t ->
+  target:float ->
+  unit ->
+  recommendation option
+(** Smallest window whose worst-case efficiency meets [target] ∈ (0,1);
+    [None] if [l_max] (default 64) falls short. *)
+
+val scaling_effect :
+  formula:Ebrc_formulas.Formula.t ->
+  l:int -> p:float -> cv:float -> scale:float ->
+  float * float
+(** Why the intro's ad-hoc fix fails: scaling f by s scales throughput
+    by exactly s, so (normalized vs original f, normalized vs scaled f)
+    = (s·base, base) — the conservativeness verdict against the scaled
+    formula is unchanged. *)

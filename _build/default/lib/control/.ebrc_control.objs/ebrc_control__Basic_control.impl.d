@@ -1,0 +1,1 @@
+lib/control/basic_control.ml: Array Ebrc_estimator Ebrc_formulas Ebrc_lossproc Ebrc_stats

@@ -1,0 +1,1 @@
+lib/control/basic_control.mli: Ebrc_estimator Ebrc_formulas Ebrc_lossproc

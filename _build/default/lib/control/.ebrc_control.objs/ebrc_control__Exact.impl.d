@@ -1,0 +1,1 @@
+lib/control/exact.ml: Ebrc_formulas Ebrc_numerics Ebrc_rng Float

@@ -1,0 +1,1 @@
+lib/control/exact.mli: Ebrc_formulas

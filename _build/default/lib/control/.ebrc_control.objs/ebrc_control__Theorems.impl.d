@@ -1,0 +1,1 @@
+lib/control/theorems.ml: Array Ebrc_formulas Float Format

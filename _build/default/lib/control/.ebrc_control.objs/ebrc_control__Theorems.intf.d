@@ -1,0 +1,1 @@
+lib/control/theorems.mli: Ebrc_formulas Format

@@ -1,0 +1,83 @@
+(* Exact (quadrature) evaluation of the Proposition-1 throughput for iid
+   loss processes — an analytic cross-check for the Monte-Carlo engine.
+
+   For iid {theta_n}, the estimator thetahat_n (a moving average of
+   *past* intervals) is independent of theta_n, so Eq. (8) collapses to
+
+       E[X(0)] = E[theta] / ( E[theta] E[g(thetahat)] ) = 1 / E[g(thetahat)]
+
+   with g(x) = 1/f(1/x), and the normalized throughput is
+
+       x_bar / f(p) = g(1/p) / E[g(thetahat)].
+
+   For the paper's shifted-exponential law theta = x0 + Exp(a) and
+   *uniform* weights w_l = 1/L, the estimator is
+
+       thetahat = x0 + (1/L) sum_{l=1..L} Exp(a)  =  x0 + Gamma(L, rate aL),
+
+   whose density is the Erlang density, so E[g(thetahat)] is a
+   one-dimensional integral evaluated here with adaptive Simpson. L = 1
+   covers the TFRC weighting too (any weighting degenerates at L = 1).
+
+   The same machinery gives the exact Palm mean rate E0[X] = E[h(thetahat)]
+   with h(x) = f(1/x). *)
+
+module Formula = Ebrc_formulas.Formula
+module Dist = Ebrc_rng.Dist
+module Quadrature = Ebrc_numerics.Quadrature
+
+let ln_factorial n =
+  let acc = ref 0.0 in
+  for i = 2 to n do
+    acc := !acc +. log (float_of_int i)
+  done;
+  !acc
+
+(* Erlang(k, rate) density at y >= 0. *)
+let erlang_density ~k ~rate y =
+  if y < 0.0 then 0.0
+  else
+    exp
+      ((float_of_int k *. log rate)
+      +. (float_of_int (k - 1) *. log (Float.max y 1e-300))
+      -. (rate *. y) -. ln_factorial (k - 1))
+
+(* E[phi(thetahat)] for thetahat = x0 + Erlang(l, a*l), by adaptive
+   Simpson over the bulk of the Erlang mass. *)
+let expect_over_estimator ~l ~x0 ~a phi =
+  if l < 1 then invalid_arg "Exact.expect_over_estimator: l >= 1";
+  let rate = a *. float_of_int l in
+  let mean_y = float_of_int l /. rate in
+  let sd_y = sqrt (float_of_int l) /. rate in
+  (* Integrate to mean + 12 sd (Erlang tails decay exponentially). *)
+  let hi = mean_y +. (12.0 *. sd_y) +. (20.0 /. rate) in
+  Quadrature.adaptive_simpson ~tol:1e-12
+    (fun y -> phi (x0 +. y) *. erlang_density ~k:l ~rate y)
+    ~lo:0.0 ~hi
+
+(* Exact normalized throughput of the basic control with uniform
+   weights of window [l], for the designed iid process (p, cv). *)
+let normalized_throughput ~formula ~l ~p ~cv =
+  if p <= 0.0 then invalid_arg "Exact.normalized_throughput: p <= 0";
+  let mean = 1.0 /. p in
+  let x0, a = Dist.shifted_exponential_params ~mean ~cv in
+  let g = Formula.g formula in
+  let e_g = expect_over_estimator ~l ~x0 ~a g in
+  g mean /. e_g
+
+(* Exact event-average (Palm) send rate E0[X] = E[f(1/thetahat)]. *)
+let palm_mean_rate ~formula ~l ~p ~cv =
+  if p <= 0.0 then invalid_arg "Exact.palm_mean_rate: p <= 0";
+  let mean = 1.0 /. p in
+  let x0, a = Dist.shifted_exponential_params ~mean ~cv in
+  expect_over_estimator ~l ~x0 ~a (Formula.h formula)
+
+(* The two sides of the Theorem-1 convexity argument, exactly:
+   conservativeness holds iff E[g(thetahat)] >= g(E[thetahat]) — i.e.
+   Jensen's gap for the convex g. *)
+let jensen_gap ~formula ~l ~p ~cv =
+  if p <= 0.0 then invalid_arg "Exact.jensen_gap: p <= 0";
+  let mean = 1.0 /. p in
+  let x0, a = Dist.shifted_exponential_params ~mean ~cv in
+  let g = Formula.g formula in
+  expect_over_estimator ~l ~x0 ~a g -. g mean

@@ -1,0 +1,28 @@
+(** Exact (quadrature) evaluation of the Proposition-1 throughput for
+    iid loss processes — the analytic cross-check for the Monte-Carlo
+    engine.
+
+    For iid θ the estimator θ̂ is independent of θ and Eq. (8) collapses
+    to x̄ = 1/E[g(θ̂)] with g(x) = 1/f(1/x). With the designed
+    shifted-exponential law and uniform weights of window L,
+    θ̂ = x₀ + Erlang(L, aL), so the expectation is a one-dimensional
+    integral. L = 1 also covers the TFRC weighting. *)
+
+val normalized_throughput :
+  formula:Ebrc_formulas.Formula.t -> l:int -> p:float -> cv:float -> float
+(** x̄/f(p) = g(1/p) / E[g(θ̂)] for uniform weights of window [l]. *)
+
+val palm_mean_rate :
+  formula:Ebrc_formulas.Formula.t -> l:int -> p:float -> cv:float -> float
+(** E⁰_N[X] = E[f(1/θ̂)]. *)
+
+val jensen_gap :
+  formula:Ebrc_formulas.Formula.t -> l:int -> p:float -> cv:float -> float
+(** E[g(θ̂)] − g(E[θ̂]): non-negative exactly when the Theorem-1
+    convexity argument bites (g convex). *)
+
+val expect_over_estimator :
+  l:int -> x0:float -> a:float -> (float -> float) -> float
+(** E[φ(θ̂)] for θ̂ = x₀ + Erlang(l, a·l), by adaptive Simpson. *)
+
+val erlang_density : k:int -> rate:float -> float -> float

@@ -1,0 +1,1 @@
+lib/estimator/loss_interval.ml: Array Weights

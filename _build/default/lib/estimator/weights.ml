@@ -1,0 +1,36 @@
+(* Moving-average weights for the loss-event interval estimator.
+
+   TFRC (RFC 3448, section 5.4) uses, for a history of L intervals, raw
+   weights equal to 1 for the most recent half of the history and then
+   decreasing linearly:
+
+     w_i = 1                  for i < L/2
+     w_i = 2 (L - i)/(L + 2)  for L/2 <= i < L        (i = 0 most recent)
+
+   e.g. L = 8 gives 1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2.
+
+   The paper's assumption (E) — that the estimator of the expected
+   loss-event interval is unbiased — requires the weights to sum to one,
+   so this module exposes the normalised weights. We also provide uniform
+   weights for the ablation experiments. *)
+
+let tfrc_raw l =
+  if l < 1 then invalid_arg "Weights.tfrc_raw: l must be >= 1";
+  Array.init l (fun i ->
+      if 2 * i < l then 1.0
+      else 2.0 *. float_of_int (l - i) /. float_of_int (l + 2))
+
+let normalize w =
+  let s = Array.fold_left ( +. ) 0.0 w in
+  if s <= 0.0 then invalid_arg "Weights.normalize: non-positive total";
+  Array.map (fun x -> x /. s) w
+
+let tfrc l = normalize (tfrc_raw l)
+
+let uniform l =
+  if l < 1 then invalid_arg "Weights.uniform: l must be >= 1";
+  Array.make l (1.0 /. float_of_int l)
+
+let is_normalized ?(tol = 1e-9) w =
+  abs_float (Array.fold_left ( +. ) 0.0 w -. 1.0) <= tol
+  && Array.for_all (fun x -> x > 0.0) w

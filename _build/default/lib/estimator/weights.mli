@@ -1,0 +1,21 @@
+(** Moving-average weights for the loss-event interval estimator.
+
+    TFRC's history weights are flat over the most recent half of the
+    window and decay linearly over the older half; normalising them to
+    sum to one makes the moving average an unbiased estimator of the
+    expected loss-event interval (the paper's assumption (E)). *)
+
+val tfrc_raw : int -> float array
+(** RFC 3448 raw weights for a window of length [l]
+    (index 0 = most recent interval). *)
+
+val tfrc : int -> float array
+(** Normalised TFRC weights (sum to 1). *)
+
+val uniform : int -> float array
+(** Equal weights 1/l — used by ablation experiments. *)
+
+val normalize : float array -> float array
+
+val is_normalized : ?tol:float -> float array -> bool
+(** True when the weights are positive and sum to one. *)

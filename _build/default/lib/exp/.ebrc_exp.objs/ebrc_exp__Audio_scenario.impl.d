@@ -1,0 +1,1 @@
+lib/exp/audio_scenario.ml: Array Ebrc_formulas Ebrc_net Ebrc_rng Ebrc_sim Ebrc_sources Ebrc_stats Ebrc_tfrc

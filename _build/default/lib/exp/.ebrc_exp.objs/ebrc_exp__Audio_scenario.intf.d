@@ -1,0 +1,1 @@
+lib/exp/audio_scenario.mli: Ebrc_formulas

@@ -1,0 +1,1 @@
+lib/exp/chain_scenario.mli:

@@ -1,0 +1,1 @@
+lib/exp/paths.ml: Ebrc_formulas Ebrc_net List Option Printf Scenario Table

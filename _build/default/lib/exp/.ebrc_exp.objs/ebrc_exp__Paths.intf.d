@@ -1,0 +1,1 @@
+lib/exp/paths.mli: Ebrc_formulas Ebrc_net Scenario Table

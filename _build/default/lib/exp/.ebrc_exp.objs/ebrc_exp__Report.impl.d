@@ -1,0 +1,1 @@
+lib/exp/report.ml: Buffer Figures Fun List Option Printf String Table Unix

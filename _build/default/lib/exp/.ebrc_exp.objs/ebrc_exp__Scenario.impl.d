@@ -1,0 +1,1 @@
+lib/exp/scenario.ml: Array Ebrc_formulas Ebrc_net Ebrc_rng Ebrc_sim Ebrc_sources Ebrc_tcp Ebrc_tfrc Float

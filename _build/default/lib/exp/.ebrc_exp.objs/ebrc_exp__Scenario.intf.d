@@ -1,0 +1,1 @@
+lib/exp/scenario.mli: Ebrc_formulas Ebrc_net

@@ -1,0 +1,1 @@
+lib/exp/table.mli:

@@ -1,0 +1,1 @@
+lib/exp/validate.ml: Audio_scenario Ebrc_analysis Ebrc_control Ebrc_estimator Ebrc_formulas Ebrc_lossproc Ebrc_net Ebrc_numerics Ebrc_rng Ebrc_sim Ebrc_tcp List Printf Scenario Table Unix

@@ -1,0 +1,1 @@
+lib/exp/validate.mli: Table

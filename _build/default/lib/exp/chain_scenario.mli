@@ -1,0 +1,42 @@
+(** A two-router chain generalising the paper's lab topology: two
+    queued links in series with optional CBR cross-traffic joining at
+    the second router. With the second link fast it degenerates to the
+    dumbbell; with comparable rates plus cross-traffic, end-to-end loss
+    events are a superposition of two congestion points. *)
+
+type config = {
+  seed : int;
+  link1_bps : float;
+  link2_bps : float;
+  delay1 : float;
+  delay2 : float;
+  queue1_capacity : int;
+  queue2_capacity : int;
+  cross_rate_fraction : float;  (** CBR cross load as fraction of link2. *)
+  n_tfrc : int;
+  n_tcp : int;
+  tfrc_l : int;
+  duration : float;
+  warmup : float;
+  packet_size : int;
+}
+
+val default_config : config
+
+type class_measure = {
+  throughput_pps : float;   (** Per-flow mean over the class. *)
+  loss_event_rate : float;  (** Pooled over the class. *)
+  mean_rtt : float;
+}
+
+type result = {
+  tfrc : class_measure;
+  tcp : class_measure;
+  drops_link1 : int;
+  drops_link2 : int;
+  utilization1 : float;
+  utilization2 : float;
+}
+
+val run : config -> result
+val base_rtt : config -> float

@@ -1,0 +1,56 @@
+(** One runner per paper figure/table. [quick] shrinks grids and run
+    lengths (benchmark mode); full mode reproduces the paper-scale
+    sweeps. The experiment index lives in DESIGN.md, the
+    paper-vs-measured record in EXPERIMENTS.md. *)
+
+type runner = quick:bool -> unit -> Table.t list
+
+val registry : (string * string * runner) list
+(** (figure id, description, runner). Ids: "1".."19", "t1", "c3", "c4". *)
+
+val ids : unit -> string list
+val describe : unit -> (string * string) list
+
+val find : string -> runner option
+val run_one : quick:bool -> string -> Table.t list
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val run_all : quick:bool -> unit -> Table.t list
+
+(** Individual runners (exposed for tests and the bench harness). *)
+
+val fig1 : runner
+val fig2 : runner
+val fig3 : runner
+val fig4 : runner
+val fig5 : runner
+val fig6 : runner
+val fig7 : runner
+val fig8 : runner
+val fig9 : runner
+val fig10 : runner
+val fig11 : runner
+val fig12 : runner
+val fig13 : runner
+val fig14 : runner
+val fig15 : runner
+val fig16 : runner
+val fig17 : runner
+val fig18 : runner
+val fig19 : runner
+val table_one : runner
+val table_c3 : runner
+val table_c4 : runner
+val ablation_weights : runner
+val ablation_eq12 : runner
+val ablation_dropper_mode : runner
+val ablation_competition : runner
+val ablation_comprehensive_fig3 : runner
+val ablation_window_growth : runner
+val ablation_autocovariance : runner
+val ablation_exact_vs_mc : runner
+val ablation_chain : runner
+val ablation_tcp_variant : runner
+val ablation_design_advisor : runner
+val ablation_rtt_heterogeneity : runner
+val ablation_loss_families : runner

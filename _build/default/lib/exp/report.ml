@@ -1,0 +1,127 @@
+(* Markdown report generator: runs any subset of the figure registry
+   and renders one self-contained document with the tables, notes and
+   timing, suitable for committing next to EXPERIMENTS.md or attaching
+   to a CI run. *)
+
+let markdown_of_table (t : Table.t) =
+  (* Re-render a Table.t as GitHub-flavoured markdown. Table does not
+     expose its internals, so parse its own CSV (stable by contract). *)
+  let csv = Table.to_csv t in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  match lines with
+  | [] -> ""
+  | header :: rows ->
+      let split line =
+        (* Minimal CSV field split; experiment cells never embed
+           escaped commas except via quoting, which we unwrap. *)
+        let fields = ref [] and buf = Buffer.create 16 in
+        let in_quotes = ref false in
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> in_quotes := not !in_quotes
+            | ',' when not !in_quotes ->
+                fields := Buffer.contents buf :: !fields;
+                Buffer.clear buf
+            | c -> Buffer.add_char buf c)
+          line;
+        fields := Buffer.contents buf :: !fields;
+        List.rev !fields
+      in
+      let cells = split header in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n");
+      Buffer.add_string buf
+        ("|" ^ String.concat "|" (List.map (fun _ -> "---") cells) ^ "|\n");
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            ("| " ^ String.concat " | " (split row) ^ " |\n"))
+        rows;
+      Buffer.contents buf
+
+(* Extract title and notes from the rendered ASCII (Table exposes only
+   rendering); titles are the "== ... ==" line, notes the "note: "
+   lines. *)
+let title_and_notes (t : Table.t) =
+  let text = Table.to_string t in
+  let lines = String.split_on_char '\n' text in
+  let title =
+    List.find_map
+      (fun l ->
+        let n = String.length l in
+        if n > 6 && String.sub l 0 3 = "== " then Some (String.sub l 3 (n - 6))
+        else None)
+      lines
+  in
+  let notes =
+    List.filter_map
+      (fun l ->
+        if String.length l > 6 && String.sub l 0 6 = "note: " then
+          Some (String.sub l 6 (String.length l - 6))
+        else None)
+      lines
+  in
+  (Option.value title ~default:"(untitled)", notes)
+
+type options = {
+  ids : string list;          (* empty = whole registry *)
+  quick : bool;
+  heading : string;
+}
+
+let default_options =
+  {
+    ids = [];
+    quick = true;
+    heading = "EBRC reproduction report";
+  }
+
+let generate ?(options = default_options) () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" options.heading);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Mode: %s. Each section regenerates one figure/table of the paper's \
+        evaluation;\nsee DESIGN.md for the experiment index and \
+        EXPERIMENTS.md for the paper-vs-measured record.\n\n"
+       (if options.quick then "quick (scaled-down sweeps)"
+        else "full (paper-scale sweeps)"));
+  let entries =
+    match options.ids with
+    | [] -> Figures.registry
+    | ids ->
+        List.filter_map
+          (fun id ->
+            List.find_opt (fun (fid, _, _) -> fid = id) Figures.registry)
+          ids
+  in
+  List.iter
+    (fun (id, desc, runner) ->
+      Buffer.add_string buf (Printf.sprintf "## Figure %s — %s\n\n" id desc);
+      let t0 = Unix.gettimeofday () in
+      let tables = runner ~quick:options.quick () in
+      List.iter
+        (fun t ->
+          let title, notes = title_and_notes t in
+          Buffer.add_string buf (Printf.sprintf "### %s\n\n" title);
+          Buffer.add_string buf (markdown_of_table t);
+          Buffer.add_char buf '\n';
+          List.iter
+            (fun n -> Buffer.add_string buf (Printf.sprintf "> %s\n\n" n))
+            notes)
+        tables;
+      Buffer.add_string buf
+        (Printf.sprintf "_regenerated in %.1f s_\n\n"
+           (Unix.gettimeofday () -. t0)))
+    entries;
+  Buffer.contents buf
+
+let save ?options ~path () =
+  let doc = generate ?options () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

@@ -1,0 +1,18 @@
+(** Markdown report generator: run a subset of the figure registry and
+    render one self-contained document (tables, notes, timing). *)
+
+type options = {
+  ids : string list;   (** Figure ids to include; empty = whole registry. *)
+  quick : bool;
+  heading : string;
+}
+
+val default_options : options
+
+val generate : ?options:options -> unit -> string
+(** Render the report as a markdown string. *)
+
+val save : ?options:options -> path:string -> unit -> unit
+
+val markdown_of_table : Table.t -> string
+(** GitHub-flavoured markdown rendering of a single table. *)

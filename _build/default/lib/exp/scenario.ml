@@ -1,0 +1,381 @@
+(* The dumbbell scenario that stands in for the paper's ns-2 and lab
+   setups: N TFRC senders, M TCP senders and optional non-adaptive
+   probes share one bottleneck link; the reverse path is a fixed delay
+   (no reverse congestion, as in the paper's topologies).
+
+     senders --> [ queue | bottleneck ] --prop--> receivers
+        ^                                             |
+        +---------------- fixed reverse delay --------+
+
+   Per-flow reverse-delay jitter (a few percent, fixed per flow) breaks
+   the phase effects DropTail is prone to, mirroring the heterogeneous
+   access links of the testbed. Measurements are taken between
+   [warmup] and [duration] via counter snapshots. *)
+
+module Engine = Ebrc_sim.Engine
+module Prng = Ebrc_rng.Prng
+module Packet = Ebrc_net.Packet
+module Link = Ebrc_net.Link
+module Queue_discipline = Ebrc_net.Queue_discipline
+module Gap_sink = Ebrc_net.Gap_sink
+module Flow_stats = Ebrc_net.Flow_stats
+module Tcp_sender = Ebrc_tcp.Tcp_sender
+module Tcp_receiver = Ebrc_tcp.Tcp_receiver
+module Tfrc_sender = Ebrc_tfrc.Tfrc_sender
+module Tfrc_receiver = Ebrc_tfrc.Tfrc_receiver
+module Loss_history = Ebrc_tfrc.Loss_history
+module Probe_source = Ebrc_sources.Probe_source
+module Formula = Ebrc_formulas.Formula
+
+type queue_config =
+  | Drop_tail of { capacity : int }
+  | Red_auto of { capacity : int }  (* thresholds from the BDP, as in ns-2 *)
+  | Red_manual of { capacity : int; params : Queue_discipline.red_params }
+
+type config = {
+  seed : int;
+  bottleneck_bps : float;
+  one_way_delay : float;          (* propagation each way, seconds *)
+  queue : queue_config;
+  packet_size : int;              (* bytes, data packets *)
+  n_tfrc : int;
+  n_tcp : int;
+  with_probe : bool;              (* one Poisson probe at ~1% of capacity *)
+  tfrc_l : int;                   (* TFRC history window *)
+  tfrc_formula_kind : Formula.kind;
+  tfrc_comprehensive : bool;
+  tfrc_conform_to_analysis : bool;
+  reverse_jitter : float;         (* per-flow reverse-delay spread:
+                                     factor drawn from 1 +/- jitter *)
+  duration : float;               (* simulated seconds *)
+  warmup : float;                 (* measurement start *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    bottleneck_bps = 15e6;
+    one_way_delay = 0.025;
+    queue = Red_auto { capacity = 0 } (* 0 = derive from BDP *);
+    packet_size = 1000;
+    n_tfrc = 4;
+    n_tcp = 4;
+    with_probe = true;
+    tfrc_l = 8;
+    tfrc_formula_kind = Formula.Pftk_standard;
+    tfrc_comprehensive = true;
+    tfrc_conform_to_analysis = false;
+    reverse_jitter = 0.1;
+    duration = 300.0;
+    warmup = 50.0;
+  }
+
+type flow_measure = {
+  flow : int;
+  throughput_pps : float;        (* over the measurement window *)
+  loss_event_rate : float;       (* completed intervals in the window *)
+  mean_rtt : float;
+  loss_intervals : float array;  (* completed intervals in the window *)
+  estimate_pairs : (float * float) array;  (* TFRC only: (thetahat, theta) *)
+}
+
+type result = {
+  tfrc : flow_measure array;
+  tcp : flow_measure array;
+  probe : flow_measure option;
+  link_utilization : float;
+  queue_drops : int;
+  sim_time : float;
+}
+
+(* Mean base RTT, before queueing. *)
+let base_rtt cfg = 2.0 *. cfg.one_way_delay
+
+let bdp_packets cfg =
+  cfg.bottleneck_bps *. base_rtt cfg /. (8.0 *. float_of_int cfg.packet_size)
+
+let make_queue cfg =
+  let bdp = bdp_packets cfg in
+  let service_rate =
+    cfg.bottleneck_bps /. (8.0 *. float_of_int cfg.packet_size)
+  in
+  match cfg.queue with
+  | Drop_tail { capacity } ->
+      let capacity =
+        if capacity > 0 then capacity
+        else max 4 (int_of_float (2.5 *. bdp))
+      in
+      Queue_discipline.create ~service_rate ~capacity Queue_discipline.Drop_tail
+  | Red_auto { capacity } ->
+      let capacity =
+        if capacity > 0 then capacity
+        else max 4 (int_of_float (2.5 *. bdp))
+      in
+      Queue_discipline.create ~service_rate ~capacity
+        (Queue_discipline.Red (Queue_discipline.default_red ~bdp))
+  | Red_manual { capacity; params } ->
+      Queue_discipline.create ~service_rate ~capacity
+        (Queue_discipline.Red params)
+
+(* Mutable per-flow endpoints built by [run]. *)
+type tfrc_flow = {
+  ts : Tfrc_sender.t;
+  tr : Tfrc_receiver.t;
+  mutable recv_snapshot : int;
+  mutable recv_at_end : int;
+  mutable intervals_snapshot : int;
+  mutable pairs_snapshot : int;
+}
+
+type tcp_flow = {
+  cs : Tcp_sender.t;
+  cr : Tcp_receiver.t;
+  mutable crecv_snapshot : int;
+  mutable crecv_at_end : int;
+  mutable cintervals_snapshot : int;
+}
+
+let run cfg =
+  if cfg.duration <= cfg.warmup then
+    invalid_arg "Scenario.run: duration must exceed warmup";
+  let engine = Engine.create () in
+  let master = Prng.create ~seed:cfg.seed in
+  let queue = make_queue cfg in
+  let link =
+    Link.create ~engine ~rate_bps:cfg.bottleneck_bps ~delay:cfg.one_way_delay
+      ~queue ~rng:(Prng.split master)
+  in
+  let rtt0 = base_rtt cfg in
+  let formula =
+    Formula.create ~rtt:rtt0 cfg.tfrc_formula_kind
+  in
+  (* Per-flow reverse delays with +/-reverse_jitter spread: breaks
+     DropTail phase effects and, at larger spreads, exercises the
+     paper's sub-condition 3 (the r'/r comparison) under heterogeneous
+     round-trip times. *)
+  if cfg.reverse_jitter < 0.0 || cfg.reverse_jitter >= 1.0 then
+    invalid_arg "Scenario.run: reverse_jitter must be in [0, 1)";
+  let reverse_delay () =
+    let j = cfg.reverse_jitter in
+    cfg.one_way_delay *. (1.0 -. j +. (2.0 *. j *. Prng.float_unit master))
+  in
+  (* --- TFRC flows: ids 0 .. n_tfrc-1 --- *)
+  let tfrc_flows =
+    Array.init cfg.n_tfrc (fun i ->
+        let flow = i in
+        let ts =
+          Tfrc_sender.create ~packet_size:cfg.packet_size
+            ~conform_to_analysis:cfg.tfrc_conform_to_analysis ~engine ~flow
+            ~formula ()
+        in
+        let tr =
+          Tfrc_receiver.create ~comprehensive:cfg.tfrc_comprehensive ~engine
+            ~flow ~l:cfg.tfrc_l ~rtt:rtt0 ()
+        in
+        let rd = reverse_delay () in
+        Tfrc_sender.set_transmit ts (fun pkt -> Link.send link pkt);
+        Tfrc_receiver.set_feedback_sink tr (fun pkt ->
+            ignore
+              (Engine.schedule_after engine ~delay:rd (fun () ->
+                   Tfrc_sender.on_packet ts pkt)));
+        {
+          ts;
+          tr;
+          recv_snapshot = 0;
+          recv_at_end = 0;
+          intervals_snapshot = 0;
+          pairs_snapshot = 0;
+        })
+  in
+  (* --- TCP flows: ids n_tfrc .. n_tfrc+n_tcp-1 --- *)
+  let tcp_flows =
+    Array.init cfg.n_tcp (fun i ->
+        let flow = cfg.n_tfrc + i in
+        let cs =
+          Tcp_sender.create ~packet_size:cfg.packet_size ~engine ~flow ()
+        in
+        let cr = Tcp_receiver.create ~engine ~flow () in
+        let rd = reverse_delay () in
+        Tcp_sender.set_transmit cs (fun pkt -> Link.send link pkt);
+        Tcp_receiver.set_ack_sink cr (fun ~acked ~dup ~echo ->
+            ignore
+              (Engine.schedule_after engine ~delay:rd (fun () ->
+                   Tcp_sender.on_ack cs ~acked ~dup ~echo)));
+        {
+          cs;
+          cr;
+          crecv_snapshot = 0;
+          crecv_at_end = 0;
+          cintervals_snapshot = 0;
+        })
+  in
+  (* --- optional Poisson probe: id n_tfrc + n_tcp --- *)
+  let probe_flow = cfg.n_tfrc + cfg.n_tcp in
+  let probe =
+    if not cfg.with_probe then None
+    else begin
+      let rate =
+        0.01 *. cfg.bottleneck_bps /. (8.0 *. float_of_int cfg.packet_size)
+      in
+      let src =
+        Probe_source.create ~packet_size:cfg.packet_size ~engine
+          ~flow:probe_flow ~rate
+          ~pacing:(Probe_source.Poisson (Prng.split master))
+          ()
+      in
+      let sink = Gap_sink.create ~flow:probe_flow ~rtt_hint:rtt0 in
+      Probe_source.set_transmit src (fun pkt -> Link.send link pkt);
+      Some (src, sink)
+    end
+  in
+  (* --- forward demux --- *)
+  Link.set_deliver link (fun pkt ->
+      let now = Engine.now engine in
+      let f = pkt.Packet.flow in
+      if f < cfg.n_tfrc then Tfrc_receiver.on_data tfrc_flows.(f).tr pkt
+      else if f < cfg.n_tfrc + cfg.n_tcp then
+        Tcp_receiver.on_data tcp_flows.(f - cfg.n_tfrc).cr pkt
+      else
+        match probe with
+        | Some (_, sink) -> Gap_sink.on_packet sink ~now pkt
+        | None -> ());
+  (* --- start: staggered over the first second to avoid lockstep --- *)
+  Array.iter
+    (fun fl ->
+      let t0 = Prng.float_unit master in
+      ignore (Engine.schedule engine ~at:t0 (fun () -> Tfrc_sender.start fl.ts)))
+    tfrc_flows;
+  Array.iter
+    (fun fl ->
+      let t0 = Prng.float_unit master in
+      ignore (Engine.schedule engine ~at:t0 (fun () -> Tcp_sender.start fl.cs)))
+    tcp_flows;
+  (match probe with
+  | Some (src, _) ->
+      ignore (Engine.schedule engine ~at:0.5 (fun () -> Probe_source.start src))
+  | None -> ());
+  (* --- warmup phase, snapshot, measurement phase --- *)
+  ignore (Engine.run ~until:cfg.warmup engine);
+  let probe_recv_snapshot = ref 0 and probe_ivs_snapshot = ref 0 in
+  Array.iter
+    (fun fl ->
+      fl.recv_snapshot <- Tfrc_receiver.received fl.tr;
+      fl.intervals_snapshot <-
+        Array.length
+          (Loss_history.completed_intervals (Tfrc_receiver.history fl.tr));
+      fl.pairs_snapshot <-
+        Array.length (Loss_history.estimate_pairs (Tfrc_receiver.history fl.tr)))
+    tfrc_flows;
+  Array.iter
+    (fun fl ->
+      fl.crecv_snapshot <- Tcp_receiver.received fl.cr;
+      fl.cintervals_snapshot <-
+        Array.length (Tcp_sender.loss_event_intervals fl.cs))
+    tcp_flows;
+  (match probe with
+  | Some (_, sink) ->
+      probe_recv_snapshot := Flow_stats.received (Gap_sink.stats sink);
+      probe_ivs_snapshot :=
+        Array.length (Flow_stats.loss_event_intervals (Gap_sink.stats sink))
+  | None -> ());
+  let drops_at_warmup = Queue_discipline.drops queue in
+  let delivered_at_warmup = Link.bytes_delivered link in
+  ignore (Engine.run ~until:cfg.duration engine);
+  let window = cfg.duration -. cfg.warmup in
+  let tail arr from = Array.sub arr from (Array.length arr - from) in
+  let interval_rate ivs =
+    if Array.length ivs = 0 then 0.0
+    else float_of_int (Array.length ivs) /. Array.fold_left ( +. ) 0.0 ivs
+  in
+  let tfrc_measures =
+    Array.map
+      (fun fl ->
+        let hist = Tfrc_receiver.history fl.tr in
+        let ivs = tail (Loss_history.completed_intervals hist) fl.intervals_snapshot in
+        let pairs = tail (Loss_history.estimate_pairs hist) fl.pairs_snapshot in
+        fl.recv_at_end <- Tfrc_receiver.received fl.tr;
+        {
+          flow = Tfrc_sender.flow fl.ts;
+          throughput_pps =
+            float_of_int (fl.recv_at_end - fl.recv_snapshot) /. window;
+          loss_event_rate = interval_rate ivs;
+          mean_rtt =
+            (let r = Tfrc_sender.mean_rtt fl.ts in
+             if Float.is_nan r || r <= 0.0 then rtt0 else r);
+          loss_intervals = ivs;
+          estimate_pairs = pairs;
+        })
+      tfrc_flows
+  in
+  let tcp_measures =
+    Array.mapi
+      (fun i fl ->
+        let ivs = tail (Tcp_sender.loss_event_intervals fl.cs) fl.cintervals_snapshot in
+        fl.crecv_at_end <- Tcp_receiver.received fl.cr;
+        {
+          flow = cfg.n_tfrc + i;
+          throughput_pps =
+            float_of_int (fl.crecv_at_end - fl.crecv_snapshot) /. window;
+          loss_event_rate = interval_rate ivs;
+          mean_rtt =
+            (let r = Tcp_sender.mean_rtt fl.cs in
+             if Float.is_nan r || r <= 0.0 then rtt0 else r);
+          loss_intervals = ivs;
+          estimate_pairs = [||];
+        })
+      tcp_flows
+  in
+  let probe_measure =
+    match probe with
+    | None -> None
+    | Some (_, sink) ->
+        let st = Gap_sink.stats sink in
+        let ivs = tail (Flow_stats.loss_event_intervals st) !probe_ivs_snapshot in
+        Some
+          {
+            flow = probe_flow;
+            throughput_pps =
+              float_of_int (Flow_stats.received st - !probe_recv_snapshot)
+              /. window;
+            loss_event_rate = interval_rate ivs;
+            mean_rtt = rtt0;
+            loss_intervals = ivs;
+            estimate_pairs = [||];
+          }
+  in
+  {
+    tfrc = tfrc_measures;
+    tcp = tcp_measures;
+    probe = probe_measure;
+    link_utilization =
+      8.0
+      *. float_of_int (Link.bytes_delivered link - delivered_at_warmup)
+      /. (cfg.bottleneck_bps *. window);
+    queue_drops = Queue_discipline.drops queue - drops_at_warmup;
+    sim_time = Engine.now engine;
+  }
+
+(* Aggregate helpers used by the figure runners. *)
+
+let mean_of f arr =
+  if Array.length arr = 0 then nan
+  else Array.fold_left (fun acc m -> acc +. f m) 0.0 arr /. float_of_int (Array.length arr)
+
+let mean_throughput ms = mean_of (fun m -> m.throughput_pps) ms
+let mean_loss_rate ms = mean_of (fun m -> m.loss_event_rate) ms
+let mean_rtt ms = mean_of (fun m -> m.mean_rtt) ms
+
+let pooled_pairs ms =
+  Array.concat (Array.to_list (Array.map (fun m -> m.estimate_pairs) ms))
+
+(* Loss-event rate over the union of all flows' completed intervals —
+   the stable per-scenario estimate (per-flow estimates are noisy and
+   bias ratios through the nonlinearity of f). *)
+let pooled_loss_rate ms =
+  let count = ref 0 and total = ref 0.0 in
+  Array.iter
+    (fun m ->
+      count := !count + Array.length m.loss_intervals;
+      total := !total +. Array.fold_left ( +. ) 0.0 m.loss_intervals)
+    ms;
+  if !count = 0 then 0.0 else float_of_int !count /. !total

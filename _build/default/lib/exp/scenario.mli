@@ -1,0 +1,73 @@
+(** The dumbbell scenario standing in for the paper's ns-2 and lab
+    setups: TFRC, TCP and optional Poisson-probe flows sharing one
+    bottleneck; fixed-delay reverse path; counter-snapshot measurement
+    over [warmup, duration]. *)
+
+type queue_config =
+  | Drop_tail of { capacity : int }
+  | Red_auto of { capacity : int }
+      (** Thresholds derived from the BDP as in the paper's ns-2 runs;
+          capacity 0 means 2.5 × BDP. *)
+  | Red_manual of {
+      capacity : int;
+      params : Ebrc_net.Queue_discipline.red_params;
+    }
+
+type config = {
+  seed : int;
+  bottleneck_bps : float;
+  one_way_delay : float;
+  queue : queue_config;
+  packet_size : int;
+  n_tfrc : int;
+  n_tcp : int;
+  with_probe : bool;
+  tfrc_l : int;
+  tfrc_formula_kind : Ebrc_formulas.Formula.kind;
+  tfrc_comprehensive : bool;
+  tfrc_conform_to_analysis : bool;
+  reverse_jitter : float;
+      (** Per-flow reverse-delay spread (factor in 1 ± jitter); breaks
+          DropTail phase effects and, at larger values, exercises the
+          r′/r sub-condition under heterogeneous RTTs. *)
+  duration : float;
+  warmup : float;
+}
+
+val default_config : config
+(** The paper's ns-2 baseline: 15 Mb/s RED bottleneck, ~50 ms RTT,
+    PFTK-standard, L = 8, 300 s runs. *)
+
+type flow_measure = {
+  flow : int;
+  throughput_pps : float;
+  loss_event_rate : float;
+  mean_rtt : float;
+  loss_intervals : float array;
+  estimate_pairs : (float * float) array;  (** TFRC only: (θ̂ₙ, θₙ). *)
+}
+
+type result = {
+  tfrc : flow_measure array;
+  tcp : flow_measure array;
+  probe : flow_measure option;
+  link_utilization : float;
+  queue_drops : int;
+  sim_time : float;
+}
+
+val run : config -> result
+
+val base_rtt : config -> float
+val bdp_packets : config -> float
+
+val mean_throughput : flow_measure array -> float
+val mean_loss_rate : flow_measure array -> float
+val mean_rtt : flow_measure array -> float
+
+val pooled_pairs : flow_measure array -> (float * float) array
+(** Concatenated (θ̂ₙ, θₙ) pairs across flows. *)
+
+val pooled_loss_rate : flow_measure array -> float
+(** Loss-event rate over the union of all flows' completed intervals —
+    stabler than averaging per-flow rates. *)

@@ -1,0 +1,17 @@
+(** Plain-text table and CSV rendering for experiment output. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> t
+(** Raises on column-count mismatch. *)
+
+val add_note : t -> string -> t
+
+val cellf : ('a, unit, string) format -> 'a
+val cell_float : ?decimals:int -> float -> string
+
+val to_string : t -> string
+val print : t -> unit
+val to_csv : t -> string
+val save_csv : t -> path:string -> unit

@@ -1,0 +1,23 @@
+(** Automated validation of the paper's qualitative claims: each check
+    runs an experiment and asserts the shape the paper predicts, so a
+    substrate regression that would change a scientific conclusion
+    fails loudly. Exposed through `ebrc validate`. *)
+
+type check = {
+  id : string;
+  claim : string;
+  run : quick:bool -> bool * string;
+}
+
+type outcome = {
+  check : check;
+  passed : bool;
+  evidence : string;
+  seconds : float;
+}
+
+val checks : check list
+
+val run_all : ?quick:bool -> unit -> outcome list
+val to_table : outcome list -> Table.t
+val all_passed : outcome list -> bool

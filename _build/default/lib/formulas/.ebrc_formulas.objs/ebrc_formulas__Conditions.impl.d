@@ -1,0 +1,1 @@
+lib/formulas/conditions.ml: Ebrc_numerics Formula

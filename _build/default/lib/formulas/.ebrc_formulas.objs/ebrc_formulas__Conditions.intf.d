@@ -1,0 +1,1 @@
+lib/formulas/conditions.mli: Formula

@@ -1,0 +1,1 @@
+lib/formulas/formula.ml: Ebrc_numerics

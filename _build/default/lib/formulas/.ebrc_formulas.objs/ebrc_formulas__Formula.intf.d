@@ -1,0 +1,1 @@
+lib/formulas/formula.mli:

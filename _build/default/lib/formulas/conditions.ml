@@ -1,0 +1,60 @@
+(* Checkers for the analytical conditions of Theorems 1 and 2:
+
+     (F1)  x -> 1/f(1/x) convex
+     (F2)  x -> f(1/x)  concave
+     (F2c) x -> f(1/x)  strictly convex
+
+   evaluated over a region of loss-event intervals [x_lo, x_hi], plus the
+   Proposition-4 deviation ratio for almost-convex cases
+   (PFTK-standard). *)
+
+module Convexity = Ebrc_numerics.Convexity
+
+type region = { x_lo : float; x_hi : float }
+
+let default_region = { x_lo = 1.5; x_hi = 1000.0 }
+
+let check_region { x_lo; x_hi } =
+  if not (0.0 < x_lo && x_lo < x_hi) then
+    invalid_arg "Conditions: need 0 < x_lo < x_hi"
+
+let f1_holds ?(region = default_region) formula =
+  check_region region;
+  Convexity.is_convex (Formula.g formula) ~lo:region.x_lo ~hi:region.x_hi
+
+let f2_holds ?(region = default_region) formula =
+  check_region region;
+  Convexity.is_concave (Formula.h formula) ~lo:region.x_lo ~hi:region.x_hi
+
+let f2c_holds ?(region = default_region) formula =
+  check_region region;
+  Convexity.is_convex (Formula.h formula) ~lo:region.x_lo ~hi:region.x_hi
+
+let deviation_ratio ?(region = default_region) ?samples formula =
+  check_region region;
+  Convexity.deviation_ratio ?samples (Formula.g formula)
+    ~lo:region.x_lo ~hi:region.x_hi
+
+(* The loss-event interval below which h(x) = f(1/x) is convex for the
+   PFTK family (heavy-loss regime of Theorem 2's second part). Found by
+   locating the sign change of the numerical second derivative. *)
+let h_inflection ?(lo = 1.05) ?(hi = 10000.0) formula =
+  let second_diff x =
+    let eps = 1e-4 *. x in
+    let h = Formula.h formula in
+    (h (x -. eps) -. (2.0 *. h x) +. h (x +. eps)) /. (eps *. eps)
+  in
+  match Formula.kind formula with
+  | Formula.Sqrt | Formula.Aimd _ -> None   (* concave everywhere *)
+  | Formula.Pftk_standard | Formula.Pftk_simplified -> (
+      try Some (Ebrc_numerics.Roots.brent second_diff ~lo ~hi)
+      with Ebrc_numerics.Roots.No_bracket _ -> None)
+
+(* Eq. (10): under (F1), x_bar <= f(p) / (1 + elasticity * cov * p^2),
+   valid when cov * p^2 > -f/(f' p) (denominator positive). *)
+let throughput_bound formula ~p ~cov =
+  if p <= 0.0 then invalid_arg "Conditions.throughput_bound: p <= 0";
+  let e = Formula.elasticity formula p in
+  let d = 1.0 +. (e *. cov *. p *. p) in
+  if d <= 0.0 then None
+  else Some (Formula.eval formula p /. d)

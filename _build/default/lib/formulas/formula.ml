@@ -1,0 +1,137 @@
+(* TCP loss-throughput formulas.
+
+   The paper works with three instances of the map f : loss-event rate p
+   -> send rate (packets per second), all parameterised by the mean
+   round-trip time r and (for the PFTK family) the retransmit timeout q:
+
+     SQRT            f(p) = 1 / (c1 r sqrt p)                        (Eq 5)
+     PFTK-standard   f(p) = 1 / (c1 r sqrt p
+                              + q min(1, c2 sqrt p) p (1 + 32 p^2))  (Eq 6)
+     PFTK-simplified f(p) = 1 / (c1 r sqrt p
+                              + q c2 (p^(3/2) + 32 p^(7/2)))         (Eq 7)
+
+   with c1 = sqrt(2b/3) and c2 = (3/2) sqrt(3b/2), b the number of packets
+   per acknowledgment (b = 2 in practice).
+
+   We also expose the AIMD loss-throughput function used by the paper's
+   few-flows analysis (Section IV-A.2). *)
+
+type kind =
+  | Sqrt
+  | Pftk_standard
+  | Pftk_simplified
+  | Aimd of { alpha : float; beta : float }
+
+type t = {
+  kind : kind;
+  rtt : float;      (* mean round-trip time r, seconds *)
+  rto : float;      (* retransmit timeout q, seconds (PFTK only) *)
+  b : float;        (* packets acknowledged per ACK *)
+  c1 : float;
+  c2 : float;
+}
+
+let c1_of_b b = sqrt (2.0 *. b /. 3.0)
+let c2_of_b b = 1.5 *. sqrt (3.0 *. b /. 2.0)
+
+let create ?(rtt = 1.0) ?rto ?(b = 2.0) kind =
+  if rtt <= 0.0 then invalid_arg "Formula.create: rtt must be positive";
+  if b <= 0.0 then invalid_arg "Formula.create: b must be positive";
+  let rto = match rto with Some q -> q | None -> 4.0 *. rtt in
+  if rto <= 0.0 then invalid_arg "Formula.create: rto must be positive";
+  (match kind with
+  | Aimd { alpha; beta } ->
+      if alpha <= 0.0 then invalid_arg "Formula.create: AIMD alpha <= 0";
+      if beta <= 0.0 || beta >= 1.0 then
+        invalid_arg "Formula.create: AIMD beta not in (0,1)"
+  | Sqrt | Pftk_standard | Pftk_simplified -> ());
+  { kind; rtt; rto; b; c1 = c1_of_b b; c2 = c2_of_b b }
+
+let kind t = t.kind
+let rtt t = t.rtt
+let rto t = t.rto
+let c1 t = t.c1
+let c2 t = t.c2
+
+let with_rtt t ~rtt =
+  if rtt <= 0.0 then invalid_arg "Formula.with_rtt: rtt must be positive";
+  (* Keep the q/r ratio: the TFRC recommendation is q = 4 r. *)
+  let ratio = t.rto /. t.rtt in
+  { t with rtt; rto = ratio *. rtt }
+
+let name t =
+  match t.kind with
+  | Sqrt -> "SQRT"
+  | Pftk_standard -> "PFTK-standard"
+  | Pftk_simplified -> "PFTK-simplified"
+  | Aimd _ -> "AIMD"
+
+(* Denominator of 1/f for each family; exposing it separately keeps the
+   derivative and the g-functional numerically clean. *)
+let denom t p =
+  match t.kind with
+  | Sqrt -> t.c1 *. t.rtt *. sqrt p
+  | Pftk_standard ->
+      let sq = sqrt p in
+      (t.c1 *. t.rtt *. sq)
+      +. (t.rto *. min 1.0 (t.c2 *. sq) *. p *. (1.0 +. (32.0 *. p *. p)))
+  | Pftk_simplified ->
+      let sq = sqrt p in
+      let p32 = p *. sq in
+      (t.c1 *. t.rtt *. sq)
+      +. (t.rto *. t.c2 *. (p32 +. (32.0 *. p32 *. p *. p)))
+  | Aimd { alpha; beta } ->
+      (* f(p) = sqrt(alpha (1+beta) / (2 (1-beta))) / sqrt p, so the
+         denominator of 1/f is sqrt p / k. *)
+      let k = sqrt (alpha *. (1.0 +. beta) /. (2.0 *. (1.0 -. beta))) in
+      t.rtt *. sqrt p /. k
+
+let eval t p =
+  if p <= 0.0 then invalid_arg "Formula.eval: p must be positive";
+  1.0 /. denom t p
+
+(* g(x) = 1/f(1/x): the functional whose convexity drives Theorem 1. The
+   argument x is a loss-event interval in packets (x = 1/p). *)
+let g t x =
+  if x <= 0.0 then invalid_arg "Formula.g: x must be positive";
+  denom t (1.0 /. x)
+
+(* h(x) = f(1/x): the functional whose concavity/convexity drives
+   Theorem 2. *)
+let h t x =
+  if x <= 0.0 then invalid_arg "Formula.h: x must be positive";
+  1.0 /. denom t (1.0 /. x)
+
+(* d f / d p, computed analytically where cheap, else by central
+   difference on the (smooth) denominator. *)
+let derivative t p =
+  if p <= 0.0 then invalid_arg "Formula.derivative: p must be positive";
+  let dd =
+    (* denominator derivative d'(p) *)
+    match t.kind with
+    | Sqrt -> t.c1 *. t.rtt /. (2.0 *. sqrt p)
+    | Pftk_simplified ->
+        let sq = sqrt p in
+        (t.c1 *. t.rtt /. (2.0 *. sq))
+        +. (t.rto *. t.c2
+            *. ((1.5 *. sq) +. (32.0 *. 3.5 *. (sq ** 5.0))))
+    | Pftk_standard | Aimd _ ->
+        let eps = 1e-7 *. p in
+        (denom t (p +. eps) -. denom t (max 1e-300 (p -. eps)))
+        /. (2.0 *. eps)
+  in
+  let d = denom t p in
+  -.dd /. (d *. d)
+
+(* Inverse: loss-event rate p achieving a target rate (packets/s). The
+   denominator is strictly increasing in p, so 1/f is monotone and a
+   bracketed root always exists for rate in (0, infinity). *)
+let invert t ~rate =
+  if rate <= 0.0 then invalid_arg "Formula.invert: rate must be positive";
+  let objective p = eval t p -. rate in
+  Ebrc_numerics.Roots.bracket_and_brent objective ~guess:1e-3
+
+(* The elasticity term f'(p) p / f(p) appearing in the Eq. (10) bound. *)
+let elasticity t p = derivative t p *. p /. eval t p
+
+let all_paper_kinds = [ Sqrt; Pftk_standard; Pftk_simplified ]

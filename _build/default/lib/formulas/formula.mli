@@ -1,0 +1,64 @@
+(** TCP loss-throughput formulas (the paper's Section II-C).
+
+    A formula maps a loss-event rate [p] to a send rate in packets per
+    second, given a mean round-trip time [rtt] and (for the PFTK family)
+    a retransmit timeout [rto]. Three paper instances are provided —
+    SQRT (Eq 5), PFTK-standard (Eq 6), PFTK-simplified (Eq 7) — plus the
+    AIMD loss-throughput function used by the few-flows analysis. *)
+
+type kind =
+  | Sqrt
+  | Pftk_standard
+  | Pftk_simplified
+  | Aimd of { alpha : float; beta : float }
+
+type t
+
+val create : ?rtt:float -> ?rto:float -> ?b:float -> kind -> t
+(** Defaults: [rtt = 1.0] s, [rto = 4 * rtt] (the TFRC recommendation),
+    [b = 2.0] packets per acknowledgment. *)
+
+val kind : t -> kind
+val rtt : t -> float
+val rto : t -> float
+val name : t -> string
+
+val with_rtt : t -> rtt:float -> t
+(** Rescale to a new round-trip time, preserving the rto/rtt ratio. *)
+
+val eval : t -> float -> float
+(** [eval t p] = f(p), packets per second. Raises on p <= 0. *)
+
+val denom : t -> float -> float
+(** The denominator of 1/f; strictly increasing in p. *)
+
+val g : t -> float -> float
+(** [g t x] = 1/f(1/x) — the Theorem-1 functional of the loss-event
+    interval x (packets). *)
+
+val h : t -> float -> float
+(** [h t x] = f(1/x) — the Theorem-2 functional. *)
+
+val derivative : t -> float -> float
+(** df/dp; negative for all paper formulas. *)
+
+val elasticity : t -> float -> float
+(** f'(p) p / f(p), the term in the Eq. (10) conservativeness bound. *)
+
+val invert : t -> rate:float -> float
+(** Loss-event rate at which the formula yields [rate] packets/s. *)
+
+val c1 : t -> float
+(** The instance's c1 constant. *)
+
+val c2 : t -> float
+(** The instance's c2 constant. *)
+
+val c1_of_b : float -> float
+(** c1 = sqrt(2b/3). *)
+
+val c2_of_b : float -> float
+(** c2 = (3/2) sqrt(3b/2). *)
+
+val all_paper_kinds : kind list
+(** [Sqrt; Pftk_standard; Pftk_simplified]. *)

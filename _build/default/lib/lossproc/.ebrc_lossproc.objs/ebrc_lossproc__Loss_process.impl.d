@@ -1,0 +1,1 @@
+lib/lossproc/loss_process.ml: Array Ebrc_rng Printf

@@ -1,0 +1,1 @@
+lib/lossproc/loss_process.mli: Ebrc_rng

@@ -1,0 +1,175 @@
+(* Stationary loss-interval processes {theta_n}: generators of successive
+   loss-event intervals measured in packets.
+
+   These drive the "designed numerical experiments" of the paper
+   (Section V-A.1), where theta is iid shifted-exponential, plus richer
+   correlation structures used to probe the covariance conditions (C1)
+   and (C2): Markov-modulated phases (congestion/no-congestion cycles),
+   batch losses (the UMELB regime), and AR(1)-style positive or negative
+   autocorrelation. *)
+
+module Prng = Ebrc_rng.Prng
+module Dist = Ebrc_rng.Dist
+
+type t = {
+  name : string;
+  mean : float;                (* E[theta] = 1/p *)
+  next : unit -> float;
+}
+
+let name t = t.name
+let mean t = t.mean
+let loss_event_rate t = 1.0 /. t.mean
+let next t = t.next ()
+
+let generate t n = Array.init n (fun _ -> next t)
+
+(* iid shifted exponential with given loss-event rate p and coefficient
+   of variation cv (0 < cv <= 1); the paper's designed law. *)
+let iid_shifted_exponential rng ~p ~cv =
+  if p <= 0.0 then invalid_arg "Loss_process: p must be positive";
+  let mean = 1.0 /. p in
+  let x0, a = Dist.shifted_exponential_params ~mean ~cv in
+  {
+    name = Printf.sprintf "iid-shifted-exp(p=%g,cv=%g)" p cv;
+    mean;
+    next = (fun () -> Dist.shifted_exponential rng ~x0 ~a);
+  }
+
+let iid_exponential rng ~p =
+  if p <= 0.0 then invalid_arg "Loss_process: p must be positive";
+  let mean = 1.0 /. p in
+  {
+    name = Printf.sprintf "iid-exp(p=%g)" p;
+    mean;
+    next = (fun () -> Dist.exponential rng ~rate:p);
+  }
+
+let constant ~p =
+  if p <= 0.0 then invalid_arg "Loss_process: p must be positive";
+  let mean = 1.0 /. p in
+  { name = Printf.sprintf "constant(p=%g)" p; mean; next = (fun () -> mean) }
+
+(* Two-phase Markov-modulated process: "good" phases with long intervals
+   and "bad" (congestion) phases with short intervals, with geometric
+   phase lengths. Slow transitions make theta highly predictable, giving
+   positive cov[theta_0, thetahat_0] — the regime where Theorem 1 does
+   not apply (paper Section III-B.2). *)
+let markov_phases rng ~mean_good ~mean_bad ~phase_length =
+  if mean_good <= 0.0 || mean_bad <= 0.0 then
+    invalid_arg "Loss_process.markov_phases: means must be positive";
+  if phase_length < 1.0 then
+    invalid_arg "Loss_process.markov_phases: phase_length must be >= 1";
+  let in_good = ref true in
+  let switch_p = 1.0 /. phase_length in
+  let next () =
+    if Dist.bernoulli rng ~p:switch_p then in_good := not !in_good;
+    let m = if !in_good then mean_good else mean_bad in
+    Dist.exponential_mean rng ~mean:m
+  in
+  {
+    name =
+      Printf.sprintf "markov-phases(good=%g,bad=%g,len=%g)" mean_good mean_bad
+        phase_length;
+    mean = 0.5 *. (mean_good +. mean_bad);
+    (* stationary split is 1/2-1/2 by symmetry of the switch rule *)
+    next;
+  }
+
+(* Batch losses: with probability batch_p, a loss event is followed by a
+   run of very short intervals (losses in batches), as observed on the
+   paper's UMELB path; yields negative cov[theta_0, thetahat_0]. *)
+let batch rng ~p ~batch_p ~batch_size =
+  if p <= 0.0 then invalid_arg "Loss_process.batch: p must be positive";
+  if batch_p < 0.0 || batch_p > 1.0 then
+    invalid_arg "Loss_process.batch: batch_p not in [0,1]";
+  if batch_size < 1 then invalid_arg "Loss_process.batch: batch_size >= 1";
+  let remaining = ref 0 in
+  (* Choose the long-interval mean so the overall mean is 1/p:
+     fraction of short intervals = batch_p*(batch_size)/(1+batch_p*batch_size) *)
+  let short = 1.0 in
+  let expected_batch = batch_p *. float_of_int batch_size in
+  let mean = 1.0 /. p in
+  let long_mean =
+    ((mean *. (1.0 +. expected_batch)) -. (expected_batch *. short))
+  in
+  if long_mean <= 0.0 then
+    invalid_arg "Loss_process.batch: p too large for this batch geometry";
+  let next () =
+    if !remaining > 0 then begin
+      decr remaining;
+      short
+    end
+    else begin
+      if Dist.bernoulli rng ~p:batch_p then remaining := batch_size;
+      Dist.exponential_mean rng ~mean:long_mean
+    end
+  in
+  {
+    name = Printf.sprintf "batch(p=%g,bp=%g,bs=%d)" p batch_p batch_size;
+    mean;
+    next;
+  }
+
+(* Heavy-tailed iid intervals: Pareto with the requested mean. Internet
+   loss-interval measurements show occasional very long quiet periods;
+   a heavy tail stresses the moving-average estimator far more than the
+   designed shifted-exponential law (cv can exceed 1, or the variance
+   can be infinite for shape <= 2). *)
+let iid_pareto rng ~p ~shape =
+  if p <= 0.0 then invalid_arg "Loss_process.iid_pareto: p must be positive";
+  if shape <= 1.0 then
+    invalid_arg "Loss_process.iid_pareto: shape must exceed 1 (finite mean)";
+  let mean = 1.0 /. p in
+  let scale = mean *. (shape -. 1.0) /. shape in
+  {
+    name = Printf.sprintf "iid-pareto(p=%g,shape=%g)" p shape;
+    mean;
+    next = (fun () -> Dist.pareto rng ~shape ~scale);
+  }
+
+(* Gilbert-style two-state interval process driven per interval:
+   bursty alternation between short and long intervals with geometric
+   runs — a discrete cousin of [markov_phases] whose run-length
+   parameter maps directly onto measured burstiness. *)
+let gilbert rng ~mean_short ~mean_long ~run_length =
+  if mean_short <= 0.0 || mean_long <= 0.0 then
+    invalid_arg "Loss_process.gilbert: means must be positive";
+  if mean_short >= mean_long then
+    invalid_arg "Loss_process.gilbert: need mean_short < mean_long";
+  if run_length < 1.0 then
+    invalid_arg "Loss_process.gilbert: run_length must be >= 1";
+  let in_short = ref false in
+  let switch_p = 1.0 /. run_length in
+  let next () =
+    if Dist.bernoulli rng ~p:switch_p then in_short := not !in_short;
+    Dist.exponential_mean rng
+      ~mean:(if !in_short then mean_short else mean_long)
+  in
+  {
+    name =
+      Printf.sprintf "gilbert(short=%g,long=%g,run=%g)" mean_short mean_long
+        run_length;
+    mean = 0.5 *. (mean_short +. mean_long);
+    next;
+  }
+
+(* Exponential intervals whose mean follows an AR(1) log-process:
+   tunable autocorrelation, used by property tests of Theorem 1's
+   covariance condition. rho in (-1, 1). *)
+let ar1 rng ~p ~rho ~sigma =
+  if p <= 0.0 then invalid_arg "Loss_process.ar1: p must be positive";
+  if rho <= -1.0 || rho >= 1.0 then
+    invalid_arg "Loss_process.ar1: rho must be in (-1,1)";
+  if sigma < 0.0 then invalid_arg "Loss_process.ar1: sigma must be >= 0";
+  let state = ref 0.0 in
+  let mean = 1.0 /. p in
+  (* Correct the log-normal modulation so E[theta] stays 1/p. *)
+  let stationary_var = sigma *. sigma /. (1.0 -. (rho *. rho)) in
+  let correction = exp (-.stationary_var /. 2.0) in
+  let next () =
+    state := (rho *. !state) +. Dist.normal rng ~mean:0.0 ~stddev:sigma;
+    let m = mean *. correction *. exp !state in
+    Dist.exponential_mean rng ~mean:m
+  in
+  { name = Printf.sprintf "ar1(p=%g,rho=%g,sigma=%g)" p rho sigma; mean; next }

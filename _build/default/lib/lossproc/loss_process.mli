@@ -1,0 +1,54 @@
+(** Stationary loss-interval processes {θₙ}: generators of successive
+    loss-event intervals measured in packets, driving the designed
+    numerical experiments and the covariance-condition probes. *)
+
+type t
+
+val name : t -> string
+val mean : t -> float
+(** E[θ] = 1/p (the intended stationary mean). *)
+
+val loss_event_rate : t -> float
+(** p = 1/mean. *)
+
+val next : t -> float
+(** Draw the next loss-event interval. *)
+
+val generate : t -> int -> float array
+
+val iid_shifted_exponential : Ebrc_rng.Prng.t -> p:float -> cv:float -> t
+(** The paper's designed law: θ = x₀ + Exp(a), parameterised directly by
+    loss-event rate [p] and coefficient of variation [cv] ∈ (0, 1]. *)
+
+val iid_exponential : Ebrc_rng.Prng.t -> p:float -> t
+
+val constant : p:float -> t
+(** Degenerate deterministic intervals (the Theorem-2 (V)-violating
+    case: estimator variance is zero). *)
+
+val markov_phases :
+  Ebrc_rng.Prng.t ->
+  mean_good:float -> mean_bad:float -> phase_length:float -> t
+(** Two-phase congestion/no-congestion cycles with geometric phase
+    lengths; slow transitions make θ̂ a good predictor and produce
+    positive cov[θ₀, θ̂₀]. *)
+
+val batch :
+  Ebrc_rng.Prng.t -> p:float -> batch_p:float -> batch_size:int -> t
+(** Losses arriving in batches (short-interval runs after an event), the
+    paper's UMELB regime; produces negative cov[θ₀, θ̂₀]. *)
+
+val iid_pareto : Ebrc_rng.Prng.t -> p:float -> shape:float -> t
+(** Heavy-tailed iid intervals with mean 1/p; [shape] must exceed 1
+    (finite mean); shape ≤ 2 has infinite variance — the stress case
+    for the moving-average estimator. *)
+
+val gilbert :
+  Ebrc_rng.Prng.t ->
+  mean_short:float -> mean_long:float -> run_length:float -> t
+(** Two-state bursty alternation between short and long intervals with
+    geometric runs of mean [run_length]. *)
+
+val ar1 : Ebrc_rng.Prng.t -> p:float -> rho:float -> sigma:float -> t
+(** Exponential intervals with log-AR(1)-modulated mean; tunable
+    autocorrelation sign via [rho]. *)

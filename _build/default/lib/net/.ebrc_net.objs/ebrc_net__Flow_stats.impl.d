@@ -1,0 +1,1 @@
+lib/net/flow_stats.ml: Array Ebrc_stats Float Queue

@@ -1,0 +1,1 @@
+lib/net/gap_sink.ml: Flow_stats Packet

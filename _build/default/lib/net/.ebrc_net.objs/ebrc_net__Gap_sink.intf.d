@@ -1,0 +1,1 @@
+lib/net/gap_sink.mli: Flow_stats Packet

@@ -1,0 +1,1 @@
+lib/net/link.ml: Ebrc_rng Ebrc_sim Packet Queue Queue_discipline

@@ -1,0 +1,1 @@
+lib/net/link.mli: Ebrc_rng Ebrc_sim Packet Queue_discipline

@@ -1,0 +1,1 @@
+lib/net/loss_module.ml: Ebrc_rng Float Packet

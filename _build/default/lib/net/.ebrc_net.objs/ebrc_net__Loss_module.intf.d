@@ -1,0 +1,1 @@
+lib/net/loss_module.mli: Ebrc_rng Packet

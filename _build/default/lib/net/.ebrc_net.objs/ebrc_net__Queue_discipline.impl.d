@@ -1,0 +1,1 @@
+lib/net/queue_discipline.ml: Float

@@ -1,0 +1,96 @@
+(* Per-flow measurement: packets/bytes sent and received, loss events as
+   defined by the paper (losses separated by less than one RTT belong to
+   the same loss event), loss-event intervals in packets, and RTT
+   samples. This is the "direct probing" instrumentation standing in for
+   the paper's tcpdump post-processing. *)
+
+module Welford = Ebrc_stats.Welford
+
+type t = {
+  flow : int;
+  rtt_hint : float;             (* loss-event aggregation window, seconds *)
+  mutable sent : int;
+  mutable received : int;
+  mutable bytes_received : int;
+  mutable lost : int;
+  mutable loss_events : int;
+  mutable last_loss_event_at : float;
+  mutable packets_since_event : int;
+  intervals : float Queue.t;    (* completed loss-event intervals, packets *)
+  rtt_stats : Welford.t;
+  mutable first_recv_at : float;
+  mutable last_recv_at : float;
+}
+
+let create ~flow ~rtt_hint =
+  if rtt_hint <= 0.0 then invalid_arg "Flow_stats.create: rtt_hint <= 0";
+  {
+    flow;
+    rtt_hint;
+    sent = 0;
+    received = 0;
+    bytes_received = 0;
+    lost = 0;
+    loss_events = 0;
+    last_loss_event_at = neg_infinity;
+    packets_since_event = 0;
+    intervals = Queue.create ();
+    rtt_stats = Welford.create ();
+    first_recv_at = nan;
+    last_recv_at = nan;
+  }
+
+let flow t = t.flow
+
+let on_send t = t.sent <- t.sent + 1
+
+let on_receive t ~now ~bytes =
+  t.received <- t.received + 1;
+  t.bytes_received <- t.bytes_received + bytes;
+  t.packets_since_event <- t.packets_since_event + 1;
+  if Float.is_nan t.first_recv_at then t.first_recv_at <- now;
+  t.last_recv_at <- now
+
+let on_loss t ~now =
+  t.lost <- t.lost + 1;
+  (* Paper definition: a new loss event only if more than one RTT has
+     elapsed since the previous loss event started. *)
+  if now -. t.last_loss_event_at > t.rtt_hint then begin
+    if t.loss_events > 0 then
+      Queue.add (float_of_int t.packets_since_event) t.intervals;
+    t.loss_events <- t.loss_events + 1;
+    t.packets_since_event <- 0;
+    t.last_loss_event_at <- now
+  end
+
+let on_rtt_sample t rtt = Welford.add t.rtt_stats rtt
+
+let sent t = t.sent
+let received t = t.received
+let lost t = t.lost
+let loss_events t = t.loss_events
+
+let loss_event_intervals t =
+  Array.of_seq (Queue.to_seq t.intervals)
+
+(* Loss-event rate as the paper defines it: 1 / E[theta], estimated as
+   (number of completed intervals) / (total packets across them). *)
+let loss_event_rate t =
+  let ivs = loss_event_intervals t in
+  if Array.length ivs = 0 then 0.0
+  else
+    float_of_int (Array.length ivs)
+    /. Array.fold_left ( +. ) 0.0 ivs
+
+let mean_rtt t = Welford.mean t.rtt_stats
+let rtt_samples t = Welford.count t.rtt_stats
+
+let throughput_pps t =
+  let d = t.last_recv_at -. t.first_recv_at in
+  if Float.is_nan d || d <= 0.0 then 0.0
+  else float_of_int (t.received - 1) /. d
+
+let throughput_bps t =
+  let d = t.last_recv_at -. t.first_recv_at in
+  if Float.is_nan d || d <= 0.0 then 0.0
+  else 8.0 *. float_of_int t.bytes_received /. d

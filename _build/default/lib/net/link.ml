@@ -1,0 +1,76 @@
+(* A simplex link: a queue discipline in front of a fixed-rate server,
+   followed by a propagation delay. Packets are delivered to the
+   downstream [deliver] callback; drops are announced to [on_drop] (used
+   by measurement probes, never by protocols — protocols learn about
+   losses end-to-end). *)
+
+module Engine = Ebrc_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  rate_bps : float;               (* bits per second *)
+  delay : float;                  (* propagation delay, seconds *)
+  queue : Queue_discipline.t;
+  rng : Ebrc_rng.Prng.t;
+  mutable busy : bool;
+  backlog : Packet.t Queue.t;     (* packets admitted by the discipline *)
+  mutable deliver : Packet.t -> unit;
+  mutable on_drop : Packet.t -> unit;
+  mutable delivered : int;
+  mutable bytes_delivered : int;
+}
+
+let create ~engine ~rate_bps ~delay ~queue ~rng =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  if delay < 0.0 then invalid_arg "Link.create: negative delay";
+  {
+    engine;
+    rate_bps;
+    delay;
+    queue;
+    rng;
+    busy = false;
+    backlog = Queue.create ();
+    deliver = (fun _ -> ());
+    on_drop = (fun _ -> ());
+    delivered = 0;
+    bytes_delivered = 0;
+  }
+
+let set_deliver t f = t.deliver <- f
+let set_on_drop t f = t.on_drop <- f
+
+let transmission_time t pkt = float_of_int (Packet.bits pkt) /. t.rate_bps
+
+let rec start_service t =
+  match Queue.take_opt t.backlog with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx = transmission_time t pkt in
+      ignore
+        (Engine.schedule_after t.engine ~delay:tx (fun () ->
+             Queue_discipline.departure t.queue ~now:(Engine.now t.engine);
+             t.delivered <- t.delivered + 1;
+             t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+             let deliver_at = Engine.now t.engine +. t.delay in
+             ignore
+               (Engine.schedule t.engine ~at:deliver_at (fun () ->
+                    t.deliver pkt));
+             start_service t))
+
+let send t pkt =
+  let now = Engine.now t.engine in
+  let u = Ebrc_rng.Prng.float_unit t.rng in
+  match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
+  | Queue_discipline.Drop -> t.on_drop pkt
+  | Queue_discipline.Enqueue ->
+      Queue.add pkt t.backlog;
+      if not t.busy then start_service t
+
+let queue t = t.queue
+let delivered t = t.delivered
+let bytes_delivered t = t.bytes_delivered
+let utilization t ~duration =
+  if duration <= 0.0 then 0.0
+  else 8.0 *. float_of_int t.bytes_delivered /. (t.rate_bps *. duration)

@@ -1,0 +1,27 @@
+(** A simplex link: a queue discipline feeding a fixed-rate server,
+    followed by a propagation delay. *)
+
+type t
+
+val create :
+  engine:Ebrc_sim.Engine.t ->
+  rate_bps:float ->
+  delay:float ->
+  queue:Queue_discipline.t ->
+  rng:Ebrc_rng.Prng.t ->
+  t
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+(** Downstream delivery callback (after service + propagation). *)
+
+val set_on_drop : t -> (Packet.t -> unit) -> unit
+(** Measurement hook for drops; protocols must learn losses end-to-end. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the queue discipline. *)
+
+val transmission_time : t -> Packet.t -> float
+val queue : t -> Queue_discipline.t
+val delivered : t -> int
+val bytes_delivered : t -> int
+val utilization : t -> duration:float -> float

@@ -1,0 +1,45 @@
+(* Simulated packets. Sizes are in bytes; sequence numbers are per-flow.
+
+   [kind] distinguishes data from acknowledgments and from protocol
+   feedback so that queues and measurement probes can treat them
+   appropriately (ACKs travel on the reverse path and are never dropped
+   by the forward bottleneck in our topologies). *)
+
+type kind =
+  | Data
+  | Ack of { acked : int; dup : bool }
+  | Feedback of {
+      p_estimate : float;        (* receiver's loss-event rate estimate *)
+      recv_rate : float;         (* receiver's measured receive rate, pkt/s *)
+      rtt_echo : float;          (* sender timestamp being echoed *)
+      hold : float;              (* time the echo spent held at the
+                                    receiver before this report *)
+    }
+
+type t = {
+  flow : int;                    (* flow identifier *)
+  seq : int;                     (* per-flow sequence number *)
+  size : int;                    (* bytes *)
+  kind : kind;
+  sent_at : float;               (* origination time (for RTT samples) *)
+}
+
+let data ~flow ~seq ~size ~sent_at =
+  if size <= 0 then invalid_arg "Packet.data: size must be positive";
+  { flow; seq; size; kind = Data; sent_at }
+
+let ack ~flow ~seq ~acked ~dup ~sent_at =
+  { flow; seq; size = 40; kind = Ack { acked; dup }; sent_at }
+
+let feedback ~flow ~seq ~p_estimate ~recv_rate ~rtt_echo ~hold ~sent_at =
+  {
+    flow;
+    seq;
+    size = 40;
+    kind = Feedback { p_estimate; recv_rate; rtt_echo; hold };
+    sent_at;
+  }
+
+let is_data t = match t.kind with Data -> true | Ack _ | Feedback _ -> false
+
+let bits t = 8 * t.size

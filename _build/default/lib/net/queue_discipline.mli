@@ -1,0 +1,49 @@
+(** Bottleneck queue disciplines: DropTail and RED (Floyd/Jacobson, as
+    configured in ns-2: EWMA average queue, linear drop between
+    thresholds, non-gentle forced drop, count-based drop spacing,
+    packet-mode decisions). *)
+
+type decision = Enqueue | Drop
+
+type red_params = {
+  min_th : float;  (** packets *)
+  max_th : float;  (** packets *)
+  max_p : float;   (** drop probability at [max_th] *)
+  wq : float;      (** EWMA weight (ns-2 default 0.002) *)
+  byte_mode : bool;
+      (** Scale the drop probability by packet size. Packet mode
+          (false, the default) drops independently of length — the mode
+          the paper's Claim-2 audio experiments rely on. *)
+  mean_pktsize : int;  (** Byte-mode reference packet size. *)
+  gentle : bool;
+      (** RED "gentle" mode: drop probability ramps from [max_p] to 1
+          over [max_th, 2·max_th] instead of a hard wall at [max_th].
+          The paper's Linux testbed could not enable this; we provide
+          it for the ablation. *)
+}
+
+val default_red : bdp:float -> red_params
+(** The paper's ns-2 setup relative to the bandwidth-delay product:
+    min_th = BDP/4, max_th = 5·BDP/4, max_p = 0.1, wq = 0.002. *)
+
+type kind = Drop_tail | Red of red_params
+
+type t
+
+val create : ?service_rate:float -> capacity:int -> kind -> t
+(** [service_rate] (pkt/s) enables RED's idle-time average decay. *)
+
+val offer : ?bytes:int -> t -> now:float -> u:float -> decision
+(** Decide the fate of an arriving packet; [u] must be a fresh uniform
+    (0,1) draw; [bytes] (default 1000) only matters for byte-mode RED.
+    Updates occupancy and counters when enqueued. *)
+
+val departure : t -> now:float -> unit
+(** Record a packet finishing service. *)
+
+val occupancy : t -> int
+val capacity : t -> int
+val drops : t -> int
+val enqueues : t -> int
+val average_queue : t -> float
+(** RED's EWMA average (0 for DropTail). *)

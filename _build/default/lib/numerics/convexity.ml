@@ -1,0 +1,118 @@
+(* Convexity machinery for the paper's conditions (F1), (F2), (F2c) and
+   Proposition 4's deviation-from-convexity ratio r = sup g/g**.
+
+   All operations work on a function sampled over a closed interval; the
+   convex closure is computed as the lower convex hull of the sampled
+   graph (Andrew's monotone chain restricted to the lower hull). *)
+
+type verdict = Convex | Concave | Neither
+
+(* Second-difference test on a uniform grid. [tol] absorbs floating-point
+   noise relative to the magnitude of the function values. *)
+let classify ?(samples = 2048) ?(tol = 1e-9) f ~lo ~hi =
+  if samples < 3 then invalid_arg "Convexity.classify: need >= 3 samples";
+  if not (lo < hi) then invalid_arg "Convexity.classify: need lo < hi";
+  let h = (hi -. lo) /. float_of_int (samples - 1) in
+  let v = Array.init samples (fun i -> f (lo +. (float_of_int i *. h))) in
+  let scale =
+    Array.fold_left (fun acc x -> max acc (abs_float x)) 1.0 v
+  in
+  let eps = tol *. scale in
+  let all_nonneg = ref true and all_nonpos = ref true in
+  for i = 1 to samples - 2 do
+    let d2 = v.(i - 1) -. (2.0 *. v.(i)) +. v.(i + 1) in
+    if d2 < -.eps then all_nonneg := false;
+    if d2 > eps then all_nonpos := false
+  done;
+  match (!all_nonneg, !all_nonpos) with
+  | true, true -> Convex (* affine: report convex (it is both) *)
+  | true, false -> Convex
+  | false, true -> Concave
+  | false, false -> Neither
+
+let is_convex ?samples ?tol f ~lo ~hi =
+  match classify ?samples ?tol f ~lo ~hi with
+  | Convex -> true
+  | Concave | Neither -> false
+
+let is_concave ?samples ?tol f ~lo ~hi =
+  match classify ?samples ?tol f ~lo ~hi with
+  | Concave -> true
+  | Convex | Neither ->
+      (* An affine function classifies as Convex above; treat it as
+         concave too, consistently with the mathematical definition. *)
+      (match classify ?samples ?tol (fun x -> -.f x) ~lo ~hi with
+      | Convex -> true
+      | Concave | Neither -> false)
+
+(* Lower convex hull of the sampled graph. Returns hull vertices in
+   increasing x. *)
+let lower_hull points =
+  let n = Array.length points in
+  if n < 2 then Array.copy points
+  else begin
+    let cross (ox, oy) (ax, ay) (bx, by) =
+      ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+    in
+    let hull = Array.make n (0.0, 0.0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      while
+        !k >= 2 && cross hull.(!k - 2) hull.(!k - 1) points.(i) <= 0.0
+      do
+        decr k
+      done;
+      hull.(!k) <- points.(i);
+      incr k
+    done;
+    Array.sub hull 0 !k
+  end
+
+type closure = {
+  xs : float array;    (* hull vertex abscissae, increasing *)
+  ys : float array;    (* hull vertex ordinates *)
+}
+
+(* Evaluate the piecewise-linear hull at x in [xs.(0), xs.(last)]. *)
+let closure_eval c x =
+  let n = Array.length c.xs in
+  if x <= c.xs.(0) then c.ys.(0)
+  else if x >= c.xs.(n - 1) then c.ys.(n - 1)
+  else begin
+    (* Binary search for the segment containing x. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if c.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = c.xs.(!lo) and x1 = c.xs.(!hi) in
+    let y0 = c.ys.(!lo) and y1 = c.ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let convex_closure ?(samples = 4096) f ~lo ~hi =
+  if samples < 2 then invalid_arg "Convexity.convex_closure: need >= 2 samples";
+  if not (lo < hi) then invalid_arg "Convexity.convex_closure: need lo < hi";
+  let h = (hi -. lo) /. float_of_int (samples - 1) in
+  let pts =
+    Array.init samples (fun i ->
+        let x = lo +. (float_of_int i *. h) in
+        (x, f x))
+  in
+  let hull = lower_hull pts in
+  { xs = Array.map fst hull; ys = Array.map snd hull }
+
+(* Proposition 4's ratio r = sup_x g(x) / g**(x) over [lo, hi]. *)
+let deviation_ratio ?(samples = 4096) f ~lo ~hi =
+  let c = convex_closure ~samples f ~lo ~hi in
+  let h = (hi -. lo) /. float_of_int (samples - 1) in
+  let worst = ref 1.0 in
+  for i = 0 to samples - 1 do
+    let x = lo +. (float_of_int i *. h) in
+    let g = f x and g2 = closure_eval c x in
+    if g2 > 0.0 then begin
+      let ratio = g /. g2 in
+      if ratio > !worst then worst := ratio
+    end
+  done;
+  !worst

@@ -1,0 +1,37 @@
+(** Convexity machinery for the paper's function conditions.
+
+    Theorem 1 requires (F1): x ↦ 1/f(1/x) convex; Theorem 2 requires
+    (F2): f concave or (F2c): f strictly convex; Proposition 4 bounds the
+    overshoot of an almost-convex function by its deviation-from-convexity
+    ratio r = sup g/g**. *)
+
+type verdict = Convex | Concave | Neither
+
+val classify :
+  ?samples:int -> ?tol:float -> (float -> float) -> lo:float -> hi:float ->
+  verdict
+(** Second-difference test on a uniform grid over [lo, hi]. Affine
+    functions classify as [Convex]. *)
+
+val is_convex :
+  ?samples:int -> ?tol:float -> (float -> float) -> lo:float -> hi:float ->
+  bool
+
+val is_concave :
+  ?samples:int -> ?tol:float -> (float -> float) -> lo:float -> hi:float ->
+  bool
+
+type closure
+(** Piecewise-linear convex closure g** of a sampled function. *)
+
+val convex_closure :
+  ?samples:int -> (float -> float) -> lo:float -> hi:float -> closure
+(** Largest convex minorant of f on [lo, hi], as the lower hull of the
+    sampled graph. *)
+
+val closure_eval : closure -> float -> float
+
+val deviation_ratio :
+  ?samples:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Proposition 4's r = sup g/g** over [lo, hi]; 1.0 for a convex f.
+    For PFTK-standard's g(x) = 1/f(1/x) the paper reports r = 1.0026. *)

@@ -1,0 +1,48 @@
+(* Explicit ODE integration. The comprehensive control's within-interval
+   send-rate growth obeys d theta/dt = f(1/(w1*theta + W)) (Eq. 16 of the
+   paper); for functions f without a closed-form solution we integrate it
+   numerically with classic RK4. *)
+
+let rk4_step f t y h =
+  let k1 = f t y in
+  let k2 = f (t +. (h /. 2.0)) (y +. (h /. 2.0 *. k1)) in
+  let k3 = f (t +. (h /. 2.0)) (y +. (h /. 2.0 *. k2)) in
+  let k4 = f (t +. h) (y +. (h *. k3)) in
+  y +. (h /. 6.0 *. (k1 +. (2.0 *. k2) +. (2.0 *. k3) +. k4))
+
+let integrate ?(steps = 1000) f ~t0 ~t1 ~y0 =
+  if steps < 1 then invalid_arg "Ode.integrate: steps must be >= 1";
+  if not (t0 <= t1) then invalid_arg "Ode.integrate: t0 > t1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let y = ref y0 in
+  for i = 0 to steps - 1 do
+    let t = t0 +. (float_of_int i *. h) in
+    y := rk4_step f t !y h
+  done;
+  !y
+
+(* Integrate dy/dt = f(t, y) from y0 until y reaches [target] (f must be
+   positive so y is increasing); returns the elapsed time. Used to solve
+   theta(Tn + Sn-) = theta_n for the inter-loss duration Sn. *)
+let time_to_reach ?(step = 1e-3) ?(max_steps = 10_000_000) f ~y0 ~target =
+  if target <= y0 then 0.0
+  else begin
+    let t = ref 0.0 and y = ref y0 and n = ref 0 in
+    while !y < target && !n < max_steps do
+      let y' = rk4_step f !t !y step in
+      if y' >= target then begin
+        (* Linear interpolation inside the final step for accuracy. *)
+        let frac = (target -. !y) /. (y' -. !y) in
+        t := !t +. (frac *. step);
+        y := target
+      end
+      else begin
+        t := !t +. step;
+        y := y'
+      end;
+      incr n
+    done;
+    if !n >= max_steps then
+      failwith "Ode.time_to_reach: step budget exhausted before target";
+    !t
+  end

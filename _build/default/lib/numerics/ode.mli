@@ -1,0 +1,15 @@
+(** Explicit RK4 integration for scalar ODEs, used to cross-check the
+    closed-form comprehensive-control inter-loss durations (Prop. 3). *)
+
+val rk4_step : (float -> float -> float) -> float -> float -> float -> float
+(** [rk4_step f t y h] advances dy/dt = f(t, y) one step of size [h]. *)
+
+val integrate :
+  ?steps:int -> (float -> float -> float) -> t0:float -> t1:float ->
+  y0:float -> float
+
+val time_to_reach :
+  ?step:float -> ?max_steps:int -> (float -> float -> float) ->
+  y0:float -> target:float -> float
+(** Time for the increasing solution of dy/dt = f(t, y), y(0) = y0, to
+    reach [target]. Raises [Failure] if the step budget is exhausted. *)

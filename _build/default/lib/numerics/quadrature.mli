@@ -1,0 +1,8 @@
+(** Numerical integration on a closed interval. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> lo:float -> hi:float ->
+  float
+(** Adaptive Simpson quadrature with Richardson correction. *)
+
+val trapezoid : (float -> float) -> lo:float -> hi:float -> steps:int -> float

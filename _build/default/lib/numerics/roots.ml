@@ -1,0 +1,103 @@
+(* Scalar root finding. Brent's method is used to invert throughput
+   formulas (recover p from an observed rate) and to locate convexity
+   inflection points of the PFTK formulas. *)
+
+let default_tol = 1e-12
+let default_max_iter = 200
+
+exception No_bracket of string
+
+let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
+  let fa = f lo and fb = f hi in
+  if fa = 0.0 then lo
+  else if fb = 0.0 then hi
+  else if fa *. fb > 0.0 then
+    raise (No_bracket "Roots.bisect: f(lo) and f(hi) have the same sign")
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa in
+    let iter = ref 0 in
+    while !b -. !a > tol && !iter < max_iter do
+      incr iter;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0.0 then begin
+        a := m;
+        b := m
+      end
+      else if !fa *. fm < 0.0 then b := m
+      else begin
+        a := m;
+        fa := fm
+      end
+    done;
+    0.5 *. (!a +. !b)
+  end
+
+(* Brent (1973): inverse quadratic interpolation with bisection fallback. *)
+let brent ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0.0 then !a
+  else if !fb = 0.0 then !b
+  else if !fa *. !fb > 0.0 then
+    raise (No_bracket "Roots.brent: f(lo) and f(hi) have the same sign")
+  else begin
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    while !fb <> 0.0 && abs_float (!b -. !a) > tol && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else
+          (* secant *)
+          !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_bound = ((3.0 *. !a) +. !b) /. 4.0 in
+      let use_bisect =
+        (s < min lo_bound !b || s > max lo_bound !b)
+        || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.0)
+        || ((not !mflag) && abs_float (s -. !b) >= abs_float !d /. 2.0)
+      in
+      let s = if use_bisect then 0.5 *. (!a +. !b) else s in
+      mflag := use_bisect;
+      let fs = f s in
+      d := !c -. !b;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0.0 then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if abs_float !fa < abs_float !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    done;
+    !b
+  end
+
+(* Expand the bracket geometrically from an initial guess until f changes
+   sign; convenient when the scale of the root is unknown. *)
+let bracket_and_brent ?tol ?max_iter f ~guess =
+  if guess <= 0.0 then
+    invalid_arg "Roots.bracket_and_brent: guess must be positive";
+  let rec widen lo hi tries =
+    if tries > 200 then
+      raise (No_bracket "Roots.bracket_and_brent: could not bracket a root")
+    else if f lo *. f hi <= 0.0 then brent ?tol ?max_iter f ~lo ~hi
+    else widen (lo /. 2.0) (hi *. 2.0) (tries + 1)
+  in
+  widen (guess /. 2.0) (guess *. 2.0) 0

@@ -1,0 +1,18 @@
+(** Scalar root finding on a bracketing interval. *)
+
+exception No_bracket of string
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  float
+(** Bisection; requires a sign change on [lo, hi]. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  float
+(** Brent's method; requires a sign change on [lo, hi]. *)
+
+val bracket_and_brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> guess:float -> float
+(** Geometrically widen a bracket around a positive [guess], then run
+    Brent. Raises [No_bracket] if no sign change is found. *)

@@ -1,0 +1,1 @@
+lib/rng/point_process.ml: Array Dist

@@ -1,0 +1,1 @@
+lib/rng/point_process.mli: Prng

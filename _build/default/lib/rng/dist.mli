@@ -1,0 +1,29 @@
+(** Random variate generation for the distributions used by the
+    reproduction's designed experiments and workloads. *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+
+val exponential : Prng.t -> rate:float -> float
+(** Mean [1/rate]. *)
+
+val exponential_mean : Prng.t -> mean:float -> float
+
+val shifted_exponential : Prng.t -> x0:float -> a:float -> float
+(** The paper's designed loss-interval law: x0 + Exp(a). Mean x0 + 1/a,
+    coefficient of variation (1/a)/(x0 + 1/a), skewness 2, excess
+    kurtosis 6 for any (x0, a). *)
+
+val shifted_exponential_params : mean:float -> cv:float -> float * float
+(** [(x0, a)] realising the requested mean and coefficient of variation.
+    Requires 0 < cv <= 1. *)
+
+val bernoulli : Prng.t -> p:float -> bool
+
+val geometric : Prng.t -> p:float -> int
+(** Failures before first success; support starts at 0. *)
+
+val normal : Prng.t -> mean:float -> stddev:float -> float
+
+val pareto : Prng.t -> shape:float -> scale:float -> float
+
+val poisson : Prng.t -> mean:float -> int

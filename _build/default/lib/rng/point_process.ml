@@ -1,0 +1,58 @@
+(* Stationary point processes on the half line, used to drive loss events
+   and probe traffic. A process is represented as a generator of
+   inter-arrival times. *)
+
+type t = { next_gap : unit -> float }
+
+let next_gap t = t.next_gap ()
+
+let poisson rng ~rate =
+  if rate <= 0.0 then invalid_arg "Point_process.poisson: rate must be positive";
+  { next_gap = (fun () -> Dist.exponential rng ~rate) }
+
+let renewal ~sample = { next_gap = sample }
+
+let deterministic ~period =
+  if period <= 0.0 then
+    invalid_arg "Point_process.deterministic: period must be positive";
+  { next_gap = (fun () -> period) }
+
+(* Markov-modulated Poisson process: the environment alternates between
+   states with exponentially distributed sojourns; each state has its own
+   event rate. Used by the many-sources congestion model. *)
+type mmpp_state = { rate : float; mean_sojourn : float }
+
+let mmpp rng ~states ~transition =
+  let n = Array.length states in
+  if n = 0 then invalid_arg "Point_process.mmpp: no states";
+  Array.iter
+    (fun s ->
+      if s.rate < 0.0 || s.mean_sojourn <= 0.0 then
+        invalid_arg "Point_process.mmpp: bad state parameters")
+    states;
+  let current = ref 0 in
+  let remaining = ref (Dist.exponential_mean rng ~mean:states.(0).mean_sojourn) in
+  let rec gap acc =
+    let s = states.(!current) in
+    if s.rate <= 0.0 then begin
+      (* No events in this state: burn the whole sojourn. *)
+      let acc = acc +. !remaining in
+      current := transition rng !current;
+      remaining := Dist.exponential_mean rng ~mean:states.(!current).mean_sojourn;
+      gap acc
+    end
+    else begin
+      let e = Dist.exponential rng ~rate:s.rate in
+      if e <= !remaining then begin
+        remaining := !remaining -. e;
+        acc +. e
+      end
+      else begin
+        let acc = acc +. !remaining in
+        current := transition rng !current;
+        remaining := Dist.exponential_mean rng ~mean:states.(!current).mean_sojourn;
+        gap acc
+      end
+    end
+  in
+  { next_gap = (fun () -> gap 0.0) }

@@ -1,0 +1,25 @@
+(** Stationary point processes on the half line, represented as
+    generators of successive inter-arrival times. *)
+
+type t
+
+val next_gap : t -> float
+(** Draw the next inter-arrival time. *)
+
+val poisson : Prng.t -> rate:float -> t
+
+val renewal : sample:(unit -> float) -> t
+(** Renewal process with the given inter-arrival sampler. *)
+
+val deterministic : period:float -> t
+
+type mmpp_state = { rate : float; mean_sojourn : float }
+
+val mmpp :
+  Prng.t ->
+  states:mmpp_state array ->
+  transition:(Prng.t -> int -> int) ->
+  t
+(** Markov-modulated Poisson process: state [i] emits events at
+    [states.(i).rate] during an Exp-distributed sojourn of mean
+    [states.(i).mean_sojourn]; [transition rng i] picks the next state. *)

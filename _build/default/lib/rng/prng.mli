@@ -1,0 +1,26 @@
+(** Deterministic, splittable PRNG (splitmix64).
+
+    All stochastic components of the reproduction take an explicit
+    generator so that every experiment is reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent child stream (e.g. one per simulated flow). *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val float_unit : t -> float
+(** Uniform on [0, 1). *)
+
+val float_unit_positive : t -> float
+(** Uniform on (0, 1); safe as an argument to [log]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound). Raises on non-positive bound. *)
+
+val bool : t -> bool

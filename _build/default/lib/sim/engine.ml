@@ -1,0 +1,79 @@
+(* Discrete-event simulation engine.
+
+   Events are thunks scheduled at absolute times; [run] drains the queue
+   until a time horizon or event budget is hit. Cancellation is by
+   generation counter: a [handle] is invalidated rather than removed from
+   the heap (O(1) cancel, lazily discarded on pop) — the standard
+   technique for simulators with many retransmit-timer resets. *)
+
+type handle = { mutable cancelled : bool }
+
+type event = { fire : unit -> unit; handle : handle }
+
+type t = {
+  queue : event Event_queue.t;
+  mutable now : float;
+  mutable processed : int;
+  mutable horizon : float;
+}
+
+let create () =
+  { queue = Event_queue.create (); now = 0.0; processed = 0; horizon = infinity }
+
+let now t = t.now
+let processed t = t.processed
+let pending t = Event_queue.size t.queue
+
+let schedule t ~at fire =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
+         t.now);
+  let handle = { cancelled = false } in
+  Event_queue.push t.queue ~time:at { fire; handle };
+  handle
+
+let schedule_after t ~delay fire =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.now +. delay) fire
+
+let cancel handle = handle.cancelled <- true
+let is_cancelled handle = handle.cancelled
+
+type stop_reason = Queue_empty | Horizon_reached | Budget_exhausted | Stopped
+
+exception Stop
+
+let stop _t = raise Stop
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  t.horizon <- until;
+  let reason = ref Queue_empty in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Event_queue.pop t.queue with
+       | None ->
+           reason := Queue_empty;
+           continue := false
+       | Some (time, ev) ->
+           if ev.handle.cancelled then ()
+           else if time > until then begin
+             (* Put it back for a later resumed run and stop. *)
+             Event_queue.push t.queue ~time ev;
+             t.now <- until;
+             reason := Horizon_reached;
+             continue := false
+           end
+           else begin
+             t.now <- time;
+             t.processed <- t.processed + 1;
+             ev.fire ();
+             if t.processed >= max_events then begin
+               reason := Budget_exhausted;
+               continue := false
+             end
+           end
+     done
+   with Stop -> reason := Stopped);
+  !reason

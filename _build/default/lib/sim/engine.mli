@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine: thunks scheduled at absolute times,
+    O(1) timer cancellation, deterministic processing order. *)
+
+type t
+type handle
+
+val create : unit -> t
+
+val now : t -> float
+val processed : t -> int
+val pending : t -> int
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** Raises if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+(** O(1); the event is discarded lazily when popped. *)
+
+val is_cancelled : handle -> bool
+
+type stop_reason = Queue_empty | Horizon_reached | Budget_exhausted | Stopped
+
+val stop : t -> 'a
+(** Abort the current [run] from inside an event handler. *)
+
+val run : ?until:float -> ?max_events:int -> t -> stop_reason
+(** Drain the queue until empty, the time horizon, or the event budget.
+    A horizon-interrupted run can be resumed with a later [until]. *)

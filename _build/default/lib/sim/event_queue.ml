@@ -1,0 +1,109 @@
+(* Binary min-heap of timestamped events with stable FIFO tie-breaking.
+
+   Ties matter: a packet arrival and a timer expiring at the same instant
+   must be processed in schedule order for the simulation to be
+   deterministic across runs. We break ties with a monotonically
+   increasing sequence number. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    times = Array.make 64 0.0;
+    seqs = Array.make 64 0;
+    payloads = Array.make 64 None;
+    size = 0;
+    next_seq = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let n = Array.length t.times in
+  let times = Array.make (2 * n) 0.0 in
+  let seqs = Array.make (2 * n) 0 in
+  let payloads = Array.make (2 * n) None in
+  Array.blit t.times 0 times 0 n;
+  Array.blit t.seqs 0 seqs 0 n;
+  Array.blit t.payloads 0 payloads 0 n;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let tt = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tt;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t l !smallest then smallest := l;
+  if r < t.size && before t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if t.size = Array.length t.times then grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- Some payload;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let time = t.times.(0) in
+    let payload =
+      match t.payloads.(0) with
+      | Some p -> p
+      | None -> assert false
+    in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.times.(0) <- t.times.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.payloads.(0) <- t.payloads.(t.size)
+    end;
+    t.payloads.(t.size) <- None;
+    sift_down t 0;
+    Some (time, payload)
+  end
+
+let clear t =
+  Array.fill t.payloads 0 (Array.length t.payloads) None;
+  t.size <- 0

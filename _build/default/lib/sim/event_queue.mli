@@ -1,0 +1,16 @@
+(** Binary min-heap of timestamped events with stable FIFO tie-breaking,
+    so simultaneous events are processed in schedule order and runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises on NaN time. *)
+
+val peek_time : 'a t -> float option
+val pop : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

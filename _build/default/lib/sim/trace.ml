@@ -1,0 +1,114 @@
+(* Time-series recorder for simulation observables (send rates, queue
+   occupancy, window sizes). Samples are appended with their timestamps;
+   the recorder supports bounded memory via reservoir-style decimation:
+   when the buffer is full, every other retained sample is dropped and
+   the sampling stride doubles, preserving a uniform-in-time skeleton of
+   the trajectory. *)
+
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+  mutable stride : int;      (* record every stride-th offered sample *)
+  mutable skip : int;        (* offered samples since last recorded *)
+  capacity : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 8 then invalid_arg "Trace.create: capacity must be >= 8";
+  {
+    times = Array.make capacity 0.0;
+    values = Array.make capacity 0.0;
+    len = 0;
+    stride = 1;
+    skip = 0;
+    capacity;
+  }
+
+let decimate t =
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < t.len do
+    t.times.(!kept) <- t.times.(!i);
+    t.values.(!kept) <- t.values.(!i);
+    incr kept;
+    i := !i + 2
+  done;
+  t.len <- !kept;
+  t.stride <- t.stride * 2
+
+let record t ~time ~value =
+  t.skip <- t.skip + 1;
+  if t.skip >= t.stride then begin
+    t.skip <- 0;
+    if t.len = t.capacity then decimate t;
+    t.times.(t.len) <- time;
+    t.values.(t.len) <- value;
+    t.len <- t.len + 1
+  end
+
+let length t = t.len
+let stride t = t.stride
+let times t = Array.sub t.times 0 t.len
+let values t = Array.sub t.values 0 t.len
+
+let to_pairs t =
+  Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
+
+(* Time-average of the recorded trajectory under the step-function
+   (sample-and-hold) interpretation. *)
+let time_average t =
+  if t.len < 2 then if t.len = 1 then t.values.(0) else nan
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to t.len - 2 do
+      acc := !acc +. (t.values.(i) *. (t.times.(i + 1) -. t.times.(i)))
+    done;
+    !acc /. (t.times.(t.len - 1) -. t.times.(0))
+  end
+
+(* Least-squares slope of value over time — used by the Section-IV-B
+   analysis of TCP window growth (sub-)linearity. *)
+let slope t =
+  if t.len < 2 then nan
+  else begin
+    let n = float_of_int t.len in
+    let mt = ref 0.0 and mv = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      mt := !mt +. t.times.(i);
+      mv := !mv +. t.values.(i)
+    done;
+    let mt = !mt /. n and mv = !mv /. n in
+    let sxx = ref 0.0 and sxy = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      let dt = t.times.(i) -. mt in
+      sxx := !sxx +. (dt *. dt);
+      sxy := !sxy +. (dt *. (t.values.(i) -. mv))
+    done;
+    if !sxx = 0.0 then nan else !sxy /. !sxx
+  end
+
+(* Concavity diagnostic: fit slopes over the first and second halves of
+   the trace; a ratio second/first below 1 indicates sub-linear
+   (concave) growth — the paper's conjecture about TCP's window when it
+   is large. *)
+let growth_linearity t =
+  if t.len < 8 then nan
+  else begin
+    let half = t.len / 2 in
+    let mk lo hi =
+      let sub =
+        {
+          times = Array.sub t.times lo (hi - lo);
+          values = Array.sub t.values lo (hi - lo);
+          len = hi - lo;
+          stride = 1;
+          skip = 0;
+          capacity = hi - lo;
+        }
+      in
+      slope sub
+    in
+    let s1 = mk 0 half and s2 = mk half t.len in
+    if s1 = 0.0 || Float.is_nan s1 || Float.is_nan s2 then nan else s2 /. s1
+  end

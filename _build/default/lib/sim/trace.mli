@@ -1,0 +1,33 @@
+(** Bounded-memory time-series recorder for simulation observables.
+
+    When the buffer fills, every other retained sample is dropped and
+    the sampling stride doubles, keeping a uniform-in-time skeleton of
+    the trajectory in constant memory. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 samples; at least 8. *)
+
+val record : t -> time:float -> value:float -> unit
+
+val length : t -> int
+val stride : t -> int
+(** Current decimation stride (1 until the first overflow). *)
+
+val times : t -> float array
+val values : t -> float array
+val to_pairs : t -> (float * float) array
+
+val time_average : t -> float
+(** Time-average under sample-and-hold interpolation; [nan] when
+    empty. *)
+
+val slope : t -> float
+(** Least-squares slope of value over time; [nan] for fewer than 2
+    samples. *)
+
+val growth_linearity : t -> float
+(** Ratio of the second-half slope to the first-half slope: 1 for
+    linear growth, below 1 for concave (sub-linear) growth — the
+    paper's Section-IV-B conjecture about large TCP windows. *)

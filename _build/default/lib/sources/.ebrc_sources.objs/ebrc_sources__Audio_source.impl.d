@@ -1,0 +1,1 @@
+lib/sources/audio_source.ml: Array Ebrc_formulas Ebrc_net Ebrc_sim Ebrc_tfrc Float List

@@ -1,0 +1,1 @@
+lib/sources/audio_source.mli: Ebrc_formulas Ebrc_net Ebrc_sim Ebrc_tfrc

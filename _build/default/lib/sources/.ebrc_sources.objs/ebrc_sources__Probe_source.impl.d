@@ -1,0 +1,1 @@
+lib/sources/probe_source.ml: Ebrc_net Ebrc_rng Ebrc_sim

@@ -1,0 +1,22 @@
+(** Non-adaptive probe sources (CBR and Poisson). Poisson probes measure
+    the paper's p″ — the network loss-event rate seen by a non-adaptive
+    sampler (Claim 3, Figure 7). *)
+
+type pacing = Cbr | Poisson of Ebrc_rng.Prng.t
+
+type t
+
+val create :
+  ?packet_size:int ->
+  engine:Ebrc_sim.Engine.t ->
+  flow:int ->
+  rate:float ->
+  pacing:pacing ->
+  unit ->
+  t
+
+val set_transmit : t -> (Ebrc_net.Packet.t -> unit) -> unit
+val start : t -> unit
+val stop : t -> unit
+val sent : t -> int
+val flow : t -> int

@@ -1,0 +1,1 @@
+lib/stats/cov_acc.ml:

@@ -1,0 +1,1 @@
+lib/stats/student_t.ml: Array Descriptive Float

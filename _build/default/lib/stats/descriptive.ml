@@ -1,0 +1,155 @@
+(* Descriptive statistics over float arrays.
+
+   All functions expect non-empty input unless stated otherwise and raise
+   [Invalid_argument] on empty input, so that silent NaN propagation does
+   not corrupt long experiment pipelines. *)
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let sum (xs : float array) =
+  (* Kahan summation: experiment traces can hold millions of samples of
+     widely varying magnitude. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    let y = xs.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+let mean xs =
+  check_nonempty "Descriptive.mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance ?mean:m xs =
+  check_nonempty "Descriptive.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let mu = match m with Some v -> v | None -> mean xs in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. mu in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let variance_population ?mean:m xs =
+  check_nonempty "Descriptive.variance_population" xs;
+  let n = Array.length xs in
+  let mu = match m with Some v -> v | None -> mean xs in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = xs.(i) -. mu in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int n
+
+let stddev ?mean xs = sqrt (variance ?mean xs)
+
+let coefficient_of_variation xs =
+  let mu = mean xs in
+  if mu = 0.0 then invalid_arg "Descriptive.coefficient_of_variation: zero mean";
+  stddev ~mean:mu xs /. mu
+
+let covariance xs ys =
+  check_nonempty "Descriptive.covariance" xs;
+  let n = Array.length xs in
+  if Array.length ys <> n then
+    invalid_arg "Descriptive.covariance: length mismatch";
+  if n = 1 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let correlation xs ys =
+  let c = covariance xs ys in
+  let sx = stddev xs and sy = stddev ys in
+  if sx = 0.0 || sy = 0.0 then 0.0 else c /. (sx *. sy)
+
+let autocovariance xs ~lag =
+  check_nonempty "Descriptive.autocovariance" xs;
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then
+    invalid_arg "Descriptive.autocovariance: lag out of range";
+  let mu = mean xs in
+  let acc = ref 0.0 in
+  for i = 0 to n - lag - 1 do
+    acc := !acc +. ((xs.(i) -. mu) *. (xs.(i + lag) -. mu))
+  done;
+  !acc /. float_of_int (n - lag)
+
+let autocorrelation xs ~lag =
+  let v = autocovariance xs ~lag:0 in
+  if v = 0.0 then 0.0 else autocovariance xs ~lag /. v
+
+let central_moment xs ~order =
+  check_nonempty "Descriptive.central_moment" xs;
+  let n = Array.length xs in
+  let mu = mean xs in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((xs.(i) -. mu) ** float_of_int order)
+  done;
+  !acc /. float_of_int n
+
+let skewness xs =
+  let m2 = central_moment xs ~order:2 in
+  if m2 = 0.0 then 0.0
+  else central_moment xs ~order:3 /. (m2 ** 1.5)
+
+(* Excess kurtosis: 0 for a Gaussian, 6 for an exponential. *)
+let kurtosis_excess xs =
+  let m2 = central_moment xs ~order:2 in
+  if m2 = 0.0 then 0.0
+  else (central_moment xs ~order:4 /. (m2 *. m2)) -. 3.0
+
+let minimum xs =
+  check_nonempty "Descriptive.minimum" xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  check_nonempty "Descriptive.maximum" xs;
+  Array.fold_left max xs.(0) xs
+
+(* Linear-interpolation quantile (type 7, the R default). [q] in [0,1]. *)
+let quantile xs q =
+  check_nonempty "Descriptive.quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q not in [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+(* Ordinary least squares fit y = a + b x; returns (intercept, slope). *)
+let linear_regression xs ys =
+  check_nonempty "Descriptive.linear_regression" xs;
+  if Array.length ys <> Array.length xs then
+    invalid_arg "Descriptive.linear_regression: length mismatch";
+  let vx = variance_population xs in
+  if vx = 0.0 then invalid_arg "Descriptive.linear_regression: degenerate x";
+  let mx = mean xs and my = mean ys in
+  let n = Array.length xs in
+  let sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  let slope = !sxy /. float_of_int n /. vx in
+  (my -. (slope *. mx), slope)

@@ -1,0 +1,90 @@
+(* Empirical distribution functions and two-sample comparison.
+
+   Used to verify that generated loss-interval samples follow their
+   intended law (Kolmogorov-Smirnov against an analytic CDF) and to
+   compare the loss-interval distributions different protocols observe
+   on the same path. *)
+
+type t = {
+  sorted : float array;   (* ascending *)
+}
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Ecdf.of_samples: empty input";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* F_n(x) = fraction of samples <= x, by binary search for the upper
+   boundary of the run of values <= x. *)
+let eval t x =
+  let n = Array.length t.sorted in
+  if x < t.sorted.(0) then 0.0
+  else if x >= t.sorted.(n - 1) then 1.0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: sorted.(lo) <= x < sorted.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.sorted.(mid) <= x then lo := mid else hi := mid
+    done;
+    float_of_int (!lo + 1) /. float_of_int n
+  end
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Ecdf.quantile: q not in [0,1]";
+  let n = Array.length t.sorted in
+  let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  t.sorted.(max 0 (min (n - 1) i))
+
+(* One-sample Kolmogorov-Smirnov statistic against an analytic CDF:
+   sup_x |F_n(x) - F(x)|, evaluated at the jump points. *)
+let ks_statistic t ~cdf =
+  let n = Array.length t.sorted in
+  let nf = float_of_int n in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = cdf t.sorted.(i) in
+    let upper = (float_of_int (i + 1) /. nf) -. f in
+    let lower = f -. (float_of_int i /. nf) in
+    if upper > !d then d := upper;
+    if lower > !d then d := lower
+  done;
+  !d
+
+(* Two-sample KS statistic: sup_x |F_n(x) - G_m(x)| by the standard
+   merge walk. *)
+let ks_two_sample a b =
+  let n = Array.length a.sorted and m = Array.length b.sorted in
+  let i = ref 0 and j = ref 0 and d = ref 0.0 in
+  while !i < n && !j < m do
+    let va = a.sorted.(!i) and vb = b.sorted.(!j) in
+    if va <= vb then incr i else incr j;
+    let fa = float_of_int !i /. float_of_int n in
+    let fb = float_of_int !j /. float_of_int m in
+    let diff = abs_float (fa -. fb) in
+    if diff > !d then d := diff
+  done;
+  !d
+
+(* Asymptotic KS p-value via the Kolmogorov distribution's series
+   Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2). *)
+let ks_pvalue ~n d =
+  if n < 1 then invalid_arg "Ecdf.ks_pvalue: n >= 1";
+  let sqrt_n = sqrt (float_of_int n) in
+  let lambda = (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) *. d in
+  if lambda < 1e-6 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for k = 1 to 100 do
+      let kf = float_of_int k in
+      let term =
+        (if k mod 2 = 1 then 1.0 else -1.0)
+        *. exp (-2.0 *. kf *. kf *. lambda *. lambda)
+      in
+      acc := !acc +. term
+    done;
+    Float.max 0.0 (Float.min 1.0 (2.0 *. !acc))
+  end

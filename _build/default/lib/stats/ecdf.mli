@@ -1,0 +1,26 @@
+(** Empirical distribution functions and Kolmogorov-Smirnov
+    comparisons, for verifying generated loss-interval samples against
+    their intended law and for comparing per-protocol interval
+    distributions. *)
+
+type t
+
+val of_samples : float array -> t
+(** Raises on empty input. *)
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** Fₙ(x) — the fraction of samples ≤ x. *)
+
+val quantile : t -> float -> float
+(** Nearest-rank quantile; argument in [0, 1]. *)
+
+val ks_statistic : t -> cdf:(float -> float) -> float
+(** One-sample Kolmogorov-Smirnov distance sup |Fₙ − F|. *)
+
+val ks_two_sample : t -> t -> float
+(** Two-sample KS distance. *)
+
+val ks_pvalue : n:int -> float -> float
+(** Asymptotic p-value for a one-sample KS distance with [n] samples. *)

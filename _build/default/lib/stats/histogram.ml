@@ -1,0 +1,55 @@
+(* Fixed-bin histogram, used for distribution sanity checks in tests and
+   for summarising per-figure series in experiment reports. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_index t x =
+  let b = Array.length t.counts in
+  let w = (t.hi -. t.lo) /. float_of_int b in
+  let i = int_of_float (floor ((x -. t.lo) /. w)) in
+  if x < t.lo then `Underflow
+  else if x >= t.hi then `Overflow
+  else `Bin (min i (b - 1))
+
+let add t x =
+  t.total <- t.total + 1;
+  match bin_index t x with
+  | `Underflow -> t.underflow <- t.underflow + 1
+  | `Overflow -> t.overflow <- t.overflow + 1
+  | `Bin i -> t.counts.(i) <- t.counts.(i) + 1
+
+let count t i = t.counts.(i)
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_center t i =
+  let w = (t.hi -. t.lo) /. float_of_int (Array.length t.counts) in
+  t.lo +. ((float_of_int i +. 0.5) *. w)
+
+let density t i =
+  if t.total = 0 then 0.0
+  else
+    let w = (t.hi -. t.lo) /. float_of_int (Array.length t.counts) in
+    float_of_int t.counts.(i) /. (float_of_int t.total *. w)
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to Array.length t.counts - 1 do
+    acc := f !acc ~center:(bin_center t i) ~count:t.counts.(i)
+  done;
+  !acc

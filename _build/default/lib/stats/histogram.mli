@@ -1,0 +1,16 @@
+(** Fixed-bin histogram over [lo, hi) with under/overflow counters. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+val bins : t -> int
+val add : t -> float -> unit
+val count : t -> int -> int
+val total : t -> int
+val underflow : t -> int
+val overflow : t -> int
+val bin_center : t -> int -> float
+val density : t -> int -> float
+(** Empirical probability density at bin [i] (count / (total * width)). *)
+
+val fold : ('a -> center:float -> count:int -> 'a) -> 'a -> t -> 'a

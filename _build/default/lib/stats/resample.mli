@@ -1,0 +1,15 @@
+(** Resampling-based uncertainty estimates for experiment reporting. *)
+
+val jackknife :
+  estimator:(float array -> float) -> float array -> float * float
+(** [jackknife ~estimator xs] is [(bias_corrected_estimate, stderr)]
+    from the leave-one-out jackknife. Raises for fewer than 2 samples. *)
+
+val block_estimate :
+  estimator:(float array -> float) ->
+  blocks:int ->
+  float array ->
+  float * float
+(** Split the series into [blocks] consecutive bins, apply [estimator]
+    per bin, return mean and standard error across bins — the paper's
+    per-bin methodology for long experiment runs. *)

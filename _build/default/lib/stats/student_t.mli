@@ -1,0 +1,19 @@
+(** Student-t quantiles and small-sample confidence intervals, for the
+    per-bin experiment estimates (6–12 bins per run, where Gaussian
+    intervals are noticeably too tight). *)
+
+val cdf : df:float -> float -> float
+(** CDF of the Student-t distribution with [df] degrees of freedom. *)
+
+val quantile : df:float -> float -> float
+(** Inverse CDF; argument in (0, 1). *)
+
+val mean_confidence_interval :
+  ?confidence:float -> float array -> float * float * float
+(** [(mean, lo, hi)] two-sided CI for the mean (default 95%). Needs at
+    least 2 samples. *)
+
+val incomplete_beta : a:float -> b:float -> float -> float
+(** Regularised incomplete beta Iₓ(a, b). *)
+
+val log_gamma : float -> float

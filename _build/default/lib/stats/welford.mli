@@ -1,0 +1,41 @@
+(** Streaming moment accumulator (Welford's algorithm, extended to third
+    and fourth moments). Constant memory; suitable for simulator hot
+    paths where storing every sample would be too costly. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val reset : t -> unit
+
+val add : t -> float -> unit
+(** Fold one observation into the accumulator. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased; [0.] for fewer than 2 samples. *)
+
+val variance_population : t -> float
+val stddev : t -> float
+
+val coefficient_of_variation : t -> float
+(** [nan] when mean is 0 or empty. *)
+
+val skewness : t -> float
+val kurtosis_excess : t -> float
+
+val minimum : t -> float
+(** [nan] when empty. *)
+
+val maximum : t -> float
+(** [nan] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators. Mean/variance/extrema merge exactly; the
+    third and fourth moments are approximate (cross terms dropped). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tcp/tcp_receiver.ml: Ebrc_net Ebrc_sim Hashtbl

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.ml: Array Ebrc_net Ebrc_sim Ebrc_stats Float Hashtbl Queue

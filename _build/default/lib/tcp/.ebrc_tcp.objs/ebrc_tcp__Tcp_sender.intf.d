@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.mli: Ebrc_net Ebrc_sim

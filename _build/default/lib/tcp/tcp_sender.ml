@@ -1,0 +1,290 @@
+(* Window-based TCP sender (Reno/NewReno, approximating ns-2 Sack1 for
+   the statistics this reproduction needs):
+
+     - slow start (cwnd += 1 per new ACK while cwnd < ssthresh),
+     - congestion avoidance (cwnd += 1/cwnd per new ACK; with delayed
+       ACKs b=2 this yields the ~1/b-per-RTT linear growth the PFTK
+       model assumes),
+     - fast retransmit on 3 duplicate ACKs, NewReno partial-ACK hole
+       repair during recovery, one window halving per recovery episode,
+     - retransmission timeout with Jacobson RTO, Karn's rule and
+       exponential backoff, followed by slow start.
+
+   Loss events are tracked sender-side as the paper defines them for
+   TCP: congestion indications (fast retransmit or timeout) separated by
+   less than one smoothed RTT count as a single loss event; loss-event
+   intervals are measured in packets sent between events. *)
+
+module Engine = Ebrc_sim.Engine
+module Packet = Ebrc_net.Packet
+
+type phase = Slow_start | Congestion_avoidance | Fast_recovery
+
+type variant = Tahoe | Reno
+
+type t = {
+  engine : Engine.t;
+  flow : int;
+  variant : variant;
+  packet_size : int;                   (* bytes *)
+  mutable transmit : Packet.t -> unit;
+  (* --- window state --- *)
+  mutable cwnd : float;                (* packets *)
+  mutable ssthresh : float;
+  max_window : float;
+  mutable snd_una : int;               (* lowest unacknowledged seq *)
+  mutable snd_nxt : int;               (* next new seq to send *)
+  mutable dup_acks : int;
+  mutable phase : phase;
+  mutable recover : int;               (* recovery ends when una > recover *)
+  (* --- RTT estimation / RTO --- *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  min_rto : float;
+  mutable backoff : int;
+  mutable timer : Engine.handle option;
+  mutable timed_seq : int;             (* Karn: seq being timed, -1 none *)
+  mutable timed_at : float;
+  mutable retransmitted : (int, unit) Hashtbl.t;
+  (* --- statistics --- *)
+  mutable packets_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable loss_events : int;
+  mutable last_event_at : float;
+  mutable packets_at_last_event : int;
+  loss_intervals : float Queue.t;
+  rtt_acc : Ebrc_stats.Welford.t;
+  mutable on_rate_sample : float -> unit;
+}
+
+let create ?(packet_size = 1000) ?(initial_cwnd = 2.0) ?(max_window = 1e9)
+    ?(min_rto = 0.2) ?(variant = Reno) ~engine ~flow () =
+  if packet_size <= 0 then invalid_arg "Tcp_sender.create: packet_size <= 0";
+  {
+    engine;
+    flow;
+    variant;
+    packet_size;
+    transmit = (fun _ -> ());
+    cwnd = initial_cwnd;
+    ssthresh = 1e9;
+    max_window;
+    snd_una = 0;
+    snd_nxt = 0;
+    dup_acks = 0;
+    phase = Slow_start;
+    recover = -1;
+    srtt = 0.0;
+    rttvar = 0.0;
+    rto = 1.0;
+    min_rto;
+    backoff = 1;
+    timer = None;
+    timed_seq = -1;
+    timed_at = 0.0;
+    retransmitted = Hashtbl.create 64;
+    packets_sent = 0;
+    retransmits = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    loss_events = 0;
+    last_event_at = neg_infinity;
+    packets_at_last_event = 0;
+    loss_intervals = Queue.create ();
+    rtt_acc = Ebrc_stats.Welford.create ();
+    on_rate_sample = (fun _ -> ());
+  }
+
+let set_transmit t f = t.transmit <- f
+let set_rate_sample_hook t f = t.on_rate_sample <- f
+
+let flight_size t = t.snd_nxt - t.snd_una
+
+let window t = Float.min t.cwnd t.max_window
+
+(* --- loss-event accounting (paper definition) --- *)
+
+let note_congestion_event t =
+  let now = Engine.now t.engine in
+  let window = if t.srtt > 0.0 then t.srtt else t.rto in
+  if now -. t.last_event_at > window then begin
+    if t.loss_events > 0 then
+      Queue.add
+        (float_of_int (t.packets_sent - t.packets_at_last_event))
+        t.loss_intervals;
+    t.loss_events <- t.loss_events + 1;
+    t.packets_at_last_event <- t.packets_sent;
+    t.last_event_at <- now
+  end
+
+(* --- RTO timer --- *)
+
+let cancel_timer t =
+  match t.timer with
+  | Some h ->
+      Engine.cancel h;
+      t.timer <- None
+  | None -> ()
+
+let rec arm_timer t =
+  cancel_timer t;
+  let delay = t.rto *. float_of_int t.backoff in
+  t.timer <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_timeout t))
+
+and send_segment t ~seq ~retransmission =
+  let now = Engine.now t.engine in
+  let pkt = Packet.data ~flow:t.flow ~seq ~size:t.packet_size ~sent_at:now in
+  if retransmission then begin
+    t.retransmits <- t.retransmits + 1;
+    Hashtbl.replace t.retransmitted seq ();
+    (* Karn: never time a retransmitted segment. *)
+    if t.timed_seq = seq then t.timed_seq <- -1
+  end
+  else begin
+    t.packets_sent <- t.packets_sent + 1;
+    if t.timed_seq < 0 then begin
+      t.timed_seq <- seq;
+      t.timed_at <- now
+    end
+  end;
+  t.transmit pkt
+
+and try_send t =
+  let w = int_of_float (window t) in
+  let sent_any = ref false in
+  while flight_size t < w do
+    send_segment t ~seq:t.snd_nxt ~retransmission:false;
+    t.snd_nxt <- t.snd_nxt + 1;
+    sent_any := true
+  done;
+  if !sent_any && t.timer = None then arm_timer t
+
+and on_timeout t =
+  t.timer <- None;
+  if flight_size t > 0 then begin
+    t.timeouts <- t.timeouts + 1;
+    note_congestion_event t;
+    t.ssthresh <- Float.max (float_of_int (flight_size t) /. 2.0) 2.0;
+    t.cwnd <- 1.0;
+    t.phase <- Slow_start;
+    t.dup_acks <- 0;
+    t.recover <- t.snd_nxt - 1;
+    t.backoff <- min (t.backoff * 2) 64;
+    t.timed_seq <- -1;
+    (* Go-back-N: forget the outstanding window and refill from the
+       first hole as the window re-opens; the receiver discards stale
+       duplicates and its cumulative ACKs fast-forward over the segments
+       it already holds. *)
+    send_segment t ~seq:t.snd_una ~retransmission:true;
+    t.snd_nxt <- t.snd_una + 1;
+    arm_timer t
+  end
+
+let update_rtt t sample =
+  Ebrc_stats.Welford.add t.rtt_acc sample;
+  if t.srtt = 0.0 then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.0
+  end
+  else begin
+    let alpha = 0.125 and beta = 0.25 in
+    t.rttvar <-
+      ((1.0 -. beta) *. t.rttvar) +. (beta *. abs_float (t.srtt -. sample));
+    t.srtt <- ((1.0 -. alpha) *. t.srtt) +. (alpha *. sample)
+  end;
+  t.rto <- Float.max t.min_rto (t.srtt +. (4.0 *. t.rttvar))
+
+let enter_fast_recovery t =
+  t.fast_retransmits <- t.fast_retransmits + 1;
+  note_congestion_event t;
+  t.ssthresh <- Float.max (float_of_int (flight_size t) /. 2.0) 2.0;
+  (match t.variant with
+  | Reno ->
+      (* NewReno-style: halve and repair holes on partial ACKs. *)
+      t.cwnd <- t.ssthresh;
+      t.phase <- Fast_recovery;
+      t.recover <- t.snd_nxt - 1
+  | Tahoe ->
+      (* Tahoe: fast retransmit exists but recovery restarts from a
+         one-packet window in slow start (no fast recovery). *)
+      t.cwnd <- 1.0;
+      t.phase <- Slow_start;
+      t.recover <- t.snd_nxt - 1;
+      t.snd_nxt <- t.snd_una + 1);
+  send_segment t ~seq:t.snd_una ~retransmission:true;
+  arm_timer t
+
+let on_ack t ~acked ~dup ~echo:_ =
+  let now = Engine.now t.engine in
+  if acked >= t.snd_una then begin
+    (* New (or repeated-but-advancing) cumulative ACK. *)
+    if acked >= t.snd_una && not dup then begin
+      (* RTT sample via the timed segment (Karn's rule). *)
+      if t.timed_seq >= 0 && acked >= t.timed_seq
+         && not (Hashtbl.mem t.retransmitted t.timed_seq) then begin
+        update_rtt t (now -. t.timed_at);
+        t.timed_seq <- -1
+      end;
+      let newly_acked = acked - t.snd_una + 1 in
+      if newly_acked > 0 then begin
+        t.snd_una <- acked + 1;
+        t.backoff <- 1;
+        t.dup_acks <- 0;
+        (match t.phase with
+        | Fast_recovery ->
+            if acked >= t.recover then begin
+              (* Full recovery: resume congestion avoidance. *)
+              t.phase <- Congestion_avoidance;
+              t.cwnd <- t.ssthresh
+            end
+            else
+              (* Partial ACK: NewReno hole repair, window frozen. *)
+              send_segment t ~seq:t.snd_una ~retransmission:true
+        | Slow_start ->
+            (* Appropriate byte counting with L = 2 (RFC 3465): grow by
+               at most two segments per ACK, so a large cumulative ACK
+               after a go-back-N restart cannot re-inflate the window
+               past ssthresh in one step. *)
+            t.cwnd <- t.cwnd +. Float.min (float_of_int newly_acked) 2.0;
+            if t.cwnd >= t.ssthresh then t.phase <- Congestion_avoidance
+        | Congestion_avoidance ->
+            t.cwnd <- t.cwnd +. (float_of_int newly_acked /. t.cwnd));
+        t.on_rate_sample (window t);
+        if flight_size t > 0 then arm_timer t else cancel_timer t;
+        try_send t
+      end
+    end
+  end
+  else if dup then begin
+    t.dup_acks <- t.dup_acks + 1;
+    if t.dup_acks = 3 && t.phase <> Fast_recovery then enter_fast_recovery t
+    else if t.phase = Fast_recovery then
+      (* Window inflation substitute: allow one new segment per extra
+         dup ACK to keep the pipe from draining. *)
+      try_send t
+  end
+
+let start t = try_send t
+
+(* --- observers --- *)
+
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let phase t = t.phase
+let packets_sent t = t.packets_sent
+let retransmits t = t.retransmits
+let timeouts t = t.timeouts
+let fast_retransmits t = t.fast_retransmits
+let loss_events t = t.loss_events
+let srtt t = t.srtt
+let mean_rtt t = Ebrc_stats.Welford.mean t.rtt_acc
+
+let loss_event_intervals t = Array.of_seq (Queue.to_seq t.loss_intervals)
+
+let loss_event_rate t =
+  let ivs = loss_event_intervals t in
+  if Array.length ivs = 0 then 0.0
+  else float_of_int (Array.length ivs) /. Array.fold_left ( +. ) 0.0 ivs

@@ -1,0 +1,1 @@
+lib/tfrc/loss_history.mli:

@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_receiver.ml: Ebrc_net Ebrc_sim Float Loss_history

@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_receiver.mli: Ebrc_net Ebrc_sim Loss_history

@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_sender.ml: Ebrc_formulas Ebrc_net Ebrc_sim Ebrc_stats Float

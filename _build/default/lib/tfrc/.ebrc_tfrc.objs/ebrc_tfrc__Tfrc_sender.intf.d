@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_sender.mli: Ebrc_formulas Ebrc_net Ebrc_sim

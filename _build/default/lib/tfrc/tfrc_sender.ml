@@ -1,0 +1,197 @@
+(* TFRC sender: rate-based transmission with the rate set from the
+   throughput formula evaluated at the receiver-reported loss-event rate
+   and the sender's smoothed RTT.
+
+   Before any loss has been reported the sender doubles its rate each
+   feedback (TFRC's slow-start analogue), optionally capped at twice the
+   reported receive rate. After the first loss report, the rate is
+   X = f(p_reported, srtt) — the comprehensive control when the receiver
+   applies the open-interval rule, the basic control otherwise.
+
+   [conform_to_analysis] disables the receive-rate cap so the control
+   matches the paper's idealised model (the paper's lab senders were
+   adjusted the same way). *)
+
+module Engine = Ebrc_sim.Engine
+module Packet = Ebrc_net.Packet
+module Formula = Ebrc_formulas.Formula
+module Welford = Ebrc_stats.Welford
+
+type t = {
+  engine : Engine.t;
+  flow : int;
+  formula : Formula.t;
+  packet_size : int;
+  conform_to_analysis : bool;
+  mutable transmit : Packet.t -> unit;
+  mutable rate : float;                 (* current send rate, pkt/s *)
+  mutable srtt : float;
+  mutable seq : int;
+  mutable sent : int;
+  mutable running : bool;
+  mutable saw_loss : bool;
+  mutable last_recv_rate : float;
+  mutable feedbacks : int;
+  rate_stats : Welford.t;
+  rtt_stats : Welford.t;
+  mutable on_rate_change : float -> unit;
+  initial_rate : float;
+  min_rate : float;
+  max_rate : float;
+  nofeedback_rtts : float;            (* timer horizon in RTTs; 0 = off *)
+  mutable nofeedback_timer : Engine.handle option;
+  mutable rate_halvings : int;
+}
+
+let create ?(packet_size = 1000) ?(conform_to_analysis = false)
+    ?(initial_rate = 1.0) ?(min_rate = 0.1) ?(max_rate = 1e6)
+    ?(nofeedback_rtts = 4.0) ~engine ~flow ~formula () =
+  if packet_size <= 0 then invalid_arg "Tfrc_sender.create: packet_size <= 0";
+  if initial_rate <= 0.0 then
+    invalid_arg "Tfrc_sender.create: initial_rate <= 0";
+  if max_rate <= min_rate then
+    invalid_arg "Tfrc_sender.create: max_rate <= min_rate";
+  {
+    engine;
+    flow;
+    formula;
+    packet_size;
+    conform_to_analysis;
+    transmit = (fun _ -> ());
+    rate = initial_rate;
+    srtt = 0.0;
+    seq = 0;
+    sent = 0;
+    running = false;
+    saw_loss = false;
+    last_recv_rate = 0.0;
+    feedbacks = 0;
+    rate_stats = Welford.create ();
+    rtt_stats = Welford.create ();
+    on_rate_change = (fun _ -> ());
+    initial_rate;
+    min_rate;
+    max_rate;
+    nofeedback_rtts;
+    nofeedback_timer = None;
+    rate_halvings = 0;
+  }
+
+let set_transmit t f = t.transmit <- f
+let set_rate_change_hook t f = t.on_rate_change <- f
+
+let rec send_loop t =
+  if t.running then begin
+    let pkt =
+      Packet.data ~flow:t.flow ~seq:t.seq ~size:t.packet_size
+        ~sent_at:(Engine.now t.engine)
+    in
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    t.transmit pkt;
+    let gap = 1.0 /. Float.max t.rate t.min_rate in
+    ignore (Engine.schedule_after t.engine ~delay:gap (fun () -> send_loop t))
+  end
+
+let update_rtt t sample =
+  if sample > 0.0 then begin
+    Welford.add t.rtt_stats sample;
+    if t.srtt = 0.0 then t.srtt <- sample
+    else t.srtt <- (0.9 *. t.srtt) +. (0.1 *. sample)
+  end
+
+let set_rate t rate =
+  let rate = Float.min (Float.max rate t.min_rate) t.max_rate in
+  t.rate <- rate;
+  Welford.add t.rate_stats rate;
+  t.on_rate_change rate
+
+(* The RFC 3448 nofeedback timer: if no receiver report arrives for
+   [nofeedback_rtts] round-trip times, halve the rate and re-arm. This
+   protects against reverse-path loss and receiver failure; a flow that
+   stops hearing feedback decays toward the floor instead of blasting
+   at its last rate. *)
+let rec arm_nofeedback_timer t =
+  if t.nofeedback_rtts > 0.0 then begin
+    (match t.nofeedback_timer with
+    | Some h ->
+        Engine.cancel h;
+        t.nofeedback_timer <- None
+    | None -> ());
+    let horizon =
+      t.nofeedback_rtts *. if t.srtt > 0.0 then t.srtt else 1.0
+    in
+    t.nofeedback_timer <-
+      Some
+        (Engine.schedule_after t.engine ~delay:horizon (fun () ->
+             t.nofeedback_timer <- None;
+             if t.running then begin
+               t.rate_halvings <- t.rate_halvings + 1;
+               set_rate t (t.rate /. 2.0);
+               arm_nofeedback_timer t
+             end))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    send_loop t;
+    arm_nofeedback_timer t
+  end
+
+let stop t =
+  t.running <- false;
+  match t.nofeedback_timer with
+  | Some h ->
+      Engine.cancel h;
+      t.nofeedback_timer <- None
+  | None -> ()
+
+let on_feedback t ~p_estimate ~recv_rate ~rtt_echo ~hold =
+  t.feedbacks <- t.feedbacks + 1;
+  arm_nofeedback_timer t;
+  let now = Engine.now t.engine in
+  (* Exclude the receiver hold time from the RTT sample — without this
+     a starved flow echoes a stale timestamp, its smoothed RTT explodes,
+     and f(p, srtt) pins the rate at the floor (a death spiral). *)
+  if rtt_echo > 0.0 then update_rtt t (now -. rtt_echo -. hold);
+  t.last_recv_rate <- recv_rate;
+  if p_estimate > 0.0 then begin
+    t.saw_loss <- true;
+    let formula =
+      if t.srtt > 0.0 then Formula.with_rtt t.formula ~rtt:t.srtt
+      else t.formula
+    in
+    let x = Formula.eval formula p_estimate in
+    let x =
+      if t.conform_to_analysis then x
+      else if recv_rate > 0.0 then Float.min x (2.0 *. recv_rate)
+      else x
+    in
+    set_rate t x
+  end
+  else if not t.saw_loss then begin
+    (* Slow-start analogue: double each feedback, capped by the receive
+       rate when not in analysis-conforming mode. *)
+    let target = 2.0 *. t.rate in
+    let target =
+      if t.conform_to_analysis || t.last_recv_rate <= 0.0 then target
+      else Float.min target (2.0 *. t.last_recv_rate)
+    in
+    set_rate t target
+  end
+
+let on_packet t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Feedback { p_estimate; recv_rate; rtt_echo; hold } ->
+      on_feedback t ~p_estimate ~recv_rate ~rtt_echo ~hold
+  | Packet.Data | Packet.Ack _ -> ()
+
+let rate t = t.rate
+let srtt t = t.srtt
+let sent t = t.sent
+let feedbacks t = t.feedbacks
+let mean_rtt t = Welford.mean t.rtt_stats
+let mean_rate t = Welford.mean t.rate_stats
+let flow t = t.flow
+let rate_halvings t = t.rate_halvings

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ebrc List Printf QCheck QCheck_alcotest

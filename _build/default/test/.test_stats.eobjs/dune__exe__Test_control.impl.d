@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Ebrc Float List Printf QCheck QCheck_alcotest

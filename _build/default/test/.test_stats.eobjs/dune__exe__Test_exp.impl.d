@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Ebrc Float Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Ebrc Float List Printf String

@@ -1,0 +1,1 @@
+test/test_lossproc.ml: Alcotest Array Ebrc List Printf QCheck QCheck_alcotest

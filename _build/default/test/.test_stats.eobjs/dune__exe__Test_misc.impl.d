@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Ebrc Filename Format Fun List Printf String Sys

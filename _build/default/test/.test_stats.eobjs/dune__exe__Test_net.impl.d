@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Ebrc Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Ebrc Float Format Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Ebrc Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Ebrc List Printf QCheck QCheck_alcotest

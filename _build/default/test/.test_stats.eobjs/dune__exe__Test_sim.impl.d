@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ebrc Float Gen List Printf QCheck QCheck_alcotest

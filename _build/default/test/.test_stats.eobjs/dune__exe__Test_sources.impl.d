@@ -1,0 +1,1 @@
+test/test_sources.ml: Alcotest Array Ebrc List Printf

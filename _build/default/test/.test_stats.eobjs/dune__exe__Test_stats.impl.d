@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ebrc Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Ebrc Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,376 @@
+(* Tests for the analysis layer: the TCP-friendliness breakdown, the
+   few-flows closed forms (Claim 4) and the many-sources limit
+   (Claim 3). *)
+
+module B = Ebrc.Breakdown
+module FF = Ebrc.Few_flows
+module MS = Ebrc.Many_sources
+module F = Ebrc.Formula
+module Prng = Ebrc.Prng
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+(* -------------------------- breakdown -------------------------- *)
+
+let formula = F.create ~rtt:0.1 F.Pftk_standard
+
+let mk ?(x = 100.0) ?(p = 0.01) ?(rtt = 0.1) () =
+  { B.throughput = x; p; rtt }
+
+let test_breakdown_ratios_identity_case () =
+  (* Symmetric measurements: friendliness ratio 1, loss/rtt ratios 1. *)
+  let m = mk () in
+  let b = B.create ~ebrc:m ~tcp:m ~formula in
+  feq (B.friendliness_ratio b) 1.0;
+  feq (B.loss_rate_ratio b) 1.0;
+  feq (B.rtt_ratio b) 1.0;
+  feq (B.conservativeness_ratio b) (B.tcp_obedience_ratio b)
+
+let test_breakdown_conservativeness () =
+  let f_val = F.eval formula 0.01 in
+  let b =
+    B.create ~ebrc:(mk ~x:(0.5 *. f_val) ()) ~tcp:(mk ()) ~formula
+  in
+  feq (B.conservativeness_ratio b) 0.5;
+  Alcotest.(check bool) "verdict conservative" true
+    (B.verdict b).B.conservative
+
+let test_breakdown_loss_ordering () =
+  let b = B.create ~ebrc:(mk ~p:0.02 ()) ~tcp:(mk ~p:0.01 ()) ~formula in
+  feq (B.loss_rate_ratio b) 0.5;
+  Alcotest.(check bool) "ordered" true (B.verdict b).B.loss_rate_ordered;
+  let b2 = B.create ~ebrc:(mk ~p:0.01 ()) ~tcp:(mk ~p:0.05 ()) ~formula in
+  Alcotest.(check bool) "violated" false (B.verdict b2).B.loss_rate_ordered
+
+let test_breakdown_conjunction_implies_friendliness () =
+  (* Construct measurements satisfying all four sub-conditions and
+     check the implication numerically. *)
+  let p = 0.01 and p' = 0.008 in
+  let rtt = 0.1 and rtt' = 0.09 in
+  let x = 0.9 *. F.eval (F.with_rtt formula ~rtt) p in
+  let x' = 1.1 *. F.eval (F.with_rtt formula ~rtt:rtt') p' in
+  let b =
+    B.create
+      ~ebrc:{ B.throughput = x; p; rtt }
+      ~tcp:{ B.throughput = x'; p = p'; rtt = rtt' }
+      ~formula
+  in
+  let v = B.verdict b in
+  Alcotest.(check bool) "all four hold" true
+    (B.sub_conditions_imply_friendliness v);
+  Alcotest.(check bool) "friendly indeed" true v.B.tcp_friendly
+
+let test_breakdown_friendliness_without_subconditions () =
+  (* The paper's warning: friendliness can hold while a sub-condition
+     fails (e.g. EBRC sees much smaller p but TCP beats its formula). *)
+  let b =
+    B.create
+      ~ebrc:{ B.throughput = 50.0; p = 0.001; rtt = 0.1 }
+      ~tcp:{ B.throughput = 60.0; p = 0.01; rtt = 0.1 }
+      ~formula
+  in
+  let v = B.verdict b in
+  Alcotest.(check bool) "friendly" true v.B.tcp_friendly;
+  Alcotest.(check bool) "but loss ordering fails" false v.B.loss_rate_ordered
+
+let test_breakdown_invalid () =
+  match B.create ~ebrc:(mk ~x:(-1.0) ()) ~tcp:(mk ()) ~formula with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* -------------------------- few flows -------------------------- *)
+
+let params = { FF.alpha = 1.0; beta = 0.5; capacity = 100.0 }
+
+let test_closed_forms () =
+  (* p' = 2a/((1-b^2)c^2), p = a(1+b)/(2(1-b)c^2). *)
+  feq (FF.aimd_loss_event_rate params) (2.0 /. (0.75 *. 1e4));
+  feq (FF.ebrc_loss_event_rate params) (1.5 /. (2.0 *. 0.5 *. 1e4))
+
+let test_headline_ratio () =
+  feq (FF.loss_rate_ratio ~beta:0.5) (16.0 /. 9.0);
+  (* And consistency with the two closed forms for any beta. *)
+  List.iter
+    (fun beta ->
+      let p = { params with FF.beta } in
+      feq
+        (FF.aimd_loss_event_rate p /. FF.ebrc_loss_event_rate p)
+        (FF.loss_rate_ratio ~beta))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let test_ratio_independent_of_alpha_capacity () =
+  let p1 = { FF.alpha = 0.5; beta = 0.5; capacity = 10.0 } in
+  let p2 = { FF.alpha = 3.0; beta = 0.5; capacity = 1000.0 } in
+  feq
+    (FF.aimd_loss_event_rate p1 /. FF.ebrc_loss_event_rate p1)
+    (FF.aimd_loss_event_rate p2 /. FF.ebrc_loss_event_rate p2)
+
+let test_aimd_formula_fixed_point () =
+  (* f evaluated at the AIMD loss rate gives the AIMD mean rate
+     (c (1+beta)/2 for the saw-tooth). *)
+  let f = FF.aimd_formula params in
+  feq ~eps:1e-9
+    (f (FF.aimd_loss_event_rate params))
+    (params.FF.capacity *. (1.0 +. params.FF.beta) /. 2.0)
+
+let test_simulations_converge () =
+  feq ~eps:1e-6 (FF.simulate_aimd ~cycles:100 params)
+    (FF.aimd_loss_event_rate params);
+  (* EBRC simulation converges after the one-cycle transient. *)
+  let sim = FF.simulate_ebrc ~cycles:2000 params in
+  feq ~eps:1e-2 sim (FF.ebrc_loss_event_rate params)
+
+let test_invalid_params () =
+  match FF.aimd_loss_event_rate { params with FF.beta = 1.5 } with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------- many sources ------------------------ *)
+
+let cp =
+  [|
+    { MS.p_i = 0.001; pi_i = 0.6 };
+    { MS.p_i = 0.02; pi_i = 0.3 };
+    { MS.p_i = 0.1; pi_i = 0.1 };
+  |]
+
+let formula_rate p = F.eval (F.create ~rtt:0.05 F.Pftk_standard) p
+
+let test_poisson_profile_is_weighted_mean () =
+  (* Non-adaptive source: p'' = sum pi_i p_i. *)
+  let p'' = MS.limit_loss_event_rate cp ~rates:(MS.poisson_profile cp) in
+  feq p'' ((0.6 *. 0.001) +. (0.3 *. 0.02) +. (0.1 *. 0.1))
+
+let test_ordering_p_le_p_le_p () =
+  let p'' = MS.limit_loss_event_rate cp ~rates:(MS.poisson_profile cp) in
+  let p' =
+    MS.limit_loss_event_rate cp ~rates:(MS.responsive_profile cp ~formula_rate)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "p' %.5f < p'' %.5f" p' p'')
+    true (p' < p'');
+  (* Partial responsiveness interpolates monotonically. *)
+  let prev = ref p'' in
+  List.iter
+    (fun resp ->
+      let p =
+        MS.limit_loss_event_rate cp
+          ~rates:
+            (MS.partially_responsive_profile cp ~formula_rate
+               ~responsiveness:resp)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "resp %.2f: %.5f <= %.5f" resp p !prev)
+        true
+        (p <= !prev +. 1e-12);
+      prev := p)
+    [ 0.25; 0.5; 0.75; 1.0 ];
+  feq !prev p'
+
+let test_single_state_degenerate () =
+  let cp1 = [| { MS.p_i = 0.05; pi_i = 1.0 } |] in
+  feq (MS.limit_loss_event_rate cp1 ~rates:[| 123.0 |]) 0.05
+
+let test_monte_carlo_matches_limit () =
+  let rng = Prng.create ~seed:42 in
+  let rates = MS.responsive_profile cp ~formula_rate in
+  let limit = MS.limit_loss_event_rate cp ~rates in
+  let mc = MS.monte_carlo rng cp ~rates ~mean_sojourn:200.0 ~steps:100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "MC %.5f ~ limit %.5f" mc.MS.observed_p limit)
+    true
+    (abs_float (mc.MS.observed_p -. limit) < 0.1 *. limit)
+
+let test_eq12_converges_to_limit () =
+  (* The finite-timescale Eq. (12) approaches the Eq. (13) limit as the
+     sojourns grow, monotonically from above (short sojourns weight the
+     bad states more). *)
+  let rates = MS.responsive_profile cp ~formula_rate in
+  let limit = MS.limit_loss_event_rate cp ~rates in
+  let prev = ref infinity in
+  List.iter
+    (fun sojourn ->
+      let p12 =
+        MS.finite_timescale_loss_event_rate cp ~rates ~mean_sojourn:sojourn
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "sojourn %.0f: %.6f decreasing" sojourn p12)
+        true
+        (p12 <= !prev +. 1e-15);
+      prev := p12)
+    [ 1.0; 10.0; 100.0; 1000.0 ];
+  Alcotest.(check bool) "close to limit at 1e4" true
+    (abs_float
+       (MS.finite_timescale_loss_event_rate cp ~rates ~mean_sojourn:1e4
+       -. limit)
+    < 1e-3 *. limit)
+
+let test_eq12_weight_bounds () =
+  let b = MS.eq12_weight ~p_i:0.01 ~rate:100.0 ~mean_sojourn:10.0 in
+  Alcotest.(check bool) "b in (0,1)" true (b > 0.0 && b < 1.0)
+
+let test_competition_ratio_near_one () =
+  (* Shared loss events equalise the observed loss-event rates in real
+     time; per-packet rates then differ only through the throughput
+     split, which is symmetric at the fixed point. *)
+  let r =
+    FF.simulate_competition ~cycles:1000
+      { FF.alpha = 1.0; beta = 0.5; capacity = 100.0 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "competing ratio %.3f in (0.8, 1.3)" r.FF.ratio)
+    true
+    (r.FF.ratio > 0.8 && r.FF.ratio < 1.3);
+  Alcotest.(check bool)
+    (Printf.sprintf "share %.3f near 1/2" r.FF.aimd_share)
+    true
+    (abs_float (r.FF.aimd_share -. 0.5) < 0.1);
+  (* Less pronounced than isolation, as the paper observed. *)
+  Alcotest.(check bool) "less pronounced than 16/9" true
+    (r.FF.ratio < FF.loss_rate_ratio ~beta:0.5)
+
+let test_validation () =
+  (match MS.limit_loss_event_rate [| { MS.p_i = 0.05; pi_i = 0.5 } |] ~rates:[| 1.0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument (pi sum)"
+  | exception Invalid_argument _ -> ());
+  match MS.limit_loss_event_rate cp ~rates:[| 1.0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument (rates length)"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------- design ---------------------------- *)
+
+let test_design_efficiency_monotone_in_l () =
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  let module Dz = Ebrc.Design in
+  let prev = ref 0.0 in
+  List.iter
+    (fun l ->
+      let e = Dz.worst_case_efficiency ~formula ~l () in
+      Alcotest.(check bool)
+        (Printf.sprintf "L=%d: %.3f > %.3f" l e !prev)
+        true (e > !prev);
+      prev := e)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_design_recommendation_meets_target () =
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  let module Dz = Ebrc.Design in
+  (match Dz.recommend_window ~formula ~target:0.7 () with
+  | None -> Alcotest.fail "0.7 should be reachable"
+  | Some r ->
+      Alcotest.(check bool) "meets target" true (r.Dz.efficiency >= 0.7);
+      (* Minimality: the previous candidate in the search ladder fails. *)
+      let smaller = if r.Dz.l <= 4 then r.Dz.l - 1 else r.Dz.l / 2 in
+      if smaller >= 1 then
+        Alcotest.(check bool) "smaller window fails" true
+          (Dz.worst_case_efficiency ~formula ~l:smaller () < 0.7);
+      List.iter
+        (fun (_, e) ->
+          Alcotest.(check bool) "per-p >= worst case" true
+            (e >= r.Dz.efficiency -. 1e-12))
+        r.Dz.per_p)
+
+let test_design_unreachable_target () =
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  let module Dz = Ebrc.Design in
+  Alcotest.(check bool) "l_max=2 cannot reach 0.9" true
+    (Dz.recommend_window ~l_max:2 ~formula ~target:0.9 () = None)
+
+let test_design_scaling_invariance () =
+  (* The intro's warning, quantified: scaling f leaves the control's
+     conservativeness against its own formula unchanged. *)
+  let formula = F.create ~rtt:0.1 F.Pftk_standard in
+  let module Dz = Ebrc.Design in
+  let vs_orig, vs_own =
+    Dz.scaling_effect ~formula ~l:8 ~p:0.05 ~cv:0.9 ~scale:0.5
+  in
+  let base = Ebrc.Exact.normalized_throughput ~formula ~l:8 ~p:0.05 ~cv:0.9 in
+  Alcotest.(check bool) "vs original halves" true
+    (abs_float (vs_orig -. (0.5 *. base)) < 1e-12);
+  Alcotest.(check bool) "vs own unchanged" true
+    (abs_float (vs_own -. base) < 1e-12)
+
+let test_design_validation () =
+  let formula = F.create ~rtt:0.1 F.Sqrt in
+  let module Dz = Ebrc.Design in
+  (match Dz.recommend_window ~formula ~target:1.5 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match
+    Dz.worst_case_efficiency
+      ~region:{ Dz.p_values = []; cv = 0.9 }
+      ~formula ~l:4 ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument (empty region)"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------- properties -------------------------- *)
+
+let prop_ratio_formula =
+  QCheck.Test.make ~name:"closed forms consistent with 4/(1+b)^2" ~count:200
+    QCheck.(float_range 0.01 0.99)
+    (fun beta ->
+      let p = { FF.alpha = 1.0; beta; capacity = 50.0 } in
+      let direct = FF.aimd_loss_event_rate p /. FF.ebrc_loss_event_rate p in
+      abs_float (direct -. FF.loss_rate_ratio ~beta) < 1e-9 *. direct)
+
+let prop_limit_rate_between_extremes =
+  QCheck.Test.make ~name:"Eq.13 rate lies between min and max p_i" ~count:200
+    QCheck.(
+      triple (float_range 0.1 10.0) (float_range 0.1 10.0) (float_range 0.1 10.0))
+    (fun (r1, r2, r3) ->
+      let p =
+        MS.limit_loss_event_rate cp ~rates:[| r1; r2; r3 |]
+      in
+      p >= 0.001 -. 1e-12 && p <= 0.1 +. 1e-12)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ratio_formula; prop_limit_rate_between_extremes ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "breakdown",
+        [
+          Alcotest.test_case "identity case" `Quick test_breakdown_ratios_identity_case;
+          Alcotest.test_case "conservativeness" `Quick test_breakdown_conservativeness;
+          Alcotest.test_case "loss ordering" `Quick test_breakdown_loss_ordering;
+          Alcotest.test_case "conjunction implies friendliness" `Quick test_breakdown_conjunction_implies_friendliness;
+          Alcotest.test_case "friendly without sub-conditions" `Quick test_breakdown_friendliness_without_subconditions;
+          Alcotest.test_case "invalid" `Quick test_breakdown_invalid;
+        ] );
+      ( "few_flows",
+        [
+          Alcotest.test_case "closed forms" `Quick test_closed_forms;
+          Alcotest.test_case "headline 16/9" `Quick test_headline_ratio;
+          Alcotest.test_case "ratio invariance" `Quick test_ratio_independent_of_alpha_capacity;
+          Alcotest.test_case "AIMD fixed point" `Quick test_aimd_formula_fixed_point;
+          Alcotest.test_case "simulations converge" `Quick test_simulations_converge;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params;
+        ] );
+      ( "many_sources",
+        [
+          Alcotest.test_case "poisson profile" `Quick test_poisson_profile_is_weighted_mean;
+          Alcotest.test_case "ordering p' <= p <= p''" `Quick test_ordering_p_le_p_le_p;
+          Alcotest.test_case "single state" `Quick test_single_state_degenerate;
+          Alcotest.test_case "monte carlo" `Quick test_monte_carlo_matches_limit;
+          Alcotest.test_case "Eq.12 converges to Eq.13" `Quick test_eq12_converges_to_limit;
+          Alcotest.test_case "Eq.12 weight bounds" `Quick test_eq12_weight_bounds;
+          Alcotest.test_case "competition near parity" `Quick test_competition_ratio_near_one;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "efficiency monotone in L" `Quick test_design_efficiency_monotone_in_l;
+          Alcotest.test_case "recommendation meets target" `Quick test_design_recommendation_meets_target;
+          Alcotest.test_case "unreachable target" `Quick test_design_unreachable_target;
+          Alcotest.test_case "scaling invariance" `Quick test_design_scaling_invariance;
+          Alcotest.test_case "validation" `Quick test_design_validation;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the TFRC weights and the loss-event interval estimator
+   (paper Eq. (2) and the comprehensive Eq. (4)). *)
+
+module W = Ebrc.Weights
+module LI = Ebrc.Loss_interval
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* --------------------------- weights --------------------------- *)
+
+let test_tfrc_raw_l8 () =
+  (* RFC 3448: 1,1,1,1,0.8,0.6,0.4,0.2 for L = 8. *)
+  let w = W.tfrc_raw 8 in
+  let expected = [| 1.0; 1.0; 1.0; 1.0; 0.8; 0.6; 0.4; 0.2 |] in
+  Array.iteri (fun i e -> feq w.(i) e) expected
+
+let test_tfrc_raw_l1 () =
+  let w = W.tfrc_raw 1 in
+  Alcotest.(check int) "length" 1 (Array.length w);
+  feq w.(0) 1.0
+
+let test_tfrc_raw_l4 () =
+  (* L=4: 1, 1, 2*2/6, 2*1/6. *)
+  let w = W.tfrc_raw 4 in
+  feq w.(0) 1.0;
+  feq w.(1) 1.0;
+  feq w.(2) (2.0 /. 3.0);
+  feq w.(3) (1.0 /. 3.0)
+
+let test_tfrc_normalized_sums_to_one () =
+  List.iter
+    (fun l ->
+      let w = W.tfrc l in
+      feq (Array.fold_left ( +. ) 0.0 w) 1.0;
+      Alcotest.(check bool) "is_normalized" true (W.is_normalized w))
+    [ 1; 2; 3; 4; 7; 8; 16; 31 ]
+
+let test_tfrc_weights_non_increasing () =
+  List.iter
+    (fun l ->
+      let w = W.tfrc l in
+      for i = 0 to l - 2 do
+        Alcotest.(check bool) "non-increasing" true (w.(i) >= w.(i + 1))
+      done)
+    [ 2; 4; 8; 16 ]
+
+let test_uniform () =
+  let w = W.uniform 5 in
+  Array.iter (fun x -> feq x 0.2) w
+
+let test_weights_invalid () =
+  raises_invalid "l=0" (fun () -> W.tfrc_raw 0);
+  raises_invalid "uniform 0" (fun () -> W.uniform 0);
+  raises_invalid "normalize zero" (fun () -> W.normalize [| 0.0; 0.0 |])
+
+(* -------------------------- estimator -------------------------- *)
+
+let test_estimate_single_interval () =
+  let e = LI.of_tfrc ~l:8 in
+  LI.record e 10.0;
+  (* Renormalised prefix: a single interval estimates itself. *)
+  feq (LI.estimate e) 10.0
+
+let test_estimate_constant_history () =
+  let e = LI.of_tfrc ~l:8 in
+  for _ = 1 to 8 do
+    LI.record e 25.0
+  done;
+  feq (LI.estimate e) 25.0
+
+let test_estimate_weighted_average_l2 () =
+  (* L = 2 normalised TFRC weights: 1, 0.5 -> 2/3, 1/3. *)
+  let e = LI.of_tfrc ~l:2 in
+  LI.record e 30.0;   (* older *)
+  LI.record e 12.0;   (* most recent *)
+  feq (LI.estimate e) ((2.0 /. 3.0 *. 12.0) +. (1.0 /. 3.0 *. 30.0))
+
+let test_estimate_unbiased_iid () =
+  (* Moving average of iid intervals has the right mean (assumption E). *)
+  let rng = Ebrc.Prng.create ~seed:5 in
+  let e = LI.of_tfrc ~l:8 in
+  for _ = 1 to 8 do
+    LI.record e (Ebrc.Dist.exponential_mean rng ~mean:40.0)
+  done;
+  let acc = Ebrc.Welford.create () in
+  for _ = 1 to 100_000 do
+    Ebrc.Welford.add acc (LI.estimate e);
+    LI.record e (Ebrc.Dist.exponential_mean rng ~mean:40.0)
+  done;
+  Alcotest.(check bool) "mean within 2%" true
+    (abs_float (Ebrc.Welford.mean acc -. 40.0) < 0.8)
+
+let test_prime () =
+  let e = LI.of_tfrc ~l:8 in
+  LI.prime e 50.0;
+  Alcotest.(check bool) "warm" true (LI.is_warm e);
+  feq (LI.estimate e) 50.0
+
+let test_window_and_filled () =
+  let e = LI.of_tfrc ~l:4 in
+  Alcotest.(check int) "window" 4 (LI.window e);
+  Alcotest.(check int) "filled 0" 0 (LI.filled e);
+  LI.record e 1.0;
+  Alcotest.(check int) "filled 1" 1 (LI.filled e);
+  Alcotest.(check bool) "not warm" false (LI.is_warm e)
+
+let test_last_and_nth_back () =
+  let e = LI.of_tfrc ~l:4 in
+  LI.record e 1.0;
+  LI.record e 2.0;
+  LI.record e 3.0;
+  feq (LI.last e) 3.0;
+  feq (LI.nth_back e 0) 3.0;
+  feq (LI.nth_back e 1) 2.0;
+  feq (LI.nth_back e 2) 1.0;
+  raises_invalid "nth_back range" (fun () -> LI.nth_back e 3)
+
+let test_ring_buffer_wraps () =
+  let e = LI.of_tfrc ~l:3 in
+  List.iter (LI.record e) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  feq (LI.nth_back e 0) 5.0;
+  feq (LI.nth_back e 1) 4.0;
+  feq (LI.nth_back e 2) 3.0
+
+let test_open_interval_raises_estimate () =
+  let e = LI.of_tfrc ~l:8 in
+  LI.prime e 20.0;
+  let base = LI.estimate e in
+  (* A huge open interval must raise the estimate. *)
+  let with_open = LI.estimate_with_open_interval e ~open_interval:1000.0 in
+  Alcotest.(check bool) "raised" true (with_open > base);
+  (* A tiny open interval must not lower it (Eq. 4's one-sided rule). *)
+  feq (LI.estimate_with_open_interval e ~open_interval:0.0) base
+
+let test_open_interval_threshold () =
+  let e = LI.of_tfrc ~l:8 in
+  LI.prime e 20.0;
+  let th = LI.open_interval_threshold e in
+  (* Just below the threshold: no change; just above: increase. *)
+  feq (LI.estimate_with_open_interval e ~open_interval:(th *. 0.999))
+    (LI.estimate e);
+  Alcotest.(check bool) "above threshold raises" true
+    (LI.estimate_with_open_interval e ~open_interval:(th *. 1.001)
+    > LI.estimate e)
+
+let test_threshold_constant_history_equals_interval () =
+  (* With a constant history at v, the candidate equals the base exactly
+     when the open interval is v, so the threshold is v. *)
+  let e = LI.of_tfrc ~l:8 in
+  LI.prime e 42.0;
+  feq (LI.open_interval_threshold e) 42.0
+
+let test_open_interval_partial_history () =
+  (* The comprehensive rule must work before warm-up (an isolated young
+     flow must still be able to grow its estimate). *)
+  let e = LI.of_tfrc ~l:8 in
+  LI.record e 10.0;
+  let raised = LI.estimate_with_open_interval e ~open_interval:100.0 in
+  Alcotest.(check bool) "partial-history growth" true (raised > 10.0)
+
+let test_tail_weighted_sum_identity () =
+  (* Recording the open interval o yields exactly w1*o + W_n — the
+     identity the comprehensive control's closed form relies on. *)
+  let e = LI.of_tfrc ~l:8 in
+  let rng = Ebrc.Prng.create ~seed:9 in
+  for _ = 1 to 8 do
+    LI.record e (Ebrc.Dist.exponential_mean rng ~mean:30.0)
+  done;
+  let o = 17.5 in
+  let w_n = LI.tail_weighted_sum e in
+  let probe = LI.copy e in
+  LI.record probe o;
+  feq (LI.estimate probe) ((LI.first_weight e *. o) +. w_n);
+  (* And for a constant history at v, W_n = (1 - w1) v. *)
+  let c = LI.of_tfrc ~l:8 in
+  LI.prime c 42.0;
+  feq (LI.tail_weighted_sum c) ((1.0 -. LI.first_weight c) *. 42.0)
+
+let test_copy_independent () =
+  let e = LI.of_tfrc ~l:4 in
+  LI.prime e 10.0;
+  let c = LI.copy e in
+  LI.record c 99.0;
+  feq (LI.estimate e) 10.0;
+  Alcotest.(check bool) "copy changed" true (LI.estimate c <> 10.0)
+
+let test_create_requires_normalised () =
+  raises_invalid "unnormalised" (fun () -> LI.create ~weights:[| 0.5; 0.6 |]);
+  raises_invalid "negative" (fun () -> LI.create ~weights:[| 1.5; -0.5 |])
+
+let test_record_invalid () =
+  let e = LI.of_tfrc ~l:2 in
+  raises_invalid "non-positive interval" (fun () -> LI.record e 0.0)
+
+let test_estimate_before_any_raises () =
+  let e = LI.of_tfrc ~l:2 in
+  raises_invalid "no intervals" (fun () -> LI.estimate e)
+
+(* ------------------------- properties -------------------------- *)
+
+let intervals_gen =
+  QCheck.(array_of_size Gen.(int_range 8 40) (float_range 0.1 1000.0))
+
+let prop_estimate_within_range =
+  QCheck.Test.make ~name:"estimate lies within recorded interval range"
+    ~count:300 intervals_gen (fun ivs ->
+      let e = LI.of_tfrc ~l:8 in
+      Array.iter (LI.record e) ivs;
+      let n = Array.length ivs in
+      let window = Array.sub ivs (n - 8) 8 in
+      let lo = Array.fold_left min infinity window in
+      let hi = Array.fold_left max neg_infinity window in
+      let est = LI.estimate e in
+      est >= lo -. 1e-9 && est <= hi +. 1e-9)
+
+let prop_open_interval_never_lowers =
+  QCheck.Test.make ~name:"open interval never lowers the estimate" ~count:300
+    QCheck.(pair intervals_gen (float_range 0.0 2000.0))
+    (fun (ivs, open_interval) ->
+      let e = LI.of_tfrc ~l:8 in
+      Array.iter (LI.record e) ivs;
+      LI.estimate_with_open_interval e ~open_interval
+      >= LI.estimate e -. 1e-9)
+
+let prop_open_estimate_monotone_in_open_interval =
+  QCheck.Test.make ~name:"open estimate monotone in the open interval"
+    ~count:300
+    QCheck.(triple intervals_gen (float_range 0.0 500.0) (float_range 0.0 500.0))
+    (fun (ivs, o1, o2) ->
+      let e = LI.of_tfrc ~l:8 in
+      Array.iter (LI.record e) ivs;
+      let lo = min o1 o2 and hi = max o1 o2 in
+      LI.estimate_with_open_interval e ~open_interval:lo
+      <= LI.estimate_with_open_interval e ~open_interval:hi +. 1e-9)
+
+let prop_weights_sum_one =
+  QCheck.Test.make ~name:"tfrc weights always sum to one" ~count:100
+    QCheck.(int_range 1 64)
+    (fun l -> W.is_normalized (W.tfrc l))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_estimate_within_range;
+      prop_open_interval_never_lowers;
+      prop_open_estimate_monotone_in_open_interval;
+      prop_weights_sum_one;
+    ]
+
+let () =
+  Alcotest.run "estimator"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "RFC3448 L=8" `Quick test_tfrc_raw_l8;
+          Alcotest.test_case "L=1" `Quick test_tfrc_raw_l1;
+          Alcotest.test_case "L=4" `Quick test_tfrc_raw_l4;
+          Alcotest.test_case "normalised sum" `Quick test_tfrc_normalized_sums_to_one;
+          Alcotest.test_case "non-increasing" `Quick test_tfrc_weights_non_increasing;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "invalid" `Quick test_weights_invalid;
+        ] );
+      ( "loss_interval",
+        [
+          Alcotest.test_case "single interval" `Quick test_estimate_single_interval;
+          Alcotest.test_case "constant history" `Quick test_estimate_constant_history;
+          Alcotest.test_case "weighted average L=2" `Quick test_estimate_weighted_average_l2;
+          Alcotest.test_case "unbiased on iid" `Quick test_estimate_unbiased_iid;
+          Alcotest.test_case "prime" `Quick test_prime;
+          Alcotest.test_case "window/filled" `Quick test_window_and_filled;
+          Alcotest.test_case "last/nth_back" `Quick test_last_and_nth_back;
+          Alcotest.test_case "ring buffer wraps" `Quick test_ring_buffer_wraps;
+          Alcotest.test_case "open interval raises" `Quick test_open_interval_raises_estimate;
+          Alcotest.test_case "open interval threshold" `Quick test_open_interval_threshold;
+          Alcotest.test_case "threshold constant history" `Quick test_threshold_constant_history_equals_interval;
+          Alcotest.test_case "partial history growth" `Quick test_open_interval_partial_history;
+          Alcotest.test_case "tail sum identity" `Quick test_tail_weighted_sum_identity;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "create invalid" `Quick test_create_requires_normalised;
+          Alcotest.test_case "record invalid" `Quick test_record_invalid;
+          Alcotest.test_case "estimate empty raises" `Quick test_estimate_before_any_raises;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,318 @@
+(* Tests for the experiment harness: table rendering, scenario
+   mechanics, path profiles and the figure registry. *)
+
+module T = Ebrc.Table
+module S = Ebrc.Scenario
+module A = Ebrc.Audio_scenario
+module P = Ebrc.Paths
+module Fig = Ebrc.Figures
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+(* ---------------------------- table ----------------------------- *)
+
+let test_table_render () =
+  let t = T.create ~title:"demo" ~header:[ "a"; "bb" ] in
+  let t = T.add_row t [ "1"; "2" ] in
+  let t = T.add_row t [ "333"; "4" ] in
+  let s = T.to_string t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0
+    && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "has rows" true
+    (String.length (T.to_csv t) > 0)
+
+let test_table_column_mismatch () =
+  let t = T.create ~title:"x" ~header:[ "a" ] in
+  match T.add_row t [ "1"; "2" ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_table_csv_escaping () =
+  let t = T.create ~title:"x" ~header:[ "a,b"; "c" ] in
+  let t = T.add_row t [ "v\"w"; "plain" ] in
+  let csv = T.to_csv t in
+  Alcotest.(check bool) "quoted comma" true
+    (String.length csv > 0 && csv.[0] = '"')
+
+let test_cell_float () =
+  Alcotest.(check string) "nan" "nan" (T.cell_float nan);
+  Alcotest.(check bool) "number renders" true
+    (String.length (T.cell_float 3.14159) > 0)
+
+let test_table_csv_roundtrip_columns () =
+  let t = T.create ~title:"t" ~header:[ "x"; "y"; "z" ] in
+  let t = T.add_row t [ "1"; "2"; "3" ] in
+  let lines = String.split_on_char '\n' (T.to_csv t) in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check int) "3 columns"
+          3
+          (List.length (String.split_on_char ',' line)))
+    lines
+
+(* --------------------------- scenario --------------------------- *)
+
+let quick_cfg =
+  {
+    S.default_config with
+    duration = 40.0;
+    warmup = 10.0;
+    n_tfrc = 2;
+    n_tcp = 2;
+    seed = 7;
+  }
+
+let result = lazy (S.run quick_cfg)
+
+let test_scenario_counts () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "tfrc flows" 2 (Array.length r.S.tfrc);
+  Alcotest.(check int) "tcp flows" 2 (Array.length r.S.tcp);
+  Alcotest.(check bool) "probe present" true (r.S.probe <> None)
+
+let test_scenario_utilization () =
+  let r = Lazy.force result in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f in (0.5, 1.02)" r.S.link_utilization)
+    true
+    (r.S.link_utilization > 0.5 && r.S.link_utilization < 1.02)
+
+let test_scenario_throughputs_positive () =
+  let r = Lazy.force result in
+  Array.iter
+    (fun (m : S.flow_measure) ->
+      Alcotest.(check bool) "tfrc throughput > 0" true (m.throughput_pps > 0.0))
+    r.S.tfrc;
+  Array.iter
+    (fun (m : S.flow_measure) ->
+      Alcotest.(check bool) "tcp throughput > 0" true (m.throughput_pps > 0.0))
+    r.S.tcp
+
+let test_scenario_capacity_conservation () =
+  let r = Lazy.force result in
+  let cap_pps =
+    quick_cfg.S.bottleneck_bps /. (8.0 *. float_of_int quick_cfg.S.packet_size)
+  in
+  let total =
+    S.mean_throughput r.S.tfrc *. 2.0 +. (S.mean_throughput r.S.tcp *. 2.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sum %.0f <= capacity %.0f" total cap_pps)
+    true
+    (total <= cap_pps *. 1.02)
+
+let test_scenario_determinism () =
+  let r1 = S.run { quick_cfg with duration = 20.0 } in
+  let r2 = S.run { quick_cfg with duration = 20.0 } in
+  feq (S.mean_throughput r1.S.tfrc) (S.mean_throughput r2.S.tfrc);
+  feq (S.mean_throughput r1.S.tcp) (S.mean_throughput r2.S.tcp);
+  Alcotest.(check int) "same drops" r1.S.queue_drops r2.S.queue_drops
+
+let test_scenario_seed_sensitivity () =
+  let r1 = S.run { quick_cfg with duration = 20.0 } in
+  let r2 = S.run { quick_cfg with duration = 20.0; seed = 8 } in
+  Alcotest.(check bool) "different seeds differ" true
+    (S.mean_throughput r1.S.tfrc <> S.mean_throughput r2.S.tfrc)
+
+let test_scenario_pooled_loss_rate () =
+  let r = Lazy.force result in
+  let p = S.pooled_loss_rate r.S.tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled p %.5f in (0, 0.2)" p)
+    true
+    (p > 0.0 && p < 0.2)
+
+let test_scenario_invalid_duration () =
+  match S.run { quick_cfg with duration = 5.0; warmup = 10.0 } with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_bdp_and_rtt_helpers () =
+  feq (S.base_rtt quick_cfg) 0.05;
+  (* 15 Mb/s * 0.05 s / 8000 bits = 93.75 packets *)
+  feq (S.bdp_packets quick_cfg) 93.75
+
+(* ------------------------ audio scenario ------------------------ *)
+
+let test_audio_scenario_smoke () =
+  let r =
+    A.run { A.default_config with duration = 200.0; warmup = 20.0 }
+  in
+  Alcotest.(check bool) "events happened" true (r.A.events > 10);
+  Alcotest.(check bool) "p positive" true (r.A.p_observed > 0.0);
+  Alcotest.(check bool) "normalized finite" true
+    (Float.is_finite r.A.normalized_throughput)
+
+(* ---------------------------- paths ----------------------------- *)
+
+let test_path_catalog_complete () =
+  let names = List.map (fun p -> p.P.name) (P.all_profiles ~pkt:1000) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [ "INRIA"; "KTH"; "UMASS"; "UMELB"; "DropTail 64"; "DropTail 100"; "RED" ]
+
+let test_path_to_config () =
+  let cfg = P.to_config P.inria ~n:4 in
+  Alcotest.(check int) "n_tfrc" 4 cfg.S.n_tfrc;
+  Alcotest.(check int) "n_tcp" 4 cfg.S.n_tcp;
+  feq cfg.S.bottleneck_bps P.inria.P.bottleneck_bps
+
+let test_lab_red_geometry () =
+  (* U = 62500 B / 1000 B = 62.5 packets; min 3/20 U, max 5/4 U. *)
+  let p = P.lab_red_params ~pkt:1000 in
+  feq p.Ebrc.Queue_discipline.min_th 9.375;
+  feq p.Ebrc.Queue_discipline.max_th 78.125
+
+let test_table_one () =
+  let t = P.table_one () in
+  Alcotest.(check bool) "renders" true (String.length (T.to_string t) > 100)
+
+(* --------------------------- figures ---------------------------- *)
+
+let test_registry_complete () =
+  let ids = Fig.ids () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("figure " ^ id) true (List.mem id ids))
+    [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "9"; "10"; "11"; "12"; "13";
+      "14"; "15"; "16"; "17"; "18"; "19"; "t1"; "c3"; "c4"; "a1"; "a2";
+      "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10"; "a11"; "a12"; "a13" ]
+
+let test_registry_unknown () =
+  match Fig.run_one ~quick:true "nope" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_analytic_figures_run () =
+  (* The cheap, purely analytic figures should run here; the DES sweeps
+     are covered by the integration suite and the bench harness. *)
+  List.iter
+    (fun id ->
+      let tables = Fig.run_one ~quick:true id in
+      Alcotest.(check bool) ("figure " ^ id ^ " non-empty") true
+        (List.length tables > 0
+        && List.for_all (fun t -> String.length (T.to_string t) > 0) tables))
+    [ "1"; "2"; "t1"; "c3"; "c4"; "a2"; "a4"; "a11" ]
+
+let test_validate_cheap_checks () =
+  (* Run the three cheapest validation checks directly. *)
+  let by_id id =
+    List.find (fun c -> c.Ebrc.Validate.id = id) Ebrc.Validate.checks
+  in
+  List.iter
+    (fun id ->
+      let c = by_id id in
+      let passed, evidence = c.Ebrc.Validate.run ~quick:true in
+      Alcotest.(check bool) (id ^ ": " ^ evidence) true passed)
+    [ "prop4-ratio"; "f1-conditions"; "sqrt-invariance";
+      "claim4-closed-form"; "competition-collapse"; "claim3-ordering" ]
+
+let test_validate_table_renders () =
+  let c =
+    List.find (fun c -> c.Ebrc.Validate.id = "f1-conditions")
+      Ebrc.Validate.checks
+  in
+  let passed, evidence = c.Ebrc.Validate.run ~quick:true in
+  let outcome =
+    { Ebrc.Validate.check = c; passed; evidence; seconds = 0.0 }
+  in
+  let t = Ebrc.Validate.to_table [ outcome ] in
+  Alcotest.(check bool) "renders" true
+    (String.length (T.to_string t) > 50);
+  Alcotest.(check bool) "all passed" true
+    (Ebrc.Validate.all_passed [ outcome ])
+
+let test_mc_figures_values_sane () =
+  (* The Monte-Carlo-only figures run fast in quick mode; check every
+     numeric cell of the normalized-throughput tables parses and lies
+     in a sane range. *)
+  List.iter
+    (fun id ->
+      let tables = Fig.run_one ~quick:true id in
+      Alcotest.(check bool) (id ^ " non-empty") true (List.length tables > 0);
+      List.iter
+        (fun t ->
+          let csv = T.to_csv t in
+          let lines = String.split_on_char '\n' csv in
+          match lines with
+          | [] -> Alcotest.fail "empty csv"
+          | _header :: rows ->
+              List.iter
+                (fun row ->
+                  if row <> "" then
+                    List.iter
+                      (fun cell ->
+                        match float_of_string_opt cell with
+                        | Some v ->
+                            Alcotest.(check bool)
+                              (Printf.sprintf "%s: %g finite, sane" id v)
+                              true
+                              (Float.is_finite v && v > -1e9 && v < 1e9)
+                        | None -> () (* label column *))
+                      (String.split_on_char ',' row))
+                rows)
+        tables)
+    [ "3"; "4"; "a1"; "a5"; "a8"; "a13" ]
+
+let test_fig2_ratio_note () =
+  (* Figure 2 must report the paper's deviation ratio 1.0026. *)
+  let tables = Fig.run_one ~quick:true "2" in
+  let text = String.concat "\n" (List.map T.to_string tables) in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ratio 1.0026 reported" true
+    (contains text "1.0026")
+
+let () =
+  Alcotest.run "exp"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "column mismatch" `Quick test_table_column_mismatch;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv_escaping;
+          Alcotest.test_case "cell float" `Quick test_cell_float;
+          Alcotest.test_case "csv columns" `Quick test_table_csv_roundtrip_columns;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "counts" `Quick test_scenario_counts;
+          Alcotest.test_case "utilization" `Quick test_scenario_utilization;
+          Alcotest.test_case "throughputs positive" `Quick test_scenario_throughputs_positive;
+          Alcotest.test_case "capacity conservation" `Quick test_scenario_capacity_conservation;
+          Alcotest.test_case "determinism" `Quick test_scenario_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_scenario_seed_sensitivity;
+          Alcotest.test_case "pooled loss rate" `Quick test_scenario_pooled_loss_rate;
+          Alcotest.test_case "invalid duration" `Quick test_scenario_invalid_duration;
+          Alcotest.test_case "bdp/rtt helpers" `Quick test_bdp_and_rtt_helpers;
+        ] );
+      ( "audio_scenario",
+        [ Alcotest.test_case "smoke" `Quick test_audio_scenario_smoke ] );
+      ( "paths",
+        [
+          Alcotest.test_case "catalog" `Quick test_path_catalog_complete;
+          Alcotest.test_case "to_config" `Quick test_path_to_config;
+          Alcotest.test_case "lab RED geometry" `Quick test_lab_red_geometry;
+          Alcotest.test_case "table one" `Quick test_table_one;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "unknown id" `Quick test_registry_unknown;
+          Alcotest.test_case "analytic figures" `Quick test_analytic_figures_run;
+          Alcotest.test_case "fig2 ratio" `Quick test_fig2_ratio_note;
+          Alcotest.test_case "validate cheap checks" `Quick test_validate_cheap_checks;
+          Alcotest.test_case "validate table" `Quick test_validate_table_renders;
+          Alcotest.test_case "MC figures sane" `Quick test_mc_figures_values_sane;
+        ] );
+    ]

@@ -1,0 +1,516 @@
+(* Tests for the extension layer: Student-t intervals, heavy-tailed and
+   Gilbert loss processes, the TCP Tahoe variant, RED gentle mode, the
+   report generator, and the two-router chain scenario. *)
+
+module ST = Ebrc.Student_t
+module LP = Ebrc.Loss_process
+module D = Ebrc.Descriptive
+module Prng = Ebrc.Prng
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+let close ?(tol = 0.05) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.5g within %g%% of %.5g" name actual (tol *. 100.0)
+       expected)
+    true
+    (abs_float (actual -. expected) <= tol *. (abs_float expected +. 1e-9))
+
+(* -------------------------- Student-t --------------------------- *)
+
+let test_t_quantiles_against_tables () =
+  (* Standard table values: t_{0.975} for various df. *)
+  List.iter
+    (fun (df, expected) ->
+      let q = ST.quantile ~df (0.975) in
+      close ~tol:0.001 (Printf.sprintf "t(df=%g)" df) expected q)
+    [ (1.0, 12.706); (2.0, 4.303); (5.0, 2.571); (10.0, 2.228);
+      (30.0, 2.042); (1000.0, 1.962) ]
+
+let test_t_cdf_symmetry () =
+  List.iter
+    (fun t -> feq ~eps:1e-9 (ST.cdf ~df:7.0 t +. ST.cdf ~df:7.0 (-.t)) 1.0)
+    [ 0.0; 0.5; 1.3; 4.2 ]
+
+let test_t_cdf_median () = feq (ST.cdf ~df:3.0 0.0) 0.5
+
+let test_t_quantile_roundtrip () =
+  List.iter
+    (fun p -> feq ~eps:1e-6 (ST.cdf ~df:9.0 (ST.quantile ~df:9.0 p)) p)
+    [ 0.05; 0.25; 0.5; 0.9; 0.99 ]
+
+let test_log_gamma_factorials () =
+  (* Gamma(n) = (n-1)! *)
+  feq ~eps:1e-10 (ST.log_gamma 5.0) (log 24.0);
+  feq ~eps:1e-10 (ST.log_gamma 1.0) 0.0;
+  (* Gamma(1/2) = sqrt(pi). *)
+  feq ~eps:1e-10 (ST.log_gamma 0.5) (0.5 *. log Float.pi)
+
+let test_incomplete_beta_bounds () =
+  feq (ST.incomplete_beta ~a:2.0 ~b:3.0 0.0) 0.0;
+  feq (ST.incomplete_beta ~a:2.0 ~b:3.0 1.0) 1.0;
+  (* I_x(1,1) = x. *)
+  feq ~eps:1e-9 (ST.incomplete_beta ~a:1.0 ~b:1.0 0.37) 0.37
+
+let test_mean_ci_contains_mean () =
+  let xs = [| 9.0; 10.0; 11.0; 10.5; 9.5 |] in
+  let mean, lo, hi = ST.mean_confidence_interval xs in
+  feq mean 10.0;
+  Alcotest.(check bool) "lo < mean < hi" true (lo < mean && mean < hi);
+  (* 99% CI is wider than 90%. *)
+  let _, lo99, hi99 = ST.mean_confidence_interval ~confidence:0.99 xs in
+  let _, lo90, hi90 = ST.mean_confidence_interval ~confidence:0.90 xs in
+  Alcotest.(check bool) "nested" true (lo99 < lo90 && hi90 < hi99)
+
+let test_mean_ci_coverage () =
+  (* Empirical coverage of the 90% CI on Gaussian samples ~ 90%. *)
+  let rng = Prng.create ~seed:12 in
+  let hits = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let xs =
+      Array.init 6 (fun _ -> Ebrc.Dist.normal rng ~mean:5.0 ~stddev:2.0)
+    in
+    let _, lo, hi = ST.mean_confidence_interval ~confidence:0.90 xs in
+    if lo <= 5.0 && 5.0 <= hi then incr hits
+  done;
+  close ~tol:0.03 "coverage" 0.90 (float_of_int !hits /. float_of_int trials)
+
+(* --------------------- new loss processes ----------------------- *)
+
+let test_pareto_mean () =
+  let rng = Prng.create ~seed:21 in
+  let proc = LP.iid_pareto rng ~p:0.02 ~shape:2.5 in
+  let xs = LP.generate proc 400_000 in
+  close ~tol:0.05 "mean 1/p" 50.0 (D.mean xs)
+
+let test_pareto_heavy_tail () =
+  let rng = Prng.create ~seed:22 in
+  let proc = LP.iid_pareto rng ~p:0.02 ~shape:1.5 in
+  let xs = LP.generate proc 200_000 in
+  (* Infinite-variance regime: empirical cv far above the
+     shifted-exponential's ceiling of 1. *)
+  Alcotest.(check bool) "cv >> 1" true (D.coefficient_of_variation xs > 1.5)
+
+let test_pareto_invalid () =
+  match LP.iid_pareto (Prng.create ~seed:1) ~p:0.1 ~shape:1.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_gilbert_bimodal () =
+  let rng = Prng.create ~seed:23 in
+  let proc = LP.gilbert rng ~mean_short:2.0 ~mean_long:100.0 ~run_length:20.0 in
+  let xs = LP.generate proc 200_000 in
+  close ~tol:0.1 "mean" 51.0 (D.mean xs);
+  Alcotest.(check bool) "positive autocorr from runs" true
+    (D.autocorrelation xs ~lag:1 > 0.1)
+
+let test_gilbert_invalid () =
+  match
+    LP.gilbert (Prng.create ~seed:1) ~mean_short:5.0 ~mean_long:2.0
+      ~run_length:10.0
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_theorem1_holds_under_pareto () =
+  (* Heavy tails stress the estimator but the iid structure keeps (C1),
+     so the control stays conservative. *)
+  let rng = Prng.create ~seed:24 in
+  let process = LP.iid_pareto rng ~p:0.05 ~shape:2.2 in
+  let formula = Ebrc.Formula.create ~rtt:1.0 Ebrc.Formula.Pftk_simplified in
+  let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+  let r =
+    Ebrc.Basic_control.simulate ~formula ~estimator ~process ~cycles:100_000 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "normalized %.3f <= 1" r.Ebrc.Basic_control.normalized)
+    true
+    (r.Ebrc.Basic_control.normalized <= 1.02)
+
+(* ----------------------------- ecdf ------------------------------ *)
+
+let test_ecdf_eval_and_quantile () =
+  let e = Ebrc.Ecdf.of_samples [| 3.0; 1.0; 2.0; 4.0 |] in
+  feq (Ebrc.Ecdf.eval e 0.5) 0.0;
+  feq (Ebrc.Ecdf.eval e 1.0) 0.25;
+  feq (Ebrc.Ecdf.eval e 2.5) 0.5;
+  feq (Ebrc.Ecdf.eval e 100.0) 1.0;
+  feq (Ebrc.Ecdf.quantile e 0.0) 1.0;
+  feq (Ebrc.Ecdf.quantile e 1.0) 4.0;
+  Alcotest.(check int) "size" 4 (Ebrc.Ecdf.size e)
+
+let test_ecdf_ks_exponential_accept () =
+  (* Exponential samples against their own CDF: small KS distance,
+     large p-value. *)
+  let rng = Prng.create ~seed:51 in
+  let xs = Array.init 5_000 (fun _ -> Ebrc.Dist.exponential rng ~rate:2.0) in
+  let e = Ebrc.Ecdf.of_samples xs in
+  let cdf x = 1.0 -. exp (-2.0 *. x) in
+  let d = Ebrc.Ecdf.ks_statistic e ~cdf in
+  Alcotest.(check bool) (Printf.sprintf "KS %.4f small" d) true (d < 0.03);
+  Alcotest.(check bool) "p-value not tiny" true
+    (Ebrc.Ecdf.ks_pvalue ~n:5000 d > 0.01)
+
+let test_ecdf_ks_rejects_wrong_law () =
+  let rng = Prng.create ~seed:52 in
+  let xs = Array.init 5_000 (fun _ -> Ebrc.Dist.exponential rng ~rate:2.0) in
+  let e = Ebrc.Ecdf.of_samples xs in
+  (* Test against rate 1 instead of 2: large distance, tiny p-value. *)
+  let cdf x = 1.0 -. exp (-.x) in
+  let d = Ebrc.Ecdf.ks_statistic e ~cdf in
+  Alcotest.(check bool) (Printf.sprintf "KS %.3f large" d) true (d > 0.1);
+  Alcotest.(check bool) "p-value tiny" true
+    (Ebrc.Ecdf.ks_pvalue ~n:5000 d < 1e-6)
+
+let test_ecdf_two_sample () =
+  let rng = Prng.create ~seed:53 in
+  let a =
+    Ebrc.Ecdf.of_samples
+      (Array.init 3_000 (fun _ -> Ebrc.Dist.exponential rng ~rate:1.0))
+  in
+  let b =
+    Ebrc.Ecdf.of_samples
+      (Array.init 3_000 (fun _ -> Ebrc.Dist.exponential rng ~rate:1.0))
+  in
+  let c =
+    Ebrc.Ecdf.of_samples
+      (Array.init 3_000 (fun _ -> Ebrc.Dist.exponential rng ~rate:3.0))
+  in
+  Alcotest.(check bool) "same law close" true (Ebrc.Ecdf.ks_two_sample a b < 0.05);
+  Alcotest.(check bool) "different law far" true
+    (Ebrc.Ecdf.ks_two_sample a c > 0.2)
+
+let test_shifted_exp_sampler_ks () =
+  (* End-to-end check that the designed loss-interval sampler follows
+     its analytic CDF. *)
+  let rng = Prng.create ~seed:54 in
+  let mean = 50.0 and cv = 0.7 in
+  let x0, a = Ebrc.Dist.shifted_exponential_params ~mean ~cv in
+  let xs =
+    Array.init 5_000 (fun _ -> Ebrc.Dist.shifted_exponential rng ~x0 ~a)
+  in
+  let cdf x = if x < x0 then 0.0 else 1.0 -. exp (-.a *. (x -. x0)) in
+  let d = Ebrc.Ecdf.ks_statistic (Ebrc.Ecdf.of_samples xs) ~cdf in
+  Alcotest.(check bool) (Printf.sprintf "KS %.4f" d) true
+    (Ebrc.Ecdf.ks_pvalue ~n:5000 d > 0.01)
+
+(* ----------------------- history discounting --------------------- *)
+
+let feed_seq h arrivals =
+  List.iter (fun (now, seq) -> Ebrc.Loss_history.on_packet h ~now ~seq) arrivals
+
+(* Two loss events 20 packets apart, then a long quiet run. *)
+let quiet_run_arrivals n =
+  let l = ref [] and t = ref 0.0 and seq = ref 0 in
+  let push ?(skip = 0) () =
+    seq := !seq + skip;
+    l := (!t, !seq) :: !l;
+    incr seq;
+    t := !t +. 0.01
+  in
+  for _ = 1 to 20 do push () done;
+  push ~skip:1 ();
+  for _ = 1 to 20 do push () done;
+  push ~skip:1 ();
+  for _ = 1 to n do push () done;
+  List.rev !l
+
+let test_discounting_accelerates_recovery () =
+  let mk discounting =
+    Ebrc.Loss_history.create ~comprehensive:true ~discounting ~l:8 ~rtt:0.001 ()
+  in
+  let plain = mk false and disc = mk true in
+  let arrivals = quiet_run_arrivals 500 in
+  feed_seq plain arrivals;
+  feed_seq disc arrivals;
+  let p_plain = Ebrc.Loss_history.p_estimate plain in
+  let p_disc = Ebrc.Loss_history.p_estimate disc in
+  Alcotest.(check bool)
+    (Printf.sprintf "discounted p %.5f <= plain p %.5f" p_disc p_plain)
+    true
+    (p_disc <= p_plain);
+  Alcotest.(check bool) "strictly lower on a long quiet run" true
+    (p_disc < p_plain)
+
+let test_discounting_inactive_on_short_runs () =
+  let mk discounting =
+    Ebrc.Loss_history.create ~comprehensive:true ~discounting ~l:8 ~rtt:0.001 ()
+  in
+  let plain = mk false and disc = mk true in
+  (* Quiet run shorter than 2x the average: no discounting. *)
+  let arrivals = quiet_run_arrivals 10 in
+  feed_seq plain arrivals;
+  feed_seq disc arrivals;
+  feq (Ebrc.Loss_history.p_estimate plain) (Ebrc.Loss_history.p_estimate disc)
+
+let test_discounting_never_lowers_estimate_below_base () =
+  (* The discounted average is still a one-sided raise: p can only go
+     down (interval estimate up) relative to the basic estimate. *)
+  let disc =
+    Ebrc.Loss_history.create ~comprehensive:true ~discounting:true ~l:8
+      ~rtt:0.001 ()
+  in
+  let basic =
+    Ebrc.Loss_history.create ~comprehensive:false ~l:8 ~rtt:0.001 ()
+  in
+  let arrivals = quiet_run_arrivals 300 in
+  feed_seq disc arrivals;
+  feed_seq basic arrivals;
+  Alcotest.(check bool) "p_disc <= p_basic" true
+    (Ebrc.Loss_history.p_estimate disc
+    <= Ebrc.Loss_history.p_estimate basic +. 1e-12)
+
+(* ------------------------- TCP Tahoe ---------------------------- *)
+
+let tahoe_loopback ~variant ~drop_p ~seed ~run_until =
+  let module E = Ebrc.Engine in
+  let module TS = Ebrc.Tcp_sender in
+  let module TR = Ebrc.Tcp_receiver in
+  let module LM = Ebrc.Loss_module in
+  let engine = E.create () in
+  let rng = Prng.create ~seed in
+  let dropper = LM.bernoulli rng ~p:drop_p in
+  let sender = TS.create ~variant ~max_window:500.0 ~engine ~flow:0 () in
+  let receiver = TR.create ~engine ~flow:0 () in
+  TS.set_transmit sender (fun pkt ->
+      if LM.process dropper pkt then
+        ignore
+          (E.schedule_after engine ~delay:0.05 (fun () ->
+               TR.on_data receiver pkt)));
+  TR.set_ack_sink receiver (fun ~acked ~dup ~echo ->
+      ignore
+        (E.schedule_after engine ~delay:0.05 (fun () ->
+             TS.on_ack sender ~acked ~dup ~echo)));
+  ignore (E.schedule engine ~at:0.0 (fun () -> TS.start sender));
+  ignore (E.run ~until:run_until engine);
+  (sender, receiver)
+
+let test_tahoe_progresses_under_loss () =
+  let module TR = Ebrc.Tcp_receiver in
+  let _, receiver =
+    tahoe_loopback ~variant:Ebrc.Tcp_sender.Tahoe ~drop_p:0.01 ~seed:31
+      ~run_until:60.0
+  in
+  Alcotest.(check bool) "advances" true (TR.expected receiver > 1000)
+
+(* A loopback that drops exactly one packet (seq 200) and reports the
+   congestion window shortly after recovery completes. *)
+let single_loss_cwnd ~variant =
+  let module E = Ebrc.Engine in
+  let module TS = Ebrc.Tcp_sender in
+  let module TR = Ebrc.Tcp_receiver in
+  let engine = E.create () in
+  let dropped = ref false in
+  let sender = TS.create ~variant ~max_window:64.0 ~engine ~flow:0 () in
+  let receiver = TR.create ~engine ~flow:0 () in
+  TS.set_transmit sender (fun pkt ->
+      let drop = pkt.Ebrc.Packet.seq = 200 && not !dropped in
+      if drop then dropped := true
+      else
+        ignore
+          (E.schedule_after engine ~delay:0.05 (fun () ->
+               TR.on_data receiver pkt)));
+  TR.set_ack_sink receiver (fun ~acked ~dup ~echo ->
+      ignore
+        (E.schedule_after engine ~delay:0.05 (fun () ->
+             TS.on_ack sender ~acked ~dup ~echo)));
+  ignore (E.schedule engine ~at:0.0 (fun () -> TS.start sender));
+  (* Run just past the recovery of the single loss. *)
+  ignore (E.run ~until:3.0 engine);
+  TS.cwnd sender
+
+let test_tahoe_window_collapse_vs_reno_halving () =
+  (* The defining difference: after one fast retransmit, Tahoe restarts
+     from cwnd = 1 (then slow-starts to ssthresh), Reno halves. Shortly
+     after the loss, Reno's window must be at least as large, and both
+     must sit near ssthresh = half the pre-loss flight. *)
+  let reno = single_loss_cwnd ~variant:Ebrc.Tcp_sender.Reno in
+  let tahoe = single_loss_cwnd ~variant:Ebrc.Tcp_sender.Tahoe in
+  Alcotest.(check bool)
+    (Printf.sprintf "reno %.1f >= tahoe %.1f" reno tahoe)
+    true
+    (reno >= tahoe -. 1.0);
+  Alcotest.(check bool) "both recovered to a sane window" true
+    (reno > 8.0 && tahoe > 1.0)
+
+let test_tahoe_uses_fast_retransmit_counter () =
+  let module TS = Ebrc.Tcp_sender in
+  let sender, _ =
+    tahoe_loopback ~variant:TS.Tahoe ~drop_p:0.02 ~seed:33 ~run_until:60.0
+  in
+  Alcotest.(check bool) "fast retransmits counted" true
+    (TS.fast_retransmits sender > 0)
+
+(* ----------------------- RED gentle mode ------------------------ *)
+
+let test_red_gentle_softens_wall () =
+  let module QD = Ebrc.Queue_discipline in
+  let mk gentle =
+    QD.create ~capacity:1000
+      (QD.Red
+         {
+           min_th = 5.0;
+           max_th = 15.0;
+           max_p = 0.1;
+           wq = 1.0;
+           byte_mode = false;
+           mean_pktsize = 1000;
+           gentle;
+         })
+  in
+  (* Drive the average to ~18 (between max_th and 2*max_th). *)
+  let drive q =
+    for _ = 1 to 18 do
+      ignore (QD.offer q ~now:0.0 ~u:0.999999)
+    done
+  in
+  let hard = mk false and soft = mk true in
+  drive hard;
+  drive soft;
+  (* Non-gentle: forced drop. Gentle: probabilistic (u near 1 passes). *)
+  Alcotest.(check bool) "hard wall drops" true
+    (QD.offer hard ~now:0.0 ~u:0.999999 = QD.Drop);
+  Alcotest.(check bool) "gentle can pass" true
+    (QD.offer soft ~now:0.0 ~u:0.999999 = QD.Enqueue);
+  (* But gentle still drops with high probability there (pb ~ 0.28). *)
+  let rng = Prng.create ~seed:41 in
+  let drops = ref 0 in
+  for _ = 1 to 1000 do
+    match QD.offer soft ~now:0.0 ~u:(Prng.float_unit rng) with
+    | QD.Drop -> incr drops
+    | QD.Enqueue -> QD.departure soft ~now:0.0
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "gentle drops some (%d/1000)" !drops)
+    true
+    (!drops > 50 && !drops < 900)
+
+(* --------------------------- report ----------------------------- *)
+
+let test_report_generates_markdown () =
+  let doc =
+    Ebrc.Report.generate
+      ~options:{ Ebrc.Report.default_options with ids = [ "2"; "c4" ] }
+      ()
+  in
+  let contains sub =
+    let n = String.length doc and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub doc i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has heading" true (contains "# EBRC reproduction");
+  Alcotest.(check bool) "has figure 2" true (contains "## Figure 2");
+  Alcotest.(check bool) "has markdown table" true (contains "|---|");
+  Alcotest.(check bool) "has the 1.0026 note" true (contains "1.0026");
+  Alcotest.(check bool) "has c4" true (contains "16/9")
+
+let test_report_markdown_of_table () =
+  let t = Ebrc.Table.create ~title:"x" ~header:[ "a"; "b" ] in
+  let t = Ebrc.Table.add_row t [ "1"; "2" ] in
+  let md = Ebrc.Report.markdown_of_table t in
+  Alcotest.(check string) "markdown" "| a | b |\n|---|---|\n| 1 | 2 |\n" md
+
+(* ------------------------ chain scenario ------------------------ *)
+
+let test_chain_single_bottleneck_degenerates () =
+  let module C = Ebrc.Chain_scenario in
+  let r =
+    C.run
+      {
+        C.default_config with
+        link2_bps = 100e6;
+        cross_rate_fraction = 0.0;
+        duration = 50.0;
+        warmup = 15.0;
+      }
+  in
+  Alcotest.(check bool) "link1 saturated" true (r.C.utilization1 > 0.8);
+  Alcotest.(check bool) "link2 idle-ish" true (r.C.utilization2 < 0.2);
+  Alcotest.(check int) "no drops at link2" 0 r.C.drops_link2;
+  Alcotest.(check bool) "tfrc works" true (r.C.tfrc.throughput_pps > 10.0);
+  Alcotest.(check bool) "tcp works" true (r.C.tcp.throughput_pps > 10.0)
+
+let test_chain_cross_traffic_moves_losses () =
+  let module C = Ebrc.Chain_scenario in
+  let r =
+    C.run { C.default_config with duration = 50.0; warmup = 15.0 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "most drops at link2 (%d vs %d)" r.C.drops_link2
+       r.C.drops_link1)
+    true
+    (r.C.drops_link2 > r.C.drops_link1);
+  Alcotest.(check bool) "both classes see losses" true
+    (r.C.tfrc.loss_event_rate > 0.0 && r.C.tcp.loss_event_rate > 0.0)
+
+let test_chain_validation () =
+  let module C = Ebrc.Chain_scenario in
+  (match C.run { C.default_config with duration = 1.0; warmup = 2.0 } with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match C.run { C.default_config with cross_rate_fraction = 1.5 } with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "student_t",
+        [
+          Alcotest.test_case "table quantiles" `Quick test_t_quantiles_against_tables;
+          Alcotest.test_case "cdf symmetry" `Quick test_t_cdf_symmetry;
+          Alcotest.test_case "cdf median" `Quick test_t_cdf_median;
+          Alcotest.test_case "quantile roundtrip" `Quick test_t_quantile_roundtrip;
+          Alcotest.test_case "log gamma" `Quick test_log_gamma_factorials;
+          Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta_bounds;
+          Alcotest.test_case "CI basic" `Quick test_mean_ci_contains_mean;
+          Alcotest.test_case "CI coverage" `Quick test_mean_ci_coverage;
+        ] );
+      ( "loss_processes",
+        [
+          Alcotest.test_case "pareto mean" `Quick test_pareto_mean;
+          Alcotest.test_case "pareto heavy tail" `Quick test_pareto_heavy_tail;
+          Alcotest.test_case "pareto invalid" `Quick test_pareto_invalid;
+          Alcotest.test_case "gilbert bimodal" `Quick test_gilbert_bimodal;
+          Alcotest.test_case "gilbert invalid" `Quick test_gilbert_invalid;
+          Alcotest.test_case "Theorem 1 under pareto" `Quick test_theorem1_holds_under_pareto;
+        ] );
+      ( "ecdf",
+        [
+          Alcotest.test_case "eval/quantile" `Quick test_ecdf_eval_and_quantile;
+          Alcotest.test_case "KS accepts true law" `Quick test_ecdf_ks_exponential_accept;
+          Alcotest.test_case "KS rejects wrong law" `Quick test_ecdf_ks_rejects_wrong_law;
+          Alcotest.test_case "two sample" `Quick test_ecdf_two_sample;
+          Alcotest.test_case "shifted-exp sampler KS" `Quick test_shifted_exp_sampler_ks;
+        ] );
+      ( "discounting",
+        [
+          Alcotest.test_case "accelerates recovery" `Quick test_discounting_accelerates_recovery;
+          Alcotest.test_case "inactive on short runs" `Quick test_discounting_inactive_on_short_runs;
+          Alcotest.test_case "one-sided raise" `Quick test_discounting_never_lowers_estimate_below_base;
+        ] );
+      ( "tahoe",
+        [
+          Alcotest.test_case "progresses" `Quick test_tahoe_progresses_under_loss;
+          Alcotest.test_case "window collapse vs halving" `Quick test_tahoe_window_collapse_vs_reno_halving;
+          Alcotest.test_case "fast retransmit counter" `Quick test_tahoe_uses_fast_retransmit_counter;
+        ] );
+      ( "red_gentle",
+        [ Alcotest.test_case "softens wall" `Quick test_red_gentle_softens_wall ] );
+      ( "report",
+        [
+          Alcotest.test_case "generates markdown" `Quick test_report_generates_markdown;
+          Alcotest.test_case "table to markdown" `Quick test_report_markdown_of_table;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "degenerates to dumbbell" `Quick test_chain_single_bottleneck_degenerates;
+          Alcotest.test_case "cross traffic moves losses" `Quick test_chain_cross_traffic_moves_losses;
+          Alcotest.test_case "validation" `Quick test_chain_validation;
+        ] );
+    ]

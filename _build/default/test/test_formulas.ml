@@ -1,0 +1,330 @@
+(* Tests for the throughput formulas (paper Section II-C) and the
+   analytical conditions of Theorems 1 and 2. *)
+
+module F = Ebrc.Formula
+module C = Ebrc.Conditions
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let sqrt_f = F.create ~rtt:1.0 F.Sqrt
+let pftk_std = F.create ~rtt:1.0 F.Pftk_standard
+let pftk_simpl = F.create ~rtt:1.0 F.Pftk_simplified
+
+(* --------------------------- basics ---------------------------- *)
+
+let test_constants () =
+  (* b = 2: c1 = sqrt(4/3), c2 = 1.5 sqrt 3. *)
+  feq (F.c1_of_b 2.0) (sqrt (4.0 /. 3.0));
+  feq (F.c2_of_b 2.0) (1.5 *. sqrt 3.0);
+  (* b = 1: the Figure-2 parameterisation; kink at x = c2^2 = 3.375. *)
+  feq (F.c2_of_b 1.0 ** 2.0) 3.375
+
+let test_sqrt_closed_form () =
+  (* f(p) = 1/(c1 r sqrt p). *)
+  let p = 0.01 in
+  feq (F.eval sqrt_f p) (1.0 /. (F.c1_of_b 2.0 *. sqrt p))
+
+let test_sqrt_rtt_scaling () =
+  (* SQRT throughput is inversely proportional to the RTT. *)
+  let f2 = F.create ~rtt:2.0 F.Sqrt in
+  feq (F.eval f2 0.01) (F.eval sqrt_f 0.01 /. 2.0)
+
+let test_eval_monotone_decreasing () =
+  List.iter
+    (fun f ->
+      let prev = ref infinity in
+      List.iter
+        (fun p ->
+          let v = F.eval f p in
+          Alcotest.(check bool)
+            (F.name f ^ " decreasing at p=" ^ string_of_float p)
+            true (v < !prev);
+          prev := v)
+        [ 0.001; 0.01; 0.05; 0.1; 0.2; 0.4 ])
+    [ sqrt_f; pftk_std; pftk_simpl ]
+
+let test_pftk_agree_for_rare_losses () =
+  (* For p <= 1/c2^2 PFTK-simplified equals PFTK-standard. *)
+  let p_star = 1.0 /. (F.c2_of_b 2.0 ** 2.0) in
+  List.iter
+    (fun p -> feq ~eps:1e-12 (F.eval pftk_std p) (F.eval pftk_simpl p))
+    [ p_star /. 10.0; p_star /. 2.0; p_star *. 0.999 ]
+
+let test_pftk_simplified_below_standard_for_heavy_loss () =
+  let p_star = 1.0 /. (F.c2_of_b 2.0 ** 2.0) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "simplified <= standard" true
+        (F.eval pftk_simpl p <= F.eval pftk_std p +. 1e-12))
+    [ p_star *. 1.5; p_star *. 3.0; 0.9 ]
+
+let test_sqrt_is_rare_loss_limit () =
+  (* Both PFTK formulas converge to SQRT as p -> 0. *)
+  let p = 1e-7 in
+  feq ~eps:1e-3 (F.eval pftk_std p) (F.eval sqrt_f p);
+  feq ~eps:1e-3 (F.eval pftk_simpl p) (F.eval sqrt_f p)
+
+let test_eval_invalid () =
+  raises_invalid "p=0" (fun () -> F.eval sqrt_f 0.0);
+  raises_invalid "p<0" (fun () -> F.eval sqrt_f (-0.1))
+
+let test_g_h_consistency () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun x ->
+          feq (F.g f x) (1.0 /. F.eval f (1.0 /. x));
+          feq (F.h f x) (F.eval f (1.0 /. x));
+          feq (F.g f x *. F.h f x) 1.0)
+        [ 1.5; 3.0; 10.0; 100.0 ])
+    [ sqrt_f; pftk_std; pftk_simpl ]
+
+let test_denom_increasing () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (F.name f ^ " denom increasing") true
+        (F.denom f 0.2 > F.denom f 0.1))
+    [ sqrt_f; pftk_std; pftk_simpl ]
+
+let test_derivative_negative () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (F.name f ^ " f' < 0 at " ^ string_of_float p)
+            true (F.derivative f p < 0.0))
+        [ 0.001; 0.01; 0.1; 0.3 ])
+    [ sqrt_f; pftk_std; pftk_simpl ]
+
+let test_derivative_matches_numeric () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          let eps = 1e-6 *. p in
+          let num = (F.eval f (p +. eps) -. F.eval f (p -. eps)) /. (2.0 *. eps) in
+          feq ~eps:1e-4 (F.derivative f p) num)
+        [ 0.01; 0.05; 0.2 ])
+    [ sqrt_f; pftk_simpl ]
+
+let test_sqrt_elasticity () =
+  (* For SQRT, f = k p^{-1/2}, so elasticity f' p / f = -1/2 exactly. *)
+  List.iter (fun p -> feq (F.elasticity sqrt_f p) (-0.5)) [ 0.001; 0.01; 0.3 ]
+
+let test_invert_roundtrip () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          let rate = F.eval f p in
+          feq ~eps:1e-8 (F.invert f ~rate) p)
+        [ 0.001; 0.01; 0.1 ])
+    [ sqrt_f; pftk_std; pftk_simpl ]
+
+let test_invert_invalid () =
+  raises_invalid "rate<=0" (fun () -> F.invert sqrt_f ~rate:0.0)
+
+let test_with_rtt_preserves_rto_ratio () =
+  let f = F.create ~rtt:0.05 ~rto:0.2 F.Pftk_standard in
+  let f2 = F.with_rtt f ~rtt:0.1 in
+  feq (F.rto f2 /. F.rtt f2) (F.rto f /. F.rtt f);
+  feq (F.rtt f2) 0.1
+
+let test_default_rto_is_4rtt () =
+  let f = F.create ~rtt:0.05 F.Pftk_standard in
+  feq (F.rto f) 0.2
+
+let test_aimd_formula () =
+  (* f(p) = sqrt(alpha (1+beta)/(2(1-beta)))/sqrt p, rtt = 1. *)
+  let f = F.create ~rtt:1.0 (F.Aimd { alpha = 1.0; beta = 0.5 }) in
+  feq (F.eval f 0.01) (sqrt (1.0 *. 1.5 /. 1.0) /. 0.1)
+
+let test_aimd_invalid_params () =
+  raises_invalid "beta" (fun () ->
+      F.create (F.Aimd { alpha = 1.0; beta = 1.5 }));
+  raises_invalid "alpha" (fun () ->
+      F.create (F.Aimd { alpha = 0.0; beta = 0.5 }))
+
+let test_create_invalid () =
+  raises_invalid "rtt" (fun () -> F.create ~rtt:0.0 F.Sqrt);
+  raises_invalid "rto" (fun () -> F.create ~rto:(-1.0) F.Sqrt);
+  raises_invalid "b" (fun () -> F.create ~b:0.0 F.Sqrt)
+
+(* ------------------------- conditions -------------------------- *)
+
+let test_f1_sqrt () =
+  Alcotest.(check bool) "(F1) holds for SQRT" true (C.f1_holds sqrt_f)
+
+let test_f1_pftk_simplified () =
+  Alcotest.(check bool) "(F1) holds for PFTK-simplified" true
+    (C.f1_holds pftk_simpl)
+
+let test_f1_pftk_standard_fails_strictly () =
+  (* PFTK-standard is *almost* convex: strict (F1) fails around the
+     min-term kink (x = 6.75 for b = 2), but the deviation ratio is
+     within a fraction of a percent (Proposition 4). *)
+  let region = { C.x_lo = 5.0; x_hi = 9.0 } in
+  Alcotest.(check bool) "(F1) fails near the kink" false
+    (C.f1_holds ~region pftk_std);
+  let r = C.deviation_ratio ~region pftk_std in
+  Alcotest.(check bool)
+    (Printf.sprintf "deviation r = %.5f < 1.01" r)
+    true
+    (r > 1.0 && r < 1.01)
+
+let test_f2_sqrt_everywhere () =
+  Alcotest.(check bool) "(F2) holds for SQRT" true
+    (C.f2_holds ~region:{ C.x_lo = 1.1; x_hi = 5000.0 } sqrt_f)
+
+let test_f2_pftk_rare_losses_only () =
+  let rare = { C.x_lo = 200.0; x_hi = 2000.0 } in
+  let heavy = { C.x_lo = 1.6; x_hi = 4.0 } in
+  Alcotest.(check bool) "(F2) holds for PFTK rare" true
+    (C.f2_holds ~region:rare pftk_simpl);
+  Alcotest.(check bool) "(F2c) holds for PFTK heavy" true
+    (C.f2c_holds ~region:heavy pftk_simpl);
+  Alcotest.(check bool) "(F2) fails for PFTK heavy" false
+    (C.f2_holds ~region:heavy pftk_simpl)
+
+let test_h_inflection_pftk () =
+  match C.h_inflection pftk_simpl with
+  | None -> Alcotest.fail "expected an inflection for PFTK-simplified"
+  | Some x ->
+      (* f(1/x) switches convex->concave somewhere between heavy and
+         rare loss; check it separates the two test regions above. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "inflection at x = %.2f" x)
+        true
+        (x > 4.0 && x < 200.0)
+
+let test_h_inflection_sqrt_none () =
+  Alcotest.(check bool) "no inflection for SQRT" true
+    (C.h_inflection sqrt_f = None)
+
+let test_throughput_bound_zero_cov () =
+  (* With zero covariance the Eq. (10) bound is exactly f(p). *)
+  match C.throughput_bound pftk_simpl ~p:0.05 ~cov:0.0 with
+  | None -> Alcotest.fail "bound should exist"
+  | Some b -> feq b (F.eval pftk_simpl 0.05)
+
+let test_throughput_bound_cov_directions () =
+  (* Elasticity is negative, so cov < 0 makes the denominator exceed 1
+     (bound strictly below f: conservative with margin), while a small
+     cov > 0 pushes the bound slightly above f — the paper's remark
+     that small positive covariance cannot cause significant
+     non-conservativeness. *)
+  let f005 = F.eval pftk_simpl 0.05 in
+  (match C.throughput_bound pftk_simpl ~p:0.05 ~cov:(-10.0) with
+  | None -> Alcotest.fail "bound should exist"
+  | Some b -> Alcotest.(check bool) "cov<0: bound < f(p)" true (b < f005));
+  match C.throughput_bound pftk_simpl ~p:0.05 ~cov:10.0 with
+  | None -> Alcotest.fail "bound should exist"
+  | Some b ->
+      Alcotest.(check bool) "cov>0 small: f <= bound <= 1.2 f" true
+        (b >= f005 && b <= 1.2 *. f005)
+
+let test_throughput_bound_vacuous () =
+  (* A huge positive covariance can make the denominator non-positive. *)
+  Alcotest.(check bool) "vacuous bound is None" true
+    (C.throughput_bound sqrt_f ~p:0.5 ~cov:1e9 = None)
+
+(* ------------------------- properties -------------------------- *)
+
+let p_gen = QCheck.float_range 1e-4 0.5
+
+let prop_eval_positive =
+  QCheck.Test.make ~name:"f(p) > 0" ~count:300 p_gen (fun p ->
+      F.eval sqrt_f p > 0.0 && F.eval pftk_std p > 0.0
+      && F.eval pftk_simpl p > 0.0)
+
+let prop_pftk_dominated_by_sqrt =
+  QCheck.Test.make ~name:"PFTK <= SQRT (timeouts only reduce throughput)"
+    ~count:300 p_gen (fun p ->
+      F.eval pftk_std p <= F.eval sqrt_f p +. 1e-12
+      && F.eval pftk_simpl p <= F.eval sqrt_f p +. 1e-12)
+
+let prop_invert_monotone =
+  QCheck.Test.make ~name:"invert is monotone (smaller rate, larger p)"
+    ~count:200
+    QCheck.(pair p_gen p_gen)
+    (fun (p1, p2) ->
+      let r1 = F.eval pftk_simpl p1 and r2 = F.eval pftk_simpl p2 in
+      let lo_rate = min r1 r2 and hi_rate = max r1 r2 in
+      F.invert pftk_simpl ~rate:lo_rate >= F.invert pftk_simpl ~rate:hi_rate -. 1e-9)
+
+let prop_g_convex_combination_sqrt =
+  (* Direct check of (F1) for SQRT: g(midpoint) <= mean of g. *)
+  QCheck.Test.make ~name:"SQRT g midpoint convexity" ~count:300
+    QCheck.(pair (float_range 1.1 500.0) (float_range 1.1 500.0))
+    (fun (x1, x2) ->
+      F.g sqrt_f ((x1 +. x2) /. 2.0)
+      <= ((F.g sqrt_f x1 +. F.g sqrt_f x2) /. 2.0) +. 1e-12)
+
+let prop_g_convex_combination_pftk_simpl =
+  QCheck.Test.make ~name:"PFTK-simplified g midpoint convexity" ~count:300
+    QCheck.(pair (float_range 1.1 500.0) (float_range 1.1 500.0))
+    (fun (x1, x2) ->
+      F.g pftk_simpl ((x1 +. x2) /. 2.0)
+      <= ((F.g pftk_simpl x1 +. F.g pftk_simpl x2) /. 2.0) +. 1e-9)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_eval_positive;
+      prop_pftk_dominated_by_sqrt;
+      prop_invert_monotone;
+      prop_g_convex_combination_sqrt;
+      prop_g_convex_combination_pftk_simpl;
+    ]
+
+let () =
+  Alcotest.run "formulas"
+    [
+      ( "formula",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "sqrt closed form" `Quick test_sqrt_closed_form;
+          Alcotest.test_case "sqrt rtt scaling" `Quick test_sqrt_rtt_scaling;
+          Alcotest.test_case "monotone decreasing" `Quick test_eval_monotone_decreasing;
+          Alcotest.test_case "PFTK agree for rare losses" `Quick test_pftk_agree_for_rare_losses;
+          Alcotest.test_case "simplified below standard" `Quick test_pftk_simplified_below_standard_for_heavy_loss;
+          Alcotest.test_case "SQRT is rare-loss limit" `Quick test_sqrt_is_rare_loss_limit;
+          Alcotest.test_case "eval invalid" `Quick test_eval_invalid;
+          Alcotest.test_case "g/h consistency" `Quick test_g_h_consistency;
+          Alcotest.test_case "denominator increasing" `Quick test_denom_increasing;
+          Alcotest.test_case "derivative negative" `Quick test_derivative_negative;
+          Alcotest.test_case "derivative numeric" `Quick test_derivative_matches_numeric;
+          Alcotest.test_case "SQRT elasticity -1/2" `Quick test_sqrt_elasticity;
+          Alcotest.test_case "invert roundtrip" `Quick test_invert_roundtrip;
+          Alcotest.test_case "invert invalid" `Quick test_invert_invalid;
+          Alcotest.test_case "with_rtt keeps q/r" `Quick test_with_rtt_preserves_rto_ratio;
+          Alcotest.test_case "default rto = 4r" `Quick test_default_rto_is_4rtt;
+          Alcotest.test_case "AIMD formula" `Quick test_aimd_formula;
+          Alcotest.test_case "AIMD invalid params" `Quick test_aimd_invalid_params;
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+        ] );
+      ( "conditions",
+        [
+          Alcotest.test_case "(F1) SQRT" `Quick test_f1_sqrt;
+          Alcotest.test_case "(F1) PFTK-simplified" `Quick test_f1_pftk_simplified;
+          Alcotest.test_case "(F1) PFTK-standard almost" `Quick test_f1_pftk_standard_fails_strictly;
+          Alcotest.test_case "(F2) SQRT everywhere" `Quick test_f2_sqrt_everywhere;
+          Alcotest.test_case "(F2)/(F2c) PFTK regimes" `Quick test_f2_pftk_rare_losses_only;
+          Alcotest.test_case "h inflection PFTK" `Quick test_h_inflection_pftk;
+          Alcotest.test_case "h inflection SQRT none" `Quick test_h_inflection_sqrt_none;
+          Alcotest.test_case "Eq.10 bound, zero cov" `Quick test_throughput_bound_zero_cov;
+          Alcotest.test_case "Eq.10 bound cov directions" `Quick test_throughput_bound_cov_directions;
+          Alcotest.test_case "Eq.10 bound vacuous" `Quick test_throughput_bound_vacuous;
+        ] );
+      ("properties", qsuite);
+    ]

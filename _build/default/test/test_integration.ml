@@ -1,0 +1,210 @@
+(* End-to-end integration tests: full dumbbell runs checked against the
+   paper's qualitative claims, cross-engine consistency, and the
+   figure-runner plumbing for the simulation-backed figures. *)
+
+module S = Ebrc.Scenario
+module F = Ebrc.Formula
+module B = Ebrc.Breakdown
+module FF = Ebrc.Few_flows
+
+let run cfg = S.run cfg
+
+let base =
+  {
+    S.default_config with
+    duration = 60.0;
+    warmup = 15.0;
+    n_tfrc = 4;
+    n_tcp = 4;
+    seed = 21;
+  }
+
+let shared = lazy (run base)
+
+let test_claim3_ordering_on_bottleneck () =
+  (* p' (TCP) <= p (TFRC) <= p'' (Poisson), with generous slack for a
+     short run. *)
+  let r = Lazy.force shared in
+  let p_tfrc = S.pooled_loss_rate r.S.tfrc in
+  let p_tcp = S.pooled_loss_rate r.S.tcp in
+  let p_poisson =
+    match r.S.probe with Some m -> m.S.loss_event_rate | None -> nan
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "p'=%.4f <= p=%.4f (50%% slack)" p_tcp p_tfrc)
+    true
+    (p_tcp <= p_tfrc *. 1.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "p=%.4f <= p''=%.4f (50%% slack)" p_tfrc p_poisson)
+    true
+    (p_tfrc <= p_poisson *. 1.5)
+
+let test_tfrc_roughly_conservative_on_red () =
+  let r = Lazy.force shared in
+  let p = S.pooled_loss_rate r.S.tfrc in
+  let rtt = S.mean_rtt r.S.tfrc in
+  let f =
+    F.eval (F.create ~rtt base.S.tfrc_formula_kind) p
+  in
+  let ratio = S.mean_throughput r.S.tfrc /. f in
+  Alcotest.(check bool)
+    (Printf.sprintf "normalized %.3f in (0.3, 1.3)" ratio)
+    true
+    (ratio > 0.3 && ratio < 1.3)
+
+let test_breakdown_from_scenario () =
+  let r = Lazy.force shared in
+  let formula = F.create ~rtt:(S.base_rtt base) base.S.tfrc_formula_kind in
+  let b =
+    B.create
+      ~ebrc:
+        {
+          B.throughput = S.mean_throughput r.S.tfrc;
+          p = S.pooled_loss_rate r.S.tfrc;
+          rtt = S.mean_rtt r.S.tfrc;
+        }
+      ~tcp:
+        {
+          B.throughput = S.mean_throughput r.S.tcp;
+          p = S.pooled_loss_rate r.S.tcp;
+          rtt = S.mean_rtt r.S.tcp;
+        }
+      ~formula
+  in
+  (* All four ratios must be finite and positive on a healthy run. *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s = %.3f finite positive" name v)
+        true
+        (Float.is_finite v && v > 0.0))
+    [
+      ("x/f", B.conservativeness_ratio b);
+      ("p'/p", B.loss_rate_ratio b);
+      ("r'/r", B.rtt_ratio b);
+      ("x'/f'", B.tcp_obedience_ratio b);
+      ("x/x'", B.friendliness_ratio b);
+    ]
+
+let test_droptail_vs_red_drops () =
+  (* RED keeps the average queue between thresholds: under the same
+     load, DropTail with a small buffer sees burstier losses. Both runs
+     must stay functional. *)
+  let dt =
+    run { base with queue = S.Drop_tail { capacity = 30 }; seed = 31 }
+  in
+  let red = run { base with seed = 31 } in
+  Alcotest.(check bool) "droptail functional" true
+    (S.mean_throughput dt.S.tcp > 0.0);
+  Alcotest.(check bool) "red functional" true
+    (S.mean_throughput red.S.tcp > 0.0);
+  Alcotest.(check bool) "both drop" true
+    (dt.S.queue_drops > 0 && red.S.queue_drops > 0)
+
+let test_more_flows_more_loss () =
+  let small = run { base with n_tfrc = 2; n_tcp = 2; with_probe = false } in
+  let big = run { base with n_tfrc = 12; n_tcp = 12; with_probe = false } in
+  let p_small = S.pooled_loss_rate small.S.tfrc in
+  let p_big = S.pooled_loss_rate big.S.tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "p grows with load: %.4f < %.4f" p_small p_big)
+    true
+    (p_small < p_big)
+
+let test_larger_l_smoother_tfrc () =
+  (* Claim 3's corollary in closed loop: smoother TFRC (larger L) sees
+     a larger (or equal) loss-event rate. Short runs are noisy, so only
+     require no large violation. *)
+  let l2 = run { base with tfrc_l = 2; with_probe = false; seed = 77 } in
+  let l16 = run { base with tfrc_l = 16; with_probe = false; seed = 77 } in
+  let p2 = S.pooled_loss_rate l2.S.tfrc in
+  let p16 = S.pooled_loss_rate l16.S.tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "p(L=16)=%.4f >= 0.6 p(L=2)=%.4f" p16 p2)
+    true
+    (p16 >= 0.6 *. p2)
+
+let test_claim4_isolated_vs_closed_form () =
+  (* One TCP alone vs one TFRC alone on a small DropTail link: the
+     measured p'/p must exceed 1 (TCP sees more loss events), in the
+     direction of the 16/9 closed form. *)
+  let mk tfrc =
+    {
+      base with
+      bottleneck_bps = 10e6;
+      queue = S.Drop_tail { capacity = 50 };
+      n_tfrc = (if tfrc then 1 else 0);
+      n_tcp = (if tfrc then 0 else 1);
+      with_probe = false;
+      duration = 150.0;
+      warmup = 30.0;
+      seed = 91;
+    }
+  in
+  let rt = run (mk false) in
+  let rf = run (mk true) in
+  let p' = S.pooled_loss_rate rt.S.tcp in
+  let p = S.pooled_loss_rate rf.S.tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "p'=%.5f > p=%.5f" p' p)
+    true
+    (p > 0.0 && p' > p);
+  (* And the closed form itself. *)
+  Alcotest.(check bool) "16/9" true
+    (abs_float (FF.loss_rate_ratio ~beta:0.5 -. (16.0 /. 9.0)) < 1e-12)
+
+let test_conform_mode_runs () =
+  let r =
+    run { base with tfrc_conform_to_analysis = true; with_probe = false }
+  in
+  Alcotest.(check bool) "conforming TFRC functional" true
+    (S.mean_throughput r.S.tfrc > 0.0)
+
+let test_basic_control_mode_runs () =
+  let r =
+    run { base with tfrc_comprehensive = false; with_probe = false }
+  in
+  Alcotest.(check bool) "basic-control TFRC functional" true
+    (S.mean_throughput r.S.tfrc > 0.0)
+
+let test_estimate_pairs_collected () =
+  let r = Lazy.force shared in
+  let pairs = S.pooled_pairs r.S.tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d pairs collected" (Array.length pairs))
+    true
+    (Array.length pairs > 10);
+  Array.iter
+    (fun (thetahat, theta) ->
+      Alcotest.(check bool) "pair positive" true (thetahat > 0.0 && theta > 0.0))
+    pairs
+
+let test_fig17_runner () =
+  (* The cheapest DES-backed figure runner end-to-end. *)
+  let tables = Ebrc.Figures.run_one ~quick:true "17" in
+  Alcotest.(check int) "two tables" 2 (List.length tables);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "renders" true
+        (String.length (Ebrc.Table.to_string t) > 0))
+    tables
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "dumbbell",
+        [
+          Alcotest.test_case "claim 3 ordering" `Quick test_claim3_ordering_on_bottleneck;
+          Alcotest.test_case "TFRC conservative-ish" `Quick test_tfrc_roughly_conservative_on_red;
+          Alcotest.test_case "breakdown ratios" `Quick test_breakdown_from_scenario;
+          Alcotest.test_case "droptail vs red" `Quick test_droptail_vs_red_drops;
+          Alcotest.test_case "load raises p" `Quick test_more_flows_more_loss;
+          Alcotest.test_case "smoothness raises p" `Quick test_larger_l_smoother_tfrc;
+          Alcotest.test_case "claim 4 isolated" `Quick test_claim4_isolated_vs_closed_form;
+          Alcotest.test_case "conform mode" `Quick test_conform_mode_runs;
+          Alcotest.test_case "basic control mode" `Quick test_basic_control_mode_runs;
+          Alcotest.test_case "estimate pairs" `Quick test_estimate_pairs_collected;
+        ] );
+      ( "figures",
+        [ Alcotest.test_case "fig 17 runner" `Quick test_fig17_runner ] );
+    ]

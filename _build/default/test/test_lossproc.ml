@@ -1,0 +1,166 @@
+(* Tests for the loss-interval process generators: means, loss-event
+   rates, and the correlation structures the covariance conditions
+   depend on. *)
+
+module LP = Ebrc.Loss_process
+module D = Ebrc.Descriptive
+module Prng = Ebrc.Prng
+
+let close ?(tol = 0.05) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.5g within %g%% of %.5g" name actual (tol *. 100.0)
+       expected)
+    true
+    (abs_float (actual -. expected) <= tol *. (abs_float expected +. 1e-9))
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let lag1_autocorr xs = D.autocorrelation xs ~lag:1
+
+let test_iid_shifted_exp_mean_cv () =
+  let rng = Prng.create ~seed:1 in
+  let p = 0.02 and cv = 0.6 in
+  let proc = LP.iid_shifted_exponential rng ~p ~cv in
+  let xs = LP.generate proc 200_000 in
+  close ~tol:0.01 "mean" (1.0 /. p) (D.mean xs);
+  close ~tol:0.02 "cv" cv (D.coefficient_of_variation xs);
+  close ~tol:0.01 "declared mean" (1.0 /. p) (LP.mean proc);
+  close ~tol:1e-9 "declared p" p (LP.loss_event_rate proc)
+
+let test_iid_shifted_exp_uncorrelated () =
+  let rng = Prng.create ~seed:2 in
+  let proc = LP.iid_shifted_exponential rng ~p:0.05 ~cv:0.8 in
+  let xs = LP.generate proc 100_000 in
+  Alcotest.(check bool) "lag-1 autocorr near 0" true
+    (abs_float (lag1_autocorr xs) < 0.02)
+
+let test_iid_exponential () =
+  let rng = Prng.create ~seed:3 in
+  let proc = LP.iid_exponential rng ~p:0.1 in
+  let xs = LP.generate proc 100_000 in
+  close ~tol:0.02 "mean" 10.0 (D.mean xs);
+  close ~tol:0.03 "cv 1" 1.0 (D.coefficient_of_variation xs)
+
+let test_constant_process () =
+  let proc = LP.constant ~p:0.25 in
+  let xs = LP.generate proc 100 in
+  Array.iter (fun x -> close ~tol:1e-12 "constant" 4.0 x) xs;
+  close ~tol:1e-12 "variance 0" 0.0 (D.variance xs)
+
+let test_markov_phases_positive_autocorr () =
+  (* Slow phases make intervals predictable: positive lag-1
+     autocorrelation — the regime where Theorem 1 does not apply. *)
+  let rng = Prng.create ~seed:4 in
+  let proc =
+    LP.markov_phases rng ~mean_good:100.0 ~mean_bad:5.0 ~phase_length:50.0
+  in
+  let xs = LP.generate proc 100_000 in
+  Alcotest.(check bool) "positive autocorr" true (lag1_autocorr xs > 0.2)
+
+let test_markov_phases_mean () =
+  let rng = Prng.create ~seed:5 in
+  let proc =
+    LP.markov_phases rng ~mean_good:80.0 ~mean_bad:20.0 ~phase_length:25.0
+  in
+  let xs = LP.generate proc 200_000 in
+  close ~tol:0.05 "mean near declared" (LP.mean proc) (D.mean xs)
+
+let test_batch_mean_and_negative_estimator_covariance () =
+  let rng = Prng.create ~seed:6 in
+  let p = 0.01 in
+  let proc = LP.batch rng ~p ~batch_p:0.3 ~batch_size:3 in
+  let xs = LP.generate proc 300_000 in
+  close ~tol:0.05 "mean 1/p" (1.0 /. p) (D.mean xs);
+  (* After a long interval comes a batch of short ones: the moving
+     average (theta_hat) and the next interval are negatively
+     correlated, the paper's UMELB signature. Check via the covariance
+     between a window average and the next interval. *)
+  let l = 4 in
+  let cov = Ebrc.Cov_acc.create () in
+  for i = l to Array.length xs - 1 do
+    let avg = (xs.(i - 1) +. xs.(i - 2) +. xs.(i - 3) +. xs.(i - 4)) /. 4.0 in
+    Ebrc.Cov_acc.add cov xs.(i) avg
+  done;
+  Alcotest.(check bool) "cov[theta, window avg] < 0" true
+    (Ebrc.Cov_acc.covariance cov < 0.0)
+
+let test_batch_geometry_guard () =
+  (* With p <= 1 the geometry is always feasible (long_mean > 0); a
+     nonsensical p > 1 makes the implied long-interval mean negative. *)
+  raises_invalid "p too large" (fun () ->
+      LP.batch (Prng.create ~seed:1) ~p:1.5 ~batch_p:0.9 ~batch_size:10)
+
+let test_ar1_autocorrelation_sign () =
+  let rng = Prng.create ~seed:7 in
+  let pos = LP.ar1 rng ~p:0.02 ~rho:0.9 ~sigma:0.5 in
+  let xs = LP.generate pos 100_000 in
+  Alcotest.(check bool) "rho>0 gives positive autocorr" true
+    (lag1_autocorr xs > 0.1);
+  let rng2 = Prng.create ~seed:8 in
+  let neg = LP.ar1 rng2 ~p:0.02 ~rho:(-0.9) ~sigma:0.5 in
+  let ys = LP.generate neg 100_000 in
+  Alcotest.(check bool) "rho<0 gives negative autocorr" true
+    (lag1_autocorr ys < -0.02)
+
+let test_ar1_mean_correction () =
+  (* The log-normal modulation is mean-corrected: E[theta] stays 1/p. *)
+  let rng = Prng.create ~seed:9 in
+  let proc = LP.ar1 rng ~p:0.05 ~rho:0.7 ~sigma:0.4 in
+  let xs = LP.generate proc 400_000 in
+  close ~tol:0.05 "mean 1/p" 20.0 (D.mean xs)
+
+let test_invalid_parameters () =
+  let rng = Prng.create ~seed:1 in
+  raises_invalid "p<=0" (fun () -> LP.iid_exponential rng ~p:0.0);
+  raises_invalid "cv>1" (fun () ->
+      LP.iid_shifted_exponential rng ~p:0.1 ~cv:1.2);
+  raises_invalid "rho" (fun () -> LP.ar1 rng ~p:0.1 ~rho:1.0 ~sigma:0.1);
+  raises_invalid "phase" (fun () ->
+      LP.markov_phases rng ~mean_good:1.0 ~mean_bad:1.0 ~phase_length:0.5);
+  raises_invalid "constant p" (fun () -> LP.constant ~p:(-1.0))
+
+(* ------------------------- properties -------------------------- *)
+
+let prop_intervals_positive =
+  QCheck.Test.make ~name:"generated intervals are positive" ~count:100
+    QCheck.(pair small_nat (float_range 0.001 0.5))
+    (fun (seed, p) ->
+      let rng = Prng.create ~seed in
+      let proc = LP.iid_shifted_exponential rng ~p ~cv:0.9 in
+      Array.for_all (fun x -> x > 0.0) (LP.generate proc 500))
+
+let prop_mean_tracks_p =
+  QCheck.Test.make ~name:"empirical mean tracks 1/p" ~count:30
+    QCheck.(pair small_nat (float_range 0.005 0.3))
+    (fun (seed, p) ->
+      let rng = Prng.create ~seed in
+      let proc = LP.iid_exponential rng ~p in
+      let m = D.mean (LP.generate proc 50_000) in
+      abs_float (m -. (1.0 /. p)) < 0.1 /. p)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_intervals_positive; prop_mean_tracks_p ]
+
+let () =
+  Alcotest.run "lossproc"
+    [
+      ( "processes",
+        [
+          Alcotest.test_case "shifted-exp mean/cv" `Quick test_iid_shifted_exp_mean_cv;
+          Alcotest.test_case "shifted-exp uncorrelated" `Quick test_iid_shifted_exp_uncorrelated;
+          Alcotest.test_case "iid exponential" `Quick test_iid_exponential;
+          Alcotest.test_case "constant" `Quick test_constant_process;
+          Alcotest.test_case "markov phases autocorr" `Quick test_markov_phases_positive_autocorr;
+          Alcotest.test_case "markov phases mean" `Quick test_markov_phases_mean;
+          Alcotest.test_case "batch losses (UMELB)" `Quick test_batch_mean_and_negative_estimator_covariance;
+          Alcotest.test_case "batch geometry guard" `Quick test_batch_geometry_guard;
+          Alcotest.test_case "ar1 autocorr sign" `Quick test_ar1_autocorrelation_sign;
+          Alcotest.test_case "ar1 mean corrected" `Quick test_ar1_mean_correction;
+          Alcotest.test_case "invalid parameters" `Quick test_invalid_parameters;
+        ] );
+      ("properties", qsuite);
+    ]

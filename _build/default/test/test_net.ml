@@ -1,0 +1,479 @@
+(* Tests for the network elements: packets, DropTail and RED queues,
+   links, loss modules, flow statistics, and the gap-detecting sink. *)
+
+module P = Ebrc.Packet
+module QD = Ebrc.Queue_discipline
+module Link = Ebrc.Link
+module LM = Ebrc.Loss_module
+module FS = Ebrc.Flow_stats
+module GS = Ebrc.Gap_sink
+module E = Ebrc.Engine
+module Prng = Ebrc.Prng
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+(* --------------------------- packets --------------------------- *)
+
+let test_packet_constructors () =
+  let d = P.data ~flow:1 ~seq:5 ~size:1000 ~sent_at:2.0 in
+  Alcotest.(check bool) "data" true (P.is_data d);
+  Alcotest.(check int) "bits" 8000 (P.bits d);
+  let a = P.ack ~flow:1 ~seq:0 ~acked:4 ~dup:false ~sent_at:2.1 in
+  Alcotest.(check bool) "ack not data" false (P.is_data a);
+  Alcotest.(check int) "ack size" 40 a.P.size;
+  let f =
+    P.feedback ~flow:1 ~seq:0 ~p_estimate:0.01 ~recv_rate:100.0 ~rtt_echo:1.9
+      ~hold:0.02 ~sent_at:2.2
+  in
+  match f.P.kind with
+  | P.Feedback fb ->
+      feq fb.p_estimate 0.01;
+      feq fb.hold 0.02
+  | P.Data | P.Ack _ -> Alcotest.fail "wrong kind"
+
+let test_packet_invalid_size () =
+  match P.data ~flow:0 ~seq:0 ~size:0 ~sent_at:0.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* -------------------------- DropTail --------------------------- *)
+
+let test_droptail_accepts_until_full () =
+  let q = QD.create ~capacity:3 QD.Drop_tail in
+  let offer () = QD.offer q ~now:0.0 ~u:0.5 in
+  Alcotest.(check bool) "1" true (offer () = QD.Enqueue);
+  Alcotest.(check bool) "2" true (offer () = QD.Enqueue);
+  Alcotest.(check bool) "3" true (offer () = QD.Enqueue);
+  Alcotest.(check bool) "4 drops" true (offer () = QD.Drop);
+  Alcotest.(check int) "occupancy" 3 (QD.occupancy q);
+  Alcotest.(check int) "drops" 1 (QD.drops q);
+  Alcotest.(check int) "enqueues" 3 (QD.enqueues q)
+
+let test_droptail_departure_frees_slot () =
+  let q = QD.create ~capacity:1 QD.Drop_tail in
+  ignore (QD.offer q ~now:0.0 ~u:0.5);
+  Alcotest.(check bool) "full" true (QD.offer q ~now:0.0 ~u:0.5 = QD.Drop);
+  QD.departure q ~now:1.0;
+  Alcotest.(check bool) "freed" true (QD.offer q ~now:1.0 ~u:0.5 = QD.Enqueue)
+
+let test_departure_empty_raises () =
+  let q = QD.create ~capacity:1 QD.Drop_tail in
+  match QD.departure q ~now:0.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ----------------------------- RED ----------------------------- *)
+
+let red_params =
+  { QD.min_th = 5.0; max_th = 15.0; max_p = 0.1; wq = 0.2; byte_mode = false;
+    mean_pktsize = 1000; gentle = false }
+
+let test_red_no_drops_below_min_th () =
+  let q = QD.create ~capacity:100 (QD.Red red_params) in
+  (* Keep the queue short: no random drops while avg < min_th. *)
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "enqueue %d" i)
+      true
+      (QD.offer q ~now:(float_of_int i) ~u:0.0001 = QD.Enqueue)
+  done;
+  Alcotest.(check int) "no drops" 0 (QD.drops q)
+
+let test_red_drops_probabilistically_between_thresholds () =
+  let q = QD.create ~capacity:100 (QD.Red red_params) in
+  (* Fill to raise the average well between thresholds. *)
+  let dropped = ref 0 and offered = ref 0 in
+  let rng = Prng.create ~seed:5 in
+  for i = 1 to 200 do
+    incr offered;
+    match QD.offer q ~now:(float_of_int i *. 0.01) ~u:(Prng.float_unit rng) with
+    | QD.Drop -> incr dropped
+    | QD.Enqueue ->
+        (* Serve occasionally to stay around 10 packets. *)
+        if QD.occupancy q > 10 then QD.departure q ~now:(float_of_int i *. 0.01)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some but not all dropped (%d/200)" !dropped)
+    true
+    (!dropped > 0 && !dropped < 100)
+
+let test_red_forced_drop_above_max_th () =
+  let q = QD.create ~capacity:1000 (QD.Red { red_params with wq = 1.0 }) in
+  (* wq = 1: the average tracks the instantaneous queue exactly. *)
+  for i = 1 to 20 do
+    ignore (QD.offer q ~now:(float_of_int i *. 1e-3) ~u:0.999)
+  done;
+  (* occupancy/avg now >= max_th = 15 -> forced drop regardless of u. *)
+  Alcotest.(check bool) "forced drop" true
+    (QD.offer q ~now:0.05 ~u:0.999999 = QD.Drop)
+
+let test_red_hard_limit () =
+  let q = QD.create ~capacity:2 (QD.Red { red_params with min_th = 100.0; max_th = 200.0 }) in
+  ignore (QD.offer q ~now:0.0 ~u:0.5);
+  ignore (QD.offer q ~now:0.0 ~u:0.5);
+  Alcotest.(check bool) "hard full" true (QD.offer q ~now:0.0 ~u:0.5 = QD.Drop)
+
+let test_red_average_decays_when_idle () =
+  let q =
+    QD.create ~service_rate:100.0 ~capacity:100
+      (QD.Red { red_params with wq = 0.5 })
+  in
+  (* u close to 1 means "never randomly dropped". *)
+  for i = 1 to 10 do
+    ignore (QD.offer q ~now:(float_of_int i *. 1e-3) ~u:0.999999)
+  done;
+  let avg_busy = QD.average_queue q in
+  while QD.occupancy q > 0 do
+    QD.departure q ~now:0.011
+  done;
+  (* After a long idle period the EWMA must have decayed. *)
+  ignore (QD.offer q ~now:10.0 ~u:1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "decayed: %.3f -> %.3f" avg_busy (QD.average_queue q))
+    true
+    (QD.average_queue q < avg_busy /. 2.0)
+
+let test_red_default_params () =
+  let p = QD.default_red ~bdp:100.0 in
+  feq p.QD.min_th 25.0;
+  feq p.QD.max_th 125.0;
+  feq p.QD.max_p 0.1;
+  feq p.QD.wq 0.002
+
+let test_red_invalid_params () =
+  match
+    QD.create ~capacity:10
+      (QD.Red { red_params with min_th = 5.0; max_th = 4.0 })
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------- link ----------------------------- *)
+
+let test_link_delivers_with_delay () =
+  let engine = E.create () in
+  let q = QD.create ~capacity:10 QD.Drop_tail in
+  let link =
+    Link.create ~engine ~rate_bps:8000.0 ~delay:0.5 ~queue:q
+      ~rng:(Prng.create ~seed:1)
+  in
+  let delivered = ref [] in
+  Link.set_deliver link (fun pkt -> delivered := (E.now engine, pkt.P.seq) :: !delivered);
+  (* 1000-byte packet at 8000 bps: 1 s transmission + 0.5 s delay. *)
+  ignore
+    (E.schedule engine ~at:0.0 (fun () ->
+         Link.send link (P.data ~flow:0 ~seq:0 ~size:1000 ~sent_at:0.0)));
+  ignore (E.run engine);
+  match !delivered with
+  | [ (t, 0) ] -> feq t 1.5
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_link_serialises_back_to_back () =
+  let engine = E.create () in
+  let q = QD.create ~capacity:10 QD.Drop_tail in
+  let link =
+    Link.create ~engine ~rate_bps:8000.0 ~delay:0.0 ~queue:q
+      ~rng:(Prng.create ~seed:1)
+  in
+  let times = ref [] in
+  Link.set_deliver link (fun _ -> times := E.now engine :: !times);
+  ignore
+    (E.schedule engine ~at:0.0 (fun () ->
+         Link.send link (P.data ~flow:0 ~seq:0 ~size:1000 ~sent_at:0.0);
+         Link.send link (P.data ~flow:0 ~seq:1 ~size:1000 ~sent_at:0.0)));
+  ignore (E.run engine);
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      feq t1 1.0;
+      feq t2 2.0
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_link_drop_hook_and_counters () =
+  let engine = E.create () in
+  let q = QD.create ~capacity:1 QD.Drop_tail in
+  let link =
+    Link.create ~engine ~rate_bps:8000.0 ~delay:0.0 ~queue:q
+      ~rng:(Prng.create ~seed:1)
+  in
+  let drops = ref 0 in
+  Link.set_on_drop link (fun _ -> incr drops);
+  ignore
+    (E.schedule engine ~at:0.0 (fun () ->
+         for i = 0 to 4 do
+           Link.send link (P.data ~flow:0 ~seq:i ~size:1000 ~sent_at:0.0)
+         done));
+  ignore (E.run engine);
+  (* Occupancy counts the in-service packet until it departs, so with
+     capacity 1 only the first of five simultaneous sends is admitted:
+     1 delivered, 4 dropped. *)
+  Alcotest.(check int) "delivered" 1 (Link.delivered link);
+  Alcotest.(check int) "dropped" 4 !drops;
+  feq (Link.utilization link ~duration:1.0) 1.0
+
+let test_link_transmission_time () =
+  let engine = E.create () in
+  let q = QD.create ~capacity:1 QD.Drop_tail in
+  let link =
+    Link.create ~engine ~rate_bps:1e6 ~delay:0.0 ~queue:q
+      ~rng:(Prng.create ~seed:1)
+  in
+  feq
+    (Link.transmission_time link (P.data ~flow:0 ~seq:0 ~size:1250 ~sent_at:0.0))
+    0.01
+
+(* ------------------------ loss modules ------------------------- *)
+
+let test_bernoulli_dropper_rate () =
+  let rng = Prng.create ~seed:3 in
+  let lm = LM.bernoulli rng ~p:0.2 in
+  let passed = ref 0 in
+  for i = 0 to 49_999 do
+    if LM.process lm (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0) then
+      incr passed
+  done;
+  let offered, dropped = LM.stats lm in
+  Alcotest.(check int) "offered" 50_000 offered;
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate %.3f ~ 0.2" (float_of_int dropped /. 50_000.0))
+    true
+    (abs_float ((float_of_int dropped /. 50_000.0) -. 0.2) < 0.01);
+  Alcotest.(check int) "conservation" 50_000 (!passed + dropped)
+
+let test_periodic_dropper () =
+  let lm = LM.periodic ~period:3 in
+  let verdicts =
+    List.init 9 (fun i ->
+        LM.process lm (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0))
+  in
+  Alcotest.(check (list bool)) "every 3rd dropped"
+    [ true; true; false; true; true; false; true; true; false ]
+    verdicts
+
+let test_lossless () =
+  let lm = LM.lossless () in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "passes" true
+      (LM.process lm (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0))
+  done
+
+let test_bernoulli_bytes_length_dependence () =
+  let rng = Prng.create ~seed:7 in
+  let lm = LM.bernoulli_bytes rng ~p_ref:0.1 ~ref_size:1000 in
+  let drops_for size =
+    let d = ref 0 in
+    for i = 0 to 19_999 do
+      if not (LM.process lm (P.data ~flow:0 ~seq:i ~size ~sent_at:0.0)) then
+        incr d
+    done;
+    float_of_int !d /. 20_000.0
+  in
+  let small = drops_for 100 and big = drops_for 2000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small %.4f ~ 0.01" small)
+    true
+    (abs_float (small -. 0.01) < 0.005);
+  Alcotest.(check bool)
+    (Printf.sprintf "big %.4f ~ 0.2" big)
+    true
+    (abs_float (big -. 0.2) < 0.02)
+
+let test_red_byte_mode_prefers_small_packets () =
+  (* At the same average queue, byte-mode RED drops large packets more
+     often than small ones. *)
+  let params =
+    { red_params with byte_mode = true; mean_pktsize = 1000; wq = 1.0 }
+  in
+  let run_with size =
+    let q = QD.create ~capacity:1000 (QD.Red params) in
+    (* Pin the average between thresholds. *)
+    for _ = 1 to 10 do
+      ignore (QD.offer ~bytes:1000 q ~now:0.0 ~u:0.9999)
+    done;
+    let rng = Prng.create ~seed:9 in
+    let drops = ref 0 in
+    for _ = 1 to 2000 do
+      match QD.offer ~bytes:size q ~now:0.0 ~u:(Prng.float_unit rng) with
+      | QD.Drop -> incr drops
+      | QD.Enqueue -> QD.departure q ~now:0.0
+    done;
+    !drops
+  in
+  let small = run_with 100 and big = run_with 2000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "big packets dropped more: %d > %d" big small)
+    true (big > small)
+
+let test_gilbert_elliott_burstiness () =
+  let rng = Prng.create ~seed:4 in
+  let lm =
+    LM.gilbert_elliott rng ~p_good:0.001 ~p_bad:0.5 ~good_to_bad:0.01
+      ~bad_to_good:0.1
+  in
+  let losses = ref 0 in
+  for i = 0 to 99_999 do
+    if not (LM.process lm (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0)) then
+      incr losses
+  done;
+  (* Stationary bad fraction = 0.01/(0.01+0.1) ~ 0.0909; expected loss
+     ~ 0.0909*0.5 + 0.909*0.001 ~ 0.0464. *)
+  let rate = float_of_int !losses /. 100_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty loss rate %.4f in (0.02, 0.08)" rate)
+    true
+    (rate > 0.02 && rate < 0.08)
+
+(* ----------------------- flow statistics ----------------------- *)
+
+let test_flow_stats_loss_event_aggregation () =
+  let fs = FS.create ~flow:0 ~rtt_hint:0.1 in
+  (* Two losses within one RTT = one event; a later loss = another. *)
+  FS.on_loss fs ~now:1.0;
+  FS.on_loss fs ~now:1.05;
+  FS.on_loss fs ~now:2.0;
+  Alcotest.(check int) "two events" 2 (FS.loss_events fs);
+  Alcotest.(check int) "three packets lost" 3 (FS.lost fs)
+
+let test_flow_stats_intervals () =
+  let fs = FS.create ~flow:0 ~rtt_hint:0.1 in
+  FS.on_loss fs ~now:0.0;
+  for i = 1 to 10 do
+    FS.on_receive fs ~now:(0.0 +. (0.01 *. float_of_int i)) ~bytes:100
+  done;
+  FS.on_loss fs ~now:1.0;
+  for i = 1 to 20 do
+    FS.on_receive fs ~now:(1.0 +. (0.01 *. float_of_int i)) ~bytes:100
+  done;
+  FS.on_loss fs ~now:2.0;
+  let ivs = FS.loss_event_intervals fs in
+  Alcotest.(check int) "two completed intervals" 2 (Array.length ivs);
+  feq ivs.(0) 10.0;
+  feq ivs.(1) 20.0;
+  feq (FS.loss_event_rate fs) (2.0 /. 30.0)
+
+let test_flow_stats_throughput () =
+  let fs = FS.create ~flow:0 ~rtt_hint:0.1 in
+  for i = 0 to 10 do
+    FS.on_receive fs ~now:(float_of_int i) ~bytes:1000
+  done;
+  feq (FS.throughput_pps fs) 1.0;
+  feq (FS.throughput_bps fs) (8.0 *. 11_000.0 /. 10.0)
+
+let test_flow_stats_rtt () =
+  let fs = FS.create ~flow:0 ~rtt_hint:0.1 in
+  FS.on_rtt_sample fs 0.05;
+  FS.on_rtt_sample fs 0.07;
+  feq (FS.mean_rtt fs) 0.06;
+  Alcotest.(check int) "samples" 2 (FS.rtt_samples fs)
+
+(* --------------------------- gap sink -------------------------- *)
+
+let test_gap_sink_detects_losses () =
+  let gs = GS.create ~flow:0 ~rtt_hint:0.1 in
+  let pkt seq = P.data ~flow:0 ~seq ~size:100 ~sent_at:0.0 in
+  GS.on_packet gs ~now:0.0 (pkt 0);
+  GS.on_packet gs ~now:0.1 (pkt 1);
+  GS.on_packet gs ~now:0.2 (pkt 3);   (* seq 2 lost *)
+  GS.on_packet gs ~now:5.0 (pkt 10);  (* 4..9 lost, new event *)
+  let st = GS.stats gs in
+  Alcotest.(check int) "2 loss events" 2 (FS.loss_events st);
+  Alcotest.(check int) "received" 4 (FS.received st)
+
+let test_gap_sink_contiguous_no_loss () =
+  let gs = GS.create ~flow:0 ~rtt_hint:0.1 in
+  for i = 0 to 99 do
+    GS.on_packet gs ~now:(float_of_int i *. 0.01)
+      (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0)
+  done;
+  Alcotest.(check int) "no events" 0 (FS.loss_events (GS.stats gs))
+
+(* ------------------------- properties -------------------------- *)
+
+let prop_droptail_occupancy_bounded =
+  QCheck.Test.make ~name:"DropTail occupancy never exceeds capacity"
+    ~count:100
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 1 200) bool))
+    (fun (cap, ops) ->
+      let q = QD.create ~capacity:cap QD.Drop_tail in
+      List.for_all
+        (fun enqueue ->
+          if enqueue then ignore (QD.offer q ~now:0.0 ~u:0.5)
+          else if QD.occupancy q > 0 then QD.departure q ~now:0.0;
+          QD.occupancy q <= cap)
+        ops)
+
+let prop_bernoulli_conservation =
+  QCheck.Test.make ~name:"loss module conserves packets" ~count:50
+    QCheck.(pair small_nat (float_range 0.0 0.9))
+    (fun (seed, p) ->
+      let rng = Prng.create ~seed in
+      let lm = LM.bernoulli rng ~p in
+      let passed = ref 0 in
+      for i = 0 to 999 do
+        if LM.process lm (P.data ~flow:0 ~seq:i ~size:10 ~sent_at:0.0) then
+          incr passed
+      done;
+      let offered, dropped = LM.stats lm in
+      offered = 1000 && !passed + dropped = 1000)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_droptail_occupancy_bounded; prop_bernoulli_conservation ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "constructors" `Quick test_packet_constructors;
+          Alcotest.test_case "invalid size" `Quick test_packet_invalid_size;
+        ] );
+      ( "droptail",
+        [
+          Alcotest.test_case "fills then drops" `Quick test_droptail_accepts_until_full;
+          Alcotest.test_case "departure frees" `Quick test_droptail_departure_frees_slot;
+          Alcotest.test_case "empty departure raises" `Quick test_departure_empty_raises;
+        ] );
+      ( "red",
+        [
+          Alcotest.test_case "no drops below min_th" `Quick test_red_no_drops_below_min_th;
+          Alcotest.test_case "probabilistic between thresholds" `Quick test_red_drops_probabilistically_between_thresholds;
+          Alcotest.test_case "forced above max_th" `Quick test_red_forced_drop_above_max_th;
+          Alcotest.test_case "hard limit" `Quick test_red_hard_limit;
+          Alcotest.test_case "idle decay" `Quick test_red_average_decays_when_idle;
+          Alcotest.test_case "ns-2 default geometry" `Quick test_red_default_params;
+          Alcotest.test_case "invalid params" `Quick test_red_invalid_params;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery with delay" `Quick test_link_delivers_with_delay;
+          Alcotest.test_case "serialisation" `Quick test_link_serialises_back_to_back;
+          Alcotest.test_case "drop hook + counters" `Quick test_link_drop_hook_and_counters;
+          Alcotest.test_case "transmission time" `Quick test_link_transmission_time;
+        ] );
+      ( "loss_module",
+        [
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_dropper_rate;
+          Alcotest.test_case "periodic" `Quick test_periodic_dropper;
+          Alcotest.test_case "lossless" `Quick test_lossless;
+          Alcotest.test_case "bernoulli bytes" `Quick test_bernoulli_bytes_length_dependence;
+          Alcotest.test_case "RED byte mode" `Quick test_red_byte_mode_prefers_small_packets;
+          Alcotest.test_case "gilbert-elliott" `Quick test_gilbert_elliott_burstiness;
+        ] );
+      ( "flow_stats",
+        [
+          Alcotest.test_case "loss-event aggregation" `Quick test_flow_stats_loss_event_aggregation;
+          Alcotest.test_case "intervals" `Quick test_flow_stats_intervals;
+          Alcotest.test_case "throughput" `Quick test_flow_stats_throughput;
+          Alcotest.test_case "rtt" `Quick test_flow_stats_rtt;
+        ] );
+      ( "gap_sink",
+        [
+          Alcotest.test_case "detects losses" `Quick test_gap_sink_detects_losses;
+          Alcotest.test_case "contiguous clean" `Quick test_gap_sink_contiguous_no_loss;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,245 @@
+(* Tests for the discrete-event simulation core: event ordering, timer
+   cancellation, horizons, budgets, and heap behaviour. *)
+
+module EQ = Ebrc.Event_queue
+module E = Ebrc.Engine
+
+let feq ?(eps = 1e-12) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+(* ------------------------- event queue ------------------------- *)
+
+let test_queue_ordering () =
+  let q = EQ.create () in
+  List.iter (fun (t, v) -> EQ.push q ~time:t v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let pop () = match EQ.pop q with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (EQ.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = EQ.create () in
+  List.iteri (fun i v -> ignore i; EQ.push q ~time:1.0 v) [ "x"; "y"; "z" ];
+  let pop () = match EQ.pop q with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "tie 1" "x" (pop ());
+  Alcotest.(check string) "tie 2" "y" (pop ());
+  Alcotest.(check string) "tie 3" "z" (pop ())
+
+let test_queue_grows () =
+  let q = EQ.create () in
+  for i = 0 to 999 do
+    EQ.push q ~time:(float_of_int (999 - i)) i
+  done;
+  Alcotest.(check int) "size" 1000 (EQ.size q);
+  let prev = ref neg_infinity in
+  for _ = 1 to 1000 do
+    match EQ.pop q with
+    | Some (t, _) ->
+        Alcotest.(check bool) "sorted" true (t >= !prev);
+        prev := t
+    | None -> Alcotest.fail "queue drained early"
+  done
+
+let test_queue_interleaved_push_pop () =
+  let q = EQ.create () in
+  EQ.push q ~time:5.0 5;
+  EQ.push q ~time:1.0 1;
+  (match EQ.pop q with
+  | Some (t, v) ->
+      feq t 1.0;
+      Alcotest.(check int) "v" 1 v
+  | None -> Alcotest.fail "empty");
+  EQ.push q ~time:3.0 3;
+  (match EQ.pop q with
+  | Some (_, v) -> Alcotest.(check int) "v" 3 v
+  | None -> Alcotest.fail "empty");
+  match EQ.pop q with
+  | Some (_, v) -> Alcotest.(check int) "v" 5 v
+  | None -> Alcotest.fail "empty"
+
+let test_queue_peek_and_clear () =
+  let q = EQ.create () in
+  Alcotest.(check (option (float 0.0))) "peek empty" None (EQ.peek_time q);
+  EQ.push q ~time:2.5 ();
+  Alcotest.(check (option (float 1e-12))) "peek" (Some 2.5) (EQ.peek_time q);
+  EQ.clear q;
+  Alcotest.(check bool) "cleared" true (EQ.is_empty q)
+
+let test_queue_nan_rejected () =
+  let q = EQ.create () in
+  match EQ.push q ~time:Float.nan () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --------------------------- engine ---------------------------- *)
+
+let test_engine_runs_in_order () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore (E.schedule e ~at:2.0 (fun () -> log := 2 :: !log));
+  ignore (E.schedule e ~at:1.0 (fun () -> log := 1 :: !log));
+  ignore (E.schedule e ~at:3.0 (fun () -> log := 3 :: !log));
+  let reason = E.run e in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check bool) "empty reason" true (reason = E.Queue_empty);
+  feq (E.now e) 3.0
+
+let test_engine_schedule_after () =
+  let e = E.create () in
+  let fired_at = ref nan in
+  ignore
+    (E.schedule e ~at:1.0 (fun () ->
+         ignore
+           (E.schedule_after e ~delay:0.5 (fun () -> fired_at := E.now e))));
+  ignore (E.run e);
+  feq !fired_at 1.5
+
+let test_engine_past_rejected () =
+  let e = E.create () in
+  ignore (E.schedule e ~at:5.0 (fun () ->
+      match E.schedule e ~at:1.0 (fun () -> ()) with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ()));
+  ignore (E.run e)
+
+let test_engine_cancel () =
+  let e = E.create () in
+  let fired = ref false in
+  let h = E.schedule e ~at:1.0 (fun () -> fired := true) in
+  E.cancel h;
+  ignore (E.run e);
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check bool) "is_cancelled" true (E.is_cancelled h)
+
+let test_engine_cancel_from_event () =
+  (* An earlier event cancels a later one at the same or later time. *)
+  let e = E.create () in
+  let fired = ref false in
+  let h = ref None in
+  ignore
+    (E.schedule e ~at:1.0 (fun () ->
+         match !h with Some h -> E.cancel h | None -> ()));
+  h := Some (E.schedule e ~at:2.0 (fun () -> fired := true));
+  ignore (E.run e);
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_engine_horizon_resume () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore (E.schedule e ~at:1.0 (fun () -> log := 1 :: !log));
+  ignore (E.schedule e ~at:10.0 (fun () -> log := 10 :: !log));
+  let r1 = E.run ~until:5.0 e in
+  Alcotest.(check bool) "horizon" true (r1 = E.Horizon_reached);
+  feq (E.now e) 5.0;
+  Alcotest.(check (list int)) "only first" [ 1 ] (List.rev !log);
+  let r2 = E.run ~until:20.0 e in
+  Alcotest.(check bool) "drained" true (r2 = E.Queue_empty);
+  Alcotest.(check (list int)) "both" [ 1; 10 ] (List.rev !log)
+
+let test_engine_budget () =
+  let e = E.create () in
+  for i = 1 to 10 do
+    ignore (E.schedule e ~at:(float_of_int i) (fun () -> ()))
+  done;
+  let r = E.run ~max_events:3 e in
+  Alcotest.(check bool) "budget" true (r = E.Budget_exhausted);
+  Alcotest.(check int) "processed" 3 (E.processed e)
+
+let test_engine_stop () =
+  let e = E.create () in
+  let after_stop = ref false in
+  ignore (E.schedule e ~at:1.0 (fun () -> E.stop e));
+  ignore (E.schedule e ~at:2.0 (fun () -> after_stop := true));
+  let r = E.run e in
+  Alcotest.(check bool) "stopped" true (r = E.Stopped);
+  Alcotest.(check bool) "later event skipped" false !after_stop
+
+let test_engine_self_scheduling_chain () =
+  (* A classic send-loop: each event schedules the next. *)
+  let e = E.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 100 then ignore (E.schedule_after e ~delay:0.1 tick)
+  in
+  ignore (E.schedule e ~at:0.0 tick);
+  ignore (E.run e);
+  Alcotest.(check int) "count" 100 !count;
+  feq ~eps:1e-9 (E.now e) 9.9
+
+let test_engine_simultaneous_fifo () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore (E.schedule e ~at:1.0 (fun () -> log := "a" :: !log));
+  ignore (E.schedule e ~at:1.0 (fun () -> log := "b" :: !log));
+  ignore (E.run e);
+  Alcotest.(check (list string)) "fifo ties" [ "a"; "b" ] (List.rev !log)
+
+(* ------------------------- properties -------------------------- *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.0 1e6))
+    (fun times ->
+      let q = EQ.create () in
+      List.iter (fun t -> EQ.push q ~time:t ()) times;
+      let rec drain prev =
+        match EQ.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+let prop_engine_time_monotone =
+  QCheck.Test.make ~name:"engine time is monotone" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 100.0))
+    (fun times ->
+      let e = E.create () in
+      let ok = ref true in
+      let prev = ref 0.0 in
+      List.iter
+        (fun t ->
+          ignore
+            (E.schedule e ~at:t (fun () ->
+                 if E.now e < !prev then ok := false;
+                 prev := E.now e)))
+        times;
+      ignore (E.run e);
+      !ok)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorts; prop_engine_time_monotone ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "grows" `Quick test_queue_grows;
+          Alcotest.test_case "interleaved" `Quick test_queue_interleaved_push_pop;
+          Alcotest.test_case "peek/clear" `Quick test_queue_peek_and_clear;
+          Alcotest.test_case "nan rejected" `Quick test_queue_nan_rejected;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "schedule_after" `Quick test_engine_schedule_after;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel from event" `Quick test_engine_cancel_from_event;
+          Alcotest.test_case "horizon + resume" `Quick test_engine_horizon_resume;
+          Alcotest.test_case "budget" `Quick test_engine_budget;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "self-scheduling chain" `Quick test_engine_self_scheduling_chain;
+          Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the bounded-memory time-series recorder and the
+   nofeedback-timer behaviour it helps observe. *)
+
+module Trace = Ebrc.Trace
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%.12g ~ %.12g" a b)
+    true
+    (abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b))
+
+let test_record_and_read_back () =
+  let t = Trace.create () in
+  for i = 0 to 9 do
+    Trace.record t ~time:(float_of_int i) ~value:(float_of_int (i * i))
+  done;
+  Alcotest.(check int) "length" 10 (Trace.length t);
+  feq (Trace.times t).(3) 3.0;
+  feq (Trace.values t).(3) 9.0;
+  Alcotest.(check int) "pairs" 10 (Array.length (Trace.to_pairs t))
+
+let test_decimation_bounds_memory () =
+  let t = Trace.create ~capacity:64 () in
+  for i = 0 to 9999 do
+    Trace.record t ~time:(float_of_int i) ~value:1.0
+  done;
+  Alcotest.(check bool) "bounded" true (Trace.length t <= 64);
+  Alcotest.(check bool) "stride grew" true (Trace.stride t > 1);
+  (* The skeleton must still span the whole time range. *)
+  let times = Trace.times t in
+  Alcotest.(check bool) "covers start" true (times.(0) < 1000.0);
+  Alcotest.(check bool) "covers end" true
+    (times.(Array.length times - 1) > 8000.0)
+
+let test_decimation_preserves_order () =
+  let t = Trace.create ~capacity:32 () in
+  for i = 0 to 999 do
+    Trace.record t ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  let times = Trace.times t in
+  for i = 0 to Array.length times - 2 do
+    Alcotest.(check bool) "sorted" true (times.(i) < times.(i + 1))
+  done
+
+let test_time_average_step () =
+  let t = Trace.create () in
+  (* 1 for one second, then 3 for one second: step average = 2 over
+     [0,2] but sample-and-hold over recorded points = (1*1 + 3*... the
+     last sample has no width, so average = 1*1/(2-0) + 3*1/(2-0). *)
+  Trace.record t ~time:0.0 ~value:1.0;
+  Trace.record t ~time:1.0 ~value:3.0;
+  Trace.record t ~time:2.0 ~value:3.0;
+  feq (Trace.time_average t) 2.0
+
+let test_time_average_degenerate () =
+  let t = Trace.create () in
+  Alcotest.(check bool) "empty nan" true (Float.is_nan (Trace.time_average t));
+  Trace.record t ~time:1.0 ~value:7.0;
+  feq (Trace.time_average t) 7.0
+
+let test_slope_linear () =
+  let t = Trace.create () in
+  for i = 0 to 99 do
+    Trace.record t ~time:(float_of_int i) ~value:((2.5 *. float_of_int i) +. 1.0)
+  done;
+  feq ~eps:1e-9 (Trace.slope t) 2.5
+
+let test_slope_constant () =
+  let t = Trace.create () in
+  for i = 0 to 9 do
+    Trace.record t ~time:(float_of_int i) ~value:5.0
+  done;
+  feq (Trace.slope t) 0.0
+
+let test_growth_linearity_linear () =
+  let t = Trace.create () in
+  for i = 0 to 199 do
+    Trace.record t ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  feq ~eps:1e-6 (Trace.growth_linearity t) 1.0
+
+let test_growth_linearity_concave () =
+  let t = Trace.create () in
+  for i = 1 to 200 do
+    Trace.record t ~time:(float_of_int i) ~value:(sqrt (float_of_int i))
+  done;
+  Alcotest.(check bool) "sublinear < 1" true (Trace.growth_linearity t < 0.9)
+
+let test_growth_linearity_convex () =
+  let t = Trace.create () in
+  for i = 1 to 200 do
+    let x = float_of_int i in
+    Trace.record t ~time:x ~value:(x *. x)
+  done;
+  Alcotest.(check bool) "superlinear > 1" true (Trace.growth_linearity t > 1.1)
+
+let test_capacity_validation () =
+  match Trace.create ~capacity:2 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------- TFRC nofeedback timer --------------------- *)
+
+let test_nofeedback_timer_halves_rate () =
+  (* A sender whose receiver goes silent must decay its rate. *)
+  let module E = Ebrc.Engine in
+  let module TFS = Ebrc.Tfrc_sender in
+  let engine = E.create () in
+  let sender =
+    TFS.create ~initial_rate:100.0 ~nofeedback_rtts:4.0 ~engine ~flow:0
+      ~formula:(Ebrc.Formula.create ~rtt:0.1 Ebrc.Formula.Sqrt)
+      ()
+  in
+  TFS.set_transmit sender (fun _ -> ());
+  ignore (E.schedule engine ~at:0.0 (fun () -> TFS.start sender));
+  (* One feedback seeds srtt = 0.1 and a rate of f(p, srtt). *)
+  ignore
+    (E.schedule engine ~at:0.05 (fun () ->
+         TFS.on_feedback sender ~p_estimate:0.01 ~recv_rate:1000.0
+           ~rtt_echo:(-0.05) ~hold:0.0));
+  ignore (E.run ~until:10.0 engine);
+  (* wait: rtt_echo must be positive to set srtt; use a sent_at of
+     0.05-0.1... the echo above is negative so srtt stayed 0 and the
+     horizon was 4 * 1s; after 10 s several halvings still fired. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d halvings fired" (TFS.rate_halvings sender))
+    true
+    (TFS.rate_halvings sender >= 2);
+  Alcotest.(check bool) "rate decayed" true (TFS.rate sender < 100.0)
+
+let test_nofeedback_timer_disabled () =
+  let module E = Ebrc.Engine in
+  let module TFS = Ebrc.Tfrc_sender in
+  let engine = E.create () in
+  let sender =
+    TFS.create ~initial_rate:50.0 ~nofeedback_rtts:0.0 ~engine ~flow:0
+      ~formula:(Ebrc.Formula.create ~rtt:0.1 Ebrc.Formula.Sqrt)
+      ()
+  in
+  TFS.set_transmit sender (fun _ -> ());
+  ignore (E.schedule engine ~at:0.0 (fun () -> TFS.start sender));
+  ignore (E.run ~until:30.0 engine);
+  Alcotest.(check int) "no halvings" 0 (TFS.rate_halvings sender);
+  feq (TFS.rate sender) 50.0
+
+let test_nofeedback_timer_reset_by_feedback () =
+  let module E = Ebrc.Engine in
+  let module TFS = Ebrc.Tfrc_sender in
+  let engine = E.create () in
+  let sender =
+    TFS.create ~initial_rate:50.0 ~nofeedback_rtts:4.0 ~engine ~flow:0
+      ~formula:(Ebrc.Formula.create ~rtt:0.1 Ebrc.Formula.Sqrt)
+      ()
+  in
+  TFS.set_transmit sender (fun _ -> ());
+  ignore (E.schedule engine ~at:0.0 (fun () -> TFS.start sender));
+  (* Feed feedback every second (well under the 4 s horizon while srtt
+     stays at the 1 s default): the timer must never fire. *)
+  let rec feed at =
+    if at < 20.0 then
+      ignore
+        (E.schedule engine ~at (fun () ->
+             TFS.on_feedback sender ~p_estimate:0.0 ~recv_rate:0.0
+               ~rtt_echo:0.0 ~hold:0.0;
+             feed (at +. 1.0)))
+  in
+  feed 0.5;
+  ignore (E.run ~until:20.0 engine);
+  Alcotest.(check int) "no halvings with live feedback" 0
+    (TFS.rate_halvings sender)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "record/read" `Quick test_record_and_read_back;
+          Alcotest.test_case "decimation bounds memory" `Quick test_decimation_bounds_memory;
+          Alcotest.test_case "decimation order" `Quick test_decimation_preserves_order;
+          Alcotest.test_case "time average" `Quick test_time_average_step;
+          Alcotest.test_case "time average degenerate" `Quick test_time_average_degenerate;
+          Alcotest.test_case "slope linear" `Quick test_slope_linear;
+          Alcotest.test_case "slope constant" `Quick test_slope_constant;
+          Alcotest.test_case "linearity linear" `Quick test_growth_linearity_linear;
+          Alcotest.test_case "linearity concave" `Quick test_growth_linearity_concave;
+          Alcotest.test_case "linearity convex" `Quick test_growth_linearity_convex;
+          Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+        ] );
+      ( "nofeedback_timer",
+        [
+          Alcotest.test_case "halves on silence" `Quick test_nofeedback_timer_halves_rate;
+          Alcotest.test_case "disabled" `Quick test_nofeedback_timer_disabled;
+          Alcotest.test_case "reset by feedback" `Quick test_nofeedback_timer_reset_by_feedback;
+        ] );
+    ]
