@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures validate report examples clean
+.PHONY: all build test bench bench-quick bench-full figures validate report examples clean
 
 all: build
 
@@ -10,8 +10,11 @@ build:
 test:
 	dune runtest
 
-# Regenerate every paper figure (quick mode) plus the micro-benchmarks.
-bench:
+# Regenerate every paper figure (quick mode) plus the micro-benchmarks;
+# writes BENCH_<date>.json. Set EBRC_JOBS=N to size the domain pool.
+bench: bench-quick
+
+bench-quick:
 	dune exec bench/main.exe
 
 # Paper-scale sweeps (long).

@@ -2,18 +2,27 @@
 
    Part 1 regenerates every table and figure of the paper's evaluation
    in quick (scaled-down) mode, printing the same rows/series the paper
-   reports — set EBRC_BENCH_FULL=1 for the paper-scale sweeps.
+   reports — set EBRC_BENCH_FULL=1 for the paper-scale sweeps and
+   EBRC_JOBS=N to fan sweep points out over N domains (default: one per
+   available core; the tables are identical either way).
 
    Part 2 runs Bechamel micro-benchmarks: one Test.make per figure (a
    representative kernel of that figure's computation) plus the
    component kernels and the ablation comparisons called out in
    DESIGN.md (closed-form vs ODE comprehensive engine, DropTail vs
-   RED). *)
+   RED).
+
+   Part 3 measures the domain-pool speedup on one figure sweep and
+   writes everything — per-test ns/run, per-figure regeneration
+   seconds, the speedup record — to BENCH_<UTC-date>.json. *)
 
 open Bechamel
 open Toolkit
 
 let quick = Sys.getenv_opt "EBRC_BENCH_FULL" <> Some "1"
+
+(* EBRC_JOBS is read by Pool.default_jobs; fall back to all cores. *)
+let jobs = Ebrc.Pool.default_jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate all figures/tables.                              *)
@@ -22,17 +31,19 @@ let quick = Sys.getenv_opt "EBRC_BENCH_FULL" <> Some "1"
 let regenerate_figures () =
   Printf.printf
     "#############################################################\n\
-     # Regenerating all paper figures/tables (%s mode)\n\
+     # Regenerating all paper figures/tables (%s mode, %d jobs)\n\
      #############################################################\n\n"
-    (if quick then "quick" else "FULL");
-  List.iter
+    (if quick then "quick" else "FULL")
+    jobs;
+  List.map
     (fun (id, desc, runner) ->
       Printf.printf "--- figure %s: %s ---\n%!" id desc;
       let t0 = Unix.gettimeofday () in
-      let tables = runner ~quick () in
+      let tables = runner ?jobs:(Some jobs) ~quick () in
       List.iter Ebrc.Table.print tables;
-      Printf.printf "(figure %s regenerated in %.1f s)\n\n%!" id
-        (Unix.gettimeofday () -. t0))
+      let seconds = Unix.gettimeofday () -. t0 in
+      Printf.printf "(figure %s regenerated in %.1f s)\n\n%!" id seconds;
+      (id, seconds))
     Ebrc.Figures.registry
 
 (* ------------------------------------------------------------------ *)
@@ -253,11 +264,14 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* Print the per-test estimates and return them as (name, ns/run)
+   pairs for the JSON record. *)
 let print_bench_results merged =
   Printf.printf
     "#############################################################\n\
      # Bechamel micro-benchmarks (monotonic clock, ns per run)\n\
      #############################################################\n\n";
+  let collected = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
       let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
@@ -265,15 +279,118 @@ let print_bench_results merged =
       List.iter
         (fun (name, ols) ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+              Printf.printf "  %-45s %12.0f ns/run\n" name est;
+              collected := (name, est) :: !collected
           | Some ests ->
               Printf.printf "  %-45s %s\n" name
                 (String.concat ", " (List.map (Printf.sprintf "%.0f") ests))
           | None -> Printf.printf "  %-45s (no estimate)\n" name)
         rows)
-    merged
+    merged;
+  List.rev !collected
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: domain-pool speedup on a real figure sweep.                 *)
+(* ------------------------------------------------------------------ *)
+
+type speedup = {
+  figure : string;
+  par_jobs : int;
+  serial_seconds : float;
+  parallel_seconds : float;
+  deterministic : bool;       (* tables byte-identical at 1 and N jobs *)
+}
+
+(* Figure 3 is a pure (p, L) grid of basic-control simulations with no
+   result cache, so it exercises the pool without cross-run state. The
+   [deterministic] flag asserts the pool's contract; the speedup itself
+   is host-dependent (1.0 on a single-core container). *)
+let measure_parallel_sweep () =
+  let fig = "3" in
+  let par_jobs = max 2 (min 4 jobs) in
+  Printf.printf
+    "#############################################################\n\
+     # Parallel figure sweep: figure %s at 1 vs %d jobs\n\
+     #############################################################\n\n%!"
+    fig par_jobs;
+  let csv_of tables = String.concat "\n" (List.map Ebrc.Table.to_csv tables) in
+  let time_run ~jobs =
+    let t0 = Unix.gettimeofday () in
+    let tables = Ebrc.Figures.run_one ~jobs ~quick:true fig in
+    (Unix.gettimeofday () -. t0, csv_of tables)
+  in
+  let serial_seconds, serial_csv = time_run ~jobs:1 in
+  let parallel_seconds, parallel_csv = time_run ~jobs:par_jobs in
+  let deterministic = String.equal serial_csv parallel_csv in
+  Printf.printf
+    "  serial    %.2f s\n  parallel  %.2f s (%d jobs)\n  speedup   %.2fx\n\
+    \  deterministic: %b\n\n"
+    serial_seconds parallel_seconds par_jobs
+    (serial_seconds /. parallel_seconds)
+    deterministic;
+  { figure = fig; par_jobs; serial_seconds; parallel_seconds; deterministic }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_<UTC-date>.json.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~figure_seconds ~microbench ~sweep =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out path in
+  let field_block name kvs fmt =
+    Printf.fprintf oc "  %S: {\n" name;
+    List.iteri
+      (fun i (k, v) ->
+        Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape k) (fmt v)
+          (if i = List.length kvs - 1 then "" else ","))
+      kvs;
+    Printf.fprintf oc "  },\n"
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"date\": %S,\n" date;
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  field_block "microbench_ns_per_run" microbench (Printf.sprintf "%.1f");
+  field_block "figure_regeneration_seconds" figure_seconds
+    (Printf.sprintf "%.3f");
+  Printf.fprintf oc
+    "  \"parallel_figure_sweep\": {\n\
+    \    \"figure\": %S,\n\
+    \    \"jobs\": %d,\n\
+    \    \"serial_seconds\": %.3f,\n\
+    \    \"parallel_seconds\": %.3f,\n\
+    \    \"speedup\": %.3f,\n\
+    \    \"deterministic\": %b\n\
+    \  }\n"
+    sweep.figure sweep.par_jobs sweep.serial_seconds sweep.parallel_seconds
+    (sweep.serial_seconds /. sweep.parallel_seconds)
+    sweep.deterministic;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "bench record written to %s\n" path
 
 let () =
-  regenerate_figures ();
-  print_bench_results (benchmark ());
+  let figure_seconds = regenerate_figures () in
+  let microbench = print_bench_results (benchmark ()) in
+  let sweep = measure_parallel_sweep () in
+  write_json ~figure_seconds ~microbench ~sweep;
   print_endline "\nbench: done."

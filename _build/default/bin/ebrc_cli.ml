@@ -3,6 +3,22 @@
 
 open Cmdliner
 
+(* Shared -j/--jobs flag: number of worker domains for the sweep
+   runners. 0 (the default) means "auto": all recommended domains.
+   Results are bit-identical whatever the value. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run sweep points on $(docv) worker domains (0 = one per \
+           available core). Output is identical for every $(docv).")
+
+let resolve_jobs = function
+  | 0 -> Ebrc.Pool.default_jobs ()
+  | n when n >= 1 -> n
+  | _ -> invalid_arg "--jobs must be >= 0"
+
 let print_tables ?csv_dir tables =
   List.iteri
     (fun i t ->
@@ -41,12 +57,13 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv =
+  let run id full csv jobs =
     let quick = not full in
     try
+      let jobs = resolve_jobs jobs in
       let tables =
-        if id = "all" then Ebrc.Figures.run_all ~quick ()
-        else Ebrc.Figures.run_one ~quick id
+        if id = "all" then Ebrc.Figures.run_all ~jobs ~quick ()
+        else Ebrc.Figures.run_one ~jobs ~quick id
       in
       print_tables ?csv_dir:csv tables;
       `Ok ()
@@ -56,7 +73,7 @@ let figure_cmd =
     Cmd.info "figure"
       ~doc:"Regenerate a figure or table from the paper's evaluation."
   in
-  Cmd.v info Term.(ret (const run $ id $ full $ csv))
+  Cmd.v info Term.(ret (const run $ id $ full $ csv $ jobs_arg))
 
 (* --- list --- *)
 
@@ -323,10 +340,11 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full =
+  let run out ids full jobs =
     let options =
       { Ebrc.Report.ids; quick = not full;
-        heading = "EBRC reproduction report" }
+        heading = "EBRC reproduction report";
+        jobs = Some (resolve_jobs jobs) }
     in
     Ebrc.Report.save ~options ~path:out ();
     Printf.printf "report written to %s\n" out
@@ -334,7 +352,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate figures into a self-contained markdown report.")
-    Term.(const run $ out $ ids $ full)
+    Term.(const run $ out $ ids $ full $ jobs_arg)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -344,8 +362,10 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full =
-    let outcomes = Ebrc.Validate.run_all ~quick:(not full) () in
+  let run full jobs =
+    let outcomes =
+      Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
+    in
     Ebrc.Table.print (Ebrc.Validate.to_table outcomes);
     if Ebrc.Validate.all_passed outcomes then begin
       print_endline "all claims validated";
@@ -358,7 +378,7 @@ let validate_cmd =
        ~doc:
          "Run the automated paper-claim validation suite (a scientific CI \
           gate).")
-    Term.(ret (const run $ full))
+    Term.(ret (const run $ full $ jobs_arg))
 
 let main =
   let doc =

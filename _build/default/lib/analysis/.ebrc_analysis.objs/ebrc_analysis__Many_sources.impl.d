@@ -1,1 +1,1 @@
-lib/analysis/many_sources.ml: Array Ebrc_estimator Ebrc_rng
+lib/analysis/many_sources.ml: Array Ebrc_estimator Ebrc_parallel Ebrc_rng

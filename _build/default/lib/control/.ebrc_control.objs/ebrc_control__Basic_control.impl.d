@@ -1,1 +1,1 @@
-lib/control/basic_control.ml: Array Ebrc_estimator Ebrc_formulas Ebrc_lossproc Ebrc_stats
+lib/control/basic_control.ml: Array Ebrc_estimator Ebrc_formulas Ebrc_lossproc Ebrc_parallel Ebrc_rng Ebrc_stats

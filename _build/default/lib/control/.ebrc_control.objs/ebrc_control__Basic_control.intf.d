@@ -1,1 +1,1 @@
-lib/control/basic_control.mli: Ebrc_estimator Ebrc_formulas Ebrc_lossproc
+lib/control/basic_control.mli: Ebrc_estimator Ebrc_formulas Ebrc_lossproc Ebrc_rng

@@ -5,7 +5,8 @@
     This umbrella module re-exports the public API. The layering is:
 
     - Foundations: {!Stats}, {!Prng}, {!Dist}, {!Point_process},
-      {!Convexity}, {!Roots}, {!Quadrature}, {!Ode}.
+      {!Convexity}, {!Roots}, {!Quadrature}, {!Ode}, and {!Pool} (the
+      domain pool behind every [?jobs] parameter).
     - The paper's analytical objects: {!Formula} (SQRT / PFTK throughput
       formulas), {!Conditions} (the (F1)/(F2)/(F2c) convexity
       conditions), {!Weights} and {!Loss_interval} (the θ̂ estimator),
@@ -34,6 +35,7 @@ module Student_t = Ebrc_stats.Student_t
 module Prng = Ebrc_rng.Prng
 module Dist = Ebrc_rng.Dist
 module Point_process = Ebrc_rng.Point_process
+module Pool = Ebrc_parallel.Pool
 module Convexity = Ebrc_numerics.Convexity
 module Roots = Ebrc_numerics.Roots
 module Quadrature = Ebrc_numerics.Quadrature

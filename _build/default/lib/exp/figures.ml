@@ -19,14 +19,35 @@ module Descriptive = Ebrc_stats.Descriptive
 module Breakdown = Ebrc_analysis.Breakdown
 module Few_flows = Ebrc_analysis.Few_flows
 module Many_sources = Ebrc_analysis.Many_sources
+module Pool = Ebrc_parallel.Pool
 
 let cell = Table.cell_float
+
+(* Order-preserving parallel map over the points of a sweep. Every
+   point must be self-contained — its own PRNG seed derived from the
+   point's coordinates, no shared mutable state — so the output list is
+   identical for every [jobs], and tables built from it are
+   byte-identical to the sequential run. *)
+let par_map ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_list pool f xs)
+
+(* Split [xs] after its first [n] elements — used to slice a flat
+   row-major sweep result back into table rows. *)
+let rec take_drop n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: tl ->
+        let a, b = take_drop (n - 1) tl in
+        (x :: a, b)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the functionals x -> f(1/x) and x -> 1/f(1/x).            *)
 (* ------------------------------------------------------------------ *)
 
-let fig1 ~quick:_ () =
+let fig1 ?jobs:_ ~quick:_ () =
   let formulas =
     List.map (fun k -> Formula.create ~rtt:1.0 k) Formula.all_paper_kinds
   in
@@ -70,7 +91,7 @@ let fig1 ~quick:_ () =
 (* Figure 2: convex closure of g for PFTK-standard; r = 1.0026.        *)
 (* ------------------------------------------------------------------ *)
 
-let fig2 ~quick () =
+let fig2 ?jobs:_ ~quick () =
   (* The paper's Figure 2 places the PFTK-standard convexity kink at
      x = 3.375, i.e. at x = c2^2 with b = 1 acknowledged packet per ACK;
      we reproduce that parameterisation (with b = 2 the same kink sits
@@ -115,7 +136,7 @@ let run_basic ~seed ~kind ~l ~p ~cv ~cycles =
   let estimator = Loss_interval.of_tfrc ~l in
   Basic_control.simulate ~formula ~estimator ~process ~cycles ()
 
-let fig3 ~quick () =
+let fig3 ?(jobs = 1) ~quick () =
   let cycles = if quick then 20_000 else 400_000 in
   let ls = [ 1; 2; 4; 8; 16 ] in
   let ps =
@@ -124,20 +145,30 @@ let fig3 ~quick () =
   in
   let cv = 1.0 -. (1.0 /. 1000.0) in
   let make kind title =
+    (* Flatten the (p, L) grid so every point is one parallel task. *)
+    let grid = List.concat_map (fun p -> List.map (fun l -> (p, l)) ls) ps in
+    let vals =
+      par_map ~jobs
+        (fun (p, l) ->
+          (run_basic ~seed:(1000 + l) ~kind ~l ~p ~cv ~cycles)
+            .Basic_control.normalized)
+        grid
+    in
     let t =
       Table.create ~title
         ~header:("p" :: List.map (fun l -> Printf.sprintf "L=%d" l) ls)
     in
-    List.fold_left
-      (fun t p ->
-        Table.add_row t
-          (cell ~decimals:2 p
-          :: List.map
-               (fun l ->
-                 let r = run_basic ~seed:(1000 + l) ~kind ~l ~p ~cv ~cycles in
-                 cell ~decimals:3 r.Basic_control.normalized)
-               ls))
-      t ps
+    let width = List.length ls in
+    let t, _ =
+      List.fold_left
+        (fun (t, vals) p ->
+          let row, rest = take_drop width vals in
+          ( Table.add_row t
+              (cell ~decimals:2 p :: List.map (cell ~decimals:3) row),
+            rest ))
+        (t, vals) ps
+    in
+    t
   in
   [
     make Formula.Sqrt
@@ -147,7 +178,7 @@ let fig3 ~quick () =
        throughput vs p";
   ]
 
-let fig4 ~quick () =
+let fig4 ?(jobs = 1) ~quick () =
   let cycles = if quick then 20_000 else 400_000 in
   let ls = [ 1; 2; 4; 8; 16 ] in
   let cvs =
@@ -155,23 +186,30 @@ let fig4 ~quick () =
     else [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ]
   in
   let make p title =
+    let grid = List.concat_map (fun cv -> List.map (fun l -> (cv, l)) ls) cvs in
+    let vals =
+      par_map ~jobs
+        (fun (cv, l) ->
+          (run_basic ~seed:(2000 + l) ~kind:Formula.Pftk_simplified ~l ~p ~cv
+             ~cycles)
+            .Basic_control.normalized)
+        grid
+    in
     let t =
       Table.create ~title
         ~header:("cv" :: List.map (fun l -> Printf.sprintf "L=%d" l) ls)
     in
-    List.fold_left
-      (fun t cv ->
-        Table.add_row t
-          (cell ~decimals:2 cv
-          :: List.map
-               (fun l ->
-                 let r =
-                   run_basic ~seed:(2000 + l) ~kind:Formula.Pftk_simplified ~l
-                     ~p ~cv ~cycles
-                 in
-                 cell ~decimals:3 r.Basic_control.normalized)
-               ls))
-      t cvs
+    let width = List.length ls in
+    let t, _ =
+      List.fold_left
+        (fun (t, vals) cv ->
+          let row, rest = take_drop width vals in
+          ( Table.add_row t
+              (cell ~decimals:2 cv :: List.map (cell ~decimals:3) row),
+            rest ))
+        (t, vals) cvs
+    in
+    t
   in
   [
     make 0.01
@@ -203,7 +241,7 @@ type sweep_point = {
 
 let sweep_cache : (string, sweep_point list) Hashtbl.t = Hashtbl.create 8
 
-let bottleneck_sweep ~quick () =
+let bottleneck_sweep ?(jobs = 1) ~quick () =
   let key = if quick then "quick" else "full" in
   match Hashtbl.find_opt sweep_cache key with
   | Some pts -> pts
@@ -212,11 +250,11 @@ let bottleneck_sweep ~quick () =
       let ns = if quick then [ 4; 24 ] else [ 2; 4; 8; 16; 32; 64; 96 ] in
       let duration = if quick then 80.0 else 400.0 in
       let warmup = if quick then 20.0 else 80.0 in
+      (* Each (L, N) point owns its seed and its whole simulation; the
+         cache is touched only here on the calling domain. *)
       let pts =
-        List.concat_map
-          (fun l ->
-            List.map
-              (fun n ->
+        par_map ~jobs
+          (fun (l, n) ->
                 let cfg =
                   {
                     Scenario.default_config with
@@ -276,14 +314,13 @@ let bottleneck_sweep ~quick () =
                   cov_norm;
                   tcp_formula_rate;
                 })
-              ns)
-          ls
+          (List.concat_map (fun l -> List.map (fun n -> (l, n)) ns) ls)
       in
       Hashtbl.replace sweep_cache key pts;
       pts
 
-let fig5 ~quick () =
-  let pts = bottleneck_sweep ~quick () in
+let fig5 ?(jobs = 1) ~quick () =
+  let pts = bottleneck_sweep ~jobs ~quick () in
   let t1 =
     Table.create
       ~title:
@@ -316,8 +353,8 @@ let fig5 ~quick () =
   in
   [ t1; t2 ]
 
-let fig7 ~quick () =
-  let pts = bottleneck_sweep ~quick () in
+let fig7 ?(jobs = 1) ~quick () =
+  let pts = bottleneck_sweep ~jobs ~quick () in
   let t =
     Table.create
       ~title:
@@ -348,8 +385,8 @@ let fig7 ~quick () =
   in
   [ t ]
 
-let fig8 ~quick () =
-  let pts = bottleneck_sweep ~quick () in
+let fig8 ?(jobs = 1) ~quick () =
+  let pts = bottleneck_sweep ~jobs ~quick () in
   let t =
     Table.create
       ~title:"Figure 8: TFRC/TCP throughput ratio vs number of connections"
@@ -368,8 +405,8 @@ let fig8 ~quick () =
   in
   [ t ]
 
-let fig9 ~quick () =
-  let pts = bottleneck_sweep ~quick () in
+let fig9 ?(jobs = 1) ~quick () =
+  let pts = bottleneck_sweep ~jobs ~quick () in
   let t =
     Table.create
       ~title:
@@ -395,7 +432,7 @@ let fig9 ~quick () =
 (* Figure 6: the Claim-2 audio experiments.                            *)
 (* ------------------------------------------------------------------ *)
 
-let fig6 ~quick () =
+let fig6 ?(jobs = 1) ~quick () =
   let drop_ps =
     if quick then [ 0.02; 0.1; 0.2 ]
     else [ 0.01; 0.02; 0.05; 0.1; 0.15; 0.2; 0.25 ]
@@ -416,22 +453,27 @@ let fig6 ~quick () =
       ~header:("p (drop prob)" :: List.map (fun k ->
           Formula.name (Formula.create k)) kinds)
   in
+  let flat =
+    par_map ~jobs
+      (fun (p, kind) ->
+        Audio_scenario.run
+          {
+            Audio_scenario.default_config with
+            drop_p = p;
+            formula_kind = kind;
+            duration;
+            warmup = duration /. 10.0;
+          })
+      (List.concat_map (fun p -> List.map (fun k -> (p, k)) kinds) drop_ps)
+  in
   let results =
-    List.map
-      (fun p ->
-        ( p,
-          List.map
-            (fun kind ->
-              Audio_scenario.run
-                {
-                  Audio_scenario.default_config with
-                  drop_p = p;
-                  formula_kind = kind;
-                  duration;
-                  warmup = duration /. 10.0;
-                })
-            kinds ))
-      drop_ps
+    let width = List.length kinds in
+    fst
+      (List.fold_left
+         (fun (acc, flat) p ->
+           let rs, rest = take_drop width flat in
+           (acc @ [ (p, rs) ], rest))
+         ([], flat) drop_ps)
   in
   let t1 =
     List.fold_left
@@ -470,7 +512,7 @@ type path_point = {
 
 let path_cache : (string, path_point list) Hashtbl.t = Hashtbl.create 16
 
-let run_profile ~quick (profile : Paths.profile) =
+let run_profile ?(jobs = 1) ~quick (profile : Paths.profile) =
   let key = profile.Paths.name ^ if quick then ":q" else ":f" in
   match Hashtbl.find_opt path_cache key with
   | Some pts -> pts
@@ -484,9 +526,7 @@ let run_profile ~quick (profile : Paths.profile) =
           | l -> l
         else profile.Paths.n_grid
       in
-      let pts =
-        List.filter_map
-          (fun n ->
+      let point n =
             let cfg = Paths.to_config ~duration ~warmup profile ~n in
             let r = Scenario.run cfg in
             let tfrc_p = Scenario.pooled_loss_rate r.tfrc in
@@ -524,13 +564,13 @@ let run_profile ~quick (profile : Paths.profile) =
               Some
                 { pn = n; ebrc_p = tfrc_p; breakdown = b;
                   path_cov_norm = cov_norm }
-            end)
-          n_grid
+            end
       in
+      let pts = List.filter_map Fun.id (par_map ~jobs point n_grid) in
       Hashtbl.replace path_cache key pts;
       pts
 
-let fig10 ~quick () =
+let fig10 ?(jobs = 1) ~quick () =
   (* Lab, Internet and the cable-modem receiver — the paper's three
      panels of Figure 10. *)
   let profiles =
@@ -546,7 +586,7 @@ let fig10 ~quick () =
   let t =
     List.fold_left
       (fun t profile ->
-        let pts = run_profile ~quick profile in
+        let pts = run_profile ~jobs ~quick profile in
         List.fold_left
           (fun t pt ->
             Table.add_row t
@@ -582,8 +622,8 @@ let breakdown_table ~title pts =
         ])
     t pts
 
-let fig_profile_breakdown ~quick ~fig_id profile =
-  let pts = run_profile ~quick profile in
+let fig_profile_breakdown ~jobs ~quick ~fig_id profile =
+  let pts = run_profile ~jobs ~quick profile in
   [
     breakdown_table
       ~title:
@@ -594,7 +634,7 @@ let fig_profile_breakdown ~quick ~fig_id profile =
       pts;
   ]
 
-let fig11 ~quick () =
+let fig11 ?(jobs = 1) ~quick () =
   let t =
     Table.create
       ~title:"Figure 11: Internet paths — TFRC/TCP throughput ratio vs p"
@@ -603,7 +643,7 @@ let fig11 ~quick () =
   let t =
     List.fold_left
       (fun t profile ->
-        let pts = run_profile ~quick profile in
+        let pts = run_profile ~jobs ~quick profile in
         List.fold_left
           (fun t pt ->
             Table.add_row t
@@ -617,12 +657,19 @@ let fig11 ~quick () =
   in
   [ t ]
 
-let fig12 ~quick () = fig_profile_breakdown ~quick ~fig_id:12 Paths.inria
-let fig13 ~quick () = fig_profile_breakdown ~quick ~fig_id:13 Paths.kth
-let fig14 ~quick () = fig_profile_breakdown ~quick ~fig_id:14 Paths.umass
-let fig15 ~quick () = fig_profile_breakdown ~quick ~fig_id:15 Paths.umelb
+let fig12 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:12 Paths.inria
 
-let fig16 ~quick () =
+let fig13 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:13 Paths.kth
+
+let fig14 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:14 Paths.umass
+
+let fig15 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:15 Paths.umelb
+
+let fig16 ?(jobs = 1) ~quick () =
   let profiles = [ Paths.lab_droptail ~capacity:100; Paths.lab_red ~pkt:1000 ] in
   let t =
     Table.create
@@ -632,7 +679,7 @@ let fig16 ~quick () =
   let t =
     List.fold_left
       (fun t profile ->
-        let pts = run_profile ~quick profile in
+        let pts = run_profile ~jobs ~quick profile in
         List.fold_left
           (fun t pt ->
             Table.add_row t
@@ -646,17 +693,18 @@ let fig16 ~quick () =
   in
   [ t ]
 
-let fig18 ~quick () =
-  fig_profile_breakdown ~quick ~fig_id:18 (Paths.lab_droptail ~capacity:100)
+let fig18 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:18
+    (Paths.lab_droptail ~capacity:100)
 
-let fig19 ~quick () =
-  fig_profile_breakdown ~quick ~fig_id:19 (Paths.lab_red ~pkt:1000)
+let fig19 ?(jobs = 1) ~quick () =
+  fig_profile_breakdown ~jobs ~quick ~fig_id:19 (Paths.lab_red ~pkt:1000)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 17 + Claim 4: loss-event-rate ratio over a DropTail link.    *)
 (* ------------------------------------------------------------------ *)
 
-let fig17 ~quick () =
+let fig17 ?(jobs = 1) ~quick () =
   let buffers = if quick then [ 25; 100 ] else [ 10; 25; 50; 100; 200; 300 ] in
   let duration = if quick then 120.0 else 600.0 in
   let warmup = duration /. 5.0 in
@@ -683,19 +731,26 @@ let fig17 ~quick () =
       ~title:"Figure 17 (left): p'/p, TCP and TFRC each alone on DropTail(b)"
       ~header:[ "b (packets)"; "p' (TCP alone)"; "p (TFRC alone)"; "p'/p" ]
   in
-  let t1 =
+  let isolated =
+    par_map ~jobs
+      (fun (b, tfrc) -> isolated_run ~buffer:b ~tfrc)
+      (List.concat_map (fun b -> [ (b, false); (b, true) ]) buffers)
+  in
+  let t1, _ =
     List.fold_left
-      (fun t b ->
-        let p' = isolated_run ~buffer:b ~tfrc:false in
-        let p = isolated_run ~buffer:b ~tfrc:true in
-        Table.add_row t
-          [
-            string_of_int b;
-            cell ~decimals:5 p';
-            cell ~decimals:5 p;
-            cell ~decimals:3 (if p > 0.0 then p' /. p else nan);
-          ])
-      t1 buffers
+      (fun (t, vals) b ->
+        match vals with
+        | p' :: p :: rest ->
+            ( Table.add_row t
+                [
+                  string_of_int b;
+                  cell ~decimals:5 p';
+                  cell ~decimals:5 p;
+                  cell ~decimals:3 (if p > 0.0 then p' /. p else nan);
+                ],
+              rest )
+        | _ -> assert false)
+      (t1, isolated) buffers
   in
   let t2 =
     Table.create
@@ -704,9 +759,9 @@ let fig17 ~quick () =
          DropTail(b)"
       ~header:[ "b (packets)"; "p' (TCP)"; "p (TFRC)"; "p'/p" ]
   in
-  let t2 =
-    List.fold_left
-      (fun t b ->
+  let competing =
+    par_map ~jobs
+      (fun b ->
         let cfg =
           {
             Scenario.default_config with
@@ -721,8 +776,12 @@ let fig17 ~quick () =
           }
         in
         let r = Scenario.run cfg in
-        let p' = Scenario.mean_loss_rate r.tcp in
-        let p = Scenario.mean_loss_rate r.tfrc in
+        (Scenario.mean_loss_rate r.tcp, Scenario.mean_loss_rate r.tfrc))
+      buffers
+  in
+  let t2 =
+    List.fold_left2
+      (fun t b (p', p) ->
         Table.add_row t
           [
             string_of_int b;
@@ -730,11 +789,11 @@ let fig17 ~quick () =
             cell ~decimals:5 p;
             cell ~decimals:3 (if p > 0.0 then p' /. p else nan);
           ])
-      t2 buffers
+      t2 buffers competing
   in
   [ t1; t2 ]
 
-let table_c4 ~quick:_ () =
+let table_c4 ?jobs:_ ~quick:_ () =
   let t =
     Table.create
       ~title:
@@ -766,10 +825,10 @@ let table_c4 ~quick:_ () =
   in
   [ Table.add_note t "beta = 1/2 gives 16/9 = 1.7778, the paper's headline" ]
 
-let table_one ~quick:_ () = [ Paths.table_one () ]
+let table_one ?jobs:_ ~quick:_ () = [ Paths.table_one () ]
 
 (* Claim 3 analytic check: the many-sources limit ordering. *)
-let table_c3 ~quick () =
+let table_c3 ?(jobs = 1) ~quick () =
   let cp =
     [|
       { Many_sources.p_i = 0.001; pi_i = 0.5 };
@@ -795,9 +854,10 @@ let table_c3 ~quick () =
         [ "responsiveness"; "p (limit)"; "p (Monte-Carlo)"; "within bounds" ]
   in
   let steps = if quick then 20_000 else 200_000 in
-  let t =
-    List.fold_left
-      (fun t resp ->
+  let resps = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let rows =
+    par_map ~jobs
+      (fun resp ->
         let rates =
           Many_sources.partially_responsive_profile cp ~formula_rate
             ~responsiveness:resp
@@ -807,16 +867,21 @@ let table_c3 ~quick () =
         let mc =
           Many_sources.monte_carlo rng cp ~rates ~mean_sojourn:100.0 ~steps
         in
+        (resp, p_lim, mc.Many_sources.observed_p))
+      resps
+  in
+  let t =
+    List.fold_left
+      (fun t (resp, p_lim, mc_p) ->
         let ok = p' <= p_lim +. 1e-12 && p_lim <= p'' +. 1e-12 in
         Table.add_row t
           [
             cell ~decimals:2 resp;
             cell ~decimals:5 p_lim;
-            cell ~decimals:5 mc.Many_sources.observed_p;
+            cell ~decimals:5 mc_p;
             (if ok then "yes" else "no");
           ])
-      t
-      [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+      t rows
   in
   [
     Table.add_note t
@@ -831,7 +896,7 @@ let table_c3 ~quick () =
    decaying TFRC weights concentrate mass on recent intervals (higher
    estimator variability than uniform at equal L), so Claim 1 predicts
    the TFRC weighting to be slightly more conservative. *)
-let ablation_weights ~quick () =
+let ablation_weights ?(jobs = 1) ~quick () =
   let cycles = if quick then 30_000 else 300_000 in
   let t =
     Table.create
@@ -848,17 +913,25 @@ let ablation_weights ~quick () =
     (Basic_control.simulate ~formula ~estimator ~process ~cycles ())
       .Basic_control.normalized
   in
+  let ls = [ 2; 4; 8; 16 ] in
+  let rows =
+    par_map ~jobs
+      (fun l ->
+        ( l,
+          run_with ~weights:(Weights.tfrc l) ~seed:(3 + l),
+          run_with ~weights:(Weights.uniform l) ~seed:(3 + l) ))
+      ls
+  in
   let t =
     List.fold_left
-      (fun t l ->
+      (fun t (l, tfrc_v, uniform_v) ->
         Table.add_row t
           [
             string_of_int l;
-            cell ~decimals:3 (run_with ~weights:(Weights.tfrc l) ~seed:(3 + l));
-            cell ~decimals:3
-              (run_with ~weights:(Weights.uniform l) ~seed:(3 + l));
+            cell ~decimals:3 tfrc_v;
+            cell ~decimals:3 uniform_v;
           ])
-      t [ 2; 4; 8; 16 ]
+      t rows
   in
   [
     Table.add_note t
@@ -868,7 +941,7 @@ let ablation_weights ~quick () =
 
 (* A2: Eq. (12) -> Eq. (13) convergence as the congestion-process
    timescale separates from the control timescale. *)
-let ablation_eq12 ~quick:_ () =
+let ablation_eq12 ?jobs:_ ~quick:_ () =
   let cp =
     [|
       { Many_sources.p_i = 0.001; pi_i = 0.5 };
@@ -911,7 +984,7 @@ let ablation_eq12 ~quick:_ () =
 (* A3: Claim-2 audio source over a packet-mode vs byte-mode dropper.
    Byte mode penalises long packets, creating the negative rate/duration
    correlation that restores conservativeness under PFTK heavy loss. *)
-let ablation_dropper_mode ~quick () =
+let ablation_dropper_mode ?(jobs = 1) ~quick () =
   let duration = if quick then 800.0 else 4000.0 in
   let t =
     Table.create
@@ -932,16 +1005,23 @@ let ablation_dropper_mode ~quick () =
        })
       .Audio_scenario.normalized_throughput
   in
+  let ps = [ 0.1; 0.2 ] in
+  let rows =
+    par_map ~jobs
+      (fun p ->
+        (p, run Audio_scenario.Packet_mode p, run Audio_scenario.Byte_mode p))
+      ps
+  in
   let t =
     List.fold_left
-      (fun t p ->
+      (fun t (p, packet_v, byte_v) ->
         Table.add_row t
           [
             cell ~decimals:2 p;
-            cell ~decimals:3 (run Audio_scenario.Packet_mode p);
-            cell ~decimals:3 (run Audio_scenario.Byte_mode p);
+            cell ~decimals:3 packet_v;
+            cell ~decimals:3 byte_v;
           ])
-      t [ 0.1; 0.2 ]
+      t rows
   in
   [
     Table.add_note t
@@ -955,7 +1035,7 @@ let ablation_dropper_mode ~quick () =
 
 (* A4: the paper's undisplayed competition experiment — one AIMD and
    one EBRC sharing a fluid link. *)
-let ablation_competition ~quick () =
+let ablation_competition ?jobs:_ ~quick () =
   let cycles = if quick then 500 else 5000 in
   let t =
     Table.create
@@ -990,7 +1070,7 @@ let ablation_competition ~quick () =
 (* A5: Figure 3 under the comprehensive control — the variant the paper
    describes as "qualitatively the same, but the effects are less
    pronounced" (its tech-report Figure 4). *)
-let ablation_comprehensive_fig3 ~quick () =
+let ablation_comprehensive_fig3 ?(jobs = 1) ~quick () =
   let cycles = if quick then 15_000 else 150_000 in
   let ls = [ 1; 2; 4; 8; 16 ] in
   let ps = if quick then [ 0.02; 0.1; 0.3 ] else [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.3; 0.4 ] in
@@ -1002,28 +1082,30 @@ let ablation_comprehensive_fig3 ~quick () =
          (PFTK-simplified) — less pronounced conservativeness"
       ~header:("p" :: List.map (fun l -> Printf.sprintf "L=%d" l) ls)
   in
-  let t =
+  let grid = List.concat_map (fun p -> List.map (fun l -> (p, l)) ls) ps in
+  let vals =
+    par_map ~jobs
+      (fun (p, l) ->
+        let rng = Prng.create ~seed:(5000 + l) in
+        let process = Loss_process.iid_shifted_exponential rng ~p ~cv in
+        let formula = Formula.create ~rtt:1.0 Formula.Pftk_simplified in
+        let estimator = Loss_interval.of_tfrc ~l in
+        let r =
+          Comprehensive_control.simulate ~formula ~estimator ~process ~cycles
+            ()
+        in
+        r.Comprehensive_control.normalized)
+      grid
+  in
+  let width = List.length ls in
+  let t, _ =
     List.fold_left
-      (fun t p ->
-        Table.add_row t
-          (cell ~decimals:2 p
-          :: List.map
-               (fun l ->
-                 let rng = Prng.create ~seed:(5000 + l) in
-                 let process =
-                   Loss_process.iid_shifted_exponential rng ~p ~cv
-                 in
-                 let formula =
-                   Formula.create ~rtt:1.0 Formula.Pftk_simplified
-                 in
-                 let estimator = Loss_interval.of_tfrc ~l in
-                 let r =
-                   Comprehensive_control.simulate ~formula ~estimator
-                     ~process ~cycles ()
-                 in
-                 cell ~decimals:3 r.Comprehensive_control.normalized)
-               ls))
-      t ps
+      (fun (t, vals) p ->
+        let row, rest = take_drop width vals in
+        ( Table.add_row t
+            (cell ~decimals:2 p :: List.map (cell ~decimals:3) row),
+          rest ))
+      (t, vals) ps
   in
   [
     Table.add_note t
@@ -1037,7 +1119,7 @@ let ablation_comprehensive_fig3 ~quick () =
    congestion-avoidance ascents of a single TCP flow over a DropTail
    bottleneck and report the second-half/first-half slope ratio of the
    longest ascent (1 = linear, < 1 = concave/sub-linear). *)
-let ablation_window_growth ~quick () =
+let ablation_window_growth ?(jobs = 1) ~quick () =
   let module Engine = Ebrc_sim.Engine in
   let module Link = Ebrc_net.Link in
   let module QD = Ebrc_net.Queue_discipline in
@@ -1089,10 +1171,11 @@ let ablation_window_growth ~quick () =
         [ "DropTail buffer"; "loss events"; "ascent samples";
           "slope ratio (2nd/1st half)" ]
   in
+  let buffers = if quick then [ 50; 200 ] else [ 25; 50; 100; 200; 400 ] in
+  let rows = par_map ~jobs (fun buffer -> run ~buffer) buffers in
   let t =
-    List.fold_left
-      (fun t buffer ->
-        let events, samples, ratio = run ~buffer in
+    List.fold_left2
+      (fun t buffer (events, samples, ratio) ->
         Table.add_row t
           [
             string_of_int buffer;
@@ -1100,8 +1183,7 @@ let ablation_window_growth ~quick () =
             string_of_int samples;
             cell ~decimals:3 ratio;
           ])
-      t
-      (if quick then [ 50; 200 ] else [ 25; 50; 100; 200; 400 ])
+      t buffers rows
   in
   [
     Table.add_note t
@@ -1114,7 +1196,7 @@ let ablation_window_growth ~quick () =
    the [Zhang et al.] evidence behind condition (C1): lag-k
    autocorrelations of TFRC's loss intervals on a shared bottleneck are
    small. *)
-let ablation_autocovariance ~quick () =
+let ablation_autocovariance ?jobs:_ ~quick () =
   let duration = if quick then 120.0 else 600.0 in
   let cfg =
     {
@@ -1158,7 +1240,7 @@ let ablation_autocovariance ~quick () =
 
 (* A8: exact quadrature vs Monte Carlo for the iid Prop-1 collapse —
    validates both engines against each other. *)
-let ablation_exact_vs_mc ~quick () =
+let ablation_exact_vs_mc ?(jobs = 1) ~quick () =
   let cycles = if quick then 100_000 else 1_000_000 in
   let formula = Formula.create ~rtt:1.0 Formula.Pftk_simplified in
   let t =
@@ -1168,9 +1250,10 @@ let ablation_exact_vs_mc ~quick () =
          uniform weights, PFTK-simplified, p = 0.1, cv = 0.9)"
       ~header:[ "L"; "x/f(p) exact"; "x/f(p) Monte Carlo"; "rel. error" ]
   in
-  let t =
-    List.fold_left
-      (fun t l ->
+  let ls = [ 1; 2; 4; 8; 16 ] in
+  let rows =
+    par_map ~jobs
+      (fun l ->
         let exact =
           Ebrc_control.Exact.normalized_throughput ~formula ~l ~p:0.1 ~cv:0.9
         in
@@ -1183,6 +1266,12 @@ let ablation_exact_vs_mc ~quick () =
           (Basic_control.simulate ~formula ~estimator ~process ~cycles ())
             .Basic_control.normalized
         in
+        (l, exact, mc))
+      ls
+  in
+  let t =
+    List.fold_left
+      (fun t (l, exact, mc) ->
         Table.add_row t
           [
             string_of_int l;
@@ -1190,13 +1279,13 @@ let ablation_exact_vs_mc ~quick () =
             cell ~decimals:4 mc;
             cell ~decimals:4 (abs_float (mc -. exact) /. exact);
           ])
-      t [ 1; 2; 4; 8; 16 ]
+      t rows
   in
   [ t ]
 
 (* A9: the two-router chain — where do losses happen and does the
    TFRC/TCP comparison survive a second congestion point? *)
-let ablation_chain ~quick () =
+let ablation_chain ?jobs:_ ~quick () =
   let duration = if quick then 60.0 else 300.0 in
   let t =
     Table.create
@@ -1238,7 +1327,7 @@ let ablation_chain ~quick () =
 (* A10: TCP variant sensitivity — does the Reno/Tahoe recovery style
    change the loss-event rates and formula obedience that drive the
    paper's sub-conditions 2 and 4? *)
-let ablation_tcp_variant ~quick () =
+let ablation_tcp_variant ?(jobs = 1) ~quick () =
   let module Engine = Ebrc_sim.Engine in
   let module Link = Ebrc_net.Link in
   let module QD = Ebrc_net.Queue_discipline in
@@ -1279,10 +1368,13 @@ let ablation_tcp_variant ~quick () =
         [ "variant"; "p'"; "x' (pkt/s)"; "x'/f(p',r')"; "timeouts";
           "fast rtx" ]
   in
+  let variants = [ ("Reno/NewReno", TS.Reno); ("Tahoe", TS.Tahoe) ] in
+  let rows =
+    par_map ~jobs (fun (name, variant) -> (name, run ~variant)) variants
+  in
   let t =
     List.fold_left
-      (fun t (name, variant) ->
-        let p, x, obed, timeouts, frtx = run ~variant in
+      (fun t (name, (p, x, obed, timeouts, frtx)) ->
         Table.add_row t
           [
             name;
@@ -1292,8 +1384,7 @@ let ablation_tcp_variant ~quick () =
             string_of_int timeouts;
             string_of_int frtx;
           ])
-      t
-      [ ("Reno/NewReno", TS.Reno); ("Tahoe", TS.Tahoe) ]
+      t rows
   in
   [
     Table.add_note t
@@ -1305,7 +1396,7 @@ let ablation_tcp_variant ~quick () =
 (* A11: the paper's "further study" direction — conservativeness as a
    design objective. The advisor picks the smallest estimator window
    meeting a worst-case efficiency target over an operating region. *)
-let ablation_design_advisor ~quick:_ () =
+let ablation_design_advisor ?jobs:_ ~quick:_ () =
   let module Dz = Ebrc_analysis.Design in
   let formula = Formula.create ~rtt:0.1 Formula.Pftk_standard in
   let t =
@@ -1344,7 +1435,7 @@ let ablation_design_advisor ~quick:_ () =
    observed the r'/r comparison empirically; here we sweep the per-flow
    reverse-delay spread and watch how the RTT ratio and the headline
    friendliness ratio move. *)
-let ablation_rtt_heterogeneity ~quick () =
+let ablation_rtt_heterogeneity ?(jobs = 1) ~quick () =
   let duration = if quick then 80.0 else 400.0 in
   let t =
     Table.create
@@ -1354,9 +1445,10 @@ let ablation_rtt_heterogeneity ~quick () =
       ~header:
         [ "jitter"; "rtt TFRC (ms)"; "rtt TCP (ms)"; "r'/r"; "x/x'" ]
   in
-  let t =
-    List.fold_left
-      (fun t jitter ->
+  let jitters = if quick then [ 0.0; 0.3 ] else [ 0.0; 0.1; 0.3; 0.6 ] in
+  let rows =
+    par_map ~jobs
+      (fun jitter ->
         let cfg =
           {
             Scenario.default_config with
@@ -1370,20 +1462,24 @@ let ablation_rtt_heterogeneity ~quick () =
           }
         in
         let r = Scenario.run cfg in
-        let rtt_tfrc = Scenario.mean_rtt r.tfrc in
-        let rtt_tcp = Scenario.mean_rtt r.tcp in
+        ( jitter,
+          Scenario.mean_rtt r.tfrc,
+          Scenario.mean_rtt r.tcp,
+          Scenario.mean_throughput r.tfrc /. Scenario.mean_throughput r.tcp ))
+      jitters
+  in
+  let t =
+    List.fold_left
+      (fun t (jitter, rtt_tfrc, rtt_tcp, ratio) ->
         Table.add_row t
           [
             cell ~decimals:2 jitter;
             cell ~decimals:1 (1000.0 *. rtt_tfrc);
             cell ~decimals:1 (1000.0 *. rtt_tcp);
             cell ~decimals:3 (rtt_tcp /. rtt_tfrc);
-            cell ~decimals:3
-              (Scenario.mean_throughput r.tfrc
-              /. Scenario.mean_throughput r.tcp);
+            cell ~decimals:3 ratio;
           ])
-      t
-      (if quick then [ 0.0; 0.3 ] else [ 0.0; 0.1; 0.3; 0.6 ])
+      t rows
   in
   [
     Table.add_note t
@@ -1396,7 +1492,7 @@ let ablation_rtt_heterogeneity ~quick () =
 (* A13: loss-process family sensitivity — the same basic control and
    operating point driven by different interval laws; the covariance
    column explains each outcome through Theorem 1 / Claim 1. *)
-let ablation_loss_families ~quick () =
+let ablation_loss_families ?(jobs = 1) ~quick () =
   let cycles = if quick then 50_000 else 400_000 in
   let formula = Formula.create ~rtt:1.0 Formula.Pftk_simplified in
   let p = 0.05 in
@@ -1429,14 +1525,17 @@ let ablation_loss_families ~quick () =
       ~header:
         [ "process"; "p observed"; "x/f(p)"; "cov[th,th^]p^2"; "cv[th^]" ]
   in
-  let t =
-    List.fold_left
-      (fun t (name, mk) ->
+  let rows =
+    par_map ~jobs
+      (fun (name, mk) ->
         let process = mk 97 in
         let estimator = Loss_interval.of_tfrc ~l:8 in
-        let r =
-          Basic_control.simulate ~formula ~estimator ~process ~cycles ()
-        in
+        (name, Basic_control.simulate ~formula ~estimator ~process ~cycles ()))
+      processes
+  in
+  let t =
+    List.fold_left
+      (fun t (name, r) ->
         Table.add_row t
           [
             name;
@@ -1447,7 +1546,7 @@ let ablation_loss_families ~quick () =
               *. r.Basic_control.p_observed *. r.Basic_control.p_observed);
             cell ~decimals:3 r.Basic_control.cv_thetahat;
           ])
-      t processes
+      t rows
   in
   [
     Table.add_note t
@@ -1461,7 +1560,7 @@ let ablation_loss_families ~quick () =
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type runner = quick:bool -> unit -> Table.t list
+type runner = ?jobs:int -> quick:bool -> unit -> Table.t list
 
 let registry : (string * string * runner) list =
   [
@@ -1518,10 +1617,10 @@ let find id =
 let ids () = List.map (fun (id, _, _) -> id) registry
 let describe () = List.map (fun (id, d, _) -> (id, d)) registry
 
-let run_one ~quick id =
+let run_one ?jobs ~quick id =
   match find id with
-  | Some runner -> runner ~quick ()
+  | Some runner -> runner ?jobs ~quick ()
   | None -> invalid_arg ("Figures.run_one: unknown figure id " ^ id)
 
-let run_all ~quick () =
-  List.concat_map (fun (_, _, runner) -> runner ~quick ()) registry
+let run_all ?jobs ~quick () =
+  List.concat_map (fun (_, _, runner) -> runner ?jobs ~quick ()) registry

@@ -1,9 +1,14 @@
 (** One runner per paper figure/table. [quick] shrinks grids and run
     lengths (benchmark mode); full mode reproduces the paper-scale
     sweeps. The experiment index lives in DESIGN.md, the
-    paper-vs-measured record in EXPERIMENTS.md. *)
+    paper-vs-measured record in EXPERIMENTS.md.
 
-type runner = quick:bool -> unit -> Table.t list
+    [jobs] (default 1) fans the runner's sweep points out over that
+    many domains. Every point derives its PRNG from its own
+    coordinates and results are assembled in grid order, so the tables
+    are byte-identical for every [jobs]. *)
+
+type runner = ?jobs:int -> quick:bool -> unit -> Table.t list
 
 val registry : (string * string * runner) list
 (** (figure id, description, runner). Ids: "1".."19", "t1", "c3", "c4". *)
@@ -12,10 +17,10 @@ val ids : unit -> string list
 val describe : unit -> (string * string) list
 
 val find : string -> runner option
-val run_one : quick:bool -> string -> Table.t list
+val run_one : ?jobs:int -> quick:bool -> string -> Table.t list
 (** Raises [Invalid_argument] on an unknown id. *)
 
-val run_all : quick:bool -> unit -> Table.t list
+val run_all : ?jobs:int -> quick:bool -> unit -> Table.t list
 
 (** Individual runners (exposed for tests and the bench harness). *)
 

@@ -70,6 +70,7 @@ type options = {
   ids : string list;          (* empty = whole registry *)
   quick : bool;
   heading : string;
+  jobs : int option;          (* None = sequential *)
 }
 
 let default_options =
@@ -77,6 +78,7 @@ let default_options =
     ids = [];
     quick = true;
     heading = "EBRC reproduction report";
+    jobs = None;
   }
 
 let generate ?(options = default_options) () =
@@ -102,7 +104,7 @@ let generate ?(options = default_options) () =
     (fun (id, desc, runner) ->
       Buffer.add_string buf (Printf.sprintf "## Figure %s — %s\n\n" id desc);
       let t0 = Unix.gettimeofday () in
-      let tables = runner ~quick:options.quick () in
+      let tables = runner ?jobs:options.jobs ~quick:options.quick () in
       List.iter
         (fun t ->
           let title, notes = title_and_notes t in

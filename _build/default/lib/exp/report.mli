@@ -5,6 +5,7 @@ type options = {
   ids : string list;   (** Figure ids to include; empty = whole registry. *)
   quick : bool;
   heading : string;
+  jobs : int option;   (** Worker domains per runner; [None] = sequential. *)
 }
 
 val default_options : options

@@ -15,6 +15,7 @@ module Exact = Ebrc_control.Exact
 module Few_flows = Ebrc_analysis.Few_flows
 module Many_sources = Ebrc_analysis.Many_sources
 module Prng = Ebrc_rng.Prng
+module Pool = Ebrc_parallel.Pool
 
 type check = {
   id : string;
@@ -354,13 +355,17 @@ let checks : check list =
 type outcome = { check : check; passed : bool; evidence : string;
                  seconds : float }
 
-let run_all ?(quick = true) () =
-  List.map
-    (fun check ->
-      let t0 = Unix.gettimeofday () in
-      let passed, evidence = check.run ~quick in
-      { check; passed; evidence; seconds = Unix.gettimeofday () -. t0 })
-    checks
+(* Each check is a self-contained experiment with its own seeds, so the
+   grid parallelises cleanly; only the wall-clock [seconds] column
+   depends on [jobs]. *)
+let run_all ?(quick = true) ?(jobs = 1) () =
+  let one check =
+    let t0 = Unix.gettimeofday () in
+    let passed, evidence = check.run ~quick in
+    { check; passed; evidence; seconds = Unix.gettimeofday () -. t0 }
+  in
+  if jobs <= 1 then List.map one checks
+  else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_list pool one checks)
 
 let to_table outcomes =
   let t =

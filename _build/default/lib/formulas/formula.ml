@@ -29,10 +29,25 @@ type t = {
   b : float;        (* packets acknowledged per ACK *)
   c1 : float;
   c2 : float;
+  (* Constant subexpressions of the denominator, fixed at construction
+     so per-sample evaluation does not recompute them. *)
+  c1r : float;      (* c1 * rtt *)
+  qc2 : float;      (* rto * c2 *)
+  aimd_k : float;   (* AIMD: sqrt(alpha (1+beta) / (2 (1-beta))) *)
 }
 
 let c1_of_b b = sqrt (2.0 *. b /. 3.0)
 let c2_of_b b = 1.5 *. sqrt (3.0 *. b /. 2.0)
+
+(* Recompute the cached products; call after any change to rtt/rto. *)
+let derive t =
+  let aimd_k =
+    match t.kind with
+    | Aimd { alpha; beta } ->
+        sqrt (alpha *. (1.0 +. beta) /. (2.0 *. (1.0 -. beta)))
+    | Sqrt | Pftk_standard | Pftk_simplified -> 1.0
+  in
+  { t with c1r = t.c1 *. t.rtt; qc2 = t.rto *. t.c2; aimd_k }
 
 let create ?(rtt = 1.0) ?rto ?(b = 2.0) kind =
   if rtt <= 0.0 then invalid_arg "Formula.create: rtt must be positive";
@@ -45,7 +60,18 @@ let create ?(rtt = 1.0) ?rto ?(b = 2.0) kind =
       if beta <= 0.0 || beta >= 1.0 then
         invalid_arg "Formula.create: AIMD beta not in (0,1)"
   | Sqrt | Pftk_standard | Pftk_simplified -> ());
-  { kind; rtt; rto; b; c1 = c1_of_b b; c2 = c2_of_b b }
+  derive
+    {
+      kind;
+      rtt;
+      rto;
+      b;
+      c1 = c1_of_b b;
+      c2 = c2_of_b b;
+      c1r = 0.0;
+      qc2 = 0.0;
+      aimd_k = 1.0;
+    }
 
 let kind t = t.kind
 let rtt t = t.rtt
@@ -57,7 +83,7 @@ let with_rtt t ~rtt =
   if rtt <= 0.0 then invalid_arg "Formula.with_rtt: rtt must be positive";
   (* Keep the q/r ratio: the TFRC recommendation is q = 4 r. *)
   let ratio = t.rto /. t.rtt in
-  { t with rtt; rto = ratio *. rtt }
+  derive { t with rtt; rto = ratio *. rtt }
 
 let name t =
   match t.kind with
@@ -68,23 +94,24 @@ let name t =
 
 (* Denominator of 1/f for each family; exposing it separately keeps the
    derivative and the g-functional numerically clean. *)
+(* Left-associativity makes each cached product land on exactly the
+   float the old inline expression produced, so values are bit-stable
+   across the caching change. *)
 let denom t p =
   match t.kind with
-  | Sqrt -> t.c1 *. t.rtt *. sqrt p
+  | Sqrt -> t.c1r *. sqrt p
   | Pftk_standard ->
       let sq = sqrt p in
-      (t.c1 *. t.rtt *. sq)
+      (t.c1r *. sq)
       +. (t.rto *. min 1.0 (t.c2 *. sq) *. p *. (1.0 +. (32.0 *. p *. p)))
   | Pftk_simplified ->
       let sq = sqrt p in
       let p32 = p *. sq in
-      (t.c1 *. t.rtt *. sq)
-      +. (t.rto *. t.c2 *. (p32 +. (32.0 *. p32 *. p *. p)))
-  | Aimd { alpha; beta } ->
-      (* f(p) = sqrt(alpha (1+beta) / (2 (1-beta))) / sqrt p, so the
-         denominator of 1/f is sqrt p / k. *)
-      let k = sqrt (alpha *. (1.0 +. beta) /. (2.0 *. (1.0 -. beta))) in
-      t.rtt *. sqrt p /. k
+      (t.c1r *. sq) +. (t.qc2 *. (p32 +. (32.0 *. p32 *. p *. p)))
+  | Aimd _ ->
+      (* f(p) = aimd_k / sqrt p, so the denominator of 1/f is
+         rtt * sqrt p / aimd_k. *)
+      t.rtt *. sqrt p /. t.aimd_k
 
 let eval t p =
   if p <= 0.0 then invalid_arg "Formula.eval: p must be positive";
@@ -109,12 +136,11 @@ let derivative t p =
   let dd =
     (* denominator derivative d'(p) *)
     match t.kind with
-    | Sqrt -> t.c1 *. t.rtt /. (2.0 *. sqrt p)
+    | Sqrt -> t.c1r /. (2.0 *. sqrt p)
     | Pftk_simplified ->
         let sq = sqrt p in
-        (t.c1 *. t.rtt /. (2.0 *. sq))
-        +. (t.rto *. t.c2
-            *. ((1.5 *. sq) +. (32.0 *. 3.5 *. (sq ** 5.0))))
+        (t.c1r /. (2.0 *. sq))
+        +. (t.qc2 *. ((1.5 *. sq) +. (32.0 *. 3.5 *. (p *. p *. sq))))
     | Pftk_standard | Aimd _ ->
         let eps = 1e-7 *. p in
         (denom t (p +. eps) -. denom t (max 1e-300 (p -. eps)))

@@ -1,0 +1,193 @@
+(* Fixed-size domain pool with chunked work-stealing.
+
+   Workers are spawned once and parked on a condition variable between
+   jobs; a job is an index range [0, length) that workers (and the
+   submitting caller) drain by fetch-and-add on an atomic cursor, a
+   chunk of indices at a time. Task results are written into
+   caller-owned slots keyed by task index, never appended, so the
+   output order is independent of the schedule — that, plus per-task
+   PRNG streams (Prng.stream), is what makes parallel sweeps
+   bit-identical to their sequential runs. *)
+
+type job = {
+  run_chunk : int -> int -> unit;  (* process indices [lo, hi) *)
+  length : int;
+  chunk : int;
+  cursor : int Atomic.t;
+  mutable finished_workers : int;  (* protected by the pool lock *)
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  n_domains : int;
+  mutable workers : unit Domain.t array;  (* set once, right after spawn *)
+  lock : Mutex.t;
+  wake : Condition.t;              (* new job posted, or shutdown *)
+  idle : Condition.t;              (* all workers done with the job *)
+  mutable job : job option;
+  mutable epoch : int;             (* bumped once per posted job *)
+  mutable closed : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "EBRC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let execute job =
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add job.cursor job.chunk in
+    if lo >= job.length || Atomic.get job.failure <> None then
+      continue := false
+    else begin
+      let hi = min job.length (lo + job.chunk) in
+      try job.run_chunk lo hi
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* Keep the first failure; later ones lose the race. *)
+        ignore (Atomic.compare_and_set job.failure None (Some (e, bt)))
+    end
+  done
+
+let worker_loop t =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while (not t.closed) && t.epoch = !seen do
+      Condition.wait t.wake t.lock
+    done;
+    if t.closed then begin
+      running := false;
+      Mutex.unlock t.lock
+    end
+    else begin
+      seen := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.lock;
+      execute job;
+      Mutex.lock t.lock;
+      job.finished_workers <- job.finished_workers + 1;
+      if job.finished_workers = t.n_domains - 1 then Condition.broadcast t.idle;
+      Mutex.unlock t.lock
+    end
+  done
+
+let create ?domains () =
+  let n_domains = max 1 (match domains with Some d -> d | None -> default_jobs ()) in
+  let t =
+    {
+      n_domains;
+      workers = [||];
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      epoch = 0;
+      closed = false;
+    }
+  in
+  t.workers <-
+    Array.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.n_domains
+
+(* Run [run_chunk] over the index range [0, length). The caller drains
+   chunks alongside the workers, then waits for every worker to retire
+   from the job before returning (so results are published and the
+   pool can accept the next job). *)
+let check_open t =
+  Mutex.lock t.lock;
+  let closed = t.closed in
+  Mutex.unlock t.lock;
+  if closed then invalid_arg "Pool: used after shutdown"
+
+let run t ~length run_chunk =
+  if length > 0 then begin
+    if t.n_domains = 1 || length = 1 then
+      (* Inline fast path: no handoff, exceptions propagate directly. *)
+      run_chunk 0 length
+    else begin
+      let job =
+        {
+          run_chunk;
+          length;
+          (* Small chunks (several per domain) absorb task-duration
+             skew without much cursor contention. *)
+          chunk = max 1 (length / (t.n_domains * 4));
+          cursor = Atomic.make 0;
+          finished_workers = 0;
+          failure = Atomic.make None;
+        }
+      in
+      Mutex.lock t.lock;
+      if t.closed then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool: used after shutdown"
+      end;
+      t.job <- Some job;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      execute job;
+      Mutex.lock t.lock;
+      while job.finished_workers < t.n_domains - 1 do
+        Condition.wait t.idle t.lock
+      done;
+      t.job <- None;
+      Mutex.unlock t.lock;
+      match Atomic.get job.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let map t f xs =
+  check_open t;
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result array with the (real) first result rather than a
+       dummy so ['b] needs no placeholder; slots 1.. are then filled in
+       parallel, each at its own index. *)
+    let first = f xs.(0) in
+    let results = Array.make n first in
+    run t ~length:(n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          results.(i + 1) <- f xs.(i + 1)
+        done);
+    results
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let init t n f =
+  check_open t;
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  if n = 0 then [||]
+  else begin
+    let first = f 0 in
+    let results = Array.make n first in
+    run t ~length:(n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          results.(i + 1) <- f (i + 1)
+        done);
+    results
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  if not was_closed then Array.iter Domain.join t.workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

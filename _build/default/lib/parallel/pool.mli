@@ -1,0 +1,47 @@
+(** Fixed-size OCaml 5 domain pool for embarrassingly parallel sweeps.
+
+    The experiment layer runs large grids of independent simulations
+    (per-figure parameter sweeps, Monte-Carlo replications). This pool
+    fans such grids out over [domains] domains with chunked
+    work-stealing over an atomic index.
+
+    Determinism contract: [map]/[init] write each task's result into
+    the slot of its task index, and every stochastic task must derive
+    its own generator from its index (see {!Ebrc_rng.Prng.stream}), so
+    the output is bit-identical to the sequential run regardless of
+    pool size or scheduling order. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    caller participates in every job, so [domains] is the total
+    parallelism). [domains] defaults to {!default_jobs}[ ()] and is
+    clamped to at least 1; a pool of 1 spawns nothing and runs every
+    job inline. *)
+
+val domains : t -> int
+(** Total parallelism of the pool (workers + the calling domain). *)
+
+val default_jobs : unit -> int
+(** The [EBRC_JOBS] environment variable if set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. If any task raises, the
+    first exception observed is re-raised in the caller once in-flight
+    chunks have drained; the pool remains usable. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val shutdown : t -> unit
+(** Join all workers. Idempotent; using the pool afterwards raises
+    [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it
+    down afterwards, whether [f] returns or raises. *)

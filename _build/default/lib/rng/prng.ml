@@ -26,7 +26,27 @@ let split t =
   (* Derive an independent stream: one draw seeds the child. *)
   { state = next_int64 t }
 
+(* Independent stream for parallel task [index] under [root]: unlike
+   [split], the derivation is a pure function of (root, index), so a
+   task's stream does not depend on how many draws other tasks made —
+   the keystone of the parallel determinism contract. Two rounds of
+   mix64 scatter neighbouring indices across the 2^64 state space, so
+   the phase distance between any two streams (every generator walks
+   the same +gamma orbit) is astronomically unlikely to be within any
+   practical draw window. *)
+let stream ~root index =
+  if index < 0 then invalid_arg "Prng.stream: negative index";
+  let z =
+    Int64.add (Int64.of_int root)
+      (Int64.mul golden_gamma (Int64.of_int index))
+  in
+  let z = mix64 z in
+  { state = mix64 (Int64.add z golden_gamma) }
+
 let copy t = { state = t.state }
+
+let state_bits t = t.state
+let gamma = golden_gamma
 
 (* Uniform in [0, 1): use the top 53 bits so every double in the range is
    reachable with the correct probability. *)

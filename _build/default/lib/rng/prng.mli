@@ -10,7 +10,22 @@ val create : seed:int -> t
 val split : t -> t
 (** Derive an independent child stream (e.g. one per simulated flow). *)
 
+val stream : root:int -> int -> t
+(** [stream ~root i] is the [i]-th independent stream under root seed
+    [root]. Unlike {!split} it is a pure function of [(root, i)], so
+    parallel tasks can each derive their own generator and produce
+    results bit-identical to a sequential run regardless of scheduling.
+    Raises on a negative index. *)
+
 val copy : t -> t
+
+val state_bits : t -> int64
+(** The raw 64-bit state (diagnostic; lets tests audit the phase
+    distance between streams). *)
+
+val gamma : int64
+(** The splitmix64 state increment per draw (the golden gamma): the
+    state after [n] draws is [state_bits t + n * gamma]. *)
 
 val next_int64 : t -> int64
 

@@ -1,1 +1,1 @@
-test/test_rng.ml: Alcotest Array Ebrc List Printf QCheck QCheck_alcotest
+test/test_rng.ml: Alcotest Array Ebrc Int64 List Printf QCheck QCheck_alcotest

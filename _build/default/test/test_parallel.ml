@@ -1,0 +1,152 @@
+(* Tests for Ebrc_parallel.Pool: sequential equivalence across pool
+   sizes, exception propagation, pool reuse, and the end-to-end
+   determinism contract (figure tables identical at jobs=1 and
+   jobs=4). *)
+
+module Pool = Ebrc.Pool
+
+let check_int_list = Alcotest.(check (list int))
+let check_float_array = Alcotest.(check (array (float 1e-12)))
+
+(* ----------------- sequential equivalence ----------------------- *)
+
+let collatz_len n =
+  let rec go steps n = if n <= 1 then steps else go (steps + 1) (if n mod 2 = 0 then n / 2 else (3 * n) + 1) in
+  go 0 n
+
+let test_map_matches_sequential () =
+  let input = List.init 257 (fun i -> i + 1) in
+  let expected = List.map collatz_len input in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          check_int_list
+            (Printf.sprintf "map_list at %d domains" domains)
+            expected
+            (Pool.map_list pool collatz_len input)))
+    [ 1; 2; 8 ]
+
+let test_map_array () =
+  let input = Array.init 100 (fun i -> float_of_int i) in
+  let f x = sin x +. (x *. x) in
+  let expected = Array.map f input in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          check_float_array
+            (Printf.sprintf "map at %d domains" domains)
+            expected (Pool.map pool f input)))
+    [ 1; 2; 8 ]
+
+let test_init () =
+  let expected = Array.init 64 (fun i -> i * i) in
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int))
+        "init" expected
+        (Pool.init pool 64 (fun i -> i * i)))
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      check_int_list "empty" [] (Pool.map_list pool succ []);
+      check_int_list "singleton" [ 2 ] (Pool.map_list pool succ [ 1 ]))
+
+(* ------------------- exception propagation ---------------------- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let raised =
+        try
+          ignore (Pool.init pool 100 (fun i -> if i = 37 then raise (Boom i) else i));
+          false
+        with Boom _ -> true
+      in
+      Alcotest.(check bool) "worker exception reaches caller" true raised;
+      (* the pool survives a failed job *)
+      check_int_list "usable after exception" [ 1; 2; 3 ]
+        (Pool.map_list pool succ [ 0; 1; 2 ]))
+
+(* ------------------------ pool reuse ----------------------------- *)
+
+let test_pool_reuse () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for round = 1 to 5 do
+        let n = 50 * round in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init n (fun i -> i + round))
+          (Pool.init pool n (fun i -> i + round))
+      done)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let raised =
+    try
+      ignore (Pool.map_list pool succ [ 1 ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "use after shutdown raises" true raised
+
+(* --------------- end-to-end figure determinism ------------------ *)
+
+let figure_csv ~jobs id =
+  Ebrc.Figures.run_one ~jobs ~quick:true id
+  |> List.map Ebrc.Table.to_csv
+  |> String.concat "\n"
+
+let test_figure_determinism () =
+  (* The acceptance bar for the parallel engine: the same figure,
+     regenerated at jobs=1 and jobs=4, yields byte-identical tables. *)
+  Alcotest.(check string)
+    "figure 3 identical at jobs=1 and jobs=4" (figure_csv ~jobs:1 "3")
+    (figure_csv ~jobs:4 "3")
+
+let test_monte_carlo_determinism () =
+  let cp : Ebrc.Many_sources.congestion_process =
+    [|
+      { p_i = 0.01; pi_i = 0.5 };
+      { p_i = 0.05; pi_i = 0.3 };
+      { p_i = 0.2; pi_i = 0.2 };
+    |]
+  in
+  let run jobs =
+    Ebrc.Many_sources.monte_carlo_batched ~jobs ~root_seed:77 cp
+      ~rates:[| 2.0; 1.0; 0.5 |] ~mean_sojourn:5.0 ~steps:400 ~batches:8
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "batched MC identical at jobs=1 and jobs=4" true
+    (r1 = r4)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_list = List.map (1/2/8 domains)" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "map = Array.map (1/2/8 domains)" `Quick
+            test_map_array;
+          Alcotest.test_case "init = Array.init" `Quick test_init;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "figure 3 jobs=1 vs jobs=4" `Slow
+            test_figure_determinism;
+          Alcotest.test_case "monte carlo jobs=1 vs jobs=4" `Quick
+            test_monte_carlo_determinism;
+        ] );
+    ]

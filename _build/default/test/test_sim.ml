@@ -70,6 +70,28 @@ let test_queue_peek_and_clear () =
   EQ.clear q;
   Alcotest.(check bool) "cleared" true (EQ.is_empty q)
 
+let test_queue_clear_replay () =
+  (* clear must reset the FIFO tie-break counter: replaying the same
+     push sequence after clear pops in the same order as a fresh
+     queue. *)
+  let q = EQ.create () in
+  let fill () =
+    List.iter (fun (t, v) -> EQ.push q ~time:t v)
+      [ (2.0, "b1"); (1.0, "a1"); (2.0, "b2"); (1.0, "a2") ]
+  in
+  let drain () =
+    let rec go acc =
+      match EQ.pop q with Some (_, v) -> go (v :: acc) | None -> List.rev acc
+    in
+    go []
+  in
+  fill ();
+  let first = drain () in
+  fill ();
+  EQ.clear q;
+  fill ();
+  Alcotest.(check (list string)) "replay after clear" first (drain ())
+
 let test_queue_nan_rejected () =
   let q = EQ.create () in
   match EQ.push q ~time:Float.nan () with
@@ -226,6 +248,7 @@ let () =
           Alcotest.test_case "grows" `Quick test_queue_grows;
           Alcotest.test_case "interleaved" `Quick test_queue_interleaved_push_pop;
           Alcotest.test_case "peek/clear" `Quick test_queue_peek_and_clear;
+          Alcotest.test_case "clear replay" `Quick test_queue_clear_replay;
           Alcotest.test_case "nan rejected" `Quick test_queue_nan_rejected;
         ] );
       ( "engine",

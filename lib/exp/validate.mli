@@ -18,6 +18,9 @@ type outcome = {
 
 val checks : check list
 
-val run_all : ?quick:bool -> unit -> outcome list
+(** [jobs] fans the checks out over that many domains (default 1);
+    verdicts and evidence are identical for every [jobs] — only the
+    per-check wall-clock differs. *)
+val run_all : ?quick:bool -> ?jobs:int -> unit -> outcome list
 val to_table : outcome list -> Table.t
 val all_passed : outcome list -> bool

@@ -84,6 +84,75 @@ let test_int_bounds () =
   done;
   raises_invalid "bound 0" (fun () -> Prng.int rng 0)
 
+(* ------------------------ Prng.stream -------------------------- *)
+
+let test_stream_reproducible () =
+  (* stream is a pure function of (root, index): re-deriving the same
+     stream replays the same draws, independent of any other stream's
+     consumption — the property the parallel sweeps rely on. *)
+  let a = Prng.stream ~root:42 7 in
+  ignore (sample (Prng.stream ~root:42 3) 1000 Prng.float_unit);
+  let b = Prng.stream ~root:42 7 in
+  for _ = 1 to 1000 do
+    feq (Prng.float_unit a) (Prng.float_unit b)
+  done
+
+let test_stream_distinct () =
+  let draws root i = sample (Prng.stream ~root i) 100 Prng.float_unit in
+  Alcotest.(check bool) "indices differ" true (draws 1 0 <> draws 1 1);
+  Alcotest.(check bool) "roots differ" true (draws 1 0 <> draws 2 0)
+
+let test_stream_negative_index () =
+  raises_invalid "negative index" (fun () -> Prng.stream ~root:1 (-1))
+
+(* splitmix64 advances its state by exactly [gamma] per draw, so two
+   streams overlap within a window of W draws iff their phase distance
+   k = (s_b - s_a) * gamma^{-1} (mod 2^64) satisfies k <= W or
+   k >= 2^64 - W. gamma is odd, hence invertible mod 2^64; Newton
+   iteration x <- x (2 - g x) doubles correct low bits per step. *)
+let gamma_inverse =
+  let g = Prng.gamma in
+  let x = ref g in
+  for _ = 1 to 6 do
+    x := Int64.mul !x (Int64.sub 2L (Int64.mul g !x))
+  done;
+  !x
+
+let test_gamma_inverse () =
+  feq (Int64.to_float (Int64.mul Prng.gamma gamma_inverse)) 1.0
+
+let test_stream_no_overlap () =
+  let window = 1_000_000L in
+  let limit = Int64.sub 0L window in   (* 2^64 - W as unsigned *)
+  let indices = [ 0; 1; 2; 3; 7; 50; 1023; 65536 ] in
+  let states =
+    List.map (fun i -> (i, Prng.state_bits (Prng.stream ~root:911 i))) indices
+  in
+  List.iter
+    (fun (i, si) ->
+      List.iter
+        (fun (j, sj) ->
+          if i < j then begin
+            let k = Int64.mul (Int64.sub sj si) gamma_inverse in
+            let far =
+              Int64.unsigned_compare k window > 0
+              && Int64.unsigned_compare k limit < 0
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d and %d disjoint on 1e6 draws" i j)
+              true far
+          end)
+        states)
+    states
+
+let test_stream_cross_correlation () =
+  let x0 = sample (Prng.stream ~root:5 0) 2000 Prng.float_unit in
+  let x1 = sample (Prng.stream ~root:5 1) 2000 Prng.float_unit in
+  Alcotest.(check bool) "low correlation" true
+    (abs_float (D.correlation x0 x1) < 0.08);
+  close ~tol:0.05 "mean stream 0" 0.5 (D.mean x0);
+  close ~tol:0.05 "mean stream 1" 0.5 (D.mean x1)
+
 let test_bool_balanced () =
   let rng = Prng.create ~seed:4 in
   let trues = ref 0 in
@@ -292,6 +361,17 @@ let () =
           Alcotest.test_case "copy replays" `Quick test_copy_replays;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
           Alcotest.test_case "bool balance" `Quick test_bool_balanced;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "reproducible" `Quick test_stream_reproducible;
+          Alcotest.test_case "distinct" `Quick test_stream_distinct;
+          Alcotest.test_case "negative index" `Quick test_stream_negative_index;
+          Alcotest.test_case "gamma inverse" `Quick test_gamma_inverse;
+          Alcotest.test_case "no overlap in 1e6 draws" `Quick
+            test_stream_no_overlap;
+          Alcotest.test_case "cross-correlation" `Quick
+            test_stream_cross_correlation;
         ] );
       ( "distributions",
         [
