@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-full figures validate report examples clean
+.PHONY: all build test bench bench-quick bench-full bench-compare figures validate report examples clean
 
 all: build
 
@@ -20,6 +20,11 @@ bench-quick:
 # Paper-scale sweeps (long).
 bench-full:
 	EBRC_BENCH_FULL=1 dune exec bench/main.exe
+
+# Diff the newest two BENCH_*.json records; exits non-zero when any
+# hot-path micro-benchmark regressed by more than 20%.
+bench-compare:
+	dune exec bench/compare.exe
 
 figures:
 	dune exec bin/ebrc_cli.exe -- figure all

@@ -1,0 +1,237 @@
+(* Compare the newest two BENCH_*.json records and fail loudly when a
+   hot-path micro-benchmark regresses by more than 20%.
+
+   The records are written by bench/main.ml in a fixed shape, but the
+   parser below is a small general JSON reader so older records (and
+   hand-edited ones) keep working. Only tests present in both records
+   are compared, and sub-microsecond kernels are reported but never
+   fatal: at that scale run-to-run clock noise routinely exceeds the
+   regression threshold. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | c -> Buffer.add_char buf c);
+          advance ();
+          go ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements (v :: acc)
+            | ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Comparison.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hot-path regressions below this baseline are reported, not fatal:
+   sub-10us in-process kernels swing well past 20% between identical
+   runs (frequency scaling, cache state), so gating them would make
+   the target flaky. Every tracked hot path sits far above this. *)
+let noise_floor_ns = 10_000.0
+let regression_threshold = 0.20
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let bench_files () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
+
+let ns_table json =
+  match member "microbench_ns_per_run" json with
+  | Some (Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+        kvs
+  | _ -> []
+
+let () =
+  match List.rev (bench_files ()) with
+  | [] | [ _ ] ->
+      print_endline
+        "bench-compare: need at least two BENCH_*.json records (run `make \
+         bench` twice)";
+      exit 0
+  | newest :: prev :: _ ->
+      Printf.printf "bench-compare: %s (baseline) -> %s (current)\n\n" prev
+        newest;
+      let old_tbl = ns_table (parse_json (read_file prev)) in
+      let new_tbl = ns_table (parse_json (read_file newest)) in
+      if old_tbl = [] || new_tbl = [] then begin
+        Printf.printf
+          "bench-compare: no microbench_ns_per_run table in one of the \
+           records; nothing to compare\n";
+        exit 0
+      end;
+      let regressions = ref [] in
+      Printf.printf "  %-45s %12s %12s %8s\n" "test" "baseline ns" "current ns"
+        "ratio";
+      List.iter
+        (fun (name, old_ns) ->
+          match List.assoc_opt name new_tbl with
+          | None -> ()
+          | Some new_ns ->
+              let ratio = new_ns /. old_ns in
+              let flag =
+                if ratio > 1.0 +. regression_threshold then
+                  if old_ns >= noise_floor_ns then begin
+                    regressions := (name, ratio) :: !regressions;
+                    "  REGRESSED"
+                  end
+                  else "  (noisy: sub-10us baseline, ignored)"
+                else ""
+              in
+              Printf.printf "  %-45s %12.0f %12.0f %7.2fx%s\n" name old_ns
+                new_ns ratio flag)
+        old_tbl;
+      print_newline ();
+      (match (member "parallel_figure_sweep" (parse_json (read_file newest))) with
+      | Some sweep -> (
+          match (member "figure" sweep, member "speedup" sweep) with
+          | Some (Str fig), Some (Num sp) ->
+              Printf.printf "  parallel sweep (figure %s): %.2fx\n\n" fig sp
+          | _ -> ())
+      | None -> ());
+      match List.rev !regressions with
+      | [] -> print_endline "bench-compare: OK, no hot-path regression > 20%"
+      | rs ->
+          Printf.printf
+            "bench-compare: FAIL — %d hot-path regression(s) > 20%%:\n"
+            (List.length rs);
+          List.iter
+            (fun (name, ratio) ->
+              Printf.printf "  %s slowed down %.2fx\n" name ratio)
+            rs;
+          exit 1

@@ -252,43 +252,197 @@ let tests =
         ];
     ]
 
+(* Run the micro-benchmarks against both the monotonic clock and the
+   minor-allocation counter, returning one (name, estimate) table per
+   measure. Allocation rates are the before/after evidence for the
+   simulator pooling work: a pooled hot path shows up directly as a
+   drop in minor words per run. *)
 let benchmark () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let clock = Instance.monotonic_clock in
+  let minor = Instance.minor_allocated in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg instances tests in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  let raw = Benchmark.all cfg [ clock; minor ] tests in
+  let per_instance instance =
+    let tbl = Analyze.all ols instance raw in
+    let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+    let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
+      rows
   in
-  Analyze.merge ols instances results
+  (per_instance clock, per_instance minor)
 
-(* Print the per-test estimates and return them as (name, ns/run)
-   pairs for the JSON record. *)
-let print_bench_results merged =
+let print_bench_results (ns_per_run, minor_per_run) =
   Printf.printf
     "#############################################################\n\
-     # Bechamel micro-benchmarks (monotonic clock, ns per run)\n\
+     # Bechamel micro-benchmarks (ns and minor words per run)\n\
      #############################################################\n\n";
-  let collected = ref [] in
-  Hashtbl.iter
-    (fun _measure tbl ->
-      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
-      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-      List.iter
-        (fun (name, ols) ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] ->
-              Printf.printf "  %-45s %12.0f ns/run\n" name est;
-              collected := (name, est) :: !collected
-          | Some ests ->
-              Printf.printf "  %-45s %s\n" name
-                (String.concat ", " (List.map (Printf.sprintf "%.0f") ests))
-          | None -> Printf.printf "  %-45s (no estimate)\n" name)
-        rows)
-    merged;
-  List.rev !collected
+  List.iter
+    (fun (name, ns) ->
+      let words =
+        match List.assoc_opt name minor_per_run with
+        | Some w -> Printf.sprintf "%14.0f mw/run" w
+        | None -> ""
+      in
+      Printf.printf "  %-45s %12.0f ns/run %s\n" name ns words)
+    ns_per_run
+
+(* ------------------------------------------------------------------ *)
+(* ODE engine: accuracy-vs-time frontier.                              *)
+(* ------------------------------------------------------------------ *)
+
+type frontier_point = {
+  rtol : float;
+  adaptive_ns : float;      (* mean per uncached adaptive solve *)
+  max_rel_err : float;      (* vs the exact SQRT closed form *)
+}
+
+type frontier = {
+  fixed_step_ns : float;    (* legacy RK4 at the old 1e-3 step *)
+  points : frontier_point list;
+}
+
+(* The SQRT formula admits an exact closed form for the cycle duration
+   (Proposition 3), so it calibrates the adaptive engine: for each
+   tolerance we measure the true cost of an *uncached* solve (distinct
+   theta per call defeats the memo) and the worst relative error
+   against the closed form over a grid of cycle lengths. *)
+let measure_ode_frontier () =
+  let formula = Ebrc.Formula.create ~rtt:1.0 Ebrc.Formula.Sqrt in
+  let estimator = Ebrc.Loss_interval.of_tfrc ~l:8 in
+  Ebrc.Loss_interval.prime estimator 20.0;
+  let thetas ~base n = Array.init n (fun i -> base +. (float_of_int i /. 8.0)) in
+  let n_err = 128 and n_time = 256 in
+  let time_per_call f n =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let fixed_step_ns =
+    let ths = thetas ~base:60.0 64 in
+    time_per_call
+      (fun () ->
+        Array.iter
+          (fun theta ->
+            ignore
+              (Ebrc.Comprehensive_control.cycle_duration_ode ~step:1e-3
+                 ~formula ~estimator ~theta ()))
+          ths)
+      64
+  in
+  let points =
+    List.map
+      (fun rtol ->
+        let max_rel_err = ref 0.0 in
+        Array.iter
+          (fun theta ->
+            let s =
+              Ebrc.Comprehensive_control.cycle_duration_ode_adaptive ~rtol
+                ~formula ~estimator ~theta ()
+            in
+            let c =
+              Ebrc.Comprehensive_control.cycle_duration_closed ~formula
+                ~estimator ~theta
+            in
+            max_rel_err := Float.max !max_rel_err (abs_float (s -. c) /. c))
+          (thetas ~base:60.0 n_err);
+        (* Fresh thetas so every timed call misses the memo. *)
+        let ths = thetas ~base:120.0 n_time in
+        let adaptive_ns =
+          time_per_call
+            (fun () ->
+              Array.iter
+                (fun theta ->
+                  ignore
+                    (Ebrc.Comprehensive_control.cycle_duration_ode_adaptive
+                       ~rtol ~formula ~estimator ~theta ()))
+                ths)
+            n_time
+        in
+        { rtol; adaptive_ns; max_rel_err = !max_rel_err })
+      [ 1e-3; 1e-6; 1e-9; 1e-12 ]
+  in
+  Printf.printf
+    "#############################################################\n\
+     # ODE engine: accuracy vs time (SQRT closed form as reference)\n\
+     #############################################################\n\n";
+  Printf.printf "  fixed-step RK4 (step 1e-3)  %12.0f ns/solve\n" fixed_step_ns;
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  adaptive rtol %.0e  %12.0f ns/solve  max rel err %.2e  (%.0fx \
+         vs fixed)\n"
+        p.rtol p.adaptive_ns p.max_rel_err
+        (fixed_step_ns /. p.adaptive_ns))
+    points;
+  print_newline ();
+  { fixed_step_ns; points }
+
+(* ------------------------------------------------------------------ *)
+(* Freelist A/B: allocation rate and wall time, pooled vs not.         *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_ab = {
+  unpooled_ms : float;
+  unpooled_mwords : float;     (* minor words per scenario run *)
+  pooled_ms : float;
+  pooled_mwords : float;
+}
+
+(* The packet/event freelists are off by default: recycled records are
+   tenured, so every boxed store into them pays a write barrier plus a
+   promotion, which measured slower than letting the records die in
+   the minor heap. This records both sides of that trade on one
+   scenario run so the regression guard keeps the decision honest. *)
+let measure_alloc_ab () =
+  let run_once () =
+    let cfg =
+      {
+        Ebrc.Scenario.default_config with
+        n_tfrc = 2;
+        n_tcp = 2;
+        queue = Ebrc.Scenario.Drop_tail { capacity = 100 };
+        duration = 10.0;
+        warmup = 2.0;
+        seed = 9;
+      }
+    in
+    ignore (Ebrc.Scenario.run cfg)
+  in
+  let measure () =
+    let reps = 5 in
+    let best = ref infinity in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      run_once ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    let words = (Gc.minor_words () -. w0) /. float_of_int reps in
+    (!best *. 1e3, words)
+  in
+  run_once ();
+  let unpooled_ms, unpooled_mwords = measure () in
+  Ebrc.Packet.set_pooling true;
+  Ebrc.Engine.set_pooling true;
+  run_once ();
+  let pooled_ms, pooled_mwords = measure () in
+  Ebrc.Packet.set_pooling false;
+  Ebrc.Engine.set_pooling false;
+  Printf.printf
+    "#############################################################\n\
+     # Packet/event freelist A/B (scenario run, best of 5)\n\
+     #############################################################\n\n\
+    \  unpooled (default)  %7.2f ms  %12.0f minor words/run\n\
+    \  pooled (EBRC_POOL)  %7.2f ms  %12.0f minor words/run\n\n"
+    unpooled_ms unpooled_mwords pooled_ms pooled_mwords;
+  { unpooled_ms; unpooled_mwords; pooled_ms; pooled_mwords }
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: domain-pool speedup on a real figure sweep.                 *)
@@ -302,27 +456,46 @@ type speedup = {
   deterministic : bool;       (* tables byte-identical at 1 and N jobs *)
 }
 
-(* Figure 3 is a pure (p, L) grid of basic-control simulations with no
-   result cache, so it exercises the pool without cross-run state. The
-   [deterministic] flag asserts the pool's contract; the speedup itself
-   is host-dependent (1.0 on a single-core container). *)
+(* Figure 17 is simulator-heavy — every sweep point is a full
+   packet-level scenario run — so the per-point work dwarfs the pool's
+   job-handoff cost. The shared pool is warmed (spawned and exercised)
+   before any timing, runs alternate serial/parallel, and each mode
+   reports its best of [reps]: that isolates the steady-state sweep
+   cost from domain spawn and cold caches. The [deterministic] flag
+   asserts the pool's contract: tables byte-identical at 1 and N jobs. *)
 let measure_parallel_sweep () =
-  let fig = "3" in
+  let fig = "17" in
   let par_jobs = max 2 (min 4 jobs) in
+  let reps = 5 in
   Printf.printf
     "#############################################################\n\
-     # Parallel figure sweep: figure %s at 1 vs %d jobs\n\
+     # Parallel figure sweep: figure %s at 1 vs %d jobs (best of %d)\n\
      #############################################################\n\n%!"
-    fig par_jobs;
+    fig par_jobs reps;
+  let pool = Ebrc.Pool.shared ~domains:par_jobs () in
+  ignore (Ebrc.Pool.map pool (fun x -> x * x) (Array.init 64 Fun.id));
   let csv_of tables = String.concat "\n" (List.map Ebrc.Table.to_csv tables) in
   let time_run ~jobs =
+    (* Start from a settled heap so earlier phases' garbage doesn't
+       land its collection cost on one arm of the comparison. *)
+    Gc.full_major ();
     let t0 = Unix.gettimeofday () in
     let tables = Ebrc.Figures.run_one ~jobs ~quick:true fig in
     (Unix.gettimeofday () -. t0, csv_of tables)
   in
-  let serial_seconds, serial_csv = time_run ~jobs:1 in
-  let parallel_seconds, parallel_csv = time_run ~jobs:par_jobs in
+  (* Untimed warm-up of both paths. *)
+  let _, serial_csv = time_run ~jobs:1 in
+  let _, parallel_csv = time_run ~jobs:par_jobs in
   let deterministic = String.equal serial_csv parallel_csv in
+  let serial_seconds = ref infinity and parallel_seconds = ref infinity in
+  for _ = 1 to reps do
+    let s, _ = time_run ~jobs:1 in
+    serial_seconds := Float.min !serial_seconds s;
+    let p, _ = time_run ~jobs:par_jobs in
+    parallel_seconds := Float.min !parallel_seconds p
+  done;
+  let serial_seconds = !serial_seconds
+  and parallel_seconds = !parallel_seconds in
   Printf.printf
     "  serial    %.2f s\n  parallel  %.2f s (%d jobs)\n  speedup   %.2fx\n\
     \  deterministic: %b\n\n"
@@ -346,13 +519,20 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~figure_seconds ~microbench ~sweep =
+let write_json ~figure_seconds ~microbench ~frontier ~alloc ~sweep =
+  let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
-  let path = Printf.sprintf "BENCH_%s.json" date in
+  (* Filename carries the UTC time so same-day runs coexist; ISO-8601
+     timestamps keep lexicographic order = chronological order, which
+     bench-compare relies on to find the newest two records. *)
+  let path =
+    Printf.sprintf "BENCH_%sT%02d%02d%02dZ.json" date tm.Unix.tm_hour
+      tm.Unix.tm_min tm.Unix.tm_sec
+  in
   let oc = open_out path in
   let field_block name kvs fmt =
     Printf.fprintf oc "  %S: {\n" name;
@@ -369,9 +549,33 @@ let write_json ~figure_seconds ~microbench ~sweep =
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"recommended_domains\": %d,\n"
     (Domain.recommended_domain_count ());
-  field_block "microbench_ns_per_run" microbench (Printf.sprintf "%.1f");
+  field_block "microbench_ns_per_run" ns_per_run (Printf.sprintf "%.1f");
+  field_block "microbench_minor_words_per_run" minor_per_run
+    (Printf.sprintf "%.1f");
   field_block "figure_regeneration_seconds" figure_seconds
     (Printf.sprintf "%.3f");
+  Printf.fprintf oc "  \"ode_frontier\": {\n";
+  Printf.fprintf oc "    \"fixed_step_ns_per_solve\": %.1f,\n"
+    frontier.fixed_step_ns;
+  Printf.fprintf oc "    \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "      { \"rtol\": %.0e, \"adaptive_ns_per_solve\": %.1f, \
+         \"max_rel_err\": %.3e }%s\n"
+        p.rtol p.adaptive_ns p.max_rel_err
+        (if i = List.length frontier.points - 1 then "" else ","))
+    frontier.points;
+  Printf.fprintf oc "    ]\n  },\n";
+  Printf.fprintf oc
+    "  \"freelist_ablation\": {\n\
+    \    \"unpooled_ms\": %.3f,\n\
+    \    \"unpooled_minor_words\": %.0f,\n\
+    \    \"pooled_ms\": %.3f,\n\
+    \    \"pooled_minor_words\": %.0f\n\
+    \  },\n"
+    alloc.unpooled_ms alloc.unpooled_mwords alloc.pooled_ms
+    alloc.pooled_mwords;
   Printf.fprintf oc
     "  \"parallel_figure_sweep\": {\n\
     \    \"figure\": %S,\n\
@@ -389,8 +593,17 @@ let write_json ~figure_seconds ~microbench ~sweep =
   Printf.printf "bench record written to %s\n" path
 
 let () =
-  let figure_seconds = regenerate_figures () in
-  let microbench = print_bench_results (benchmark ()) in
-  let sweep = measure_parallel_sweep () in
-  write_json ~figure_seconds ~microbench ~sweep;
-  print_endline "\nbench: done."
+  (* EBRC_BENCH_ONLY=sweep: just the parallel-sweep measurement, no
+     JSON — for iterating on the pool without a full bench run. *)
+  if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "sweep" then
+    ignore (measure_parallel_sweep ())
+  else begin
+    let figure_seconds = regenerate_figures () in
+    let microbench = benchmark () in
+    print_bench_results microbench;
+    let frontier = measure_ode_frontier () in
+    let alloc = measure_alloc_ab () in
+    let sweep = measure_parallel_sweep () in
+    write_json ~figure_seconds ~microbench ~frontier ~alloc ~sweep;
+    print_endline "\nbench: done."
+  end

@@ -178,8 +178,8 @@ let monte_carlo_batched ?(jobs = 1) ~root_seed (cp : congestion_process)
     monte_carlo rng cp ~rates ~mean_sojourn ~steps:chunk
   in
   let parts =
-    if jobs <= 1 then Array.init batches one
-    else Pool.with_pool ~domains:jobs (fun pool -> Pool.init pool batches one)
+    if jobs <= 1 || batches < 4 then Array.init batches one
+    else Pool.init (Pool.shared ~domains:jobs ()) batches one
   in
   let events = ref 0 and packets = ref 0.0 in
   Array.iter

@@ -108,8 +108,8 @@ let simulate_replications ?(jobs = 1) ?(warmup_cycles = 0) ~root_seed
     let estimator = make_estimator i in
     simulate ~warmup_cycles ~formula ~estimator ~process ~cycles ()
   in
-  if jobs <= 1 then Array.init replications one
-  else Pool.with_pool ~domains:jobs (fun pool -> Pool.init pool replications one)
+  if jobs <= 1 || replications < 4 then Array.init replications one
+  else Pool.init (Pool.shared ~domains:jobs ()) replications one
 
 (* Exact Proposition-1 throughput for a *given* finite trajectory of
    loss-event intervals: E[theta_0] / E[theta_0 / f(1/thetahat_0)],

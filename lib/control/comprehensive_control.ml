@@ -11,9 +11,11 @@
      S_n = theta_n / f(1/thetahat_n) - V_n 1{thetahat_{n+1} > thetahat_n}
 
    where V_n has the closed form implemented below. For arbitrary f we
-   integrate the growth ODE d theta/dt = f(1/(w1 theta + W_n)) with RK4.
+   integrate the growth ODE d theta/dt = f(1/(w1 theta + W_n)):
+   adaptively (Dormand-Prince 5(4), the default ODE engine) or with the
+   legacy fixed-step RK4 kept for A/B validation.
 
-   Both engines are exposed; tests cross-validate them. *)
+   All engines are exposed; tests cross-validate them. *)
 
 module Formula = Ebrc_formulas.Formula
 module Loss_interval = Ebrc_estimator.Loss_interval
@@ -22,7 +24,7 @@ module Welford = Ebrc_stats.Welford
 module Cov_acc = Ebrc_stats.Cov_acc
 module Ode = Ebrc_numerics.Ode
 
-type engine = Closed_form | Ode_integration
+type engine = Closed_form | Ode_integration | Ode_fixed_step
 
 (* V_n of Proposition 3. thetahat1 = thetahat_{n+1}, thetahat0 =
    thetahat_n. Only valid for SQRT (c2 q terms vanish) and
@@ -82,6 +84,74 @@ let cycle_duration_ode ?(step = 1e-3) ~formula ~estimator ~theta () =
     u_n +. growth_time
   end
 
+(* Memo cache for the adaptive growth-time integration. The growth time
+   is a pure function of the derivative and the integration bounds,
+   which are fully determined by the formula's constants, (w1, W_n), the
+   threshold (thetahat_n = w1 * threshold + W_n) and theta — so repeated
+   replications over the same deterministic loss sequence never
+   re-integrate a cycle. Per-domain tables (Domain.DLS) keep parallel
+   sweeps race-free; each table is bounded and reset when full. *)
+type memo_key = {
+  kind : Formula.kind;
+  c1 : float;
+  c2 : float;
+  rtt : float;
+  rto : float;
+  w1 : float;
+  w_n : float;
+  threshold : float;
+  theta : float;
+  rtol : float;
+}
+
+let memo_max_entries = 65_536
+
+let memo_table : (memo_key, float) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+(* Duration of cycle n with the adaptive Dormand-Prince engine and the
+   per-(formula, estimator-state) memo cache; valid for any formula. *)
+let cycle_duration_ode_adaptive ?(rtol = Ode.default_rtol)
+    ?(atol = Ode.default_atol) ~formula ~estimator ~theta () =
+  let thetahat0 = Loss_interval.estimate estimator in
+  let x0 = Formula.eval formula (1.0 /. thetahat0) in
+  let threshold = Loss_interval.open_interval_threshold estimator in
+  if theta <= threshold then theta /. x0
+  else begin
+    let u_n = threshold /. x0 in
+    let w1 = Loss_interval.first_weight estimator in
+    let w_n = Loss_interval.tail_weighted_sum estimator in
+    let key =
+      {
+        kind = Formula.kind formula;
+        c1 = Formula.c1 formula;
+        c2 = Formula.c2 formula;
+        rtt = Formula.rtt formula;
+        rto = Formula.rto formula;
+        w1;
+        w_n;
+        threshold;
+        theta;
+        rtol;
+      }
+    in
+    let tbl = Domain.DLS.get memo_table in
+    let growth_time =
+      match Hashtbl.find_opt tbl key with
+      | Some t -> t
+      | None ->
+          let deriv _t y = Formula.eval formula (1.0 /. ((w1 *. y) +. w_n)) in
+          let t =
+            Ode.time_to_reach_adaptive ~rtol ~atol deriv ~y0:threshold
+              ~target:theta
+          in
+          if Hashtbl.length tbl >= memo_max_entries then Hashtbl.reset tbl;
+          Hashtbl.add tbl key t;
+          t
+    in
+    u_n +. growth_time
+  end
+
 type result = {
   throughput : float;
   normalized : float;
@@ -94,7 +164,7 @@ type result = {
 }
 
 let simulate ?(engine = Closed_form) ?(warmup_cycles = 0) ?(ode_step = 1e-3)
-    ~formula ~estimator ~process ~cycles () =
+    ?(ode_rtol = Ode.default_rtol) ~formula ~estimator ~process ~cycles () =
   if cycles < 2 then
     invalid_arg "Comprehensive_control.simulate: need >= 2 cycles";
   (match (engine, Formula.kind formula) with
@@ -103,7 +173,7 @@ let simulate ?(engine = Closed_form) ?(warmup_cycles = 0) ?(ode_step = 1e-3)
       invalid_arg
         "Comprehensive_control.simulate: closed form requires SQRT or \
          PFTK-simplified; use Ode_integration"
-  | Ode_integration, _ -> ());
+  | (Ode_integration | Ode_fixed_step), _ -> ());
   let l = Loss_interval.window estimator in
   for _ = 1 to l + warmup_cycles do
     Loss_interval.record estimator (Loss_process.next process)
@@ -119,6 +189,9 @@ let simulate ?(engine = Closed_form) ?(warmup_cycles = 0) ?(ode_step = 1e-3)
       match engine with
       | Closed_form -> cycle_duration_closed ~formula ~estimator ~theta
       | Ode_integration ->
+          cycle_duration_ode_adaptive ~rtol:ode_rtol ~formula ~estimator
+            ~theta ()
+      | Ode_fixed_step ->
           cycle_duration_ode ~step:ode_step ~formula ~estimator ~theta ()
     in
     let x_n = Formula.eval formula (1.0 /. thetahat) in

@@ -149,10 +149,11 @@ let run cfg =
   in
   Link.set_deliver link2 (fun pkt ->
       let f = pkt.Packet.flow in
-      if f < cfg.n_tfrc then Tfrc_receiver.on_data (snd tfrc.(f)) pkt
-      else if f < cross_flow then
-        Tcp_receiver.on_data (snd tcp.(f - cfg.n_tfrc)) pkt
-      else () (* cross traffic sinks silently *));
+      (if f < cfg.n_tfrc then Tfrc_receiver.on_data (snd tfrc.(f)) pkt
+       else if f < cross_flow then
+         Tcp_receiver.on_data (snd tcp.(f - cfg.n_tfrc)) pkt
+       else () (* cross traffic sinks silently *));
+      Packet.release pkt);
   Array.iter
     (fun (ts, _) ->
       let t0 = Prng.float_unit master in
@@ -173,11 +174,11 @@ let run cfg =
   let snap_iv_tfrc =
     Array.map
       (fun (_, tr) ->
-        Array.length (Loss_history.completed_intervals (Tfrc_receiver.history tr)))
+        Loss_history.interval_count (Tfrc_receiver.history tr))
       tfrc
   in
   let snap_iv_tcp =
-    Array.map (fun (cs, _) -> Array.length (Tcp_sender.loss_event_intervals cs)) tcp
+    Array.map (fun (cs, _) -> Tcp_sender.interval_count cs) tcp
   in
   let drops1_warm = Queue_discipline.drops (Link.queue link1) in
   let drops2_warm = Queue_discipline.drops (Link.queue link2) in

@@ -28,9 +28,14 @@ let cell = Table.cell_float
    point's coordinates, no shared mutable state — so the output list is
    identical for every [jobs], and tables built from it are
    byte-identical to the sequential run. *)
+(* Sweeps below this many points stay serial: the job handoff to
+   parked workers costs more than it saves on tiny grids. *)
+let par_threshold = 4
+
 let par_map ~jobs f xs =
-  if jobs <= 1 then List.map f xs
-  else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_list pool f xs)
+  if jobs <= 1 || List.compare_length_with xs par_threshold < 0 then
+    List.map f xs
+  else Pool.map_list (Pool.shared ~domains:jobs ()) f xs
 
 (* Split [xs] after its first [n] elements — used to slice a flat
    row-major sweep result back into table rows. *)
@@ -1137,7 +1142,9 @@ let ablation_window_growth ?(jobs = 1) ~quick () =
     let sender = TS.create ~engine ~flow:0 () in
     let receiver = TR.create ~engine ~flow:0 () in
     TS.set_transmit sender (fun pkt -> Link.send link pkt);
-    Link.set_deliver link (fun pkt -> TR.on_data receiver pkt);
+    Link.set_deliver link (fun pkt ->
+        TR.on_data receiver pkt;
+        Ebrc_net.Packet.release pkt);
     TR.set_ack_sink receiver (fun ~acked ~dup ~echo ->
         ignore
           (Engine.schedule_after engine ~delay:0.025 (fun () ->
@@ -1342,7 +1349,9 @@ let ablation_tcp_variant ?(jobs = 1) ~quick () =
     let sender = TS.create ~variant ~engine ~flow:0 () in
     let receiver = TR.create ~engine ~flow:0 () in
     TS.set_transmit sender (fun pkt -> Link.send link pkt);
-    Link.set_deliver link (fun pkt -> TR.on_data receiver pkt);
+    Link.set_deliver link (fun pkt ->
+        TR.on_data receiver pkt;
+        Ebrc_net.Packet.release pkt);
     TR.set_ack_sink receiver (fun ~acked ~dup ~echo ->
         ignore
           (Engine.schedule_after engine ~delay:0.025 (fun () ->

@@ -232,13 +232,16 @@ let run cfg =
   Link.set_deliver link (fun pkt ->
       let now = Engine.now engine in
       let f = pkt.Packet.flow in
-      if f < cfg.n_tfrc then Tfrc_receiver.on_data tfrc_flows.(f).tr pkt
-      else if f < cfg.n_tfrc + cfg.n_tcp then
-        Tcp_receiver.on_data tcp_flows.(f - cfg.n_tfrc).cr pkt
-      else
-        match probe with
-        | Some (_, sink) -> Gap_sink.on_packet sink ~now pkt
-        | None -> ());
+      (if f < cfg.n_tfrc then Tfrc_receiver.on_data tfrc_flows.(f).tr pkt
+       else if f < cfg.n_tfrc + cfg.n_tcp then
+         Tcp_receiver.on_data tcp_flows.(f - cfg.n_tfrc).cr pkt
+       else
+         match probe with
+         | Some (_, sink) -> Gap_sink.on_packet sink ~now pkt
+         | None -> ());
+      (* Receivers read fields synchronously and never retain the
+         packet, so it can be recycled here. *)
+      Packet.release pkt);
   (* --- start: staggered over the first second to avoid lockstep --- *)
   Array.iter
     (fun fl ->
@@ -261,22 +264,19 @@ let run cfg =
     (fun fl ->
       fl.recv_snapshot <- Tfrc_receiver.received fl.tr;
       fl.intervals_snapshot <-
-        Array.length
-          (Loss_history.completed_intervals (Tfrc_receiver.history fl.tr));
+        Loss_history.interval_count (Tfrc_receiver.history fl.tr);
       fl.pairs_snapshot <-
-        Array.length (Loss_history.estimate_pairs (Tfrc_receiver.history fl.tr)))
+        Loss_history.pair_count (Tfrc_receiver.history fl.tr))
     tfrc_flows;
   Array.iter
     (fun fl ->
       fl.crecv_snapshot <- Tcp_receiver.received fl.cr;
-      fl.cintervals_snapshot <-
-        Array.length (Tcp_sender.loss_event_intervals fl.cs))
+      fl.cintervals_snapshot <- Tcp_sender.interval_count fl.cs)
     tcp_flows;
   (match probe with
   | Some (_, sink) ->
       probe_recv_snapshot := Flow_stats.received (Gap_sink.stats sink);
-      probe_ivs_snapshot :=
-        Array.length (Flow_stats.loss_event_intervals (Gap_sink.stats sink))
+      probe_ivs_snapshot := Flow_stats.interval_count (Gap_sink.stats sink)
   | None -> ());
   let drops_at_warmup = Queue_discipline.drops queue in
   let delivered_at_warmup = Link.bytes_delivered link in

@@ -293,7 +293,9 @@ let checks : check list =
           let sender = TS.create ~engine ~flow:0 () in
           let receiver = TR.create ~engine ~flow:0 () in
           TS.set_transmit sender (fun pkt -> Link.send link pkt);
-          Link.set_deliver link (fun pkt -> TR.on_data receiver pkt);
+          Link.set_deliver link (fun pkt ->
+        TR.on_data receiver pkt;
+        Ebrc_net.Packet.release pkt);
           TR.set_ack_sink receiver (fun ~acked ~dup ~echo ->
               ignore
                 (Engine.schedule_after engine ~delay:0.025 (fun () ->
@@ -365,7 +367,7 @@ let run_all ?(quick = true) ?(jobs = 1) () =
     { check; passed; evidence; seconds = Unix.gettimeofday () -. t0 }
   in
   if jobs <= 1 then List.map one checks
-  else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_list pool one checks)
+  else Pool.map_list (Pool.shared ~domains:jobs ()) one checks
 
 let to_table outcomes =
   let t =

@@ -5,6 +5,7 @@
    the paper's tcpdump post-processing. *)
 
 module Welford = Ebrc_stats.Welford
+module Floatbuf = Ebrc_stats.Floatbuf
 
 type t = {
   flow : int;
@@ -16,7 +17,7 @@ type t = {
   mutable loss_events : int;
   mutable last_loss_event_at : float;
   mutable packets_since_event : int;
-  intervals : float Queue.t;    (* completed loss-event intervals, packets *)
+  intervals : Floatbuf.t;       (* completed loss-event intervals, packets *)
   rtt_stats : Welford.t;
   mutable first_recv_at : float;
   mutable last_recv_at : float;
@@ -34,7 +35,7 @@ let create ~flow ~rtt_hint =
     loss_events = 0;
     last_loss_event_at = neg_infinity;
     packets_since_event = 0;
-    intervals = Queue.create ();
+    intervals = Floatbuf.create ();
     rtt_stats = Welford.create ();
     first_recv_at = nan;
     last_recv_at = nan;
@@ -57,7 +58,7 @@ let on_loss t ~now =
      elapsed since the previous loss event started. *)
   if now -. t.last_loss_event_at > t.rtt_hint then begin
     if t.loss_events > 0 then
-      Queue.add (float_of_int t.packets_since_event) t.intervals;
+      Floatbuf.add t.intervals (float_of_int t.packets_since_event);
     t.loss_events <- t.loss_events + 1;
     t.packets_since_event <- 0;
     t.last_loss_event_at <- now
@@ -70,17 +71,15 @@ let received t = t.received
 let lost t = t.lost
 let loss_events t = t.loss_events
 
-let loss_event_intervals t =
-  Array.of_seq (Queue.to_seq t.intervals)
+let loss_event_intervals t = Floatbuf.to_array t.intervals
+
+let interval_count t = Floatbuf.length t.intervals
 
 (* Loss-event rate as the paper defines it: 1 / E[theta], estimated as
    (number of completed intervals) / (total packets across them). *)
 let loss_event_rate t =
-  let ivs = loss_event_intervals t in
-  if Array.length ivs = 0 then 0.0
-  else
-    float_of_int (Array.length ivs)
-    /. Array.fold_left ( +. ) 0.0 ivs
+  let n = Floatbuf.length t.intervals in
+  if n = 0 then 0.0 else float_of_int n /. Floatbuf.sum t.intervals
 
 let mean_rtt t = Welford.mean t.rtt_stats
 let rtt_samples t = Welford.count t.rtt_stats

@@ -21,6 +21,9 @@ val loss_events : t -> int
 val loss_event_intervals : t -> float array
 (** Completed loss-event intervals, packets. *)
 
+val interval_count : t -> int
+(** Number of completed intervals, without materialising the array. *)
+
 val loss_event_rate : t -> float
 (** p = (#completed intervals) / (Σ packets in them); 0 before the first
     two loss events. *)

@@ -2,9 +2,47 @@
    followed by a propagation delay. Packets are delivered to the
    downstream [deliver] callback; drops are announced to [on_drop] (used
    by measurement probes, never by protocols — protocols learn about
-   losses end-to-end). *)
+   losses end-to-end).
+
+   Allocation: the backlog and the in-flight (post-service, pre-delivery)
+   packets live in growable rings, and the service-completion and
+   delivery thunks are preallocated — the per-packet path allocates
+   nothing. Delivery events are scheduled per packet (preserving exact
+   event ordering), but share one thunk that pops the in-flight ring:
+   sound because service completions are ordered and the propagation
+   delay is constant, so deliveries are FIFO. *)
 
 module Engine = Ebrc_sim.Engine
+
+(* Growable FIFO ring of packets. *)
+type ring = {
+  mutable buf : Packet.t array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let ring_create () = { buf = Array.make 64 Packet.dummy; head = 0; len = 0 }
+
+let ring_push r pkt =
+  let cap = Array.length r.buf in
+  if r.len = cap then begin
+    let bigger = Array.make (2 * cap) Packet.dummy in
+    for i = 0 to r.len - 1 do
+      bigger.(i) <- r.buf.((r.head + i) mod cap)
+    done;
+    r.buf <- bigger;
+    r.head <- 0
+  end;
+  r.buf.((r.head + r.len) mod Array.length r.buf) <- pkt;
+  r.len <- r.len + 1
+
+let ring_pop r =
+  if r.len = 0 then invalid_arg "Link: pop from empty ring";
+  let pkt = r.buf.(r.head) in
+  r.buf.(r.head) <- Packet.dummy;
+  r.head <- (r.head + 1) mod Array.length r.buf;
+  r.len <- r.len - 1;
+  pkt
 
 type t = {
   engine : Engine.t;
@@ -13,59 +51,78 @@ type t = {
   queue : Queue_discipline.t;
   rng : Ebrc_rng.Prng.t;
   mutable busy : bool;
-  backlog : Packet.t Queue.t;     (* packets admitted by the discipline *)
+  backlog : ring;                 (* packets admitted by the discipline *)
+  in_flight : ring;               (* served, awaiting propagation *)
+  mutable in_service : Packet.t;
+  mutable service_done : unit -> unit;
+  mutable deliver_head : unit -> unit;
   mutable deliver : Packet.t -> unit;
   mutable on_drop : Packet.t -> unit;
   mutable delivered : int;
   mutable bytes_delivered : int;
 }
 
+let transmission_time t pkt = float_of_int (Packet.bits pkt) /. t.rate_bps
+
+let start_service t =
+  if t.backlog.len = 0 then t.busy <- false
+  else begin
+    let pkt = ring_pop t.backlog in
+    t.busy <- true;
+    t.in_service <- pkt;
+    let tx = transmission_time t pkt in
+    Engine.schedule_after_unit t.engine ~delay:tx t.service_done
+  end
+
 let create ~engine ~rate_bps ~delay ~queue ~rng =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Link.create: negative delay";
-  {
-    engine;
-    rate_bps;
-    delay;
-    queue;
-    rng;
-    busy = false;
-    backlog = Queue.create ();
-    deliver = (fun _ -> ());
-    on_drop = (fun _ -> ());
-    delivered = 0;
-    bytes_delivered = 0;
-  }
+  let t =
+    {
+      engine;
+      rate_bps;
+      delay;
+      queue;
+      rng;
+      busy = false;
+      backlog = ring_create ();
+      in_flight = ring_create ();
+      in_service = Packet.dummy;
+      service_done = (fun () -> ());
+      deliver_head = (fun () -> ());
+      deliver = (fun _ -> ());
+      on_drop = (fun _ -> ());
+      delivered = 0;
+      bytes_delivered = 0;
+    }
+  in
+  t.deliver_head <- (fun () -> t.deliver (ring_pop t.in_flight));
+  t.service_done <-
+    (fun () ->
+      Queue_discipline.departure t.queue ~now:(Engine.now t.engine);
+      let pkt = t.in_service in
+      t.in_service <- Packet.dummy;
+      t.delivered <- t.delivered + 1;
+      t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+      ring_push t.in_flight pkt;
+      Engine.schedule_unit t.engine
+        ~at:(Engine.now t.engine +. t.delay)
+        t.deliver_head;
+      start_service t);
+  t
 
 let set_deliver t f = t.deliver <- f
 let set_on_drop t f = t.on_drop <- f
-
-let transmission_time t pkt = float_of_int (Packet.bits pkt) /. t.rate_bps
-
-let rec start_service t =
-  match Queue.take_opt t.backlog with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let tx = transmission_time t pkt in
-      ignore
-        (Engine.schedule_after t.engine ~delay:tx (fun () ->
-             Queue_discipline.departure t.queue ~now:(Engine.now t.engine);
-             t.delivered <- t.delivered + 1;
-             t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
-             let deliver_at = Engine.now t.engine +. t.delay in
-             ignore
-               (Engine.schedule t.engine ~at:deliver_at (fun () ->
-                    t.deliver pkt));
-             start_service t))
 
 let send t pkt =
   let now = Engine.now t.engine in
   let u = Ebrc_rng.Prng.float_unit t.rng in
   match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
-  | Queue_discipline.Drop -> t.on_drop pkt
+  | Queue_discipline.Drop ->
+      t.on_drop pkt;
+      Packet.release pkt
   | Queue_discipline.Enqueue ->
-      Queue.add pkt t.backlog;
+      ring_push t.backlog pkt;
       if not t.busy then start_service t
 
 let queue t = t.queue

@@ -191,3 +191,40 @@ let shutdown t =
 let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Process-wide warm pools, one per domain count. Spawning a domain
+   costs on the order of a millisecond, so a sweep layer that opens a
+   fresh pool per sweep pays that again and again — with quick-mode
+   sweeps of a few dozen points the spawn tax exceeded the parallel
+   gain (the PR1 jobs=2 regression). Shared pools are spawned on first
+   use, kept parked between jobs, and joined at process exit. *)
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_lock = Mutex.create ()
+let shared_at_exit = ref false
+
+let shared ?domains () =
+  let n =
+    max 1 (match domains with Some d -> d | None -> default_jobs ())
+  in
+  Mutex.lock shared_lock;
+  let pool =
+    match Hashtbl.find_opt shared_pools n with
+    | Some p when not p.closed -> p
+    | _ ->
+        let p = create ~domains:n () in
+        Hashtbl.replace shared_pools n p;
+        if not !shared_at_exit then begin
+          shared_at_exit := true;
+          at_exit (fun () ->
+              Mutex.lock shared_lock;
+              let ps =
+                Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools []
+              in
+              Hashtbl.reset shared_pools;
+              Mutex.unlock shared_lock;
+              List.iter shutdown ps)
+        end;
+        p
+  in
+  Mutex.unlock shared_lock;
+  pool

@@ -45,3 +45,11 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it
     down afterwards, whether [f] returns or raises. *)
+
+val shared : ?domains:int -> unit -> t
+(** A process-wide pool of the given size, spawned on first use and
+    reused by every subsequent call with the same [domains] (workers
+    stay parked between jobs, so repeated sweeps pay the domain-spawn
+    cost once instead of per sweep). Shut down automatically at
+    process exit; do not call {!shutdown} on it — a closed shared
+    pool is replaced on the next call. *)

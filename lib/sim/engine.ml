@@ -4,38 +4,101 @@
    until a time horizon or event budget is hit. Cancellation is by
    generation counter: a [handle] is invalidated rather than removed from
    the heap (O(1) cancel, lazily discarded on pop) — the standard
-   technique for simulators with many retransmit-timer resets. *)
+   technique for simulators with many retransmit-timer resets.
+
+   Hot-path allocation: event records are recycled through a per-engine
+   freelist (most callers never cancel, so [schedule_unit] shares one
+   never-cancelled handle and a steady-state run allocates no event
+   records at all), and the run loop peeks/pops through the queue's
+   allocation-free accessors. *)
 
 type handle = { mutable cancelled : bool }
 
-type event = { fire : unit -> unit; handle : handle }
+(* Shared sentinel for events scheduled without a handle; never
+   cancelled. *)
+let no_handle = { cancelled = false }
+
+type event = { mutable fire : unit -> unit; mutable handle : handle }
+
+let nop () = ()
 
 type t = {
   queue : event Event_queue.t;
   mutable now : float;
   mutable processed : int;
   mutable horizon : float;
+  mutable pool : event array;
+  mutable pool_size : int;
 }
 
+let dummy_event = { fire = nop; handle = no_handle }
+
 let create () =
-  { queue = Event_queue.create (); now = 0.0; processed = 0; horizon = infinity }
+  {
+    queue = Event_queue.create ();
+    now = 0.0;
+    processed = 0;
+    horizon = infinity;
+    pool = Array.make 64 dummy_event;
+    pool_size = 0;
+  }
 
 let now t = t.now
 let processed t = t.processed
 let pending t = Event_queue.size t.queue
 
-let schedule t ~at fire =
+let pooling = ref (Sys.getenv_opt "EBRC_POOL" = Some "1")
+let set_pooling b = pooling := b
+
+let alloc_event t fire handle =
+  if (not !pooling) || t.pool_size = 0 then { fire; handle }
+  else begin
+    let n = t.pool_size - 1 in
+    t.pool_size <- n;
+    let ev = t.pool.(n) in
+    t.pool.(n) <- dummy_event;
+    ev.fire <- fire;
+    ev.handle <- handle;
+    ev
+  end
+
+let recycle t ev =
+  if not !pooling then ignore ev
+  else begin
+  ev.fire <- nop;
+  ev.handle <- no_handle;
+  if t.pool_size = Array.length t.pool then begin
+    let bigger = Array.make (2 * t.pool_size) dummy_event in
+    Array.blit t.pool 0 bigger 0 t.pool_size;
+    t.pool <- bigger
+  end;
+  t.pool.(t.pool_size) <- ev;
+  t.pool_size <- t.pool_size + 1
+  end
+
+let check_at t at =
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
-         t.now);
+         t.now)
+
+let schedule t ~at fire =
+  check_at t at;
   let handle = { cancelled = false } in
-  Event_queue.push t.queue ~time:at { fire; handle };
+  Event_queue.push t.queue ~time:at (alloc_event t fire handle);
   handle
+
+let schedule_unit t ~at fire =
+  check_at t at;
+  Event_queue.push t.queue ~time:at (alloc_event t fire no_handle)
 
 let schedule_after t ~delay fire =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~at:(t.now +. delay) fire
+
+let schedule_after_unit t ~delay fire =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_unit t ~at:(t.now +. delay) fire
 
 let cancel handle = handle.cancelled <- true
 let is_cancelled handle = handle.cancelled
@@ -52,28 +115,34 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   (try
      let continue = ref true in
      while !continue do
-       match Event_queue.pop t.queue with
-       | None ->
-           reason := Queue_empty;
+       if Event_queue.is_empty t.queue then begin
+         reason := Queue_empty;
+         continue := false
+       end
+       else begin
+         let time = Event_queue.top_time t.queue in
+         if time > until then begin
+           (* Leave it queued for a later resumed run and stop. *)
+           t.now <- until;
+           reason := Horizon_reached;
            continue := false
-       | Some (time, ev) ->
-           if ev.handle.cancelled then ()
-           else if time > until then begin
-             (* Put it back for a later resumed run and stop. *)
-             Event_queue.push t.queue ~time ev;
-             t.now <- until;
-             reason := Horizon_reached;
-             continue := false
-           end
+         end
+         else begin
+           let ev = Event_queue.pop_exn t.queue in
+           if ev.handle.cancelled then recycle t ev
            else begin
              t.now <- time;
              t.processed <- t.processed + 1;
-             ev.fire ();
+             let fire = ev.fire in
+             recycle t ev;
+             fire ();
              if t.processed >= max_events then begin
                reason := Budget_exhausted;
                continue := false
              end
            end
+         end
+       end
      done
    with Stop -> reason := Stopped);
   !reason

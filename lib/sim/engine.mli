@@ -6,6 +6,14 @@ type handle
 
 val create : unit -> t
 
+val set_pooling : bool -> unit
+(** Toggle event-record recycling through the per-engine freelist. Off
+    by default (or set [EBRC_POOL=1]): recycled records are tenured,
+    so storing each event's young closure into them pays a write
+    barrier and promotes the closure, which measured slower than
+    letting records die in the minor heap. Kept for A/B allocation
+    measurements. Flip only between simulations. *)
+
 val now : t -> float
 val processed : t -> int
 val pending : t -> int
@@ -14,6 +22,13 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 (** Raises if [at] is in the past. *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+
+val schedule_unit : t -> at:float -> (unit -> unit) -> unit
+(** Like {!schedule} for events that are never cancelled: shares one
+    sentinel handle and recycles event records through the engine's
+    freelist, so steady-state scheduling allocates nothing. *)
+
+val schedule_after_unit : t -> delay:float -> (unit -> unit) -> unit
 
 val cancel : handle -> unit
 (** O(1); the event is discarded lazily when popped. *)

@@ -117,6 +117,25 @@ let push t ~time payload =
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
+(* Allocation-free accessors for the hot loop: callers check
+   [is_empty] first. *)
+let top_time t =
+  if t.size = 0 then invalid_arg "Event_queue.top_time: empty queue";
+  t.times.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty queue";
+  let payload : 'a = Obj.obj t.payloads.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let lt = t.times.(n) and ls = t.seqs.(n) and lp = t.payloads.(n) in
+    t.payloads.(n) <- hole;
+    sift_down t 0 lt ls lp
+  end
+  else t.payloads.(0) <- hole;
+  payload
+
 let pop t =
   if t.size = 0 then None
   else begin

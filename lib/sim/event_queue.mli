@@ -12,5 +12,15 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Raises on NaN time. *)
 
 val peek_time : 'a t -> float option
+
+val top_time : 'a t -> float
+(** Time of the earliest event, without allocating. Raises on an empty
+    queue — check {!is_empty} first. *)
+
 val pop : 'a t -> (float * 'a) option
+
+val pop_exn : 'a t -> 'a
+(** Pop the earliest payload without allocating (its time is
+    [top_time] just before the call). Raises on an empty queue. *)
+
 val clear : 'a t -> unit

@@ -84,18 +84,21 @@ let packet_bytes t =
   let units = t.rate_units *. t.period in
   max 1 (int_of_float (Float.round (units *. float_of_int t.base_size)))
 
-let rec send_loop t =
-  if t.running then begin
-    let pkt =
-      Packet.data ~flow:t.flow ~seq:t.seq ~size:(packet_bytes t)
-        ~sent_at:(Engine.now t.engine)
-    in
-    t.seq <- t.seq + 1;
-    t.sent <- t.sent + 1;
-    t.transmit pkt;
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.period (fun () -> send_loop t))
-  end
+let send_loop t =
+  (* One self-rescheduling thunk per start, not one closure per packet. *)
+  let rec tick () =
+    if t.running then begin
+      let pkt =
+        Packet.data ~flow:t.flow ~seq:t.seq ~size:(packet_bytes t)
+          ~sent_at:(Engine.now t.engine)
+      in
+      t.seq <- t.seq + 1;
+      t.sent <- t.sent + 1;
+      t.transmit pkt;
+      Engine.schedule_after_unit t.engine ~delay:t.period tick
+    end
+  in
+  tick ()
 
 let start t =
   if not t.running then begin

@@ -44,19 +44,21 @@ let next_gap t =
   | Cbr -> 1.0 /. t.rate
   | Poisson rng -> Dist.exponential rng ~rate:t.rate
 
-let rec send_loop t =
-  if t.running then begin
-    let pkt =
-      Packet.data ~flow:t.flow ~seq:t.seq ~size:t.packet_size
-        ~sent_at:(Engine.now t.engine)
-    in
-    t.seq <- t.seq + 1;
-    t.sent <- t.sent + 1;
-    t.transmit pkt;
-    ignore
-      (Engine.schedule_after t.engine ~delay:(next_gap t) (fun () ->
-           send_loop t))
-  end
+let send_loop t =
+  (* One self-rescheduling thunk per start, not one closure per packet. *)
+  let rec tick () =
+    if t.running then begin
+      let pkt =
+        Packet.data ~flow:t.flow ~seq:t.seq ~size:t.packet_size
+          ~sent_at:(Engine.now t.engine)
+      in
+      t.seq <- t.seq + 1;
+      t.sent <- t.sent + 1;
+      t.transmit pkt;
+      Engine.schedule_after_unit t.engine ~delay:(next_gap t) tick
+    end
+  in
+  tick ()
 
 let start t =
   if not t.running then begin

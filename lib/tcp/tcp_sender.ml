@@ -55,7 +55,7 @@ type t = {
   mutable loss_events : int;
   mutable last_event_at : float;
   mutable packets_at_last_event : int;
-  loss_intervals : float Queue.t;
+  loss_intervals : Ebrc_stats.Floatbuf.t;
   rtt_acc : Ebrc_stats.Welford.t;
   mutable on_rate_sample : float -> unit;
 }
@@ -93,7 +93,7 @@ let create ?(packet_size = 1000) ?(initial_cwnd = 2.0) ?(max_window = 1e9)
     loss_events = 0;
     last_event_at = neg_infinity;
     packets_at_last_event = 0;
-    loss_intervals = Queue.create ();
+    loss_intervals = Ebrc_stats.Floatbuf.create ();
     rtt_acc = Ebrc_stats.Welford.create ();
     on_rate_sample = (fun _ -> ());
   }
@@ -112,9 +112,8 @@ let note_congestion_event t =
   let window = if t.srtt > 0.0 then t.srtt else t.rto in
   if now -. t.last_event_at > window then begin
     if t.loss_events > 0 then
-      Queue.add
-        (float_of_int (t.packets_sent - t.packets_at_last_event))
-        t.loss_intervals;
+      Ebrc_stats.Floatbuf.add t.loss_intervals
+        (float_of_int (t.packets_sent - t.packets_at_last_event));
     t.loss_events <- t.loss_events + 1;
     t.packets_at_last_event <- t.packets_sent;
     t.last_event_at <- now
@@ -282,9 +281,11 @@ let loss_events t = t.loss_events
 let srtt t = t.srtt
 let mean_rtt t = Ebrc_stats.Welford.mean t.rtt_acc
 
-let loss_event_intervals t = Array.of_seq (Queue.to_seq t.loss_intervals)
+let loss_event_intervals t = Ebrc_stats.Floatbuf.to_array t.loss_intervals
+
+let interval_count t = Ebrc_stats.Floatbuf.length t.loss_intervals
 
 let loss_event_rate t =
-  let ivs = loss_event_intervals t in
-  if Array.length ivs = 0 then 0.0
-  else float_of_int (Array.length ivs) /. Array.fold_left ( +. ) 0.0 ivs
+  let n = Ebrc_stats.Floatbuf.length t.loss_intervals in
+  if n = 0 then 0.0
+  else float_of_int n /. Ebrc_stats.Floatbuf.sum t.loss_intervals

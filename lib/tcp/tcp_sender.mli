@@ -53,5 +53,8 @@ val mean_rtt : t -> float
 val loss_event_intervals : t -> float array
 (** Completed loss-event intervals in packets sent. *)
 
+val interval_count : t -> int
+(** Number of completed intervals, without materialising the array. *)
+
 val loss_event_rate : t -> float
 (** p′ = (#completed intervals) / (Σ packets in them). *)

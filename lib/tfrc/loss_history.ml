@@ -15,6 +15,7 @@
    force during the interval and the interval that actually materialised. *)
 
 module Loss_interval = Ebrc_estimator.Loss_interval
+module Floatbuf = Ebrc_stats.Floatbuf
 
 type t = {
   estimator : Loss_interval.t;
@@ -27,8 +28,9 @@ type t = {
   mutable event_count : int;
   mutable last_event_at : float;
   mutable total_lost : int;
-  pairs : (float * float) Queue.t;    (* (theta_hat_n, theta_n) *)
-  intervals : float Queue.t;
+  pair_hats : Floatbuf.t;             (* theta_hat_n at each event *)
+  pair_thetas : Floatbuf.t;           (* matching theta_n *)
+  intervals : Floatbuf.t;
 }
 
 let create ?(comprehensive = true) ?(discounting = false) ~l ~rtt () =
@@ -44,8 +46,9 @@ let create ?(comprehensive = true) ?(discounting = false) ~l ~rtt () =
     event_count = 0;
     last_event_at = neg_infinity;
     total_lost = 0;
-    pairs = Queue.create ();
-    intervals = Queue.create ();
+    pair_hats = Floatbuf.create ();
+    pair_thetas = Floatbuf.create ();
+    intervals = Floatbuf.create ();
   }
 
 let set_rtt t rtt = if rtt > 0.0 then t.rtt <- rtt
@@ -55,9 +58,11 @@ let record_loss_event t ~now =
     if t.event_count > 0 then begin
       let theta = float_of_int t.packets_since_event in
       let theta = Float.max theta 1.0 in
-      if Loss_interval.filled t.estimator > 0 then
-        Queue.add (Loss_interval.estimate t.estimator, theta) t.pairs;
-      Queue.add theta t.intervals;
+      if Loss_interval.filled t.estimator > 0 then begin
+        Floatbuf.add t.pair_hats (Loss_interval.estimate t.estimator);
+        Floatbuf.add t.pair_thetas theta
+      end;
+      Floatbuf.add t.intervals theta;
       Loss_interval.record t.estimator theta;
       t.discount <- 1.0
     end;
@@ -143,13 +148,18 @@ let p_estimate t =
   let avg = average_interval t in
   if avg = infinity then 0.0 else 1.0 /. avg
 
-let completed_intervals t = Array.of_seq (Queue.to_seq t.intervals)
+let completed_intervals t = Floatbuf.to_array t.intervals
 
-let estimate_pairs t = Array.of_seq (Queue.to_seq t.pairs)
+let interval_count t = Floatbuf.length t.intervals
+
+let estimate_pairs t =
+  Array.init (Floatbuf.length t.pair_hats) (fun i ->
+      (Floatbuf.get t.pair_hats i, Floatbuf.get t.pair_thetas i))
+
+let pair_count t = Floatbuf.length t.pair_hats
 
 (* Empirical loss-event rate over the whole run (paper Eq. (1)):
    completed intervals only. *)
 let empirical_p t =
-  let ivs = completed_intervals t in
-  if Array.length ivs = 0 then 0.0
-  else float_of_int (Array.length ivs) /. Array.fold_left ( +. ) 0.0 ivs
+  let n = Floatbuf.length t.intervals in
+  if n = 0 then 0.0 else float_of_int n /. Floatbuf.sum t.intervals

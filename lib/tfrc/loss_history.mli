@@ -35,9 +35,15 @@ val p_estimate : t -> float
 
 val completed_intervals : t -> float array
 
+val interval_count : t -> int
+(** Number of completed intervals, without materialising the array. *)
+
 val estimate_pairs : t -> (float * float) array
 (** Per loss event n: (θ̂ₙ in force during the interval, realised θₙ) —
     the covariance-condition instrumentation behind Figures 5 and 10. *)
+
+val pair_count : t -> int
+(** Number of recorded (θ̂ₙ, θₙ) pairs, without materialising them. *)
 
 val empirical_p : t -> float
 (** Whole-run loss-event rate (paper Eq. (1)). *)

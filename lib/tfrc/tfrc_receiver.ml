@@ -71,11 +71,13 @@ let emit_report t =
   t.feedback_seq <- t.feedback_seq + 1;
   t.send_feedback pkt
 
-let rec feedback_loop t =
-  ignore
-    (Engine.schedule_after t.engine ~delay:t.feedback_interval (fun () ->
-         emit_report t;
-         feedback_loop t))
+let feedback_loop t =
+  (* One self-rescheduling thunk for the lifetime of the receiver. *)
+  let rec tick () =
+    emit_report t;
+    Engine.schedule_after_unit t.engine ~delay:t.feedback_interval tick
+  in
+  Engine.schedule_after_unit t.engine ~delay:t.feedback_interval tick
 
 let on_data t (pkt : Packet.t) =
   let now = Engine.now t.engine in

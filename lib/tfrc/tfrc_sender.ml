@@ -41,9 +41,10 @@ type t = {
   nofeedback_rtts : float;            (* timer horizon in RTTs; 0 = off *)
   mutable nofeedback_timer : Engine.handle option;
   mutable rate_halvings : int;
+  mutable send_tick : unit -> unit;   (* preallocated send-loop thunk *)
 }
 
-let create ?(packet_size = 1000) ?(conform_to_analysis = false)
+let rec create ?(packet_size = 1000) ?(conform_to_analysis = false)
     ?(initial_rate = 1.0) ?(min_rate = 0.1) ?(max_rate = 1e6)
     ?(nofeedback_rtts = 4.0) ~engine ~flow ~formula () =
   if packet_size <= 0 then invalid_arg "Tfrc_sender.create: packet_size <= 0";
@@ -51,13 +52,14 @@ let create ?(packet_size = 1000) ?(conform_to_analysis = false)
     invalid_arg "Tfrc_sender.create: initial_rate <= 0";
   if max_rate <= min_rate then
     invalid_arg "Tfrc_sender.create: max_rate <= min_rate";
-  {
-    engine;
-    flow;
-    formula;
-    packet_size;
-    conform_to_analysis;
-    transmit = (fun _ -> ());
+  let t =
+    {
+      engine;
+      flow;
+      formula;
+      packet_size;
+      conform_to_analysis;
+      transmit = (fun _ -> ());
     rate = initial_rate;
     srtt = 0.0;
     seq = 0;
@@ -72,15 +74,16 @@ let create ?(packet_size = 1000) ?(conform_to_analysis = false)
     initial_rate;
     min_rate;
     max_rate;
-    nofeedback_rtts;
-    nofeedback_timer = None;
-    rate_halvings = 0;
-  }
+      nofeedback_rtts;
+      nofeedback_timer = None;
+      rate_halvings = 0;
+      send_tick = (fun () -> ());
+    }
+  in
+  t.send_tick <- (fun () -> send_loop t);
+  t
 
-let set_transmit t f = t.transmit <- f
-let set_rate_change_hook t f = t.on_rate_change <- f
-
-let rec send_loop t =
+and send_loop t =
   if t.running then begin
     let pkt =
       Packet.data ~flow:t.flow ~seq:t.seq ~size:t.packet_size
@@ -90,8 +93,11 @@ let rec send_loop t =
     t.sent <- t.sent + 1;
     t.transmit pkt;
     let gap = 1.0 /. Float.max t.rate t.min_rate in
-    ignore (Engine.schedule_after t.engine ~delay:gap (fun () -> send_loop t))
+    Engine.schedule_after_unit t.engine ~delay:gap t.send_tick
   end
+
+let set_transmit t f = t.transmit <- f
+let set_rate_change_hook t f = t.on_rate_change <- f
 
 let update_rtt t sample =
   if sample > 0.0 then begin

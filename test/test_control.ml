@@ -276,6 +276,54 @@ let test_cycle_duration_closed_vs_ode_single () =
   in
   feq ~eps:1e-3 s_closed s_ode
 
+let test_cycle_duration_adaptive_vs_closed_sqrt () =
+  (* Acceptance bar for the adaptive engine: <= 1e-6 relative error
+     against the Proposition-3 closed form at the default tolerance. *)
+  let estimator = LI.of_tfrc ~l:8 in
+  LI.prime estimator 20.0;
+  let theta = 120.0 in
+  let s_closed = CC.cycle_duration_closed ~formula:sqrt_f ~estimator ~theta in
+  let s_adaptive =
+    CC.cycle_duration_ode_adaptive ~formula:sqrt_f ~estimator ~theta ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rel err %.3g <= 1e-6"
+       (abs_float (s_adaptive -. s_closed) /. s_closed))
+    true
+    (abs_float (s_adaptive -. s_closed) /. s_closed <= 1e-6)
+
+let test_adaptive_memo_deterministic () =
+  (* Second call hits the memo cache and must return the identical
+     float, and a fresh estimator with the same state must too. *)
+  let estimator = LI.of_tfrc ~l:8 in
+  LI.prime estimator 25.0;
+  let theta = 300.0 in
+  let s1 =
+    CC.cycle_duration_ode_adaptive ~formula:pftk_simpl ~estimator ~theta ()
+  in
+  let s2 =
+    CC.cycle_duration_ode_adaptive ~formula:pftk_simpl ~estimator ~theta ()
+  in
+  let estimator' = LI.of_tfrc ~l:8 in
+  LI.prime estimator' 25.0;
+  let s3 =
+    CC.cycle_duration_ode_adaptive ~formula:pftk_simpl ~estimator:estimator'
+      ~theta ()
+  in
+  Alcotest.(check bool) "memo hit identical" true (s1 = s2 && s1 = s3)
+
+let test_fixed_step_engine_matches_closed () =
+  (* The legacy engine stays available behind Ode_fixed_step. *)
+  let a =
+    run_comprehensive ~seed:43 ~cycles:2000 ~engine:CC.Closed_form ~kind:F.Sqrt
+      ~l:8 ~p:0.05 ~cv:0.9 ()
+  in
+  let b =
+    run_comprehensive ~seed:43 ~cycles:2000 ~engine:CC.Ode_fixed_step
+      ~kind:F.Sqrt ~l:8 ~p:0.05 ~cv:0.9 ()
+  in
+  feq ~eps:1e-2 a.CC.throughput b.CC.throughput
+
 let test_closed_form_rejects_pftk_standard () =
   let rng = Prng.create ~seed:1 in
   let process = LP.iid_exponential rng ~p:0.05 in
@@ -489,6 +537,24 @@ let prop_basic_conservative_pftk_iid =
       in
       r.BC.normalized <= 1.05)
 
+let prop_adaptive_matches_closed_sqrt =
+  (* Satellite: RK45 vs the SQRT closed-form cycle duration, across
+     random estimator states and cycle lengths, to 1e-6 relative. *)
+  QCheck.Test.make ~name:"adaptive ODE = SQRT closed form to 1e-6" ~count:60
+    QCheck.(
+      triple (int_range 2 16) (float_range 5.0 80.0) (float_range 1.1 20.0))
+    (fun (l, prime, growth) ->
+      let estimator = LI.of_tfrc ~l in
+      LI.prime estimator prime;
+      let theta = prime *. growth in
+      let s_closed =
+        CC.cycle_duration_closed ~formula:sqrt_f ~estimator ~theta
+      in
+      let s_adaptive =
+        CC.cycle_duration_ode_adaptive ~formula:sqrt_f ~estimator ~theta ()
+      in
+      abs_float (s_adaptive -. s_closed) /. s_closed <= 1e-6)
+
 let prop_comprehensive_ge_basic =
   QCheck.Test.make ~name:"Prop 2: comprehensive >= basic" ~count:8
     QCheck.(pair (int_range 2 16) (float_range 0.02 0.2))
@@ -505,6 +571,7 @@ let qsuite =
     [
       prop_basic_conservative_sqrt_iid;
       prop_basic_conservative_pftk_iid;
+      prop_adaptive_matches_closed_sqrt;
       prop_comprehensive_ge_basic;
     ]
 
@@ -542,6 +609,9 @@ let () =
           Alcotest.test_case "no growth = basic cycle" `Quick test_cycle_duration_no_growth_equals_basic;
           Alcotest.test_case "growth shortens cycle" `Quick test_cycle_duration_growth_shorter;
           Alcotest.test_case "closed vs ODE single cycle" `Quick test_cycle_duration_closed_vs_ode_single;
+          Alcotest.test_case "adaptive vs closed (SQRT, 1e-6)" `Quick test_cycle_duration_adaptive_vs_closed_sqrt;
+          Alcotest.test_case "adaptive memo deterministic" `Quick test_adaptive_memo_deterministic;
+          Alcotest.test_case "fixed-step engine A/B" `Quick test_fixed_step_engine_matches_closed;
           Alcotest.test_case "closed form rejects PFTK-std" `Quick test_closed_form_rejects_pftk_standard;
           Alcotest.test_case "V_n zero when estimates equal" `Quick test_v_n_zero_when_equal;
         ] );

@@ -128,6 +128,26 @@ let test_scenario_pooled_loss_rate () =
     true
     (p > 0.0 && p < 0.2)
 
+(* The freelist recycling of packet and event records must be invisible
+   to the simulation: same seeds, same results, pooled or not. *)
+let test_scenario_freelist_equivalence () =
+  let cfg = { quick_cfg with duration = 20.0 } in
+  let r_plain = S.run cfg in
+  Ebrc.Packet.set_pooling true;
+  Ebrc.Engine.set_pooling true;
+  let r_pooled =
+    Fun.protect
+      ~finally:(fun () ->
+        Ebrc.Packet.set_pooling false;
+        Ebrc.Engine.set_pooling false)
+      (fun () -> S.run cfg)
+  in
+  feq (S.mean_throughput r_plain.S.tfrc) (S.mean_throughput r_pooled.S.tfrc);
+  feq (S.mean_throughput r_plain.S.tcp) (S.mean_throughput r_pooled.S.tcp);
+  feq (S.pooled_loss_rate r_plain.S.tfrc) (S.pooled_loss_rate r_pooled.S.tfrc);
+  Alcotest.(check int)
+    "same drops" r_plain.S.queue_drops r_pooled.S.queue_drops
+
 let test_scenario_invalid_duration () =
   match S.run { quick_cfg with duration = 5.0; warmup = 10.0 } with
   | _ -> Alcotest.fail "expected Invalid_argument"
@@ -293,6 +313,8 @@ let () =
           Alcotest.test_case "determinism" `Quick test_scenario_determinism;
           Alcotest.test_case "seed sensitivity" `Quick test_scenario_seed_sensitivity;
           Alcotest.test_case "pooled loss rate" `Quick test_scenario_pooled_loss_rate;
+          Alcotest.test_case "freelist equivalence" `Quick
+            test_scenario_freelist_equivalence;
           Alcotest.test_case "invalid duration" `Quick test_scenario_invalid_duration;
           Alcotest.test_case "bdp/rtt helpers" `Quick test_bdp_and_rtt_helpers;
         ] );

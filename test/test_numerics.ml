@@ -167,8 +167,62 @@ let test_time_to_reach_budget () =
     Ode.time_to_reach ~step:1e-3 ~max_steps:10 (fun _ _ -> 1e-9) ~y0:0.0
       ~target:1.0
   with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Step_limit_exceeded"
+  | exception Ode.Step_limit_exceeded { steps; _ } ->
+      Alcotest.(check int) "steps recorded" 10 steps
+
+let test_adaptive_budget_nonconvergent () =
+  (* dy/dt = e^-t decays: y(inf) = y0 + 1 < target, so the threshold is
+     never reached and the adaptive stepper must fail loudly, not hang. *)
+  match
+    Ode.time_to_reach_adaptive ~max_steps:500
+      (fun t _ -> exp (-.t))
+      ~y0:0.0 ~target:2.0
+  with
+  | _ -> Alcotest.fail "expected Step_limit_exceeded"
+  | exception Ode.Step_limit_exceeded { y; _ } ->
+      Alcotest.(check bool) "abandoned below target" true (y < 2.0)
+
+let test_adaptive_exponential_growth () =
+  feq ~eps:1e-8
+    (Ode.integrate_adaptive ~rtol:1e-10 ~atol:1e-12 (fun _ y -> y) ~t0:0.0
+       ~t1:1.0 ~y0:1.0)
+    (exp 1.0)
+
+let test_adaptive_time_to_reach_sqrt_growth () =
+  (* dy/dt = 2 sqrt(y): y(t) = (t + sqrt y0)^2; from y0=1 to 9 takes 2. *)
+  feq ~eps:1e-8
+    (Ode.time_to_reach_adaptive ~rtol:1e-10 ~atol:1e-12
+       (fun _ y -> 2.0 *. sqrt y)
+       ~y0:1.0 ~target:9.0)
+    2.0
+
+let test_adaptive_already_there () =
+  feq (Ode.time_to_reach_adaptive (fun _ _ -> 1.0) ~y0:5.0 ~target:4.0) 0.0
+
+let test_adaptive_matches_fixed_rk4 () =
+  (* Tentpole cross-check: adaptive at tight tolerance agrees with
+     fine fixed-step RK4 to 1e-8 on a nonlinear growth law. *)
+  let f _ y = (0.3 *. y) +. (2.0 *. sqrt y) in
+  let fixed = Ode.time_to_reach ~step:1e-6 f ~y0:1.0 ~target:50.0 in
+  let adaptive =
+    Ode.time_to_reach_adaptive ~rtol:1e-12 ~atol:1e-14 f ~y0:1.0 ~target:50.0
+  in
+  feq ~eps:1e-8 fixed adaptive
+
+let test_adaptive_fewer_steps_stiffish () =
+  (* A trajectory with a fast transient then a long slow tail: the
+     adaptive stepper should cross it in a tiny fraction of the
+     derivative evaluations a fixed 1e-3 step would need. *)
+  let f t y = (100.0 *. exp (-50.0 *. t)) +. (0.01 *. (1.0 +. (0.0 *. y))) in
+  let _, st =
+    Ode.time_to_reach_adaptive_stats f ~y0:0.0 ~target:10.0
+  in
+  (* Fixed-step RK4 at 1e-3 needs ~800k steps (~3.2M evals) to cover
+     the t ~ 800 tail; adaptive should use a few hundred evals. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive evals = %d < 10000" st.Ode.evals)
+    true (st.Ode.evals < 10_000)
 
 (* ------------------------- properties -------------------------- *)
 
@@ -255,6 +309,18 @@ let () =
           Alcotest.test_case "time_to_reach sqrt" `Quick test_time_to_reach_sqrt_growth;
           Alcotest.test_case "already there" `Quick test_time_to_reach_already_there;
           Alcotest.test_case "budget exhausted" `Quick test_time_to_reach_budget;
+          Alcotest.test_case "adaptive budget (non-convergent)" `Quick
+            test_adaptive_budget_nonconvergent;
+          Alcotest.test_case "adaptive exp growth" `Quick
+            test_adaptive_exponential_growth;
+          Alcotest.test_case "adaptive time_to_reach sqrt" `Quick
+            test_adaptive_time_to_reach_sqrt_growth;
+          Alcotest.test_case "adaptive already there" `Quick
+            test_adaptive_already_there;
+          Alcotest.test_case "adaptive matches fixed RK4 @1e-8" `Quick
+            test_adaptive_matches_fixed_rk4;
+          Alcotest.test_case "adaptive far fewer steps (stiff-ish)" `Quick
+            test_adaptive_fewer_steps_stiffish;
         ] );
       ("properties", qsuite);
     ]
