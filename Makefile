@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-full bench-compare figures validate report examples clean
+.PHONY: all build test bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
 
 all: build
 
@@ -34,6 +34,18 @@ validate:
 
 report:
 	dune exec bin/ebrc_cli.exe -- report -o report.md
+
+# Run one figure with full telemetry: structured events + per-figure
+# spans land in telemetry.jsonl / trace.json, and a summary table is
+# printed on exit.
+telemetry-demo:
+	dune exec bin/ebrc_cli.exe -- figure 17 \
+	  --telemetry telemetry.jsonl --trace trace.json --telemetry-summary
+	@echo
+	@echo "telemetry.jsonl : one JSON object per line (metrics, spans, events)"
+	@echo "trace.json      : Chrome trace_event format -- open chrome://tracing"
+	@echo "                  (or https://ui.perfetto.dev) and load the file to"
+	@echo "                  see per-figure spans and simulated-time events."
 
 examples:
 	dune exec examples/quickstart.exe

@@ -177,6 +177,58 @@ let ns_table json =
         kvs
   | _ -> []
 
+(* Telemetry counters from the fixed-seed ablation scenario. These are
+   deterministic, so between two records at the same seed any drift
+   means the simulation itself changed behaviour — worth a warning,
+   but non-fatal: an intentional simulator change legitimately moves
+   them. *)
+let telemetry_drift_threshold = 0.05
+
+let telemetry_counters json =
+  match member "telemetry_summary" json with
+  | Some summary -> (
+      match member "counters" summary with
+      | Some (Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+            kvs
+      | _ -> [])
+  | None -> []
+
+let compare_telemetry old_json new_json =
+  let old_tbl = telemetry_counters old_json in
+  let new_tbl = telemetry_counters new_json in
+  if old_tbl <> [] && new_tbl <> [] then begin
+    let drifted =
+      List.filter_map
+        (fun (name, old_v) ->
+          match List.assoc_opt name new_tbl with
+          | Some new_v when old_v > 0.0 ->
+              let rel = abs_float (new_v -. old_v) /. old_v in
+              if rel > telemetry_drift_threshold then
+                Some (name, old_v, new_v, rel)
+              else None
+          | _ -> None)
+        old_tbl
+    in
+    match drifted with
+    | [] ->
+        Printf.printf
+          "  telemetry counters: %d compared, drift <= %.0f%%\n\n"
+          (List.length old_tbl) (100.0 *. telemetry_drift_threshold)
+    | ds ->
+        Printf.printf
+          "  telemetry counters: WARNING — %d counter(s) drifted > %.0f%% \
+           at equal seeds (simulation behaviour changed?):\n"
+          (List.length ds) (100.0 *. telemetry_drift_threshold);
+        List.iter
+          (fun (name, old_v, new_v, rel) ->
+            Printf.printf "    %-40s %12.0f -> %12.0f  (%+.1f%%)\n" name old_v
+              new_v (100.0 *. rel *. (if new_v >= old_v then 1.0 else -1.0)))
+          ds;
+        print_newline ()
+  end
+
 let () =
   match List.rev (bench_files ()) with
   | [] | [ _ ] ->
@@ -187,8 +239,10 @@ let () =
   | newest :: prev :: _ ->
       Printf.printf "bench-compare: %s (baseline) -> %s (current)\n\n" prev
         newest;
-      let old_tbl = ns_table (parse_json (read_file prev)) in
-      let new_tbl = ns_table (parse_json (read_file newest)) in
+      let old_json = parse_json (read_file prev) in
+      let new_json = parse_json (read_file newest) in
+      let old_tbl = ns_table old_json in
+      let new_tbl = ns_table new_json in
       if old_tbl = [] || new_tbl = [] then begin
         Printf.printf
           "bench-compare: no microbench_ns_per_run table in one of the \
@@ -217,7 +271,8 @@ let () =
                 new_ns ratio flag)
         old_tbl;
       print_newline ();
-      (match (member "parallel_figure_sweep" (parse_json (read_file newest))) with
+      compare_telemetry old_json new_json;
+      (match member "parallel_figure_sweep" new_json with
       | Some sweep -> (
           match (member "figure" sweep, member "speedup" sweep) with
           | Some (Str fig), Some (Num sp) ->

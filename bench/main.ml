@@ -445,6 +445,77 @@ let measure_alloc_ab () =
   { unpooled_ms; unpooled_mwords; pooled_ms; pooled_mwords }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry ablation: compile-in instrumentation must be ~free when   *)
+(* disabled (the ISSUE budget is <= 2% on the DropTail hot path), and  *)
+(* the enabled counter totals at a fixed seed are deterministic, so    *)
+(* they double as a scientific drift detector for bench-compare.       *)
+(* ------------------------------------------------------------------ *)
+
+type telemetry_ab = {
+  telem_off_ms : float;
+  telem_on_ms : float;
+  telem_counters : (string * int) list;  (* fixed-seed scenario totals *)
+  telem_events : int;                    (* events emitted (incl. dropped) *)
+}
+
+let measure_telemetry () =
+  let run_once () =
+    let cfg =
+      {
+        Ebrc.Scenario.default_config with
+        n_tfrc = 2;
+        n_tcp = 2;
+        queue = Ebrc.Scenario.Drop_tail { capacity = 100 };
+        duration = 10.0;
+        warmup = 2.0;
+        seed = 9;
+      }
+    in
+    ignore (Ebrc.Scenario.run cfg)
+  in
+  let best_of reps =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      run_once ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e3
+  in
+  run_once ();
+  let telem_off_ms = best_of 5 in
+  Ebrc.Telemetry.set_enabled true;
+  Ebrc.Telemetry.reset ();
+  run_once ();
+  let telem_on_ms = best_of 5 in
+  (* Deterministic totals: one fresh recording of the same seed. *)
+  Ebrc.Telemetry.reset ();
+  run_once ();
+  let telem_counters =
+    List.filter_map
+      (fun s ->
+        if s.Ebrc.Telemetry.snap_kind = Ebrc.Telemetry.Counter && s.count > 0
+        then Some (s.snap_name, s.count)
+        else None)
+      (Ebrc.Telemetry.snapshot ())
+  in
+  let telem_events =
+    List.length (Ebrc.Telemetry.events ()) + Ebrc.Telemetry.events_dropped ()
+  in
+  Ebrc.Telemetry.set_enabled false;
+  Ebrc.Telemetry.reset ();
+  Printf.printf
+    "#############################################################\n\
+     # Telemetry ablation (DropTail scenario, best of 5)\n\
+     #############################################################\n\n\
+    \  disabled  %7.2f ms\n\
+    \  enabled   %7.2f ms  (+%.1f%%, %d counters, %d events)\n\n"
+    telem_off_ms telem_on_ms
+    (100.0 *. ((telem_on_ms /. telem_off_ms) -. 1.0))
+    (List.length telem_counters) telem_events;
+  { telem_off_ms; telem_on_ms; telem_counters; telem_events }
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: domain-pool speedup on a real figure sweep.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -519,7 +590,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~figure_seconds ~microbench ~frontier ~alloc ~sweep =
+let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~sweep =
   let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
@@ -577,6 +648,22 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~sweep =
     alloc.unpooled_ms alloc.unpooled_mwords alloc.pooled_ms
     alloc.pooled_mwords;
   Printf.fprintf oc
+    "  \"telemetry_summary\": {\n\
+    \    \"disabled_ms\": %.3f,\n\
+    \    \"enabled_ms\": %.3f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"events\": %d,\n\
+    \    \"counters\": {\n"
+    telem.telem_off_ms telem.telem_on_ms
+    (100.0 *. ((telem.telem_on_ms /. telem.telem_off_ms) -. 1.0))
+    telem.telem_events;
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "      \"%s\": %d%s\n" (json_escape k) v
+        (if i = List.length telem.telem_counters - 1 then "" else ","))
+    telem.telem_counters;
+  Printf.fprintf oc "    }\n  },\n";
+  Printf.fprintf oc
     "  \"parallel_figure_sweep\": {\n\
     \    \"figure\": %S,\n\
     \    \"jobs\": %d,\n\
@@ -603,7 +690,8 @@ let () =
     print_bench_results microbench;
     let frontier = measure_ode_frontier () in
     let alloc = measure_alloc_ab () in
+    let telem = measure_telemetry () in
     let sweep = measure_parallel_sweep () in
-    write_json ~figure_seconds ~microbench ~frontier ~alloc ~sweep;
+    write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~sweep;
     print_endline "\nbench: done."
   end

@@ -5,19 +5,84 @@ open Cmdliner
 
 (* Shared -j/--jobs flag: number of worker domains for the sweep
    runners. 0 (the default) means "auto": all recommended domains.
-   Results are bit-identical whatever the value. *)
+   Results are bit-identical whatever the value. Negative counts are
+   rejected at parse time so the user gets a usage error, not a
+   backtrace. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg "jobs count must be >= 0")
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid jobs count %S (expected an integer)" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 0
+    value & opt jobs_conv 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Run sweep points on $(docv) worker domains (0 = one per \
            available core). Output is identical for every $(docv).")
 
-let resolve_jobs = function
-  | 0 -> Ebrc.Pool.default_jobs ()
-  | n when n >= 1 -> n
-  | _ -> invalid_arg "--jobs must be >= 0"
+let resolve_jobs = function 0 -> Ebrc.Pool.default_jobs () | n -> n
+
+(* Shared telemetry sinks: any of these flags turns recording on for
+   the duration of the command; sinks are flushed on the way out, even
+   when the command fails. *)
+let telemetry_args =
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write counters, histograms, spans and \
+             events as JSON lines to $(docv) on exit.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write a Chrome trace_event file to \
+             $(docv) on exit (load it at chrome://tracing or \
+             ui.perfetto.dev).")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "telemetry-summary" ]
+          ~doc:"Enable telemetry and print a summary table on exit.")
+  in
+  Term.(
+    const (fun jsonl trace summary -> (jsonl, trace, summary))
+    $ jsonl $ trace $ summary)
+
+let with_telemetry (jsonl, trace, summary) f =
+  if jsonl = None && trace = None && not summary then f ()
+  else begin
+    Ebrc.Telemetry.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Ebrc.Telemetry.set_enabled false;
+        Option.iter
+          (fun path ->
+            Ebrc.Telemetry_export.write_jsonl ~path ();
+            Printf.eprintf "telemetry written to %s\n%!" path)
+          jsonl;
+        Option.iter
+          (fun path ->
+            Ebrc.Telemetry_export.write_chrome_trace ~path ();
+            Printf.eprintf "trace written to %s\n%!" path)
+          trace;
+        if summary then print_string (Ebrc.Telemetry_export.summary ()))
+      f
+  end
 
 let print_tables ?csv_dir tables =
   List.iteri
@@ -57,9 +122,10 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv jobs =
+  let run id full csv jobs telem =
     let quick = not full in
     try
+      with_telemetry telem @@ fun () ->
       let jobs = resolve_jobs jobs in
       let tables =
         if id = "all" then Ebrc.Figures.run_all ~jobs ~quick ()
@@ -73,23 +139,25 @@ let figure_cmd =
     Cmd.info "figure"
       ~doc:"Regenerate a figure or table from the paper's evaluation."
   in
-  Cmd.v info Term.(ret (const run $ id $ full $ csv $ jobs_arg))
+  Cmd.v info Term.(ret (const run $ id $ full $ csv $ jobs_arg $ telemetry_args))
 
 (* --- list --- *)
 
 let list_cmd =
-  let run () =
+  let run telem =
+    with_telemetry telem @@ fun () ->
     List.iter
       (fun (id, d) -> Printf.printf "%-4s %s\n" id d)
       (Ebrc.Figures.describe ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List the figure/table registry.")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_args)
 
 (* --- quickstart --- *)
 
 let quickstart_cmd =
-  let run () =
+  let run telem =
+    with_telemetry telem @@ fun () ->
     let module F = Ebrc.Formula in
     let f = F.create ~rtt:0.1 F.Pftk_standard in
     Printf.printf "PFTK-standard, rtt = 100 ms:\n";
@@ -112,7 +180,7 @@ let quickstart_cmd =
   Cmd.v
     (Cmd.info "quickstart"
        ~doc:"Evaluate the formulas and run a small basic-control simulation.")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_args)
 
 (* --- breakdown: run a custom dumbbell and print the four ratios --- *)
 
@@ -147,10 +215,11 @@ let breakdown_cmd =
       & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
-  let run n_tfrc n_tcp mbps rtt_ms droptail l duration seed =
+  let run n_tfrc n_tcp mbps rtt_ms droptail l duration seed telem =
     if n_tfrc < 1 || n_tcp < 1 then
       `Error (false, "need at least one TFRC and one TCP flow")
     else begin
+      with_telemetry telem @@ fun () ->
       let module S = Ebrc.Scenario in
       let module B = Ebrc.Breakdown in
       let cfg =
@@ -214,7 +283,7 @@ let breakdown_cmd =
     Term.(
       ret
         (const run $ n_tfrc $ n_tcp $ mbps $ rtt_ms $ droptail $ l $ duration
-       $ seed))
+       $ seed $ telemetry_args))
 
 (* --- convexity: classify a formula's functionals over a region --- *)
 
@@ -235,9 +304,10 @@ let convexity_cmd =
   in
   let lo = Arg.(value & opt float 1.5 & info [ "lo" ] ~docv:"X" ~doc:"Region lower edge (packets).") in
   let hi = Arg.(value & opt float 1000.0 & info [ "hi" ] ~docv:"X" ~doc:"Region upper edge (packets).") in
-  let run kind lo hi =
+  let run kind lo hi telem =
     if not (0.0 < lo && lo < hi) then `Error (false, "need 0 < lo < hi")
     else begin
+      with_telemetry telem @@ fun () ->
       let f = Ebrc.Formula.create ~rtt:1.0 kind in
       let region = { Ebrc.Conditions.x_lo = lo; x_hi = hi } in
       Printf.printf "%s on x in [%g, %g] (p in [%g, %g]):\n"
@@ -263,7 +333,7 @@ let convexity_cmd =
        ~doc:
          "Classify a throughput formula against the paper's conditions \
           (F1)/(F2)/(F2c) on a loss-interval region.")
-    Term.(ret (const run $ kind $ lo $ hi))
+    Term.(ret (const run $ kind $ lo $ hi $ telemetry_args))
 
 (* --- design: the conservativeness-as-objective advisor --- *)
 
@@ -285,11 +355,12 @@ let design_cmd =
   let l_max =
     Arg.(value & opt int 64 & info [ "l-max" ] ~docv:"L" ~doc:"Largest window to consider.")
   in
-  let run target cv l_max =
+  let run target cv l_max telem =
     if target <= 0.0 || target >= 1.0 then
       `Error (false, "target must be in (0, 1)")
     else if cv <= 0.0 || cv > 1.0 then `Error (false, "cv must be in (0, 1]")
     else begin
+      with_telemetry telem @@ fun () ->
       let module Dz = Ebrc.Design in
       let formula = Ebrc.Formula.create ~rtt:0.1 Ebrc.Formula.Pftk_standard in
       let region = { Dz.default_region with cv } in
@@ -319,7 +390,7 @@ let design_cmd =
          "Recommend the smallest estimator window meeting a worst-case \
           conservative-efficiency target (the paper's design-for-\
           conservativeness direction).")
-    Term.(ret (const run $ target $ cv $ l_max))
+    Term.(ret (const run $ target $ cv $ l_max $ telemetry_args))
 
 (* --- report: regenerate figures into a markdown document --- *)
 
@@ -340,7 +411,8 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full jobs =
+  let run out ids full jobs telem =
+    with_telemetry telem @@ fun () ->
     let options =
       { Ebrc.Report.ids; quick = not full;
         heading = "EBRC reproduction report";
@@ -352,7 +424,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate figures into a self-contained markdown report.")
-    Term.(const run $ out $ ids $ full $ jobs_arg)
+    Term.(const run $ out $ ids $ full $ jobs_arg $ telemetry_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -362,7 +434,8 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full jobs =
+  let run full jobs telem =
+    with_telemetry telem @@ fun () ->
     let outcomes =
       Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
     in
@@ -378,7 +451,7 @@ let validate_cmd =
        ~doc:
          "Run the automated paper-claim validation suite (a scientific CI \
           gate).")
-    Term.(ret (const run $ full $ jobs_arg))
+    Term.(ret (const run $ full $ jobs_arg $ telemetry_args))
 
 let main =
   let doc =

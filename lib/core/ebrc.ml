@@ -36,6 +36,8 @@ module Prng = Ebrc_rng.Prng
 module Dist = Ebrc_rng.Dist
 module Point_process = Ebrc_rng.Point_process
 module Pool = Ebrc_parallel.Pool
+module Telemetry = Ebrc_telemetry.Telemetry
+module Telemetry_export = Ebrc_telemetry.Export
 module Convexity = Ebrc_numerics.Convexity
 module Roots = Ebrc_numerics.Roots
 module Quadrature = Ebrc_numerics.Quadrature

@@ -20,6 +20,13 @@ module Breakdown = Ebrc_analysis.Breakdown
 module Few_flows = Ebrc_analysis.Few_flows
 module Many_sources = Ebrc_analysis.Many_sources
 module Pool = Ebrc_parallel.Pool
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_figures_run =
+  Tm.Counter.make ~help:"figure/table runners executed" "exp.figures_run"
+
+let m_tables =
+  Tm.Counter.make ~help:"result tables produced by runners" "exp.tables"
 
 let cell = Table.cell_float
 
@@ -1626,10 +1633,24 @@ let find id =
 let ids () = List.map (fun (id, _, _) -> id) registry
 let describe () = List.map (fun (id, d, _) -> (id, d)) registry
 
+(* Span-wrapped execution: per-figure wall time lands in the trace and
+   the summary whenever telemetry is enabled; the counters make the
+   replication count visible to bench-compare. *)
+let run_runner ~id (runner : runner) ?jobs ~quick () =
+  Tm.with_span ~cat:"figure" ("figure:" ^ id) (fun () ->
+      let tables = runner ?jobs ~quick () in
+      if Tm.is_on () then begin
+        Tm.Counter.incr m_figures_run;
+        Tm.Counter.add m_tables (List.length tables)
+      end;
+      tables)
+
 let run_one ?jobs ~quick id =
   match find id with
-  | Some runner -> runner ?jobs ~quick ()
+  | Some runner -> run_runner ~id runner ?jobs ~quick ()
   | None -> invalid_arg ("Figures.run_one: unknown figure id " ^ id)
 
 let run_all ?jobs ~quick () =
-  List.concat_map (fun (_, _, runner) -> runner ?jobs ~quick ()) registry
+  List.concat_map
+    (fun (id, _, runner) -> run_runner ~id runner ?jobs ~quick ())
+    registry

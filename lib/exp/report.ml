@@ -3,6 +3,11 @@
    timing, suitable for committing next to EXPERIMENTS.md or attaching
    to a CI run. *)
 
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_reports =
+  Tm.Counter.make ~help:"markdown reports generated" "exp.reports"
+
 let markdown_of_table (t : Table.t) =
   (* Re-render a Table.t as GitHub-flavoured markdown. Table does not
      expose its internals, so parse its own CSV (stable by contract). *)
@@ -82,6 +87,8 @@ let default_options =
   }
 
 let generate ?(options = default_options) () =
+  Tm.with_span ~cat:"report" "report:generate" @@ fun () ->
+  if Tm.is_on () then Tm.Counter.incr m_reports;
   let buf = Buffer.create 8192 in
   Buffer.add_string buf (Printf.sprintf "# %s\n\n" options.heading);
   Buffer.add_string buf
@@ -101,10 +108,13 @@ let generate ?(options = default_options) () =
           ids
   in
   List.iter
-    (fun (id, desc, runner) ->
+    (fun (id, desc, _runner) ->
       Buffer.add_string buf (Printf.sprintf "## Figure %s — %s\n\n" id desc);
       let t0 = Unix.gettimeofday () in
-      let tables = runner ?jobs:options.jobs ~quick:options.quick () in
+      (* Route through run_one so report runs get per-figure spans. *)
+      let tables =
+        Figures.run_one ?jobs:options.jobs ~quick:options.quick id
+      in
       List.iter
         (fun t ->
           let title, notes = title_and_notes t in

@@ -13,6 +13,13 @@
    delay is constant, so deliveries are FIFO. *)
 
 module Engine = Ebrc_sim.Engine
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_link_drops =
+  Tm.Counter.make ~help:"packets dropped at link ingress" "link.drops"
+
+let m_link_delivered =
+  Tm.Counter.make ~help:"packets delivered downstream" "link.delivered"
 
 (* Growable FIFO ring of packets. *)
 type ring = {
@@ -104,6 +111,7 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
       t.in_service <- Packet.dummy;
       t.delivered <- t.delivered + 1;
       t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+      if Tm.is_on () then Tm.Counter.incr m_link_delivered;
       ring_push t.in_flight pkt;
       Engine.schedule_unit t.engine
         ~at:(Engine.now t.engine +. t.delay)
@@ -119,6 +127,12 @@ let send t pkt =
   let u = Ebrc_rng.Prng.float_unit t.rng in
   match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
   | Queue_discipline.Drop ->
+      if Tm.is_on () then begin
+        Tm.Counter.incr m_link_drops;
+        (* The per-flow attribution the counters cannot carry. *)
+        Tm.event "link.drop" ~time:now ~flow:pkt.Packet.flow
+          ~value:(float_of_int pkt.Packet.seq)
+      end;
       t.on_drop pkt;
       Packet.release pkt
   | Queue_discipline.Enqueue ->

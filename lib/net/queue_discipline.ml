@@ -8,6 +8,27 @@
    (drop decisions independent of packet length), which is the mode the
    paper's Claim-2 audio experiments rely on. *)
 
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_enqueues =
+  Tm.Counter.make ~help:"packets admitted by any queue discipline"
+    "queue.enqueues"
+
+let m_drops =
+  Tm.Counter.make ~help:"packets dropped by any queue discipline" "queue.drops"
+
+let m_red_early =
+  Tm.Counter.make ~help:"RED probabilistic (early) drops"
+    "queue.red_early_drops"
+
+let m_red_forced =
+  Tm.Counter.make ~help:"RED forced drops (buffer full or above max_th)"
+    "queue.red_forced_drops"
+
+let m_occupancy =
+  Tm.Gauge.make ~help:"queue occupancy sampled at every enqueue (packets)"
+    "queue.occupancy"
+
 type decision = Enqueue | Drop
 
 type red_params = {
@@ -98,22 +119,29 @@ let offer ?(bytes = 1000) t ~now ~u =
   | Drop_tail ->
       if t.occupancy >= t.capacity then begin
         t.drops <- t.drops + 1;
+        if Tm.is_on () then Tm.Counter.incr m_drops;
         Drop
       end
       else begin
         t.occupancy <- t.occupancy + 1;
         t.enqueues <- t.enqueues + 1;
+        if Tm.is_on () then begin
+          Tm.Counter.incr m_enqueues;
+          Tm.Gauge.set m_occupancy (float_of_int t.occupancy)
+        end;
         Enqueue
       end
   | Red p ->
       update_avg t ~now;
       let hard_full = t.occupancy >= t.capacity in
+      let forced = ref true in
       let verdict =
         if hard_full then Drop
         else if t.avg < p.min_th then Enqueue
         else if t.avg >= p.max_th && not p.gentle then Drop (* forced drop *)
         else if t.avg >= 2.0 *. p.max_th then Drop          (* gentle wall *)
         else begin
+          forced := false;
           t.count <- t.count + 1;
           let pb =
             if t.avg < p.max_th then
@@ -139,10 +167,18 @@ let offer ?(bytes = 1000) t ~now ~u =
       (match verdict with
       | Drop ->
           t.drops <- t.drops + 1;
-          t.count <- 0
+          t.count <- 0;
+          if Tm.is_on () then begin
+            Tm.Counter.incr m_drops;
+            Tm.Counter.incr (if !forced then m_red_forced else m_red_early)
+          end
       | Enqueue ->
           t.occupancy <- t.occupancy + 1;
           t.enqueues <- t.enqueues + 1;
+          if Tm.is_on () then begin
+            Tm.Counter.incr m_enqueues;
+            Tm.Gauge.set m_occupancy (float_of_int t.occupancy)
+          end;
           if t.avg >= p.min_th then ()
           else t.count <- -1);
       verdict

@@ -9,11 +9,26 @@
    PRNG streams (Prng.stream), is what makes parallel sweeps
    bit-identical to their sequential runs. *)
 
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_jobs = Tm.Counter.make ~help:"parallel jobs submitted" "pool.jobs"
+let m_tasks = Tm.Counter.make ~help:"tasks drained by pool jobs" "pool.tasks"
+let m_chunks = Tm.Counter.make ~help:"work chunks executed" "pool.chunks"
+
+let m_steals =
+  Tm.Counter.make
+    ~help:"chunks executed by a domain other than the submitter" "pool.steals"
+
+let m_chunk_seconds =
+  Tm.Histogram.make ~help:"wall-clock seconds per executed chunk"
+    "pool.chunk_seconds"
+
 type job = {
   run_chunk : int -> int -> unit;  (* process indices [lo, hi) *)
   length : int;
   chunk : int;
   cursor : int Atomic.t;
+  submitter : int;                 (* domain id of the submitting caller *)
   mutable finished_workers : int;  (* protected by the pool lock *)
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
@@ -45,11 +60,20 @@ let execute job =
       continue := false
     else begin
       let hi = min job.length (lo + job.chunk) in
-      try job.run_chunk lo hi
-      with e ->
-        let bt = Printexc.get_raw_backtrace () in
-        (* Keep the first failure; later ones lose the race. *)
-        ignore (Atomic.compare_and_set job.failure None (Some (e, bt)))
+      let telem = Tm.is_on () in
+      let t0 = if telem then Tm.wall_now () else 0.0 in
+      (try job.run_chunk lo hi
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         (* Keep the first failure; later ones lose the race. *)
+         ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+      if telem then begin
+        Tm.Counter.incr m_chunks;
+        Tm.Counter.add m_tasks (hi - lo);
+        if (Domain.self () :> int) <> job.submitter then
+          Tm.Counter.incr m_steals;
+        Tm.Histogram.observe m_chunk_seconds (Tm.wall_now () -. t0)
+      end
     end
   done
 
@@ -109,6 +133,15 @@ let check_open t =
 
 let run t ~length run_chunk =
   if length > 0 then begin
+    if Tm.is_on () then begin
+      Tm.Counter.incr m_jobs;
+      if t.n_domains = 1 || length = 1 then begin
+        (* The inline fast path bypasses [execute]; account for it
+           here so pool.tasks totals match across domain counts. *)
+        Tm.Counter.incr m_chunks;
+        Tm.Counter.add m_tasks length
+      end
+    end;
     if t.n_domains = 1 || length = 1 then
       (* Inline fast path: no handoff, exceptions propagate directly. *)
       run_chunk 0 length
@@ -121,6 +154,7 @@ let run t ~length run_chunk =
              skew without much cursor contention. *)
           chunk = max 1 (length / (t.n_domains * 4));
           cursor = Atomic.make 0;
+          submitter = (Domain.self () :> int);
           finished_workers = 0;
           failure = Atomic.make None;
         }

@@ -12,6 +12,25 @@
    records at all), and the run loop peeks/pops through the queue's
    allocation-free accessors. *)
 
+module Tm = Ebrc_telemetry.Telemetry
+
+(* Registered once at module init; recording is gated on
+   [Tm.is_on ()] so the disabled hot path pays one atomic load and a
+   branch per instrumentation point. *)
+let m_scheduled =
+  Tm.Counter.make ~help:"events pushed onto the simulator queue"
+    "sim.events_scheduled"
+
+let m_fired = Tm.Counter.make ~help:"events executed" "sim.events_fired"
+
+let m_discarded =
+  Tm.Counter.make ~help:"cancelled events lazily discarded on pop"
+    "sim.events_discarded"
+
+let m_depth =
+  Tm.Gauge.make ~help:"event-queue depth sampled at every schedule"
+    "sim.queue_depth"
+
 type handle = { mutable cancelled : bool }
 
 (* Shared sentinel for events scheduled without a handle; never
@@ -76,6 +95,12 @@ let recycle t ev =
   t.pool_size <- t.pool_size + 1
   end
 
+let note_scheduled t =
+  if Tm.is_on () then begin
+    Tm.Counter.incr m_scheduled;
+    Tm.Gauge.set m_depth (float_of_int (Event_queue.size t.queue))
+  end
+
 let check_at t at =
   if at < t.now then
     invalid_arg
@@ -86,11 +111,13 @@ let schedule t ~at fire =
   check_at t at;
   let handle = { cancelled = false } in
   Event_queue.push t.queue ~time:at (alloc_event t fire handle);
+  note_scheduled t;
   handle
 
 let schedule_unit t ~at fire =
   check_at t at;
-  Event_queue.push t.queue ~time:at (alloc_event t fire no_handle)
+  Event_queue.push t.queue ~time:at (alloc_event t fire no_handle);
+  note_scheduled t
 
 let schedule_after t ~delay fire =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
@@ -129,10 +156,14 @@ let run ?(until = infinity) ?(max_events = max_int) t =
          end
          else begin
            let ev = Event_queue.pop_exn t.queue in
-           if ev.handle.cancelled then recycle t ev
+           if ev.handle.cancelled then begin
+             recycle t ev;
+             if Tm.is_on () then Tm.Counter.incr m_discarded
+           end
            else begin
              t.now <- time;
              t.processed <- t.processed + 1;
+             if Tm.is_on () then Tm.Counter.incr m_fired;
              let fire = ev.fire in
              recycle t ev;
              fire ();

@@ -20,14 +20,22 @@ val values : t -> float array
 val to_pairs : t -> (float * float) array
 
 val time_average : t -> float
-(** Time-average under sample-and-hold interpolation; [nan] when
-    empty. *)
+(** Time-average under sample-and-hold interpolation. nan contract:
+    [nan] when empty; a single sample returns its value (a degenerate
+    but well-defined average); [nan] when all timestamps coincide
+    (zero total duration, the average is 0/0). *)
 
 val slope : t -> float
-(** Least-squares slope of value over time; [nan] for fewer than 2
-    samples. *)
+(** Least-squares slope of value over time. nan contract: [nan] for
+    fewer than 2 samples, and [nan] when every timestamp is identical
+    (vertical fit, zero time variance) — callers must treat [nan] as
+    "no trend measurable", never as 0. *)
 
 val growth_linearity : t -> float
 (** Ratio of the second-half slope to the first-half slope: 1 for
     linear growth, below 1 for concave (sub-linear) growth — the
-    paper's Section-IV-B conjecture about large TCP windows. *)
+    paper's Section-IV-B conjecture about large TCP windows. nan
+    contract: [nan] for fewer than 8 samples (each half needs a
+    meaningful fit), when either half's slope is [nan] (e.g. constant
+    timestamps), or when the first-half slope is exactly 0 (the ratio
+    would divide by zero). *)

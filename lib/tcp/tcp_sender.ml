@@ -17,6 +17,18 @@
 
 module Engine = Ebrc_sim.Engine
 module Packet = Ebrc_net.Packet
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_timeouts =
+  Tm.Counter.make ~help:"TCP retransmission timeouts" "tcp.timeouts"
+
+let m_fast_retx =
+  Tm.Counter.make ~help:"TCP fast retransmits (3 dup ACKs)"
+    "tcp.fast_retransmits"
+
+let m_cwnd_halved =
+  Tm.Counter.make ~help:"congestion-window reductions (timeout or recovery)"
+    "tcp.cwnd_halvings"
 
 type phase = Slow_start | Congestion_avoidance | Fast_recovery
 
@@ -165,6 +177,12 @@ and on_timeout t =
   t.timer <- None;
   if flight_size t > 0 then begin
     t.timeouts <- t.timeouts + 1;
+    if Tm.is_on () then begin
+      Tm.Counter.incr m_timeouts;
+      Tm.Counter.incr m_cwnd_halved;
+      Tm.event "tcp.timeout" ~time:(Engine.now t.engine) ~flow:t.flow
+        ~value:t.cwnd
+    end;
     note_congestion_event t;
     t.ssthresh <- Float.max (float_of_int (flight_size t) /. 2.0) 2.0;
     t.cwnd <- 1.0;
@@ -198,6 +216,12 @@ let update_rtt t sample =
 
 let enter_fast_recovery t =
   t.fast_retransmits <- t.fast_retransmits + 1;
+  if Tm.is_on () then begin
+    Tm.Counter.incr m_fast_retx;
+    Tm.Counter.incr m_cwnd_halved;
+    Tm.event "tcp.fast_retransmit" ~time:(Engine.now t.engine) ~flow:t.flow
+      ~value:t.cwnd
+  end;
   note_congestion_event t;
   t.ssthresh <- Float.max (float_of_int (flight_size t) /. 2.0) 2.0;
   (match t.variant with

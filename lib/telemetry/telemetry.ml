@@ -1,0 +1,408 @@
+(* Runtime-gated metrics and event tracing.
+
+   Recording path: one atomic load (the enable gate); when enabled,
+   the recording domain reaches its private shard of the metric
+   through domain-local storage — no locks, no shared cache lines —
+   and mutates plain int fields / an unboxed float array. Shards are
+   registered with their metric under a mutex exactly once per
+   (metric, domain) pair; readers take the same mutex only to walk
+   the shard lists.
+
+   Merged counter and bucket totals are integer sums over shards, so
+   they do not depend on how the recording work was partitioned
+   across domains — the property the -j1-vs-jN determinism tests
+   pin. *)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let is_on () = Atomic.get on
+let wall_now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Counter | Gauge | Histogram
+
+(* Log2 buckets covering [2^-48, 2^48); frexp gives v = m * 2^e with
+   m in [0.5, 1), so v lies in [2^(e-1), 2^e) and bucket (e-1) + offset
+   has lower bound 2^(i - offset). *)
+let n_buckets = 96
+let bucket_offset = 48
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else begin
+    let _, e = Float.frexp v in
+    let i = e - 1 + bucket_offset in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let bucket_lower i = Float.ldexp 1.0 (i - bucket_offset)
+
+type shard = {
+  dom : int;                 (* id of the domain that owns the shard *)
+  mutable icount : int;      (* counter value / number of samples *)
+  stats : float array;       (* [| sum; min; max |] — unboxed *)
+  bkts : int array;          (* [||] unless the metric is a histogram *)
+}
+
+type metric = {
+  id : int;
+  mname : string;
+  mkind : kind;
+  mhelp : string;
+  mutable shards : shard list;   (* guarded by [reg_mutex] *)
+}
+
+let reg_mutex = Mutex.create ()
+let metrics : (string, metric) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let locked f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let register kind ?(help = "") name =
+  locked (fun () ->
+      match Hashtbl.find_opt metrics name with
+      | Some m ->
+          if m.mkind <> kind then
+            invalid_arg
+              (Printf.sprintf
+                 "Telemetry: %S already registered with a different kind" name);
+          m
+      | None ->
+          let m =
+            { id = !next_id; mname = name; mkind = kind; mhelp = help;
+              shards = [] }
+          in
+          incr next_id;
+          Hashtbl.add metrics name m;
+          m)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local state: one shard slot per metric id, one event ring.   *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  time : float;
+  ev : string;
+  flow : int;
+  value : float;
+  attrs : (string * float) list;
+}
+
+type ring = {
+  rdom : int;
+  mutable evs : event array;
+  mutable start : int;       (* index of the oldest retained event *)
+  mutable rlen : int;
+  mutable rdropped : int;
+}
+
+type domain_state = {
+  mutable slots : shard option array;  (* metric id -> this domain's shard *)
+  mutable ring : ring option;
+}
+
+let dls : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { slots = [||]; ring = None })
+
+let new_shard m =
+  let buckets =
+    match m.mkind with Histogram -> Array.make n_buckets 0 | _ -> [||]
+  in
+  let s =
+    { dom = (Domain.self () :> int); icount = 0;
+      stats = [| 0.0; infinity; neg_infinity |]; bkts = buckets }
+  in
+  locked (fun () -> m.shards <- s :: m.shards);
+  s
+
+let local_shard m =
+  let st = Domain.DLS.get dls in
+  let slots = st.slots in
+  if m.id < Array.length slots then
+    match Array.unsafe_get slots m.id with
+    | Some s -> s
+    | None ->
+        let s = new_shard m in
+        slots.(m.id) <- Some s;
+        s
+  else begin
+    let bigger = Array.make (max (m.id + 1) ((2 * Array.length slots) + 8)) None in
+    Array.blit slots 0 bigger 0 (Array.length slots);
+    st.slots <- bigger;
+    let s = new_shard m in
+    bigger.(m.id) <- Some s;
+    s
+  end
+
+module Counter = struct
+  type t = metric
+
+  let make ?help name = register Counter ?help name
+
+  let add m n =
+    if Atomic.get on then begin
+      let s = local_shard m in
+      s.icount <- s.icount + n
+    end
+
+  let incr m = add m 1
+
+  let value m =
+    locked (fun () -> List.fold_left (fun acc s -> acc + s.icount) 0 m.shards)
+
+  let name m = m.mname
+end
+
+module Gauge = struct
+  type t = metric
+
+  let make ?help name = register Gauge ?help name
+
+  let set m v =
+    if Atomic.get on then begin
+      let s = local_shard m in
+      s.icount <- s.icount + 1;
+      let st = s.stats in
+      if v < st.(1) then st.(1) <- v;
+      if v > st.(2) then st.(2) <- v
+    end
+
+  let samples m =
+    locked (fun () -> List.fold_left (fun acc s -> acc + s.icount) 0 m.shards)
+
+  let fold_stat i cmp m =
+    locked (fun () ->
+        List.fold_left
+          (fun acc s -> if s.icount = 0 then acc else cmp acc s.stats.(i))
+          nan m.shards)
+
+  let max_value m =
+    fold_stat 2 (fun a b -> if Float.is_nan a || b > a then b else a) m
+
+  let min_value m =
+    fold_stat 1 (fun a b -> if Float.is_nan a || b < a then b else a) m
+end
+
+module Histogram = struct
+  type t = metric
+
+  let make ?help name = register Histogram ?help name
+
+  let observe m v =
+    if Atomic.get on then begin
+      let s = local_shard m in
+      s.icount <- s.icount + 1;
+      let st = s.stats in
+      st.(0) <- st.(0) +. v;
+      if v < st.(1) then st.(1) <- v;
+      if v > st.(2) then st.(2) <- v;
+      let b = bucket_of v in
+      s.bkts.(b) <- s.bkts.(b) + 1
+    end
+
+  let count m =
+    locked (fun () -> List.fold_left (fun acc s -> acc + s.icount) 0 m.shards)
+
+  let sum m =
+    locked (fun () ->
+        List.fold_left (fun acc s -> acc +. s.stats.(0)) 0.0 m.shards)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_name : string;
+  snap_kind : kind;
+  snap_help : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  per_domain : (int * float) list;
+  buckets : (float * int) array;
+}
+
+let snapshot_metric m =
+  (* Shards are merged in a fixed (sorted-by-domain) order so the
+     float reductions are reproducible for a given shard population. *)
+  let shards =
+    List.sort (fun a b -> compare a.dom b.dom) m.shards
+  in
+  let count = List.fold_left (fun acc s -> acc + s.icount) 0 shards in
+  let sum = List.fold_left (fun acc s -> acc +. s.stats.(0)) 0.0 shards in
+  let fold i cmp =
+    List.fold_left
+      (fun acc s -> if s.icount = 0 then acc else cmp acc s.stats.(i))
+      nan shards
+  in
+  let min_v = fold 1 (fun a b -> if Float.is_nan a || b < a then b else a) in
+  let max_v = fold 2 (fun a b -> if Float.is_nan a || b > a then b else a) in
+  let per_domain =
+    List.filter_map
+      (fun s ->
+        if s.icount = 0 then None
+        else
+          let primary =
+            match m.mkind with
+            | Histogram -> s.stats.(0)
+            | Counter | Gauge -> float_of_int s.icount
+          in
+          Some (s.dom, primary))
+      shards
+  in
+  let buckets =
+    match m.mkind with
+    | Histogram ->
+        let merged = Array.make n_buckets 0 in
+        List.iter
+          (fun s ->
+            Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.bkts)
+          shards;
+        let out = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if merged.(i) > 0 then out := (bucket_lower i, merged.(i)) :: !out
+        done;
+        Array.of_list !out
+    | Counter | Gauge -> [||]
+  in
+  {
+    snap_name = m.mname;
+    snap_kind = m.mkind;
+    snap_help = m.mhelp;
+    count;
+    sum;
+    min_v;
+    max_v;
+    per_domain;
+    buckets;
+  }
+
+let snapshot () =
+  locked (fun () ->
+      Hashtbl.fold (fun _ m acc -> snapshot_metric m :: acc) metrics [])
+  |> List.sort (fun a b -> compare a.snap_name b.snap_name)
+
+(* ------------------------------------------------------------------ *)
+(* Event rings.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let event_capacity = ref 65536
+let rings : ring list ref = ref []   (* guarded by [reg_mutex] *)
+
+let dummy_event = { time = 0.0; ev = ""; flow = -1; value = 0.0; attrs = [] }
+
+let new_ring st =
+  let r =
+    { rdom = (Domain.self () :> int);
+      evs = Array.make !event_capacity dummy_event;
+      start = 0; rlen = 0; rdropped = 0 }
+  in
+  locked (fun () -> rings := r :: !rings);
+  st.ring <- Some r;
+  r
+
+let event ?(flow = -1) ?(value = 0.0) ?(attrs = []) ev ~time =
+  if Atomic.get on then begin
+    let st = Domain.DLS.get dls in
+    let r = match st.ring with Some r -> r | None -> new_ring st in
+    let cap = Array.length r.evs in
+    let e = { time; ev; flow; value; attrs } in
+    if r.rlen = cap then begin
+      (* Full: overwrite the oldest. *)
+      r.evs.(r.start) <- e;
+      r.start <- (r.start + 1) mod cap;
+      r.rdropped <- r.rdropped + 1
+    end
+    else begin
+      r.evs.((r.start + r.rlen) mod cap) <- e;
+      r.rlen <- r.rlen + 1
+    end
+  end
+
+let events () =
+  let all =
+    locked (fun () ->
+        List.concat_map
+          (fun r ->
+            List.init r.rlen (fun i ->
+                r.evs.((r.start + i) mod Array.length r.evs)))
+          !rings)
+  in
+  List.sort compare all
+
+let events_dropped () =
+  locked (fun () -> List.fold_left (fun acc r -> acc + r.rdropped) 0 !rings)
+
+let set_event_capacity n =
+  let n = max 16 n in
+  locked (fun () ->
+      event_capacity := n;
+      List.iter
+        (fun r ->
+          r.evs <- Array.make n dummy_event;
+          r.start <- 0;
+          r.rlen <- 0;
+          r.rdropped <- 0)
+        !rings)
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  span_name : string;
+  cat : string;
+  t0 : float;
+  t1 : float;
+  dom : int;
+}
+
+let span_log : span list ref = ref []   (* guarded by [reg_mutex] *)
+
+let with_span ?(cat = "span") name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = wall_now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let s =
+          { span_name = name; cat; t0; t1 = wall_now ();
+            dom = (Domain.self () :> int) }
+        in
+        locked (fun () -> span_log := s :: !span_log))
+      f
+  end
+
+let spans () = locked (fun () -> List.rev !span_log)
+
+(* ------------------------------------------------------------------ *)
+(* Reset.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          List.iter
+            (fun s ->
+              s.icount <- 0;
+              s.stats.(0) <- 0.0;
+              s.stats.(1) <- infinity;
+              s.stats.(2) <- neg_infinity;
+              Array.fill s.bkts 0 (Array.length s.bkts) 0)
+            m.shards)
+        metrics;
+      List.iter
+        (fun r ->
+          r.start <- 0;
+          r.rlen <- 0;
+          r.rdropped <- 0)
+        !rings;
+      span_log := [])

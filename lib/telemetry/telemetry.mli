@@ -1,0 +1,153 @@
+(** Always-available, near-zero-overhead metrics and structured event
+    tracing for the simulator, the protocols and the domain pool.
+
+    The layer is compile-in but runtime-gated: every recording
+    primitive first reads one global atomic flag ({!is_on}) and does
+    nothing when telemetry is disabled (the default), so instrumented
+    hot paths cost one load-and-branch. When enabled, recording is
+    O(1) and lock-free per domain: each metric keeps one shard per
+    recording domain (reached through domain-local storage, so pool
+    workers never contend on a cache line), and shards are merged only
+    on read.
+
+    Determinism contract: counter values and histogram bucket/count
+    totals are integer sums over shards, so they are independent of
+    how work was partitioned across domains — a sweep recorded under
+    [Pool] with 1 or N domains yields bit-identical totals (histogram
+    [sum] is a float and is likewise partition-independent whenever
+    the observed values add exactly, e.g. small integers; wall-clock
+    observations are inherently run-dependent).
+
+    Readers ({!snapshot}, {!events}, {!spans}, {!reset}) are intended
+    for quiescent points — between pool jobs or after a run — where
+    the pool's own synchronisation has published all worker writes. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (off at startup). Flip only at quiescent
+    points; instrumentation sites see the change on their next
+    record. *)
+
+val is_on : unit -> bool
+
+val wall_now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the clock used by spans
+    and by the pool's chunk timings. *)
+
+val reset : unit -> unit
+(** Zero every metric shard and clear the event rings and span log.
+    Registered metric handles stay valid. Call only when no other
+    domain is recording. *)
+
+(** {1 Metrics} *)
+
+type kind = Counter | Gauge | Histogram
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Find-or-create the counter with this name. Raises
+      [Invalid_argument] if the name is already registered with a
+      different metric kind. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  (** A sampled level (queue depth, backlog): each [set] records one
+      sample; reads expose the extremes, which are partition- and
+      order-independent, unlike "last value". *)
+
+  type t
+
+  val make : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val samples : t -> int
+
+  val max_value : t -> float
+  (** High-water mark over all samples; [nan] when none. *)
+
+  val min_value : t -> float
+end
+
+module Histogram : sig
+  (** Log2-bucketed histogram: value [v] lands in the bucket whose
+      range is [[2^k, 2^(k+1))]; non-positive values land in the
+      lowest bucket. *)
+
+  type t
+
+  val make : ?help:string -> string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+type snapshot = {
+  snap_name : string;
+  snap_kind : kind;
+  snap_help : string;
+  count : int;          (** counter value / number of samples *)
+  sum : float;          (** histogram sum of observations; 0 otherwise *)
+  min_v : float;        (** [nan] when no samples *)
+  max_v : float;        (** [nan] when no samples *)
+  per_domain : (int * float) list;
+      (** Per recording-domain primary total (counter count, histogram
+          sum, gauge sample count), keyed by domain id — the
+          per-domain utilization view for pool timings. *)
+  buckets : (float * int) array;
+      (** Non-empty only for histograms: (bucket lower bound, count)
+          for each non-zero bucket, in increasing bound order. *)
+}
+
+val snapshot : unit -> snapshot list
+(** Merged view of every registered metric, sorted by name. *)
+
+(** {1 Structured events} *)
+
+type event = {
+  time : float;   (** caller-supplied clock, usually simulated seconds *)
+  ev : string;    (** event kind, e.g. ["link.drop"] *)
+  flow : int;     (** flow id, [-1] when not flow-scoped *)
+  value : float;  (** primary numeric attribute *)
+  attrs : (string * float) list;
+}
+
+val event :
+  ?flow:int -> ?value:float -> ?attrs:(string * float) list ->
+  string -> time:float -> unit
+(** Append a structured event to the recording domain's ring buffer.
+    When a ring is full the oldest event is overwritten (counted by
+    {!events_dropped}), so memory stays bounded. No-op when
+    disabled. *)
+
+val events : unit -> event list
+(** All retained events, merged across domains and sorted by
+    (time, kind, flow, value). *)
+
+val events_dropped : unit -> int
+
+val set_event_capacity : int -> unit
+(** Per-domain ring capacity (default 65536, minimum 16). Resizes and
+    clears existing rings; call only when quiescent. *)
+
+(** {1 Spans (wall-clock timers)} *)
+
+type span = {
+  span_name : string;
+  cat : string;
+  t0 : float;     (** wall-clock begin, seconds *)
+  t1 : float;     (** wall-clock end, seconds *)
+  dom : int;      (** recording domain id *)
+}
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Time [f] on the wall clock and record a span (also on exception).
+    Calls [f] directly when disabled. Spans are coarse-grained
+    (per-figure, per-report) and go through a small lock. *)
+
+val spans : unit -> span list
+(** Recorded spans in completion order. *)

@@ -16,6 +16,19 @@
 
 module Loss_interval = Ebrc_estimator.Loss_interval
 module Floatbuf = Ebrc_stats.Floatbuf
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_loss_events =
+  Tm.Counter.make ~help:"TFRC loss events (one-RTT aggregated)"
+    "tfrc.loss_events"
+
+let m_wali_updates =
+  Tm.Counter.make ~help:"WALI estimator updates (completed intervals)"
+    "tfrc.wali_updates"
+
+let m_intervals =
+  Tm.Histogram.make ~help:"completed loss-event intervals (packets)"
+    "tfrc.loss_interval_packets"
 
 type t = {
   estimator : Loss_interval.t;
@@ -64,7 +77,17 @@ let record_loss_event t ~now =
       end;
       Floatbuf.add t.intervals theta;
       Loss_interval.record t.estimator theta;
+      if Tm.is_on () then begin
+        Tm.Counter.incr m_wali_updates;
+        Tm.Histogram.observe m_intervals theta
+      end;
       t.discount <- 1.0
+    end;
+    if Tm.is_on () then begin
+      Tm.Counter.incr m_loss_events;
+      (* value = the open interval this event closes, in packets *)
+      Tm.event "tfrc.loss_event" ~time:now
+        ~value:(float_of_int t.packets_since_event)
     end;
     t.event_count <- t.event_count + 1;
     t.packets_since_event <- 0;

@@ -16,6 +16,18 @@ module Engine = Ebrc_sim.Engine
 module Packet = Ebrc_net.Packet
 module Formula = Ebrc_formulas.Formula
 module Welford = Ebrc_stats.Welford
+module Tm = Ebrc_telemetry.Telemetry
+
+let m_rate_changes =
+  Tm.Counter.make ~help:"TFRC sender rate updates (formula or slow-start)"
+    "tfrc.rate_changes"
+
+let m_halvings =
+  Tm.Counter.make ~help:"nofeedback-timer rate halvings"
+    "tfrc.nofeedback_halvings"
+
+let m_feedbacks =
+  Tm.Counter.make ~help:"receiver feedback reports processed" "tfrc.feedbacks"
 
 type t = {
   engine : Engine.t;
@@ -110,6 +122,10 @@ let set_rate t rate =
   let rate = Float.min (Float.max rate t.min_rate) t.max_rate in
   t.rate <- rate;
   Welford.add t.rate_stats rate;
+  if Tm.is_on () then begin
+    Tm.Counter.incr m_rate_changes;
+    Tm.event "tfrc.rate" ~time:(Engine.now t.engine) ~flow:t.flow ~value:rate
+  end;
   t.on_rate_change rate
 
 (* The RFC 3448 nofeedback timer: if no receiver report arrives for
@@ -133,6 +149,11 @@ let rec arm_nofeedback_timer t =
              t.nofeedback_timer <- None;
              if t.running then begin
                t.rate_halvings <- t.rate_halvings + 1;
+               if Tm.is_on () then begin
+                 Tm.Counter.incr m_halvings;
+                 Tm.event "tfrc.nofeedback_halving"
+                   ~time:(Engine.now t.engine) ~flow:t.flow ~value:t.rate
+               end;
                set_rate t (t.rate /. 2.0);
                arm_nofeedback_timer t
              end))
@@ -155,6 +176,7 @@ let stop t =
 
 let on_feedback t ~p_estimate ~recv_rate ~rtt_echo ~hold =
   t.feedbacks <- t.feedbacks + 1;
+  if Tm.is_on () then Tm.Counter.incr m_feedbacks;
   arm_nofeedback_timer t;
   let now = Engine.now t.engine in
   (* Exclude the receiver hold time from the RTT sample — without this

@@ -1,0 +1,482 @@
+(* Tests for the telemetry layer: gating, metric semantics, per-domain
+   shard merging (the -j determinism contract), bounded event rings,
+   and the JSONL / Chrome-trace export schemas. *)
+
+module Tm = Ebrc.Telemetry
+module Export = Ebrc.Telemetry_export
+module Pool = Ebrc.Pool
+
+(* Every test leaves telemetry disabled and zeroed so suites compose. *)
+let scrub () =
+  Tm.set_enabled false;
+  Tm.reset ()
+
+let with_telemetry_on f =
+  scrub ();
+  Tm.set_enabled true;
+  Fun.protect ~finally:scrub f
+
+(* ------------------------------------------------------------------ *)
+(* Gating and metric basics.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  scrub ();
+  let c = Tm.Counter.make "test.gate.counter" in
+  let g = Tm.Gauge.make "test.gate.gauge" in
+  let h = Tm.Histogram.make "test.gate.histogram" in
+  Tm.Counter.incr c;
+  Tm.Counter.add c 10;
+  Tm.Gauge.set g 3.0;
+  Tm.Histogram.observe h 1.5;
+  Tm.event "test.gate.event" ~time:1.0;
+  let r = Tm.with_span "test.gate.span" (fun () -> 42) in
+  Alcotest.(check int) "span passes result through" 42 r;
+  Alcotest.(check int) "counter untouched" 0 (Tm.Counter.value c);
+  Alcotest.(check int) "gauge untouched" 0 (Tm.Gauge.samples g);
+  Alcotest.(check int) "histogram untouched" 0 (Tm.Histogram.count h);
+  Alcotest.(check int) "no events" 0 (List.length (Tm.events ()));
+  Alcotest.(check int) "no spans" 0 (List.length (Tm.spans ()))
+
+let test_counter_basics () =
+  with_telemetry_on @@ fun () ->
+  let c = Tm.Counter.make ~help:"h" "test.counter.basics" in
+  Tm.Counter.incr c;
+  Tm.Counter.add c 41;
+  Alcotest.(check int) "value" 42 (Tm.Counter.value c);
+  Alcotest.(check string) "name" "test.counter.basics" (Tm.Counter.name c);
+  (* find-or-create: same handle state through a second make *)
+  let c' = Tm.Counter.make "test.counter.basics" in
+  Tm.Counter.incr c';
+  Alcotest.(check int) "shared registration" 43 (Tm.Counter.value c)
+
+let test_gauge_extremes () =
+  with_telemetry_on @@ fun () ->
+  let g = Tm.Gauge.make "test.gauge.extremes" in
+  List.iter (Tm.Gauge.set g) [ 5.0; -2.0; 17.5; 3.0 ];
+  Alcotest.(check int) "samples" 4 (Tm.Gauge.samples g);
+  Alcotest.(check (float 0.0)) "max" 17.5 (Tm.Gauge.max_value g);
+  Alcotest.(check (float 0.0)) "min" (-2.0) (Tm.Gauge.min_value g)
+
+let test_histogram_buckets () =
+  with_telemetry_on @@ fun () ->
+  let h = Tm.Histogram.make "test.histogram.buckets" in
+  List.iter (Tm.Histogram.observe h) [ 0.3; 1.5; 1.9; 6.0 ];
+  Alcotest.(check int) "count" 4 (Tm.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 9.7 (Tm.Histogram.sum h);
+  let snap =
+    List.find
+      (fun s -> s.Tm.snap_name = "test.histogram.buckets")
+      (Tm.snapshot ())
+  in
+  let total =
+    Array.fold_left (fun acc (_, n) -> acc + n) 0 snap.Tm.buckets
+  in
+  Alcotest.(check int) "bucket mass = count" 4 total;
+  (* 1.5 and 1.9 share the [1,2) bucket. *)
+  Alcotest.(check bool) "coalesced bucket" true
+    (Array.exists (fun (lo, n) -> lo = 1.0 && n = 2) snap.Tm.buckets)
+
+let test_kind_clash_rejected () =
+  scrub ();
+  ignore (Tm.Counter.make "test.clash.name");
+  match Tm.Gauge.make "test.clash.name" with
+  | _ -> Alcotest.fail "expected Invalid_argument on kind clash"
+  | exception Invalid_argument _ -> ()
+
+let test_reset_zeroes () =
+  with_telemetry_on @@ fun () ->
+  let c = Tm.Counter.make "test.reset.counter" in
+  Tm.Counter.add c 7;
+  Tm.event "test.reset.event" ~time:0.0;
+  ignore (Tm.with_span "test.reset.span" Fun.id);
+  Tm.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Tm.Counter.value c);
+  Alcotest.(check int) "events cleared" 0 (List.length (Tm.events ()));
+  Alcotest.(check int) "spans cleared" 0 (List.length (Tm.spans ()));
+  Alcotest.(check int) "dropped cleared" 0 (Tm.events_dropped ())
+
+(* ------------------------------------------------------------------ *)
+(* Bounded event ring.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_ring_bounded () =
+  with_telemetry_on @@ fun () ->
+  Tm.set_event_capacity 16;
+  Fun.protect ~finally:(fun () -> Tm.set_event_capacity 65536)
+  @@ fun () ->
+  for i = 0 to 99 do
+    Tm.event "test.ring" ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  let retained = Tm.events () in
+  Alcotest.(check int) "ring capped" 16 (List.length retained);
+  Alcotest.(check int) "dropped counted" 84 (Tm.events_dropped ());
+  (* Overwrite-oldest: the survivors are the newest events. *)
+  List.iter
+    (fun (e : Tm.event) ->
+      Alcotest.(check bool) "newest retained" true (e.time >= 84.0))
+    retained
+
+let test_event_fields () =
+  with_telemetry_on @@ fun () ->
+  Tm.event "test.fields" ~time:2.5 ~flow:7 ~value:3.0
+    ~attrs:[ ("extra", 1.0) ];
+  match Tm.events () with
+  | [ e ] ->
+      Alcotest.(check string) "kind" "test.fields" e.Tm.ev;
+      Alcotest.(check (float 0.0)) "time" 2.5 e.Tm.time;
+      Alcotest.(check int) "flow" 7 e.Tm.flow;
+      Alcotest.(check (float 0.0)) "value" 3.0 e.Tm.value;
+      Alcotest.(check int) "attrs" 1 (List.length e.Tm.attrs)
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
+(* Shard merging: totals must not depend on domain partitioning.       *)
+(* ------------------------------------------------------------------ *)
+
+let record_tasks_under ~domains =
+  with_telemetry_on @@ fun () ->
+  let c = Tm.Counter.make "test.merge.counter" in
+  let h = Tm.Histogram.make "test.merge.histogram" in
+  Pool.with_pool ~domains (fun pool ->
+      ignore
+        (Pool.init pool 64 (fun i ->
+             Tm.Counter.add c 3;
+             Tm.Histogram.observe h (float_of_int ((i mod 7) + 1));
+             i)));
+  let snap name =
+    List.find (fun s -> s.Tm.snap_name = name) (Tm.snapshot ())
+  in
+  let cs = snap "test.merge.counter" and hs = snap "test.merge.histogram" in
+  (cs.Tm.count, hs.Tm.count, hs.Tm.sum, Array.to_list hs.Tm.buckets)
+
+let test_shard_merge_deterministic () =
+  let t1 = record_tasks_under ~domains:1 in
+  let t4 = record_tasks_under ~domains:4 in
+  let c1, n1, s1, b1 = t1 and c4, n4, s4, b4 = t4 in
+  Alcotest.(check int) "counter total 1 = expected" (3 * 64) c1;
+  Alcotest.(check int) "counter total j1 = j4" c1 c4;
+  Alcotest.(check int) "histogram count j1 = j4" n1 n4;
+  Alcotest.(check (float 0.0)) "histogram sum j1 = j4" s1 s4;
+  Alcotest.(check bool) "histogram buckets j1 = j4" true (b1 = b4)
+
+(* The full-stack version of the same contract: a simulator-heavy
+   sweep (each point a packet-level scenario run) recorded under 1 and
+   4 domains must produce bit-identical sim/net/protocol counters.
+   Pool-internal counters (pool.*, chunk timings) legitimately depend
+   on the schedule and are excluded. *)
+let scenario_counters ~domains =
+  with_telemetry_on @@ fun () ->
+  let run_point i =
+    let cfg =
+      {
+        Ebrc.Scenario.default_config with
+        n_tfrc = 1;
+        n_tcp = 1;
+        queue = Ebrc.Scenario.Drop_tail { capacity = 50 };
+        duration = 2.0;
+        warmup = 0.5;
+        seed = 100 + i;
+      }
+    in
+    ignore (Ebrc.Scenario.run cfg)
+  in
+  Pool.with_pool ~domains (fun pool ->
+      ignore (Pool.init pool 4 (fun i -> run_point i; i)));
+  List.filter_map
+    (fun s ->
+      if
+        s.Tm.snap_kind = Tm.Counter
+        && not (String.length s.Tm.snap_name >= 5
+                && String.sub s.Tm.snap_name 0 5 = "pool.")
+      then Some (s.Tm.snap_name, s.Tm.count)
+      else None)
+    (Tm.snapshot ())
+
+let test_scenario_counters_j1_vs_j4 () =
+  let t1 = scenario_counters ~domains:1 in
+  let t4 = scenario_counters ~domains:4 in
+  Alcotest.(check bool) "some counters recorded" true
+    (List.exists (fun (_, v) -> v > 0) t1);
+  List.iter2
+    (fun (n1, v1) (n4, v4) ->
+      Alcotest.(check string) "same counter set" n1 n4;
+      Alcotest.(check int) (n1 ^ " identical across -j") v1 v4)
+    t1 t4
+
+(* ------------------------------------------------------------------ *)
+(* Export schemas.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON reader (same shape as bench/compare.ml's) so the
+   exported files are validated as JSON, not just greppable text. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
+  in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | c -> Buffer.add_char buf c);
+          advance ();
+          go ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements (v :: acc)
+            | ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let populate () =
+  let c = Tm.Counter.make "test.export.counter" in
+  let h = Tm.Histogram.make "test.export.histogram" in
+  Tm.Counter.add c 5;
+  Tm.Histogram.observe h 2.0;
+  Tm.event "test.export.event" ~time:1.5 ~flow:3 ~value:9.0;
+  ignore (Tm.with_span ~cat:"test" "test.export.span" Fun.id)
+
+let test_jsonl_schema () =
+  with_telemetry_on @@ fun () ->
+  populate ();
+  let path = Filename.temp_file "ebrc_telemetry" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  Export.write_jsonl ~path ();
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "has lines" true (List.length lines > 3);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let j = parse_json line in
+      match member "type" j with
+      | Some (Str ty) ->
+          Hashtbl.replace seen ty ();
+          let require k =
+            if member k j = None then
+              Alcotest.failf "%s line missing %S: %s" ty k line
+          in
+          (match ty with
+          | "meta" -> require "schema"
+          | "counter" | "gauge" -> require "name"
+          | "histogram" ->
+              require "name";
+              require "buckets"
+          | "event" ->
+              require "kind";
+              require "t"
+          | "span" ->
+              require "name";
+              require "dur_s"
+          | other -> Alcotest.failf "unknown line type %S" other)
+      | _ -> Alcotest.failf "line without type: %s" line)
+    lines;
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) (ty ^ " line present") true (Hashtbl.mem seen ty))
+    [ "meta"; "counter"; "histogram"; "event"; "span" ];
+  (* First line is the meta header, so consumers can sniff the schema. *)
+  match parse_json (List.hd lines) |> member "type" with
+  | Some (Str "meta") -> ()
+  | _ -> Alcotest.fail "first line must be the meta record"
+
+let test_chrome_trace_schema () =
+  with_telemetry_on @@ fun () ->
+  populate ();
+  let path = Filename.temp_file "ebrc_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  Export.write_chrome_trace ~path ();
+  let j = parse_json (read_file path) in
+  match member "traceEvents" j with
+  | Some (List evs) ->
+      Alcotest.(check bool) "has events" true (List.length evs > 2);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun k ->
+              if member k ev = None then
+                Alcotest.failf "trace event missing %S" k)
+            [ "name"; "ph"; "pid" ];
+          match member "ph" ev with
+          | Some (Str ("X" | "i" | "M")) -> ()
+          | Some (Str ph) -> Alcotest.failf "unexpected phase %S" ph
+          | _ -> Alcotest.fail "phase not a string")
+        evs;
+      (* The recorded span and instant event must both be present. *)
+      let has name =
+        List.exists (fun ev -> member "name" ev = Some (Str name)) evs
+      in
+      Alcotest.(check bool) "span present" true (has "test.export.span");
+      Alcotest.(check bool) "event present" true (has "test.export.event")
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_summary_renders () =
+  with_telemetry_on @@ fun () ->
+  populate ();
+  let s = Export.summary () in
+  Alcotest.(check bool) "mentions counter" true
+    (contains ~sub:"test.export.counter" s)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "gating",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "reset zeroes" `Quick test_reset_zeroes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_basics;
+          Alcotest.test_case "gauge extremes" `Quick test_gauge_extremes;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ring bounded" `Quick test_event_ring_bounded;
+          Alcotest.test_case "fields" `Quick test_event_fields;
+        ] );
+      ( "shard_merge",
+        [
+          Alcotest.test_case "pool totals 1 vs 4 domains" `Quick
+            test_shard_merge_deterministic;
+          Alcotest.test_case "scenario counters -j1 vs -j4" `Slow
+            test_scenario_counters_j1_vs_j4;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl schema" `Quick test_jsonl_schema;
+          Alcotest.test_case "chrome trace schema" `Quick
+            test_chrome_trace_schema;
+          Alcotest.test_case "summary" `Quick test_summary_renders;
+        ] );
+    ]

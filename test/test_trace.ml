@@ -94,6 +94,53 @@ let test_growth_linearity_convex () =
   done;
   Alcotest.(check bool) "superlinear > 1" true (Trace.growth_linearity t > 1.1)
 
+(* --- nan contract (pinned by trace.mli) --- *)
+
+let check_nan name v = Alcotest.(check bool) name true (Float.is_nan v)
+
+let test_nan_contract_empty () =
+  let t = Trace.create () in
+  check_nan "slope empty" (Trace.slope t);
+  check_nan "time_average empty" (Trace.time_average t);
+  check_nan "growth_linearity empty" (Trace.growth_linearity t)
+
+let test_nan_contract_single_sample () =
+  let t = Trace.create () in
+  Trace.record t ~time:2.0 ~value:9.0;
+  check_nan "slope single" (Trace.slope t);
+  (* One sample is a well-defined (degenerate) average, not nan. *)
+  feq (Trace.time_average t) 9.0;
+  check_nan "growth_linearity single" (Trace.growth_linearity t)
+
+let test_nan_contract_constant_time () =
+  (* All samples at the same instant: zero time variance, so the fit
+     is vertical and the sample-and-hold window has zero width. *)
+  let t = Trace.create () in
+  for i = 0 to 15 do
+    Trace.record t ~time:1.0 ~value:(float_of_int i)
+  done;
+  check_nan "slope constant-time" (Trace.slope t);
+  check_nan "time_average constant-time" (Trace.time_average t);
+  check_nan "growth_linearity constant-time" (Trace.growth_linearity t)
+
+let test_nan_contract_flat_first_half () =
+  (* First-half slope exactly 0: the ratio would divide by zero. *)
+  let t = Trace.create () in
+  for i = 0 to 99 do
+    let v = if i < 50 then 1.0 else float_of_int (i - 49) in
+    Trace.record t ~time:(float_of_int i) ~value:v
+  done;
+  check_nan "growth_linearity flat first half" (Trace.growth_linearity t)
+
+let test_nan_contract_below_min_samples () =
+  let t = Trace.create () in
+  for i = 0 to 6 do
+    Trace.record t ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  (* 7 samples: slope is fine, but growth_linearity needs >= 8. *)
+  feq (Trace.slope t) 1.0;
+  check_nan "growth_linearity under 8 samples" (Trace.growth_linearity t)
+
 let test_capacity_validation () =
   match Trace.create ~capacity:2 () with
   | _ -> Alcotest.fail "expected Invalid_argument"
@@ -185,6 +232,14 @@ let () =
           Alcotest.test_case "linearity concave" `Quick test_growth_linearity_concave;
           Alcotest.test_case "linearity convex" `Quick test_growth_linearity_convex;
           Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+        ] );
+      ( "nan_contract",
+        [
+          Alcotest.test_case "empty" `Quick test_nan_contract_empty;
+          Alcotest.test_case "single sample" `Quick test_nan_contract_single_sample;
+          Alcotest.test_case "constant time" `Quick test_nan_contract_constant_time;
+          Alcotest.test_case "flat first half" `Quick test_nan_contract_flat_first_half;
+          Alcotest.test_case "below min samples" `Quick test_nan_contract_below_min_samples;
         ] );
       ( "nofeedback_timer",
         [
