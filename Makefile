@@ -1,8 +1,15 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
+.PHONY: all ci build test bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
 
 all: build
+
+# The full gate: build everything, run the test suites, take a fresh
+# bench record, and diff it against the previous one (fails on hot-path
+# regressions > 20% or fixed-seed telemetry drift; set
+# EBRC_COMPARE_WARN_ONLY=1 when a simulator change makes drift
+# intentional).
+ci: build test bench-quick bench-compare
 
 build:
 	dune build @all

@@ -4,7 +4,7 @@
    The records are written by bench/main.ml in a fixed shape, but the
    parser below is a small general JSON reader so older records (and
    hand-edited ones) keep working. Only tests present in both records
-   are compared, and sub-microsecond kernels are reported but never
+   are compared, and sub-millisecond kernels are reported but never
    fatal: at that scale run-to-run clock noise routinely exceeds the
    regression threshold. *)
 
@@ -147,10 +147,13 @@ let member name = function
 (* ------------------------------------------------------------------ *)
 
 (* Hot-path regressions below this baseline are reported, not fatal:
-   sub-10us in-process kernels swing well past 20% between identical
-   runs (frequency scaling, cache state), so gating them would make
-   the target flaky. Every tracked hot path sits far above this. *)
-let noise_floor_ns = 10_000.0
+   sub-millisecond in-process kernels swing well past 20% between
+   runs of identical binaries (frequency scaling, cache state,
+   neighbouring load — observed repeatedly on the 100us-1ms figure
+   kernels even at a 1 s OLS quota), so gating them would make the
+   target flaky. The packet-path scenario kernels this gate exists
+   for all sit in the tens of milliseconds. *)
+let noise_floor_ns = 1_000_000.0
 let regression_threshold = 0.20
 
 let read_file path =
@@ -179,10 +182,14 @@ let ns_table json =
 
 (* Telemetry counters from the fixed-seed ablation scenario. These are
    deterministic, so between two records at the same seed any drift
-   means the simulation itself changed behaviour — worth a warning,
-   but non-fatal: an intentional simulator change legitimately moves
-   them. *)
+   means the simulation itself changed behaviour — a scientific
+   regression, and fatal by default. An intentional simulator change
+   legitimately moves them: set EBRC_COMPARE_WARN_ONLY=1 for the one
+   run that establishes the new baseline. Counters present in only one
+   record (new instrumentation) are skipped, not failed. *)
 let telemetry_drift_threshold = 0.05
+
+let warn_only = Sys.getenv_opt "EBRC_COMPARE_WARN_ONLY" = Some "1"
 
 let telemetry_counters json =
   match member "telemetry_summary" json with
@@ -195,10 +202,12 @@ let telemetry_counters json =
       | _ -> [])
   | None -> []
 
+(* Returns the drifted counters so the caller can decide to fail. *)
 let compare_telemetry old_json new_json =
   let old_tbl = telemetry_counters old_json in
   let new_tbl = telemetry_counters new_json in
-  if old_tbl <> [] && new_tbl <> [] then begin
+  if old_tbl = [] || new_tbl = [] then []
+  else begin
     let drifted =
       List.filter_map
         (fun (name, old_v) ->
@@ -211,22 +220,58 @@ let compare_telemetry old_json new_json =
           | _ -> None)
         old_tbl
     in
-    match drifted with
+    (match drifted with
     | [] ->
         Printf.printf
           "  telemetry counters: %d compared, drift <= %.0f%%\n\n"
           (List.length old_tbl) (100.0 *. telemetry_drift_threshold)
     | ds ->
         Printf.printf
-          "  telemetry counters: WARNING — %d counter(s) drifted > %.0f%% \
+          "  telemetry counters: %s — %d counter(s) drifted > %.0f%% \
            at equal seeds (simulation behaviour changed?):\n"
+          (if warn_only then "WARNING (EBRC_COMPARE_WARN_ONLY)" else "FAIL")
           (List.length ds) (100.0 *. telemetry_drift_threshold);
         List.iter
           (fun (name, old_v, new_v, rel) ->
             Printf.printf "    %-40s %12.0f -> %12.0f  (%+.1f%%)\n" name old_v
               new_v (100.0 *. rel *. (if new_v >= old_v then 1.0 else -1.0)))
           ds;
-        print_newline ()
+        print_newline ());
+    drifted
+  end
+
+(* Figure regeneration times: purely informational (wall time depends
+   on the machine), but useful context next to the microbenches. A
+   figure whose time is null (sub-millisecond, analytic) or absent in
+   either record is skipped rather than compared against 0. *)
+let figure_seconds json =
+  match member "figure_regeneration_seconds" json with
+  | Some (Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+        kvs
+  | _ -> []
+
+let compare_figure_seconds old_json new_json =
+  let old_tbl = figure_seconds old_json in
+  let new_tbl = figure_seconds new_json in
+  if old_tbl <> [] && new_tbl <> [] then begin
+    let compared, faster, slower =
+      List.fold_left
+        (fun (n, f, s) (name, old_s) ->
+          match List.assoc_opt name new_tbl with
+          | Some new_s when old_s > 0.0 ->
+              ( n + 1,
+                (if new_s < old_s then f + 1 else f),
+                if new_s > old_s then s + 1 else s )
+          | _ -> (n, f, s))
+        (0, 0, 0) old_tbl
+    in
+    let skipped = List.length old_tbl - compared in
+    Printf.printf
+      "  figure regeneration: %d timed figures compared (%d faster, %d \
+       slower, %d null/absent skipped; informational only)\n\n"
+      compared faster slower skipped
   end
 
 let () =
@@ -264,14 +309,15 @@ let () =
                     regressions := (name, ratio) :: !regressions;
                     "  REGRESSED"
                   end
-                  else "  (noisy: sub-10us baseline, ignored)"
+                  else "  (noisy: sub-ms baseline, ignored)"
                 else ""
               in
               Printf.printf "  %-45s %12.0f %12.0f %7.2fx%s\n" name old_ns
                 new_ns ratio flag)
         old_tbl;
       print_newline ();
-      compare_telemetry old_json new_json;
+      let drifted = compare_telemetry old_json new_json in
+      compare_figure_seconds old_json new_json;
       (match member "parallel_figure_sweep" new_json with
       | Some sweep -> (
           match (member "figure" sweep, member "speedup" sweep) with
@@ -279,7 +325,8 @@ let () =
               Printf.printf "  parallel sweep (figure %s): %.2fx\n\n" fig sp
           | _ -> ())
       | None -> ());
-      match List.rev !regressions with
+      let failed = ref false in
+      (match List.rev !regressions with
       | [] -> print_endline "bench-compare: OK, no hot-path regression > 20%"
       | rs ->
           Printf.printf
@@ -289,4 +336,17 @@ let () =
             (fun (name, ratio) ->
               Printf.printf "  %s slowed down %.2fx\n" name ratio)
             rs;
-          exit 1
+          failed := true);
+      if drifted <> [] then
+        if warn_only then
+          print_endline
+            "bench-compare: telemetry drift ignored (EBRC_COMPARE_WARN_ONLY=1)"
+        else begin
+          Printf.printf
+            "bench-compare: FAIL — %d fixed-seed telemetry counter(s) \
+             drifted (set EBRC_COMPARE_WARN_ONLY=1 to accept a new \
+             baseline)\n"
+            (List.length drifted);
+          failed := true
+        end;
+      if !failed then exit 1

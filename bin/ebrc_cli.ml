@@ -63,6 +63,19 @@ let telemetry_args =
     const (fun jsonl trace summary -> (jsonl, trace, summary))
     $ jsonl $ trace $ summary)
 
+(* Scenario result cache: on by default (identical configs across
+   figures are simulated once); --no-cache forces every run. *)
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Bypass the scenario result cache and re-simulate every \
+           scenario (outputs are byte-identical either way; see also \
+           EBRC_CACHE_DIR).")
+
+let apply_cache no_cache = if no_cache then Ebrc.Result_cache.set_enabled false
+
 let with_telemetry (jsonl, trace, summary) f =
   if jsonl = None && trace = None && not summary then f ()
   else begin
@@ -122,9 +135,10 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv jobs telem =
+  let run id full csv jobs no_cache telem =
     let quick = not full in
     try
+      apply_cache no_cache;
       with_telemetry telem @@ fun () ->
       let jobs = resolve_jobs jobs in
       let tables =
@@ -139,7 +153,11 @@ let figure_cmd =
     Cmd.info "figure"
       ~doc:"Regenerate a figure or table from the paper's evaluation."
   in
-  Cmd.v info Term.(ret (const run $ id $ full $ csv $ jobs_arg $ telemetry_args))
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ id $ full $ csv $ jobs_arg $ no_cache_arg
+       $ telemetry_args))
 
 (* --- list --- *)
 
@@ -411,7 +429,8 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full jobs telem =
+  let run out ids full jobs no_cache telem =
+    apply_cache no_cache;
     with_telemetry telem @@ fun () ->
     let options =
       { Ebrc.Report.ids; quick = not full;
@@ -424,7 +443,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate figures into a self-contained markdown report.")
-    Term.(const run $ out $ ids $ full $ jobs_arg $ telemetry_args)
+    Term.(const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ telemetry_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -434,7 +453,8 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full jobs telem =
+  let run full jobs no_cache telem =
+    apply_cache no_cache;
     with_telemetry telem @@ fun () ->
     let outcomes =
       Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
@@ -451,7 +471,7 @@ let validate_cmd =
        ~doc:
          "Run the automated paper-claim validation suite (a scientific CI \
           gate).")
-    Term.(ret (const run $ full $ jobs_arg $ telemetry_args))
+    Term.(ret (const run $ full $ jobs_arg $ no_cache_arg $ telemetry_args))
 
 let main =
   let doc =

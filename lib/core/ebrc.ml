@@ -78,6 +78,7 @@ module Few_flows = Ebrc_analysis.Few_flows
 module Many_sources = Ebrc_analysis.Many_sources
 module Design = Ebrc_analysis.Design
 module Scenario = Ebrc_exp.Scenario
+module Result_cache = Ebrc_exp.Result_cache
 module Audio_scenario = Ebrc_exp.Audio_scenario
 module Chain_scenario = Ebrc_exp.Chain_scenario
 module Paths = Ebrc_exp.Paths

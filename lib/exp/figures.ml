@@ -279,7 +279,7 @@ let bottleneck_sweep ?(jobs = 1) ~quick () =
                     warmup;
                   }
                 in
-                let r = Scenario.run cfg in
+                let r = Result_cache.run cfg in
                 let formula =
                   Formula.create ~rtt:(Scenario.base_rtt cfg)
                     cfg.tfrc_formula_kind
@@ -540,7 +540,7 @@ let run_profile ?(jobs = 1) ~quick (profile : Paths.profile) =
       in
       let point n =
             let cfg = Paths.to_config ~duration ~warmup profile ~n in
-            let r = Scenario.run cfg in
+            let r = Result_cache.run cfg in
             let tfrc_p = Scenario.pooled_loss_rate r.tfrc in
             let tcp_p = Scenario.pooled_loss_rate r.tcp in
             if tfrc_p <= 0.0 || tcp_p <= 0.0 then None
@@ -734,7 +734,7 @@ let fig17 ?(jobs = 1) ~quick () =
         warmup;
       }
     in
-    let r = Scenario.run cfg in
+    let r = Result_cache.run cfg in
     if tfrc then Scenario.mean_loss_rate r.tfrc
     else Scenario.mean_loss_rate r.tcp
   in
@@ -787,7 +787,7 @@ let fig17 ?(jobs = 1) ~quick () =
             warmup;
           }
         in
-        let r = Scenario.run cfg in
+        let r = Result_cache.run cfg in
         (Scenario.mean_loss_rate r.tcp, Scenario.mean_loss_rate r.tfrc))
       buffers
   in
@@ -1222,7 +1222,7 @@ let ablation_autocovariance ?jobs:_ ~quick () =
       warmup = duration /. 5.0;
     }
   in
-  let r = Scenario.run cfg in
+  let r = Result_cache.run cfg in
   let t =
     Table.create
       ~title:
@@ -1477,7 +1477,7 @@ let ablation_rtt_heterogeneity ?(jobs = 1) ~quick () =
             warmup = duration /. 4.0;
           }
         in
-        let r = Scenario.run cfg in
+        let r = Result_cache.run cfg in
         ( jitter,
           Scenario.mean_rtt r.tfrc,
           Scenario.mean_rtt r.tcp,

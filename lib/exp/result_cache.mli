@@ -1,0 +1,50 @@
+(** Content-addressed scenario result cache.
+
+    A canonical digest of the full scenario configuration (seed, link,
+    queue discipline, flow mix, TFRC estimator/formula parameters,
+    durations) plus a code-version tag keys an in-memory memo and an
+    optional on-disk store, so [report], [figures] and [bench] never
+    pay for the same simulation twice. [Scenario.run] is deterministic
+    in its config, so a hit is byte-identical to a fresh run; floats
+    are stored as hex-float strings for exact round-trips (including
+    nan/infinity). Safe to call from parallel sweep workers. *)
+
+val run : Scenario.config -> Scenario.result
+(** Memo lookup, then disk lookup (when a cache directory is set),
+    then [Scenario.run] + store. With the cache disabled this is
+    exactly [Scenario.run]. *)
+
+val set_enabled : bool -> unit
+(** Default on; set [EBRC_CACHE=0] (or the CLI's [--no-cache]) to
+    bypass the cache entirely. *)
+
+val enabled : unit -> bool
+
+val set_dir : string option -> unit
+(** On-disk store location; [None] (the default, unless
+    [EBRC_CACHE_DIR] is set) keeps the cache in-memory only. The
+    directory is created on first store. *)
+
+val dir : unit -> string option
+
+val clear_memory : unit -> unit
+(** Drop the in-memory memo (the disk store is untouched). *)
+
+val digest_of_config : Scenario.config -> string
+(** Hex digest of the canonical key — the on-disk record is
+    [<digest>.json] under the cache directory. *)
+
+val serialize_result : Scenario.result -> string
+(** The exact JSON payload stored on disk; also useful for
+    byte-identity checks in tests and benchmarks. *)
+
+type stats = {
+  hits : int;        (** in-memory memo hits *)
+  disk_hits : int;   (** disk-record hits (schema + key verified) *)
+  misses : int;      (** full simulation runs *)
+  stores : int;      (** disk records written *)
+  corrupt : int;     (** unreadable/mismatched disk records ignored *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -174,10 +174,14 @@ let run cfg =
         in
         let rd = reverse_delay () in
         Tfrc_sender.set_transmit ts (fun pkt -> Link.send link pkt);
+        (* Feedback is emitted in time order and delayed by the
+           per-flow constant [rd], so the reverse path is FIFO and can
+           ride a fast lane instead of the heap. *)
+        let fb_lane = Engine.lane engine in
         Tfrc_receiver.set_feedback_sink tr (fun pkt ->
-            ignore
-              (Engine.schedule_after engine ~delay:rd (fun () ->
-                   Tfrc_sender.on_packet ts pkt)));
+            Engine.lane_push fb_lane
+              ~at:(Engine.now engine +. rd)
+              (fun () -> Tfrc_sender.on_packet ts pkt));
         {
           ts;
           tr;
@@ -197,10 +201,13 @@ let run cfg =
         let cr = Tcp_receiver.create ~engine ~flow () in
         let rd = reverse_delay () in
         Tcp_sender.set_transmit cs (fun pkt -> Link.send link pkt);
+        (* Acks are generated at delivery times (monotone) and delayed
+           by the per-flow constant [rd] — FIFO, same as feedback. *)
+        let ack_lane = Engine.lane engine in
         Tcp_receiver.set_ack_sink cr (fun ~acked ~dup ~echo ->
-            ignore
-              (Engine.schedule_after engine ~delay:rd (fun () ->
-                   Tcp_sender.on_ack cs ~acked ~dup ~echo)));
+            Engine.lane_push ack_lane
+              ~at:(Engine.now engine +. rd)
+              (fun () -> Tcp_sender.on_ack cs ~acked ~dup ~echo));
         {
           cs;
           cr;

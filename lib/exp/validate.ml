@@ -190,7 +190,7 @@ let checks : check list =
               warmup = (if quick then 20.0 else 60.0);
             }
           in
-          let r = Scenario.run cfg in
+          let r = Result_cache.run cfg in
           let p = Scenario.pooled_loss_rate r.Scenario.tfrc in
           let p' = Scenario.pooled_loss_rate r.Scenario.tcp in
           let p'' =

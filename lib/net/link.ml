@@ -10,7 +10,14 @@
    nothing. Delivery events are scheduled per packet (preserving exact
    event ordering), but share one thunk that pops the in-flight ring:
    sound because service completions are ordered and the propagation
-   delay is constant, so deliveries are FIFO. *)
+   delay is constant, so deliveries are FIFO.
+
+   That same FIFO proof lets both event streams ride Engine fast lanes
+   (O(1) ring push/pop) instead of the binary heap: service completions
+   are scheduled in nondecreasing time order (the server serializes
+   them) and deliveries are completions shifted by the constant
+   propagation delay. Fire order is bit-identical either way — lanes
+   merge with the heap on the heap's own (time, seq) tickets. *)
 
 module Engine = Ebrc_sim.Engine
 module Tm = Ebrc_telemetry.Telemetry
@@ -57,6 +64,9 @@ type t = {
   delay : float;                  (* propagation delay, seconds *)
   queue : Queue_discipline.t;
   rng : Ebrc_rng.Prng.t;
+  needs_u : bool;                 (* discipline consumes the uniform? *)
+  svc_lane : Engine.lane;         (* FIFO service completions *)
+  del_lane : Engine.lane;         (* FIFO deliveries *)
   mutable busy : bool;
   backlog : ring;                 (* packets admitted by the discipline *)
   in_flight : ring;               (* served, awaiting propagation *)
@@ -78,7 +88,7 @@ let start_service t =
     t.busy <- true;
     t.in_service <- pkt;
     let tx = transmission_time t pkt in
-    Engine.schedule_after_unit t.engine ~delay:tx t.service_done
+    Engine.lane_push t.svc_lane ~at:(Engine.now t.engine +. tx) t.service_done
   end
 
 let create ~engine ~rate_bps ~delay ~queue ~rng =
@@ -91,6 +101,9 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
       delay;
       queue;
       rng;
+      needs_u = Queue_discipline.needs_random queue;
+      svc_lane = Engine.lane engine;
+      del_lane = Engine.lane engine;
       busy = false;
       backlog = ring_create ();
       in_flight = ring_create ();
@@ -113,7 +126,7 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
       t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
       if Tm.is_on () then Tm.Counter.incr m_link_delivered;
       ring_push t.in_flight pkt;
-      Engine.schedule_unit t.engine
+      Engine.lane_push t.del_lane
         ~at:(Engine.now t.engine +. t.delay)
         t.deliver_head;
       start_service t);
@@ -124,7 +137,7 @@ let set_on_drop t f = t.on_drop <- f
 
 let send t pkt =
   let now = Engine.now t.engine in
-  let u = Ebrc_rng.Prng.float_unit t.rng in
+  let u = if t.needs_u then Ebrc_rng.Prng.float_unit t.rng else 0.0 in
   match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
   | Queue_discipline.Drop ->
       if Tm.is_on () then begin

@@ -4,14 +4,35 @@
 type t
 
 val process : t -> Packet.t -> bool
-(** [true] = forward, [false] = dropped. Updates counters. *)
+(** [true] = forward, [false] = dropped. Updates the per-module
+    counters and the [loss_module.offered] / [loss_module.drops]
+    telemetry counters. *)
 
 val stats : t -> int * int
 (** (offered, dropped). *)
 
 val bernoulli : Ebrc_rng.Prng.t -> p:float -> t
 (** Each packet dropped independently with probability [p], regardless
-    of its length (RED packet-mode, memoryless limit). *)
+    of its length (RED packet-mode, memoryless limit). Dispatches to
+    {!bernoulli_gap} (default) or {!bernoulli_per_packet} depending on
+    {!set_gap_skip}. *)
+
+val bernoulli_per_packet : Ebrc_rng.Prng.t -> p:float -> t
+(** The direct implementation: one uniform draw per packet. Kept as
+    the ablation baseline for gap skipping. *)
+
+val bernoulli_gap : Ebrc_rng.Prng.t -> p:float -> t
+(** Gap-skip implementation: samples the Geometric(p) run of passed
+    packets once per loss event and counts down — one RNG draw per
+    loss event instead of per packet. Statistically equivalent to
+    {!bernoulli_per_packet} (identical process in distribution), but
+    consumes the RNG differently, so traces are not bit-identical. *)
+
+val set_gap_skip : bool -> unit
+(** A/B toggle for {!bernoulli} (default on; set [EBRC_GAP_SKIP=0] to
+    disable). Affects modules created after the call. *)
+
+val gap_skip_enabled : unit -> bool
 
 val periodic : period:int -> t
 (** Drops every [period]-th packet — deterministic tests. *)

@@ -96,6 +96,11 @@ let drops t = t.drops
 let enqueues t = t.enqueues
 let average_queue t = t.avg
 
+(* Only RED consumes the uniform draw in [offer]; DropTail callers can
+   skip generating one entirely (the link's RNG stream is private to
+   it, so skipping draws there changes nothing observable). *)
+let needs_random t = match t.kind with Drop_tail -> false | Red _ -> true
+
 let update_avg t ~now =
   match t.kind with
   | Drop_tail -> ()

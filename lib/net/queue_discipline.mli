@@ -35,8 +35,13 @@ val create : ?service_rate:float -> capacity:int -> kind -> t
 
 val offer : ?bytes:int -> t -> now:float -> u:float -> decision
 (** Decide the fate of an arriving packet; [u] must be a fresh uniform
-    (0,1) draw; [bytes] (default 1000) only matters for byte-mode RED.
-    Updates occupancy and counters when enqueued. *)
+    (0,1) draw when {!needs_random} is true (any value otherwise);
+    [bytes] (default 1000) only matters for byte-mode RED. Updates
+    occupancy and counters when enqueued. *)
+
+val needs_random : t -> bool
+(** Whether [offer] consumes its uniform draw (RED yes, DropTail no) —
+    lets the caller skip one RNG draw per packet on DropTail paths. *)
 
 val departure : t -> now:float -> unit
 (** Record a packet finishing service. *)

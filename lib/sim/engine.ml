@@ -41,13 +41,32 @@ type event = { mutable fire : unit -> unit; mutable handle : handle }
 
 let nop () = ()
 
-type t = {
+(* A fast lane is a growable FIFO ring of (time, seq, thunk) for event
+   streams the caller proves are time-ordered and never cancelled
+   (link service completions, constant-delay deliveries, fixed-delay
+   feedback). Push and pop are O(1); the run loop k-way-merges lane
+   heads with the heap top by (time, seq), and because lane pushes
+   draw tickets from the heap's own sequence counter the merged order
+   is bit-identical to what a pure-heap run would produce. *)
+type lane = {
+  l_eng : t;
+  mutable l_times : float array;
+  mutable l_seqs : int array;
+  mutable l_fires : (unit -> unit) array;
+  mutable l_head : int;
+  mutable l_len : int;
+  mutable l_last : float;  (* time of the newest entry; FIFO guard *)
+}
+
+and t = {
   queue : event Event_queue.t;
   mutable now : float;
   mutable processed : int;
   mutable horizon : float;
   mutable pool : event array;
   mutable pool_size : int;
+  mutable lanes : lane array;
+  mutable n_lanes : int;
 }
 
 let dummy_event = { fire = nop; handle = no_handle }
@@ -60,11 +79,19 @@ let create () =
     horizon = infinity;
     pool = Array.make 64 dummy_event;
     pool_size = 0;
+    lanes = [||];
+    n_lanes = 0;
   }
 
 let now t = t.now
 let processed t = t.processed
-let pending t = Event_queue.size t.queue
+
+let pending t =
+  let n = ref (Event_queue.size t.queue) in
+  for i = 0 to t.n_lanes - 1 do
+    n := !n + t.lanes.(i).l_len
+  done;
+  !n
 
 let pooling = ref (Sys.getenv_opt "EBRC_POOL" = Some "1")
 let set_pooling b = pooling := b
@@ -98,11 +125,13 @@ let recycle t ev =
 let note_scheduled t =
   if Tm.is_on () then begin
     Tm.Counter.incr m_scheduled;
-    Tm.Gauge.set m_depth (float_of_int (Event_queue.size t.queue))
+    Tm.Gauge.set m_depth (float_of_int (pending t))
   end
 
 let check_at t at =
-  if at < t.now then
+  (* [not (at >= now)] also rejects NaN, which would otherwise poison
+     the queue ordering. *)
+  if not (at >= t.now) then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
          t.now)
@@ -119,13 +148,129 @@ let schedule_unit t ~at fire =
   Event_queue.push t.queue ~time:at (alloc_event t fire no_handle);
   note_scheduled t
 
+(* A negative delay would silently schedule into the simulated past and
+   a NaN delay would poison queue ordering; both are caller bugs, so
+   reject loudly rather than clamp. [not (delay >= 0)] catches both. *)
+let check_delay delay =
+  if not (delay >= 0.0) then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_after: negative or NaN delay %g" delay)
+
 let schedule_after t ~delay fire =
-  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  check_delay delay;
   schedule t ~at:(t.now +. delay) fire
 
 let schedule_after_unit t ~delay fire =
-  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  check_delay delay;
   schedule_unit t ~at:(t.now +. delay) fire
+
+(* ------------------------------ lanes ------------------------------ *)
+
+(* Global A/B toggle (precedent: Ode_fixed_step, set_pooling). With
+   lanes off every [lane_push] falls back to a plain heap push, which
+   consumes the same sequence ticket — the two modes fire the same
+   events in the same order and keep identical telemetry counters. *)
+let lanes_on = ref (Sys.getenv_opt "EBRC_LANES" <> Some "0")
+let set_fast_lanes b = lanes_on := b
+let fast_lanes_enabled () = !lanes_on
+
+let lane t =
+  let ln =
+    {
+      l_eng = t;
+      l_times = Array.make 64 0.0;
+      l_seqs = Array.make 64 0;
+      l_fires = Array.make 64 nop;
+      l_head = 0;
+      l_len = 0;
+      l_last = neg_infinity;
+    }
+  in
+  if t.n_lanes = Array.length t.lanes then begin
+    (* Filler slots hold the new lane; iteration is bounded by
+       [n_lanes] so they are never visited. *)
+    let bigger = Array.make (max 4 (2 * t.n_lanes)) ln in
+    Array.blit t.lanes 0 bigger 0 t.n_lanes;
+    t.lanes <- bigger
+  end;
+  t.lanes.(t.n_lanes) <- ln;
+  t.n_lanes <- t.n_lanes + 1;
+  ln
+
+let lane_depth ln = ln.l_len
+
+let lane_grow ln =
+  let cap = Array.length ln.l_times in
+  let times = Array.make (2 * cap) 0.0 in
+  let seqs = Array.make (2 * cap) 0 in
+  let fires = Array.make (2 * cap) nop in
+  for i = 0 to ln.l_len - 1 do
+    let j = (ln.l_head + i) mod cap in
+    times.(i) <- ln.l_times.(j);
+    seqs.(i) <- ln.l_seqs.(j);
+    fires.(i) <- ln.l_fires.(j)
+  done;
+  ln.l_times <- times;
+  ln.l_seqs <- seqs;
+  ln.l_fires <- fires;
+  ln.l_head <- 0
+
+let lane_push ln ~at fire =
+  let t = ln.l_eng in
+  if not !lanes_on then schedule_unit t ~at fire
+  else begin
+    check_at t at;
+    if at < ln.l_last then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.lane_push: time %g below lane tail %g (FIFO violated)" at
+           ln.l_last);
+    let cap = Array.length ln.l_times in
+    if ln.l_len = cap then lane_grow ln;
+    let cap = Array.length ln.l_times in
+    let i = ln.l_head + ln.l_len in
+    let i = if i >= cap then i - cap else i in
+    ln.l_times.(i) <- at;
+    ln.l_seqs.(i) <- Event_queue.take_seq t.queue;
+    ln.l_fires.(i) <- fire;
+    ln.l_len <- ln.l_len + 1;
+    ln.l_last <- at;
+    note_scheduled t
+  end
+
+let lane_pop ln =
+  let i = ln.l_head in
+  let fire = ln.l_fires.(i) in
+  ln.l_fires.(i) <- nop;
+  let cap = Array.length ln.l_times in
+  ln.l_head <- (if i + 1 = cap then 0 else i + 1);
+  ln.l_len <- ln.l_len - 1;
+  fire
+
+(* Earliest source by (time, seq): 0 = heap, i+1 = lane i, -1 = empty.
+   Tail-recursive with unboxed float arguments — the hot loop calls
+   this once per event and it must not allocate. *)
+let rec scan_lanes t i best best_time best_seq =
+  if i >= t.n_lanes then best
+  else begin
+    let ln = t.lanes.(i) in
+    if ln.l_len > 0 then begin
+      let tm = ln.l_times.(ln.l_head) in
+      let sq = ln.l_seqs.(ln.l_head) in
+      if best < 0 || tm < best_time || (tm = best_time && sq < best_seq) then
+        scan_lanes t (i + 1) (i + 1) tm sq
+      else scan_lanes t (i + 1) best best_time best_seq
+    end
+    else scan_lanes t (i + 1) best best_time best_seq
+  end
+
+let select_source t =
+  if t.n_lanes = 0 then (if Event_queue.is_empty t.queue then -1 else 0)
+  else if Event_queue.is_empty t.queue then
+    scan_lanes t 0 (-1) infinity max_int
+  else
+    scan_lanes t 0 0 (Event_queue.top_time t.queue)
+      (Event_queue.top_seq t.queue)
 
 let cancel handle = handle.cancelled <- true
 let is_cancelled handle = handle.cancelled
@@ -142,17 +287,35 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   (try
      let continue = ref true in
      while !continue do
-       if Event_queue.is_empty t.queue then begin
+       let src = select_source t in
+       if src < 0 then begin
          reason := Queue_empty;
          continue := false
        end
        else begin
-         let time = Event_queue.top_time t.queue in
+         let time =
+           if src = 0 then Event_queue.top_time t.queue
+           else
+             let ln = t.lanes.(src - 1) in
+             ln.l_times.(ln.l_head)
+         in
          if time > until then begin
            (* Leave it queued for a later resumed run and stop. *)
            t.now <- until;
            reason := Horizon_reached;
            continue := false
+         end
+         else if src > 0 then begin
+           (* Lane events are never cancelled, so no discard branch. *)
+           let fire = lane_pop t.lanes.(src - 1) in
+           t.now <- time;
+           t.processed <- t.processed + 1;
+           if Tm.is_on () then Tm.Counter.incr m_fired;
+           fire ();
+           if t.processed >= max_events then begin
+             reason := Budget_exhausted;
+             continue := false
+           end
          end
          else begin
            let ev = Event_queue.pop_exn t.queue in

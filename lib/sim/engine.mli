@@ -19,9 +19,11 @@ val processed : t -> int
 val pending : t -> int
 
 val schedule : t -> at:float -> (unit -> unit) -> handle
-(** Raises if [at] is in the past. *)
+(** Raises [Invalid_argument] if [at] is in the past or NaN. *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** Raises [Invalid_argument] if [delay] is negative or NaN — a
+    negative delay would otherwise schedule into the simulated past. *)
 
 val schedule_unit : t -> at:float -> (unit -> unit) -> unit
 (** Like {!schedule} for events that are never cancelled: shares one
@@ -34,6 +36,36 @@ val cancel : handle -> unit
 (** O(1); the event is discarded lazily when popped. *)
 
 val is_cancelled : handle -> bool
+
+(** {2 FIFO fast lanes}
+
+    Event streams that are provably time-ordered and never cancelled —
+    link service completions, constant-propagation-delay deliveries,
+    fixed-delay feedback paths — can bypass the binary heap through a
+    lane: a growable ring with O(1) push/pop. The run loop k-way-merges
+    lane heads with the heap top by (time, seq), and lane pushes draw
+    tie-break tickets from the heap's own sequence counter, so the
+    merged fire order is bit-identical to a pure-heap run. *)
+
+type lane
+
+val set_fast_lanes : bool -> unit
+(** A/B toggle (default on; set [EBRC_LANES=0] to disable). With lanes
+    off, {!lane_push} falls back to a plain heap push that consumes
+    the same sequence ticket — same fire order, same telemetry
+    counters. Flip only between simulations. *)
+
+val fast_lanes_enabled : unit -> bool
+
+val lane : t -> lane
+(** Register a new FIFO lane on this engine. *)
+
+val lane_push : lane -> at:float -> (unit -> unit) -> unit
+(** Append an event to the lane. Raises [Invalid_argument] if [at] is
+    in the past, NaN, or below the lane's newest entry (the caller's
+    FIFO proof is violated). *)
+
+val lane_depth : lane -> int
 
 type stop_reason = Queue_empty | Horizon_reached | Budget_exhausted | Stopped
 

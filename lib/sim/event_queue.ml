@@ -115,6 +115,14 @@ let push t ~time payload =
   t.size <- i + 1;
   sift_up t i time seq (Obj.repr payload)
 
+(* External FIFO lanes (Engine fast lanes) draw tie-break tickets from
+   the same counter as heap pushes, so a k-way merge by (time, seq)
+   across heap + lanes reproduces the pure-heap pop order exactly. *)
+let take_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 (* Allocation-free accessors for the hot loop: callers check
@@ -122,6 +130,10 @@ let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let top_time t =
   if t.size = 0 then invalid_arg "Event_queue.top_time: empty queue";
   t.times.(0)
+
+let top_seq t =
+  if t.size = 0 then invalid_arg "Event_queue.top_seq: empty queue";
+  t.seqs.(0)
 
 let pop_exn t =
   if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty queue";

@@ -11,11 +11,20 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> 'a -> unit
 (** Raises on NaN time. *)
 
+val take_seq : 'a t -> int
+(** Allocate the next FIFO tie-break ticket without pushing. External
+    schedulers (Engine fast lanes) that merge with this queue by
+    (time, seq) take tickets here so the merged pop order is exactly
+    the order a pure-heap run would produce. *)
+
 val peek_time : 'a t -> float option
 
 val top_time : 'a t -> float
 (** Time of the earliest event, without allocating. Raises on an empty
     queue — check {!is_empty} first. *)
+
+val top_seq : 'a t -> int
+(** Tie-break ticket of the earliest event. Raises on an empty queue. *)
 
 val pop : 'a t -> (float * 'a) option
 

@@ -20,6 +20,7 @@ type t = {
   mutable seq : int;
   mutable sent : int;
   mutable running : bool;
+  send_lane : Engine.lane;   (* pacing ticks: FIFO, never cancelled *)
 }
 
 let create ?(packet_size = 1000) ~engine ~flow ~rate ~pacing () =
@@ -35,6 +36,7 @@ let create ?(packet_size = 1000) ~engine ~flow ~rate ~pacing () =
     seq = 0;
     sent = 0;
     running = false;
+    send_lane = Engine.lane engine;
   }
 
 let set_transmit t f = t.transmit <- f
@@ -55,7 +57,8 @@ let send_loop t =
       t.seq <- t.seq + 1;
       t.sent <- t.sent + 1;
       t.transmit pkt;
-      Engine.schedule_after_unit t.engine ~delay:(next_gap t) tick
+      (* Each tick pushes the next strictly later — FIFO per source. *)
+      Engine.lane_push t.send_lane ~at:(Engine.now t.engine +. next_gap t) tick
     end
   in
   tick ()

@@ -23,6 +23,7 @@ type t = {
   mutable started : bool;
   mutable first_recv_at : float;
   mutable last_recv_at : float;
+  fb_lane : Engine.lane;     (* per-RTT report ticks: FIFO, never cancelled *)
 }
 
 let create ?(comprehensive = true) ~engine ~flow ~l ~rtt () =
@@ -42,6 +43,7 @@ let create ?(comprehensive = true) ~engine ~flow ~l ~rtt () =
     started = false;
     first_recv_at = nan;
     last_recv_at = nan;
+    fb_lane = Engine.lane engine;
   }
 
 let set_feedback_sink t f = t.send_feedback <- f
@@ -72,12 +74,18 @@ let emit_report t =
   t.send_feedback pkt
 
 let feedback_loop t =
-  (* One self-rescheduling thunk for the lifetime of the receiver. *)
+  (* One self-rescheduling thunk for the lifetime of the receiver. Each
+     tick pushes the next one strictly later (feedback_interval > 0), so
+     the per-receiver stream is FIFO and rides a lane. *)
   let rec tick () =
     emit_report t;
-    Engine.schedule_after_unit t.engine ~delay:t.feedback_interval tick
+    Engine.lane_push t.fb_lane
+      ~at:(Engine.now t.engine +. t.feedback_interval)
+      tick
   in
-  Engine.schedule_after_unit t.engine ~delay:t.feedback_interval tick
+  Engine.lane_push t.fb_lane
+    ~at:(Engine.now t.engine +. t.feedback_interval)
+    tick
 
 let on_data t (pkt : Packet.t) =
   let now = Engine.now t.engine in

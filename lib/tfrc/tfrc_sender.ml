@@ -54,6 +54,7 @@ type t = {
   mutable nofeedback_timer : Engine.handle option;
   mutable rate_halvings : int;
   mutable send_tick : unit -> unit;   (* preallocated send-loop thunk *)
+  send_lane : Engine.lane;            (* pacing ticks: FIFO, never cancelled *)
 }
 
 let rec create ?(packet_size = 1000) ?(conform_to_analysis = false)
@@ -90,6 +91,7 @@ let rec create ?(packet_size = 1000) ?(conform_to_analysis = false)
       nofeedback_timer = None;
       rate_halvings = 0;
       send_tick = (fun () -> ());
+      send_lane = Engine.lane engine;
     }
   in
   t.send_tick <- (fun () -> send_loop t);
@@ -105,7 +107,9 @@ and send_loop t =
     t.sent <- t.sent + 1;
     t.transmit pkt;
     let gap = 1.0 /. Float.max t.rate t.min_rate in
-    Engine.schedule_after_unit t.engine ~delay:gap t.send_tick
+    (* Each tick schedules the next strictly later, and rate changes
+       only affect ticks not yet pushed — FIFO holds per sender. *)
+    Engine.lane_push t.send_lane ~at:(Engine.now t.engine +. gap) t.send_tick
   end
 
 let set_transmit t f = t.transmit <- f

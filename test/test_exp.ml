@@ -6,6 +6,7 @@ module S = Ebrc.Scenario
 module A = Ebrc.Audio_scenario
 module P = Ebrc.Paths
 module Fig = Ebrc.Figures
+module RC = Ebrc.Result_cache
 
 let feq ?(eps = 1e-9) a b =
   Alcotest.(check bool)
@@ -157,6 +158,135 @@ let test_bdp_and_rtt_helpers () =
   feq (S.base_rtt quick_cfg) 0.05;
   (* 15 Mb/s * 0.05 s / 8000 bits = 93.75 packets *)
   feq (S.bdp_packets quick_cfg) 93.75
+
+(* With lanes disabled every event goes through the binary heap; the
+   k-way merge must reproduce that schedule exactly, so a full scenario
+   serializes to the same bytes either way. *)
+let test_scenario_lanes_vs_heap_identical () =
+  let cfg = { quick_cfg with duration = 20.0 } in
+  Alcotest.(check bool) "lanes default on" true
+    (Ebrc.Engine.fast_lanes_enabled ());
+  let with_lanes = RC.serialize_result (S.run cfg) in
+  Ebrc.Engine.set_fast_lanes false;
+  let heap_only =
+    Fun.protect
+      ~finally:(fun () -> Ebrc.Engine.set_fast_lanes true)
+      (fun () -> RC.serialize_result (S.run cfg))
+  in
+  Alcotest.(check bool) "bit-identical serialization" true
+    (String.equal with_lanes heap_only)
+
+(* ------------------------- result cache ------------------------- *)
+
+let cache_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "ebrc_cache_test"
+
+(* Every cache test starts from a clean slate — no memo, no stats, no
+   stale disk records — and leaves the global cache state as it found
+   it (enabled, memory-only). *)
+let with_clean_cache f =
+  if Sys.file_exists cache_dir && Sys.is_directory cache_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat cache_dir f))
+      (Sys.readdir cache_dir);
+  RC.clear_memory ();
+  RC.reset_stats ();
+  Fun.protect
+    ~finally:(fun () ->
+      RC.set_dir None;
+      RC.set_enabled true;
+      RC.clear_memory ();
+      RC.reset_stats ())
+    f
+
+let cache_cfg = { quick_cfg with duration = 20.0; seed = 21 }
+
+let test_cache_memo_roundtrip () =
+  with_clean_cache (fun () ->
+      let direct = RC.serialize_result (S.run cache_cfg) in
+      let first = RC.serialize_result (RC.run cache_cfg) in
+      let second = RC.serialize_result (RC.run cache_cfg) in
+      Alcotest.(check bool) "miss = direct" true (String.equal direct first);
+      Alcotest.(check bool) "hit = direct" true (String.equal direct second);
+      let s = RC.stats () in
+      Alcotest.(check int) "one miss" 1 s.RC.misses;
+      Alcotest.(check int) "one hit" 1 s.RC.hits;
+      Alcotest.(check int) "no corruption" 0 s.RC.corrupt)
+
+let test_cache_digest_separates_configs () =
+  let d1 = RC.digest_of_config cache_cfg in
+  let d2 = RC.digest_of_config { cache_cfg with seed = 22 } in
+  let d3 = RC.digest_of_config { cache_cfg with duration = 20.5 } in
+  Alcotest.(check bool) "seed changes digest" true (d1 <> d2);
+  Alcotest.(check bool) "duration changes digest" true (d1 <> d3);
+  Alcotest.(check string) "digest is stable" d1 (RC.digest_of_config cache_cfg)
+
+let record_path cfg = Filename.concat cache_dir (RC.digest_of_config cfg ^ ".json")
+
+let test_cache_disk_roundtrip () =
+  with_clean_cache (fun () ->
+      RC.set_dir (Some cache_dir);
+      let first = RC.serialize_result (RC.run cache_cfg) in
+      Alcotest.(check bool) "record written" true
+        (Sys.file_exists (record_path cache_cfg));
+      (* Drop the memo: the next lookup must come from disk. *)
+      RC.clear_memory ();
+      let from_disk = RC.serialize_result (RC.run cache_cfg) in
+      Alcotest.(check bool) "disk hit byte-identical" true
+        (String.equal first from_disk);
+      let s = RC.stats () in
+      Alcotest.(check int) "one store" 1 s.RC.stores;
+      Alcotest.(check int) "one disk hit" 1 s.RC.disk_hits;
+      Alcotest.(check int) "one miss" 1 s.RC.misses)
+
+let test_cache_corrupt_record_detected () =
+  with_clean_cache (fun () ->
+      RC.set_dir (Some cache_dir);
+      let good = RC.serialize_result (RC.run cache_cfg) in
+      let path = record_path cache_cfg in
+      let oc = open_out path in
+      output_string oc "{ not json ";
+      close_out oc;
+      RC.clear_memory ();
+      RC.reset_stats ();
+      let recomputed = RC.serialize_result (RC.run cache_cfg) in
+      Alcotest.(check bool) "recompute matches" true
+        (String.equal good recomputed);
+      let s = RC.stats () in
+      Alcotest.(check int) "corruption counted" 1 s.RC.corrupt;
+      Alcotest.(check int) "fell back to a real run" 1 s.RC.misses;
+      (* The bad record was overwritten by the fresh store. *)
+      RC.clear_memory ();
+      ignore (RC.run cache_cfg);
+      Alcotest.(check int) "repaired record readable" 1
+        (RC.stats ()).RC.disk_hits)
+
+let test_cache_disabled_bypasses () =
+  with_clean_cache (fun () ->
+      RC.set_enabled false;
+      ignore (RC.run cache_cfg);
+      ignore (RC.run cache_cfg);
+      let s = RC.stats () in
+      Alcotest.(check int) "no hits" 0 s.RC.hits;
+      Alcotest.(check int) "no misses counted" 0 s.RC.misses)
+
+let test_figures_byte_identical_with_cache () =
+  (* Satellite guarantee: figure output is byte-identical cache-on
+     (cold and warm) vs cache-off. Fig 17 is the cheapest DES-backed
+     runner. *)
+  let render () =
+    String.concat "\n" (List.map T.to_csv (Fig.run_one ~quick:true "17"))
+  in
+  with_clean_cache (fun () ->
+      let cold = render () in
+      let warm = render () in
+      Alcotest.(check bool) "warm cache pays no misses" true
+        ((RC.stats ()).RC.hits > 0);
+      RC.set_enabled false;
+      let uncached = render () in
+      Alcotest.(check bool) "cold = warm" true (String.equal cold warm);
+      Alcotest.(check bool) "cached = uncached" true
+        (String.equal cold uncached))
 
 (* ------------------------ audio scenario ------------------------ *)
 
@@ -317,6 +447,21 @@ let () =
             test_scenario_freelist_equivalence;
           Alcotest.test_case "invalid duration" `Quick test_scenario_invalid_duration;
           Alcotest.test_case "bdp/rtt helpers" `Quick test_bdp_and_rtt_helpers;
+          Alcotest.test_case "lanes vs heap identical" `Quick
+            test_scenario_lanes_vs_heap_identical;
+        ] );
+      ( "result_cache",
+        [
+          Alcotest.test_case "memo roundtrip" `Quick test_cache_memo_roundtrip;
+          Alcotest.test_case "digest separates configs" `Quick
+            test_cache_digest_separates_configs;
+          Alcotest.test_case "disk roundtrip" `Quick test_cache_disk_roundtrip;
+          Alcotest.test_case "corrupt record detected" `Quick
+            test_cache_corrupt_record_detected;
+          Alcotest.test_case "disabled bypasses" `Quick
+            test_cache_disabled_bypasses;
+          Alcotest.test_case "figures byte-identical" `Quick
+            test_figures_byte_identical_with_cache;
         ] );
       ( "audio_scenario",
         [ Alcotest.test_case "smoke" `Quick test_audio_scenario_smoke ] );

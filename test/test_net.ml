@@ -227,6 +227,12 @@ let test_link_transmission_time () =
 
 (* ------------------------ loss modules ------------------------- *)
 
+(* Drive [n] packets through a dropper and return the per-packet
+   pass/drop verdicts (true = passed). *)
+let verdicts lm n =
+  List.init n (fun i ->
+      LM.process lm (P.data ~flow:0 ~seq:i ~size:100 ~sent_at:0.0))
+
 let test_bernoulli_dropper_rate () =
   let rng = Prng.create ~seed:3 in
   let lm = LM.bernoulli rng ~p:0.2 in
@@ -252,6 +258,114 @@ let test_periodic_dropper () =
   Alcotest.(check (list bool)) "every 3rd dropped"
     [ true; true; false; true; true; false; true; true; false ]
     verdicts
+
+let test_gap_skip_drop_rate_matches_per_packet () =
+  (* The gap-skipped sampler and the per-packet sampler draw different
+     random streams, so equivalence is statistical: both must hit the
+     target drop rate. *)
+  let n = 50_000 and p = 0.2 in
+  let rate_of lm =
+    let dropped =
+      List.fold_left (fun d pass -> if pass then d else d + 1) 0
+        (verdicts lm n)
+    in
+    float_of_int dropped /. float_of_int n
+  in
+  Alcotest.(check bool) "gap-skip default on" true (LM.gap_skip_enabled ());
+  let gap_rate = rate_of (LM.bernoulli (Prng.create ~seed:11) ~p) in
+  LM.set_gap_skip false;
+  let per_rate =
+    Fun.protect
+      ~finally:(fun () -> LM.set_gap_skip true)
+      (fun () -> rate_of (LM.bernoulli (Prng.create ~seed:11) ~p))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap-skip rate %.4f ~ %.1f" gap_rate p)
+    true
+    (abs_float (gap_rate -. p) < 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "per-packet rate %.4f ~ %.1f" per_rate p)
+    true
+    (abs_float (per_rate -. p) < 0.01)
+
+let test_gap_skip_chi_squared () =
+  (* Under i.i.d. Bernoulli(p) drops, the number of passed packets
+     between consecutive drops is Geometric(p) on {0, 1, ...} with pmf
+     p (1-p)^k. Bin the observed gaps from the gap-skipped sampler and
+     compare with the exact pmf via a chi-squared statistic. With 15
+     bins (k = 0..13 plus a pooled tail), the 99.9% critical value for
+     14 degrees of freedom is 36.1; the seed is fixed, so this is a
+     deterministic regression gate, not a flaky sampling test. *)
+  let p = 0.1 and n = 200_000 and nbins = 15 in
+  let lm = LM.bernoulli (Prng.create ~seed:5) ~p in
+  let bins = Array.make nbins 0 in
+  let gaps = ref 0 in
+  let run = ref 0 in
+  List.iter
+    (fun pass ->
+      if pass then incr run
+      else begin
+        let k = min !run (nbins - 1) in
+        bins.(k) <- bins.(k) + 1;
+        incr gaps;
+        run := 0
+      end)
+    (verdicts lm n);
+  Alcotest.(check bool) "enough loss events" true (!gaps > 10_000);
+  let total = float_of_int !gaps in
+  let chi2 = ref 0.0 in
+  for k = 0 to nbins - 1 do
+    let prob =
+      if k < nbins - 1 then p *. ((1.0 -. p) ** float_of_int k)
+      else (1.0 -. p) ** float_of_int (nbins - 1) (* pooled tail *)
+    in
+    let expected = total *. prob in
+    let diff = float_of_int bins.(k) -. expected in
+    chi2 := !chi2 +. (diff *. diff /. expected)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f < 36.1" !chi2)
+    true (!chi2 < 36.1)
+
+let test_gap_skip_p_zero_and_one () =
+  (* Degenerate rates must not hang or divide by zero: p = 0 is a
+     lossless fast path, p = 1 is rejected (both samplers require
+     p in [0,1)), and p near 1 drops almost everything. *)
+  let lossless = LM.bernoulli (Prng.create ~seed:1) ~p:0.0 in
+  List.iter (fun pass -> Alcotest.(check bool) "p=0 passes" true pass)
+    (verdicts lossless 100);
+  (match LM.bernoulli (Prng.create ~seed:1) ~p:1.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument for p=1"
+  | exception Invalid_argument _ -> ());
+  let near_wall = LM.bernoulli (Prng.create ~seed:1) ~p:0.99 in
+  let dropped =
+    List.fold_left (fun d pass -> if pass then d else d + 1) 0
+      (verdicts near_wall 1000)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=0.99 drops %d/1000" dropped)
+    true (dropped > 950)
+
+let test_loss_module_telemetry_counters () =
+  let module Tm = Ebrc.Telemetry in
+  Tm.set_enabled true;
+  Tm.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tm.set_enabled false;
+      Tm.reset ())
+    (fun () ->
+      let lm = LM.periodic ~period:3 in
+      ignore (verdicts lm 9);
+      let count name =
+        match
+          List.find_opt (fun s -> s.Tm.snap_name = name) (Tm.snapshot ())
+        with
+        | Some s -> s.Tm.count
+        | None -> 0
+      in
+      Alcotest.(check int) "offered" 9 (count "loss_module.offered");
+      Alcotest.(check int) "drops" 3 (count "loss_module.drops"))
 
 let test_lossless () =
   let lm = LM.lossless () in
@@ -462,6 +576,14 @@ let () =
           Alcotest.test_case "bernoulli bytes" `Quick test_bernoulli_bytes_length_dependence;
           Alcotest.test_case "RED byte mode" `Quick test_red_byte_mode_prefers_small_packets;
           Alcotest.test_case "gilbert-elliott" `Quick test_gilbert_elliott_burstiness;
+          Alcotest.test_case "gap-skip rate" `Quick
+            test_gap_skip_drop_rate_matches_per_packet;
+          Alcotest.test_case "gap-skip chi-squared" `Quick
+            test_gap_skip_chi_squared;
+          Alcotest.test_case "gap-skip degenerate p" `Quick
+            test_gap_skip_p_zero_and_one;
+          Alcotest.test_case "telemetry counters" `Quick
+            test_loss_module_telemetry_counters;
         ] );
       ( "flow_stats",
         [

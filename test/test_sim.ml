@@ -202,6 +202,130 @@ let test_engine_simultaneous_fifo () =
   ignore (E.run e);
   Alcotest.(check (list string)) "fifo ties" [ "a"; "b" ] (List.rev !log)
 
+(* ------------------------- fast lanes -------------------------- *)
+
+let test_lane_merge_order () =
+  (* Interleave heap events and lane events at equal times: the merged
+     pop order must equal the push order, exactly as if everything had
+     gone through the heap. *)
+  let e = E.create () in
+  let ln = E.lane e in
+  let log = ref [] in
+  let say v () = log := v :: !log in
+  ignore (E.schedule e ~at:1.0 (say "h1"));
+  E.lane_push ln ~at:1.0 (say "l1");
+  ignore (E.schedule e ~at:1.0 (say "h2"));
+  E.lane_push ln ~at:1.0 (say "l2");
+  E.lane_push ln ~at:2.0 (say "l3");
+  ignore (E.schedule e ~at:2.0 (say "h3"));
+  ignore (E.run e);
+  Alcotest.(check (list string))
+    "merged order" [ "h1"; "l1"; "h2"; "l2"; "l3"; "h3" ]
+    (List.rev !log)
+
+let test_lane_two_lanes_merge () =
+  let e = E.create () in
+  let a = E.lane e and b = E.lane e in
+  let log = ref [] in
+  let say v () = log := v :: !log in
+  E.lane_push a ~at:1.0 (say "a1");
+  E.lane_push b ~at:1.0 (say "b1");
+  ignore (E.schedule e ~at:1.0 (say "h1"));
+  E.lane_push b ~at:1.5 (say "b2");
+  E.lane_push a ~at:2.0 (say "a2");
+  ignore (E.run e);
+  Alcotest.(check (list string))
+    "two lanes + heap" [ "a1"; "b1"; "h1"; "b2"; "a2" ]
+    (List.rev !log)
+
+let test_lane_fifo_violation_rejected () =
+  let e = E.create () in
+  let ln = E.lane e in
+  E.lane_push ln ~at:2.0 (fun () -> ());
+  (match E.lane_push ln ~at:1.0 (fun () -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument (FIFO violation)"
+  | exception Invalid_argument _ -> ());
+  match E.lane_push ln ~at:Float.nan (fun () -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument (NaN)"
+  | exception Invalid_argument _ -> ()
+
+let test_lane_past_rejected () =
+  let e = E.create () in
+  let ln = E.lane e in
+  ignore (E.schedule e ~at:5.0 (fun () ->
+      match E.lane_push ln ~at:1.0 (fun () -> ()) with
+      | () -> Alcotest.fail "expected Invalid_argument (past)"
+      | exception Invalid_argument _ -> ()));
+  ignore (E.run e)
+
+let test_lane_ring_growth () =
+  (* Push far more entries than the initial ring capacity while the
+     engine drains; the chain must fire in order and count correctly. *)
+  let e = E.create () in
+  let ln = E.lane e in
+  let count = ref 0 in
+  for i = 1 to 500 do
+    E.lane_push ln ~at:(float_of_int i) (fun () -> incr count)
+  done;
+  Alcotest.(check int) "pending counts lanes" 500 (E.pending e);
+  ignore (E.run e);
+  Alcotest.(check int) "all fired" 500 !count;
+  Alcotest.(check int) "drained" 0 (E.pending e)
+
+let test_lane_disabled_fallback () =
+  (* With fast lanes disabled, lane_push degrades to heap scheduling —
+     and the observable order is unchanged. *)
+  let go () =
+    let e = E.create () in
+    let ln = E.lane e in
+    let log = ref [] in
+    let say v () = log := v :: !log in
+    ignore (E.schedule e ~at:1.0 (say "h1"));
+    E.lane_push ln ~at:1.0 (say "l1");
+    E.lane_push ln ~at:3.0 (say "l2");
+    ignore (E.schedule e ~at:2.0 (say "h2"));
+    ignore (E.run e);
+    List.rev !log
+  in
+  let with_lanes = go () in
+  E.set_fast_lanes false;
+  let without =
+    Fun.protect ~finally:(fun () -> E.set_fast_lanes true) go
+  in
+  Alcotest.(check (list string)) "same order" with_lanes without;
+  Alcotest.(check (list string))
+    "expected order" [ "h1"; "l1"; "h2"; "l2" ] with_lanes
+
+let test_lane_horizon () =
+  (* A horizon between lane events pauses and resumes cleanly. *)
+  let e = E.create () in
+  let ln = E.lane e in
+  let log = ref [] in
+  E.lane_push ln ~at:1.0 (fun () -> log := 1 :: !log);
+  E.lane_push ln ~at:10.0 (fun () -> log := 10 :: !log);
+  let r1 = E.run ~until:5.0 e in
+  Alcotest.(check bool) "horizon" true (r1 = E.Horizon_reached);
+  Alcotest.(check (list int)) "only first" [ 1 ] (List.rev !log);
+  let r2 = E.run e in
+  Alcotest.(check bool) "drained" true (r2 = E.Queue_empty);
+  Alcotest.(check (list int)) "both" [ 1; 10 ] (List.rev !log)
+
+let test_schedule_after_contract () =
+  (* schedule_after rejects negative and NaN delays loudly instead of
+     silently scheduling in the past. *)
+  let e = E.create () in
+  (match E.schedule_after e ~delay:(-1.0) (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument (negative delay)"
+  | exception Invalid_argument _ -> ());
+  (match E.schedule_after e ~delay:Float.nan (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument (NaN delay)"
+  | exception Invalid_argument _ -> ());
+  (* Zero delay is legal: fires at the current time. *)
+  let fired = ref false in
+  ignore (E.schedule_after e ~delay:0.0 (fun () -> fired := true));
+  ignore (E.run e);
+  Alcotest.(check bool) "zero delay fires" true !fired
+
 (* ------------------------- properties -------------------------- *)
 
 let prop_heap_sorts =
@@ -263,6 +387,20 @@ let () =
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "self-scheduling chain" `Quick test_engine_self_scheduling_chain;
           Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
+        ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "merge order" `Quick test_lane_merge_order;
+          Alcotest.test_case "two lanes merge" `Quick test_lane_two_lanes_merge;
+          Alcotest.test_case "fifo violation rejected" `Quick
+            test_lane_fifo_violation_rejected;
+          Alcotest.test_case "past rejected" `Quick test_lane_past_rejected;
+          Alcotest.test_case "ring growth" `Quick test_lane_ring_growth;
+          Alcotest.test_case "disabled fallback" `Quick
+            test_lane_disabled_fallback;
+          Alcotest.test_case "horizon" `Quick test_lane_horizon;
+          Alcotest.test_case "schedule_after contract" `Quick
+            test_schedule_after_contract;
         ] );
       ("properties", qsuite);
     ]
