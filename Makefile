@@ -1,21 +1,28 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all ci build test bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
+.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
 
 all: build
 
-# The full gate: build everything, run the test suites, take a fresh
-# bench record, and diff it against the previous one (fails on hot-path
-# regressions > 20% or fixed-seed telemetry drift; set
-# EBRC_COMPARE_WARN_ONLY=1 when a simulator change makes drift
-# intentional).
-ci: build test bench-quick bench-compare
+# The full gate: build everything, run the test suites (including the
+# all-ablations-off leg), take a fresh bench record, and diff it
+# against the previous one (fails on hot-path regressions > 20% or
+# fixed-seed telemetry drift; set EBRC_COMPARE_WARN_ONLY=1 when a
+# simulator change makes drift intentional).
+ci: build test test-ablations bench-quick bench-compare
 
 build:
 	dune build @all
 
 test:
 	dune runtest
+
+# The same suites with every ablatable fast path and the fault layer
+# disabled: lane merge off, geometric gap-skip off, fault injection
+# off. Guards the contract that each toggle is behaviour-preserving
+# (or, for EBRC_FAULTS, that disabling it reproduces fault-free runs).
+test-ablations:
+	EBRC_LANES=0 EBRC_GAP_SKIP=0 EBRC_FAULTS=0 dune runtest --force
 
 # Regenerate every paper figure (quick mode) plus the micro-benchmarks;
 # writes BENCH_<date>.json. Set EBRC_JOBS=N to size the domain pool.

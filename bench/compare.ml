@@ -325,7 +325,38 @@ let () =
               Printf.printf "  parallel sweep (figure %s): %.2fx\n\n" fig sp
           | _ -> ())
       | None -> ());
+      (* Faults ablation: the disabled arm must stay byte-identical to
+         the fault-free run — a [false] here means the injection layer
+         leaks into unfaulted simulations, which is fatal regardless of
+         timing. Absent in pre-faults records; skipped then. *)
+      let faults_broken =
+        match member "faults_ablation" new_json with
+        | Some fa -> (
+            (match
+               ( member "scenario_none_ms" fa,
+                 member "scenario_enabled_ms" fa )
+             with
+            | Some (Num none_ms), Some (Num live_ms) ->
+                Printf.printf
+                  "  faults ablation: fault-free %.1f ms, live %.1f ms\n"
+                  none_ms live_ms
+            | _ -> ());
+            match member "bit_identical" fa with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  faults ablation: disabled arm bit-identical to \
+                   fault-free\n\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  faults ablation: FAIL — EBRC_FAULTS=0 run is NOT \
+                   byte-identical to the fault-free run\n\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
       let failed = ref false in
+      if faults_broken then failed := true;
       (match List.rev !regressions with
       | [] -> print_endline "bench-compare: OK, no hot-path regression > 20%"
       | rs ->

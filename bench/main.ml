@@ -586,6 +586,70 @@ let measure_lanes_ab () =
     lanes_identical }
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection A/B: fault-free vs faults-disabled (must be byte-   *)
+(* identical) vs faults live (cost of a blackout schedule).            *)
+(* ------------------------------------------------------------------ *)
+
+type faults_ab = {
+  faults_none_ms : float;      (* config carries no faults *)
+  faults_disabled_ms : float;  (* faults configured, layer ablated *)
+  faults_enabled_ms : float;   (* faults configured and live *)
+  faults_identical : bool;     (* disabled run == fault-free run, bytes *)
+}
+
+let measure_faults_ab () =
+  let faulted =
+    {
+      Ebrc.Scenario.default_config with
+      n_tfrc = 2;
+      n_tcp = 2;
+      duration = 60.0;
+      warmup = 15.0;
+      seed = 71;
+      faults =
+        Some
+          { Ebrc.Fault.none with
+            Ebrc.Fault.blackouts =
+              [ { Ebrc.Fault.start = 20.0; length = 8.0; period = 30.0 } ] };
+    }
+  in
+  let clean = { faulted with Ebrc.Scenario.faults = None } in
+  let best_of reps cfg =
+    ignore (Ebrc.Scenario.run cfg);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Ebrc.Scenario.run cfg);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e3
+  in
+  let faults_none_ms = best_of 5 clean in
+  let none_bytes = Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run clean) in
+  let faults_enabled_ms = best_of 5 faulted in
+  Ebrc.Fault.set_enabled false;
+  let faults_disabled_ms, disabled_bytes =
+    Fun.protect
+      ~finally:(fun () -> Ebrc.Fault.set_enabled true)
+      (fun () ->
+        ( best_of 5 faulted,
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run faulted) ))
+  in
+  let faults_identical = String.equal none_bytes disabled_bytes in
+  Printf.printf
+    "#############################################################\n\
+     # Fault-injection A/B (blackout scenario, best of 5)\n\
+     #############################################################\n\n\
+    \  fault-free       %7.2f ms\n\
+    \  faults disabled  %7.2f ms (EBRC_FAULTS=0 arm)\n\
+    \  faults live      %7.2f ms (overhead %+.1f%%)\n\
+    \  disabled == fault-free bytes: %b\n\n"
+    faults_none_ms faults_disabled_ms faults_enabled_ms
+    (100.0 *. ((faults_enabled_ms /. faults_none_ms) -. 1.0))
+    faults_identical;
+  { faults_none_ms; faults_disabled_ms; faults_enabled_ms; faults_identical }
+
+(* ------------------------------------------------------------------ *)
 (* Geometric gap-skip A/B: one geometric draw per loss event vs one    *)
 (* uniform draw per packet.                                            *)
 (* ------------------------------------------------------------------ *)
@@ -787,7 +851,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-    ~gap ~cache ~sweep =
+    ~faults ~gap ~cache ~sweep =
   let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
@@ -882,6 +946,15 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
     (lanes.heap_red_ms /. lanes.lane_red_ms)
     lanes.lanes_identical;
   Printf.fprintf oc
+    "  \"faults_ablation\": {\n\
+    \    \"scenario_none_ms\": %.3f,\n\
+    \    \"scenario_disabled_ms\": %.3f,\n\
+    \    \"scenario_enabled_ms\": %.3f,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    faults.faults_none_ms faults.faults_disabled_ms faults.faults_enabled_ms
+    faults.faults_identical;
+  Printf.fprintf oc
     "  \"gap_skip_ablation\": {\n\
     \    \"gap_skip_ns_per_packet\": %.2f,\n\
     \    \"per_packet_ns_per_packet\": %.2f,\n\
@@ -932,10 +1005,11 @@ let () =
     let alloc = measure_alloc_ab () in
     let telem = measure_telemetry () in
     let lanes = measure_lanes_ab () in
+    let faults = measure_faults_ab () in
     let gap = measure_gap_skip () in
     let cache = measure_cache () in
     let sweep = measure_parallel_sweep () in
     write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-      ~gap ~cache ~sweep;
+      ~faults ~gap ~cache ~sweep;
     print_endline "\nbench: done."
   end

@@ -76,6 +76,76 @@ let no_cache_arg =
 
 let apply_cache no_cache = if no_cache then Ebrc.Result_cache.set_enabled false
 
+(* Watchdog budgets (opt-in): cap every Engine.run in the process.
+   Exceeding a budget raises Engine.Budget_exceeded — combine with
+   --keep-going to salvage the remaining figures. *)
+let budget_args =
+  let budget_conv what =
+    let parse s =
+      match float_of_string_opt (String.trim s) with
+      | Some b when b > 0.0 && Float.is_finite b -> Ok b
+      | Some _ -> Error (`Msg (what ^ " budget must be a positive float"))
+      | None -> Error (`Msg (Printf.sprintf "invalid %s budget %S" what s))
+    in
+    Arg.conv ~docv:"SECONDS" (parse, Format.pp_print_float)
+  in
+  let sim =
+    Arg.(
+      value
+      & opt (some (budget_conv "sim-time")) None
+      & info [ "sim-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Abort any single simulation that schedules past $(docv) \
+             simulated seconds (raises Budget_exceeded; see also \
+             EBRC_SIM_BUDGET).")
+  in
+  let wall =
+    Arg.(
+      value
+      & opt (some (budget_conv "wall-clock")) None
+      & info [ "wall-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Abort any single simulation that runs longer than $(docv) \
+             wall-clock seconds (raises Budget_exceeded; see also \
+             EBRC_WALL_BUDGET).")
+  in
+  Term.(const (fun sim wall -> (sim, wall)) $ sim $ wall)
+
+let apply_budgets (sim, wall) =
+  Option.iter (fun b -> Ebrc.Engine.set_sim_budget (Some b)) sim;
+  Option.iter (fun b -> Ebrc.Engine.set_wall_budget (Some b)) wall
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going"; "k" ]
+        ~doc:
+          "Do not abort on the first failing figure: render the survivors, \
+           print a structured failure summary, and exit non-zero.")
+
+let only_task_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "only-task" ] ~docv:"N"
+        ~doc:
+          "Replay only task $(docv) of crash-isolated sweeps (the index \
+           reported by a failed run); every other task is skipped. See \
+           also EBRC_ONLY_TASK.")
+
+let apply_only_task only =
+  Option.iter (fun n -> Ebrc.Pool.set_only_task (Some n)) only
+
+let print_failures (failures : Ebrc.Figures.failure list) =
+  List.iter
+    (fun (f : Ebrc.Figures.failure) ->
+      Printf.eprintf "ebrc: figure %s FAILED: %s\n" f.Ebrc.Figures.failed_id
+        f.Ebrc.Figures.message;
+      if f.Ebrc.Figures.backtrace <> "" then
+        prerr_string f.Ebrc.Figures.backtrace)
+    failures;
+  Printf.eprintf "ebrc: %d figure(s) failed\n%!" (List.length failures)
+
 let with_telemetry (jsonl, trace, summary) f =
   if jsonl = None && trace = None && not summary then f ()
   else begin
@@ -135,18 +205,44 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv jobs no_cache telem =
+  let run id full csv jobs no_cache keep_going only_task budgets telem =
     let quick = not full in
+    (* Unknown ids are a usage error: list the valid names and exit 2
+       rather than surfacing an exception. *)
+    if id <> "all" && not (List.mem id (Ebrc.Figures.ids ())) then begin
+      Printf.eprintf "ebrc: unknown figure id %S; valid ids are:\n  %s\n%!" id
+        (String.concat " " (Ebrc.Figures.ids () @ [ "all" ]));
+      exit 2
+    end;
     try
       apply_cache no_cache;
+      apply_budgets budgets;
+      apply_only_task only_task;
       with_telemetry telem @@ fun () ->
       let jobs = resolve_jobs jobs in
-      let tables =
-        if id = "all" then Ebrc.Figures.run_all ~jobs ~quick ()
-        else Ebrc.Figures.run_one ~jobs ~quick id
-      in
-      print_tables ?csv_dir:csv tables;
-      `Ok ()
+      if keep_going then begin
+        let tables, failures =
+          if id = "all" then Ebrc.Figures.run_all_keep_going ~jobs ~quick ()
+          else
+            match Ebrc.Figures.run_one_result ~jobs ~quick id with
+            | Ok tables -> (tables, [])
+            | Error f -> ([], [ f ])
+        in
+        print_tables ?csv_dir:csv tables;
+        if failures = [] then `Ok ()
+        else begin
+          print_failures failures;
+          exit 1
+        end
+      end
+      else begin
+        let tables =
+          if id = "all" then Ebrc.Figures.run_all ~jobs ~quick ()
+          else Ebrc.Figures.run_one ~jobs ~quick id
+        in
+        print_tables ?csv_dir:csv tables;
+        `Ok ()
+      end
     with Invalid_argument msg -> `Error (false, msg)
   in
   let info =
@@ -157,7 +253,7 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id $ full $ csv $ jobs_arg $ no_cache_arg
-       $ telemetry_args))
+       $ keep_going_arg $ only_task_arg $ budget_args $ telemetry_args))
 
 (* --- list --- *)
 
@@ -429,21 +525,29 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full jobs no_cache telem =
+  let run out ids full jobs no_cache keep_going budgets telem =
     apply_cache no_cache;
+    apply_budgets budgets;
     with_telemetry telem @@ fun () ->
     let options =
       { Ebrc.Report.ids; quick = not full;
         heading = "EBRC reproduction report";
-        jobs = Some (resolve_jobs jobs) }
+        jobs = Some (resolve_jobs jobs);
+        keep_going }
     in
-    Ebrc.Report.save ~options ~path:out ();
-    Printf.printf "report written to %s\n" out
+    let failures = Ebrc.Report.save_result ~options ~path:out () in
+    Printf.printf "report written to %s\n" out;
+    if failures <> [] then begin
+      print_failures failures;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate figures into a self-contained markdown report.")
-    Term.(const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ telemetry_args)
+    Term.(
+      const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ keep_going_arg
+      $ budget_args $ telemetry_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 

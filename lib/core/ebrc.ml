@@ -64,6 +64,7 @@ module Link = Ebrc_net.Link
 module Loss_module = Ebrc_net.Loss_module
 module Flow_stats = Ebrc_net.Flow_stats
 module Gap_sink = Ebrc_net.Gap_sink
+module Fault = Ebrc_net.Fault
 module Tcp_sender = Ebrc_tcp.Tcp_sender
 module Tcp_receiver = Ebrc_tcp.Tcp_receiver
 module Loss_history = Ebrc_tfrc.Loss_history

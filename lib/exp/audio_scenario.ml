@@ -13,6 +13,7 @@ module Loss_module = Ebrc_net.Loss_module
 module Loss_history = Ebrc_tfrc.Loss_history
 module Formula = Ebrc_formulas.Formula
 module Descriptive = Ebrc_stats.Descriptive
+module Fault = Ebrc_net.Fault
 
 type dropper_mode =
   | Packet_mode            (* drop independent of packet length (Claim 2) *)
@@ -29,6 +30,7 @@ type config = {
   warmup : float;
   one_way_delay : float;
   dropper_mode : dropper_mode;
+  faults : Fault.config option;  (* injected on the dropper channel *)
 }
 
 let default_config =
@@ -43,6 +45,7 @@ let default_config =
     warmup = 200.0;
     one_way_delay = 0.02;
     dropper_mode = Packet_mode;
+    faults = None;
   }
 
 type result = {
@@ -81,21 +84,40 @@ let run cfg =
   let rate_sum = ref 0.0 and rate_n = ref 0 in
   let thetahats = ref [] in
   let measuring () = Engine.now engine >= cfg.warmup in
+  (* The fault injector wraps the whole dropper channel (same PRNG
+     contract as Scenario: a Prng.stream of the seed, so fault-free
+     runs are untouched). There is no feedback path here — the source
+     reads its own history — so only forward faults apply. *)
+  let fault =
+    match cfg.faults with
+    | Some fc when Fault.enabled () ->
+        let inj =
+          Fault.create ~engine ~rng:(Prng.stream ~root:cfg.seed 9001) fc
+        in
+        if Fault.active inj then Some inj else None
+    | _ -> None
+  in
+  let channel pkt =
+    if Loss_module.process dropper pkt then
+      ignore
+        (Engine.schedule_after engine ~delay:cfg.one_way_delay (fun () ->
+             let before =
+               Loss_history.event_count (Audio_source.history source)
+             in
+             Audio_source.on_receiver_packet source ~seq:pkt.Ebrc_net.Packet.seq;
+             let hist = Audio_source.history source in
+             if measuring () && Loss_history.event_count hist > before then
+               thetahats := Loss_history.average_interval hist :: !thetahats))
+  in
+  let channel =
+    match fault with Some f -> Fault.wrap_forward f channel | None -> channel
+  in
   Audio_source.set_transmit source (fun pkt ->
       if measuring () then begin
         rate_sum := !rate_sum +. Audio_source.rate_units source;
         incr rate_n
       end;
-      if Loss_module.process dropper pkt then
-        ignore
-          (Engine.schedule_after engine ~delay:cfg.one_way_delay (fun () ->
-               let before =
-                 Loss_history.event_count (Audio_source.history source)
-               in
-               Audio_source.on_receiver_packet source ~seq:pkt.Ebrc_net.Packet.seq;
-               let hist = Audio_source.history source in
-               if measuring () && Loss_history.event_count hist > before then
-                 thetahats := Loss_history.average_interval hist :: !thetahats)));
+      channel pkt);
   (* Counters snapshotted at warmup for the empirical loss-event rate. *)
   let ivs_at_warmup = ref 0 in
   ignore (Engine.schedule engine ~at:cfg.warmup (fun () ->

@@ -19,6 +19,10 @@ type config = {
   warmup : float;
   one_way_delay : float;
   dropper_mode : dropper_mode;
+  faults : Ebrc_net.Fault.config option;
+      (** Deterministic forward-path fault injection on the dropper
+          channel (there is no feedback path to black out); see
+          {!Scenario.config}. *)
 }
 
 val default_config : config

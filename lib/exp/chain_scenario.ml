@@ -24,6 +24,7 @@ module Tfrc_receiver = Ebrc_tfrc.Tfrc_receiver
 module Loss_history = Ebrc_tfrc.Loss_history
 module Probe_source = Ebrc_sources.Probe_source
 module Formula = Ebrc_formulas.Formula
+module Fault = Ebrc_net.Fault
 
 type config = {
   seed : int;
@@ -40,6 +41,8 @@ type config = {
   duration : float;
   warmup : float;
   packet_size : int;
+  faults : Fault.config option; (* injected at the link-1 ingress and on
+                                   the TFRC feedback path *)
 }
 
 let default_config =
@@ -58,6 +61,7 @@ let default_config =
     duration = 120.0;
     warmup = 30.0;
     packet_size = 1000;
+    faults = None;
   }
 
 type class_measure = {
@@ -97,6 +101,27 @@ let run cfg =
   let rtt0 = base_rtt cfg in
   let formula = Formula.create ~rtt:rtt0 Formula.Pftk_standard in
   let reverse_delay () = (cfg.delay1 +. cfg.delay2) *. (0.9 +. (0.2 *. Prng.float_unit master)) in
+  (* Faults hit the first-hop ingress (the paper's lab topology put the
+     perturbed segment first) and the TFRC feedback path; same
+     stream-derived PRNG contract as Scenario. *)
+  let fault =
+    match cfg.faults with
+    | Some fc when Fault.enabled () ->
+        let inj =
+          Fault.create ~engine ~rng:(Prng.stream ~root:cfg.seed 9001) fc
+        in
+        if Fault.active inj then Some inj else None
+    | _ -> None
+  in
+  let send_link1 pkt = Link.send link1 pkt in
+  let forward =
+    match fault with
+    | Some f -> Fault.wrap_forward f send_link1
+    | None -> send_link1
+  in
+  let feedback_sink sink =
+    match fault with Some f -> Fault.wrap_feedback f sink | None -> sink
+  in
   (* TFRC flows 0..n_tfrc-1, TCP flows follow, cross flow last. *)
   let tfrc =
     Array.init cfg.n_tfrc (fun flow ->
@@ -108,11 +133,12 @@ let run cfg =
           Tfrc_receiver.create ~engine ~flow ~l:cfg.tfrc_l ~rtt:rtt0 ()
         in
         let rd = reverse_delay () in
-        Tfrc_sender.set_transmit ts (fun pkt -> Link.send link1 pkt);
-        Tfrc_receiver.set_feedback_sink tr (fun pkt ->
-            ignore
-              (Engine.schedule_after engine ~delay:rd (fun () ->
-                   Tfrc_sender.on_packet ts pkt)));
+        Tfrc_sender.set_transmit ts forward;
+        Tfrc_receiver.set_feedback_sink tr
+          (feedback_sink (fun pkt ->
+               ignore
+                 (Engine.schedule_after engine ~delay:rd (fun () ->
+                      Tfrc_sender.on_packet ts pkt))));
         (ts, tr))
   in
   let tcp =
@@ -121,7 +147,7 @@ let run cfg =
         let cs = Tcp_sender.create ~packet_size:cfg.packet_size ~engine ~flow () in
         let cr = Tcp_receiver.create ~engine ~flow () in
         let rd = reverse_delay () in
-        Tcp_sender.set_transmit cs (fun pkt -> Link.send link1 pkt);
+        Tcp_sender.set_transmit cs forward;
         Tcp_receiver.set_ack_sink cr (fun ~acked ~dup ~echo ->
             ignore
               (Engine.schedule_after engine ~delay:rd (fun () ->

@@ -19,6 +19,10 @@ type config = {
   duration : float;
   warmup : float;
   packet_size : int;
+  faults : Ebrc_net.Fault.config option;
+      (** Deterministic fault injection at the link-1 ingress (all
+          senders) and on the TFRC feedback path; see
+          {!Scenario.config}. *)
 }
 
 val default_config : config

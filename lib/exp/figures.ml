@@ -1573,6 +1573,108 @@ let ablation_loss_families ?(jobs = 1) ~quick () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Robust presets: the paper's qualitative claims when the control     *)
+(* loop degrades (the spirit of its lab/Internet experiments).         *)
+(* ------------------------------------------------------------------ *)
+
+(* One row of the faulted-vs-clean comparison the robust figures share:
+   TFRC throughput, pooled loss-event rate, conservativeness x/f(p,r),
+   nofeedback halvings, and the injector counts. *)
+let robust_row label (cfg : Scenario.config) (r : Scenario.result) =
+  let formula =
+    Formula.create ~rtt:(Scenario.base_rtt cfg) cfg.tfrc_formula_kind
+  in
+  let p = Scenario.pooled_loss_rate r.tfrc in
+  let x = Scenario.mean_throughput r.tfrc in
+  let rtt = Scenario.mean_rtt r.tfrc in
+  let norm =
+    if p <= 0.0 then nan
+    else x /. Formula.eval (Formula.with_rtt formula ~rtt) p
+  in
+  let fs i = string_of_int i in
+  let stat f = match r.fault_stats with None -> "-" | Some s -> fs (f s) in
+  [
+    label; cell ~decimals:1 x; cell ~decimals:4 p; cell ~decimals:3 norm;
+    fs r.tfrc_halvings;
+    stat (fun s -> s.Ebrc_net.Fault.transitions);
+    stat (fun s -> s.Ebrc_net.Fault.down_drops + s.Ebrc_net.Fault.parked);
+    stat (fun s -> s.Ebrc_net.Fault.blackout_drops);
+  ]
+
+let robust_header =
+  [ "variant"; "tfrc x (pps)"; "p"; "x/f(p,r)"; "halvings"; "flaps";
+    "down pkts"; "blackout drops" ]
+
+let robust_compare ~title ~note cfg =
+  let faulted = Result_cache.run cfg in
+  let clean = Result_cache.run { cfg with Scenario.faults = None } in
+  let t = Table.create ~title ~header:robust_header in
+  let t = Table.add_row t (robust_row "faulted" cfg faulted) in
+  let t = Table.add_row t (robust_row "fault-free" cfg clean) in
+  [ Table.add_note t note ]
+
+let robust_blackout ?jobs:_ ~quick:_ () =
+  robust_compare Scenario.robust_blackout_config
+    ~title:
+      "Robust: recurring one-way feedback blackouts (15 s every 50 s)"
+    ~note:
+      "RFC 3448 safety valve: with feedback gone for >> 4 RTTs the \
+       nofeedback timer halves the rate repeatedly (halvings > 0, vs 0 \
+       fault-free); TCP acks are not blacked out, isolating the TFRC \
+       mechanism"
+
+let robust_flaps ?jobs:_ ~quick:_ () =
+  robust_compare Scenario.robust_flaps_config
+    ~title:"Robust: random link up/down flaps (outages ~1.5 s, up ~8 s)"
+    ~note:
+      "through flap-driven loss bursts TFRC tracks the degraded loss \
+       process and stays at or below the formula rate (x/f(p,r) <= ~1, \
+       the paper's conservativeness under stress)"
+
+let robust_chaos ?jobs:_ ~quick:_ () =
+  let cfg = Scenario.robust_chaos_config in
+  (* Determinism demonstrated the hard way: two full runs (bypassing
+     the cache, which would make the equality trivial), compared on
+     their exact serialized bytes. *)
+  let r1 = Scenario.run cfg in
+  let r2 = Scenario.run cfg in
+  let identical =
+    String.equal
+      (Result_cache.serialize_result r1)
+      (Result_cache.serialize_result r2)
+  in
+  let t =
+    Table.create
+      ~title:
+        "Robust: chaos episodes (flaps+park, delay spikes, reordering, \
+         duplication, blackout)"
+      ~header:[ "metric"; "value" ]
+  in
+  let stat name f =
+    [ name;
+      (match r1.Scenario.fault_stats with
+      | None -> "-"
+      | Some s -> string_of_int (f s)) ]
+  in
+  let t = Table.add_row t (stat "flap transitions" (fun s -> s.Ebrc_net.Fault.transitions)) in
+  let t = Table.add_row t (stat "packets parked" (fun s -> s.Ebrc_net.Fault.parked)) in
+  let t = Table.add_row t (stat "delay-spiked" (fun s -> s.Ebrc_net.Fault.spiked)) in
+  let t = Table.add_row t (stat "reordered" (fun s -> s.Ebrc_net.Fault.reordered)) in
+  let t = Table.add_row t (stat "duplicated" (fun s -> s.Ebrc_net.Fault.duplicated)) in
+  let t = Table.add_row t (stat "blackout drops" (fun s -> s.Ebrc_net.Fault.blackout_drops)) in
+  let t =
+    Table.add_row t [ "nofeedback halvings"; string_of_int r1.tfrc_halvings ]
+  in
+  let t =
+    Table.add_row t
+      [ "rerun bit-identical"; (if identical then "yes" else "NO") ]
+  in
+  [ Table.add_note t
+      "every fault draw comes from Prng.stream of the scenario seed, so \
+       the schedule is bit-reproducible: two fresh runs serialize to the \
+       same bytes" ]
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1624,6 +1726,12 @@ let registry : (string * string * runner) list =
      ablation_rtt_heterogeneity);
     ("a13", "ablation: loss-process family sensitivity",
      ablation_loss_families);
+    ("r1", "robust: feedback blackouts drive nofeedback halvings",
+     robust_blackout);
+    ("r2", "robust: link flaps; TFRC stays conservative vs f",
+     robust_flaps);
+    ("r3", "robust: chaos episodes, bit-reproducible schedule",
+     robust_chaos);
   ]
 
 let find id =
@@ -1654,3 +1762,59 @@ let run_all ?jobs ~quick () =
   List.concat_map
     (fun (id, _, runner) -> run_runner ~id runner ?jobs ~quick ())
     registry
+
+(* ------------------------- keep-going mode ------------------------- *)
+
+type failure = { failed_id : string; message : string; backtrace : string }
+
+(* A Pool.Task_failed already names the replication that died; surface
+   that (plus the replay knob) instead of a bare exception string. *)
+let describe_exn = function
+  | Pool.Task_failed e ->
+      Printf.sprintf
+        "task #%d (seed %d, %d attempt%s) failed: %s — replay just this \
+         task with --only-task %d"
+        e.Pool.t_index e.Pool.t_seed e.Pool.t_attempts
+        (if e.Pool.t_attempts = 1 then "" else "s")
+        (Printexc.to_string e.Pool.t_exn)
+        e.Pool.t_index
+  | Ebrc_sim.Engine.Budget_exceeded { kind; budget; at; events } ->
+      let what, unit_ =
+        match kind with
+        | Ebrc_sim.Engine.Sim_time -> ("sim-time", "s of simulated time")
+        | Ebrc_sim.Engine.Wall_clock -> ("wall-clock", "s elapsed")
+      in
+      Printf.sprintf
+        "%s watchdog tripped: budget %g s, at %g %s after %d events"
+        what budget at unit_ events
+  | e -> Printexc.to_string e
+
+let run_runner_result ~id runner ?jobs ~quick () =
+  match run_runner ~id runner ?jobs ~quick () with
+  | tables -> Ok tables
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Error { failed_id = id; message = describe_exn e; backtrace }
+
+let run_one_result ?jobs ~quick id =
+  match find id with
+  | Some runner -> run_runner_result ~id runner ?jobs ~quick ()
+  | None ->
+      Error
+        {
+          failed_id = id;
+          message =
+            Printf.sprintf "unknown figure id %S; valid ids: %s" id
+              (String.concat " " (ids ()));
+          backtrace = "";
+        }
+
+let run_all_keep_going ?jobs ~quick () =
+  let tables = ref [] and failures = ref [] in
+  List.iter
+    (fun (id, _, runner) ->
+      match run_runner_result ~id runner ?jobs ~quick () with
+      | Ok ts -> tables := ts :: !tables
+      | Error f -> failures := f :: !failures)
+    registry;
+  (List.concat (List.rev !tables), List.rev !failures)

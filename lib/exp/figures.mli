@@ -11,7 +11,8 @@
 type runner = ?jobs:int -> quick:bool -> unit -> Table.t list
 
 val registry : (string * string * runner) list
-(** (figure id, description, runner). Ids: "1".."19", "t1", "c3", "c4". *)
+(** (figure id, description, runner). Ids: "1".."19", "t1", "c3",
+    "c4", "a1".."a13", "r1".."r3". *)
 
 val ids : unit -> string list
 val describe : unit -> (string * string) list
@@ -21,6 +22,33 @@ val run_one : ?jobs:int -> quick:bool -> string -> Table.t list
 (** Raises [Invalid_argument] on an unknown id. *)
 
 val run_all : ?jobs:int -> quick:bool -> unit -> Table.t list
+
+(** {2 Keep-going mode}
+
+    Crash-isolated variants for hardened orchestration: a failing
+    runner becomes a structured {!failure} (with [Pool.Task_failed]
+    errors rendered as a replayable task #/seed report) instead of
+    killing the whole generation. *)
+
+type failure = {
+  failed_id : string;
+  message : string;    (** human-readable cause, with replay hints *)
+  backtrace : string;  (** empty unless backtrace recording is on *)
+}
+
+val run_runner_result :
+  id:string -> runner -> ?jobs:int -> quick:bool -> unit ->
+  (Table.t list, failure) result
+
+val run_one_result :
+  ?jobs:int -> quick:bool -> string -> (Table.t list, failure) result
+(** Unknown ids become [Error] (listing the valid ids), not an
+    exception. *)
+
+val run_all_keep_going :
+  ?jobs:int -> quick:bool -> unit -> Table.t list * failure list
+(** Run the whole registry; surviving figures' tables in registry
+    order plus one {!failure} per runner that raised. *)
 
 (** Individual runners (exposed for tests and the bench harness). *)
 
@@ -59,3 +87,6 @@ val ablation_tcp_variant : runner
 val ablation_design_advisor : runner
 val ablation_rtt_heterogeneity : runner
 val ablation_loss_families : runner
+val robust_blackout : runner
+val robust_flaps : runner
+val robust_chaos : runner

@@ -76,6 +76,7 @@ type options = {
   quick : bool;
   heading : string;
   jobs : int option;          (* None = sequential *)
+  keep_going : bool;          (* failing figures become FAILED sections *)
 }
 
 let default_options =
@@ -84,9 +85,10 @@ let default_options =
     quick = true;
     heading = "EBRC reproduction report";
     jobs = None;
+    keep_going = false;
   }
 
-let generate ?(options = default_options) () =
+let generate_result ?(options = default_options) () =
   Tm.with_span ~cat:"report" "report:generate" @@ fun () ->
   if Tm.is_on () then Tm.Counter.incr m_reports;
   let buf = Buffer.create 8192 in
@@ -107,33 +109,62 @@ let generate ?(options = default_options) () =
             List.find_opt (fun (fid, _, _) -> fid = id) Figures.registry)
           ids
   in
+  let failures = ref [] in
   List.iter
-    (fun (id, desc, _runner) ->
+    (fun (id, desc, runner) ->
       Buffer.add_string buf (Printf.sprintf "## Figure %s — %s\n\n" id desc);
       let t0 = Unix.gettimeofday () in
-      (* Route through run_one so report runs get per-figure spans. *)
-      let tables =
-        Figures.run_one ?jobs:options.jobs ~quick:options.quick id
+      (* Route through the Figures entry points so report runs get
+         per-figure spans. In keep-going mode a raising runner renders
+         as a FAILED section and the rest of the report survives. *)
+      let outcome =
+        if options.keep_going then
+          Figures.run_runner_result ~id runner ?jobs:options.jobs
+            ~quick:options.quick ()
+        else
+          Ok (Figures.run_one ?jobs:options.jobs ~quick:options.quick id)
       in
-      List.iter
-        (fun t ->
-          let title, notes = title_and_notes t in
-          Buffer.add_string buf (Printf.sprintf "### %s\n\n" title);
-          Buffer.add_string buf (markdown_of_table t);
-          Buffer.add_char buf '\n';
+      (match outcome with
+      | Ok tables ->
           List.iter
-            (fun n -> Buffer.add_string buf (Printf.sprintf "> %s\n\n" n))
-            notes)
-        tables;
+            (fun t ->
+              let title, notes = title_and_notes t in
+              Buffer.add_string buf (Printf.sprintf "### %s\n\n" title);
+              Buffer.add_string buf (markdown_of_table t);
+              Buffer.add_char buf '\n';
+              List.iter
+                (fun n -> Buffer.add_string buf (Printf.sprintf "> %s\n\n" n))
+                notes)
+            tables
+      | Error (f : Figures.failure) ->
+          failures := f :: !failures;
+          Buffer.add_string buf
+            (Printf.sprintf "### **FAILED**\n\n> %s\n\n" f.Figures.message));
       Buffer.add_string buf
         (Printf.sprintf "_regenerated in %.1f s_\n\n"
            (Unix.gettimeofday () -. t0)))
     entries;
-  Buffer.contents buf
+  let failures = List.rev !failures in
+  (if failures <> [] then begin
+     Buffer.add_string buf "## Failure summary\n\n";
+     List.iter
+       (fun (f : Figures.failure) ->
+         Buffer.add_string buf
+           (Printf.sprintf "- figure %s: %s\n" f.Figures.failed_id
+              f.Figures.message))
+       failures;
+     Buffer.add_char buf '\n'
+   end);
+  (Buffer.contents buf, failures)
 
-let save ?options ~path () =
-  let doc = generate ?options () in
+let generate ?options () = fst (generate_result ?options ())
+
+let save_result ?options ~path () =
+  let doc, failures = generate_result ?options () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc doc)
+    (fun () -> output_string oc doc);
+  failures
+
+let save ?options ~path () = ignore (save_result ?options ~path ())

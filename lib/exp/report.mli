@@ -6,14 +6,29 @@ type options = {
   quick : bool;
   heading : string;
   jobs : int option;   (** Worker domains per runner; [None] = sequential. *)
+  keep_going : bool;
+      (** When true, a raising runner renders as a FAILED section (and a
+          trailing failure summary) instead of aborting the report. *)
 }
 
 val default_options : options
+(** [keep_going] defaults to false. *)
 
 val generate : ?options:options -> unit -> string
 (** Render the report as a markdown string. *)
 
+val generate_result :
+  ?options:options -> unit -> string * Figures.failure list
+(** Like {!generate} but also returns the structured failures collected
+    in keep-going mode (always empty when [keep_going] is false, since
+    the first failure raises). *)
+
 val save : ?options:options -> path:string -> unit -> unit
+
+val save_result :
+  ?options:options -> path:string -> unit -> Figures.failure list
+(** Write the report and return the keep-going failures so callers can
+    reflect them in the exit code. *)
 
 val markdown_of_table : Table.t -> string
 (** GitHub-flavoured markdown rendering of a single table. *)

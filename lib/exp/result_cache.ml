@@ -40,8 +40,13 @@ let m_bytes_written =
   Tm.Counter.make ~help:"scenario cache bytes written to disk"
     "cache.bytes_written"
 
-(* Bump whenever Scenario.run's observable behaviour changes. *)
-let code_version = "ebrc-scenario-v4"
+let m_store_errors =
+  Tm.Counter.make ~help:"scenario cache disk-store failures"
+    "cache.store_errors"
+
+(* Bump whenever Scenario.run's observable behaviour changes.
+   v5: result gains tfrc_halvings + fault_stats; key gains faults. *)
+let code_version = "ebrc-scenario-v5"
 
 let enabled_flag = ref (Sys.getenv_opt "EBRC_CACHE" <> Some "0")
 let set_enabled b = enabled_flag := b
@@ -57,6 +62,7 @@ type stats = {
   misses : int;
   stores : int;
   corrupt : int;
+  store_errors : int;
 }
 
 let lock = Mutex.create ()
@@ -66,6 +72,8 @@ let s_disk_hits = ref 0
 let s_misses = ref 0
 let s_stores = ref 0
 let s_corrupt = ref 0
+let s_store_errors = ref 0
+let store_warned = ref false
 
 let locked f =
   Mutex.lock lock;
@@ -81,6 +89,7 @@ let stats () =
         misses = !s_misses;
         stores = !s_stores;
         corrupt = !s_corrupt;
+        store_errors = !s_store_errors;
       })
 
 let reset_stats () =
@@ -89,7 +98,9 @@ let reset_stats () =
       s_disk_hits := 0;
       s_misses := 0;
       s_stores := 0;
-      s_corrupt := 0)
+      s_corrupt := 0;
+      s_store_errors := 0;
+      store_warned := false)
 
 (* ------------------------- canonical key -------------------------- *)
 
@@ -109,15 +120,55 @@ let formula_key (k : Ebrc_formulas.Formula.kind) =
   | Pftk_simplified -> "pftk-simple"
   | Aimd { alpha; beta } -> Printf.sprintf "aimd:%h:%h" alpha beta
 
+module Fault = Ebrc_net.Fault
+
+let window_key (w : Fault.window) =
+  Printf.sprintf "%h:%h:%h" w.Fault.start w.length w.period
+
+let fault_config_key (fc : Fault.config) =
+  let flaps =
+    match fc.Fault.flaps with
+    | None -> "-"
+    | Some f ->
+        Printf.sprintf "%h:%h:%h:%h:%b" f.Fault.first_down f.down_mean
+          f.up_mean f.flap_jitter f.park
+  in
+  let blackouts = String.concat "," (List.map window_key fc.blackouts) in
+  let spike =
+    match fc.spike with
+    | None -> "-"
+    | Some (w, d) -> Printf.sprintf "%s:%h" (window_key w) d
+  in
+  let reorder =
+    match fc.reorder with
+    | None -> "-"
+    | Some (w, p, h) -> Printf.sprintf "%s:%h:%h" (window_key w) p h
+  in
+  let duplicate =
+    match fc.duplicate with
+    | None -> "-"
+    | Some (w, p) -> Printf.sprintf "%s:%h" (window_key w) p
+  in
+  Printf.sprintf "flaps=%s,bo=%s,spike=%s,re=%s,dup=%s" flaps blackouts spike
+    reorder duplicate
+
+(* The key renders the EFFECTIVE fault config: with the layer disabled
+   (EBRC_FAULTS=0) a faulted config keys — and therefore caches —
+   identically to a fault-free one, matching what Scenario.run does. *)
+let effective_faults (cfg : Scenario.config) =
+  match cfg.Scenario.faults with
+  | Some fc when Fault.enabled () -> fault_config_key fc
+  | _ -> "none"
+
 let canonical_key (cfg : Scenario.config) =
   Printf.sprintf
-    "%s;seed=%d;bps=%h;owd=%h;queue=%s;pkt=%d;ntfrc=%d;ntcp=%d;probe=%b;l=%d;formula=%s;compr=%b;conform=%b;jitter=%h;dur=%h;warm=%h"
+    "%s;seed=%d;bps=%h;owd=%h;queue=%s;pkt=%d;ntfrc=%d;ntcp=%d;probe=%b;l=%d;formula=%s;compr=%b;conform=%b;jitter=%h;dur=%h;warm=%h;faults=%s"
     code_version cfg.Scenario.seed cfg.bottleneck_bps cfg.one_way_delay
     (queue_key cfg.queue) cfg.packet_size cfg.n_tfrc cfg.n_tcp cfg.with_probe
     cfg.tfrc_l
     (formula_key cfg.tfrc_formula_kind)
     cfg.tfrc_comprehensive cfg.tfrc_conform_to_analysis cfg.reverse_jitter
-    cfg.duration cfg.warmup
+    cfg.duration cfg.warmup (effective_faults cfg)
 
 let digest_of_config cfg = Digest.to_hex (Digest.string (canonical_key cfg))
 
@@ -190,6 +241,16 @@ let serialize_result (r : Scenario.result) =
   Buffer.add_string buf (Printf.sprintf ",\"queue_drops\":%d," r.queue_drops);
   Buffer.add_string buf "\"sim_time\":";
   add_float buf r.sim_time;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"tfrc_halvings\":%d,\"fault_stats\":" r.tfrc_halvings);
+  (match r.fault_stats with
+  | None -> Buffer.add_string buf "null"
+  | Some (s : Fault.stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"transitions\":%d,\"down_drops\":%d,\"parked\":%d,\"spiked\":%d,\"reordered\":%d,\"duplicated\":%d,\"blackout_drops\":%d}"
+           s.Fault.transitions s.down_drops s.parked s.spiked s.reordered
+           s.duplicated s.blackout_drops));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -374,6 +435,21 @@ let result_of_record ~key (s : string) : Scenario.result =
     link_utilization = as_float (member "link_utilization" r);
     queue_drops = as_int (member "queue_drops" r);
     sim_time = as_float (member "sim_time" r);
+    tfrc_halvings = as_int (member "tfrc_halvings" r);
+    fault_stats =
+      (match member "fault_stats" r with
+      | Null -> None
+      | fs ->
+          Some
+            {
+              Fault.transitions = as_int (member "transitions" fs);
+              down_drops = as_int (member "down_drops" fs);
+              parked = as_int (member "parked" fs);
+              spiked = as_int (member "spiked" fs);
+              reordered = as_int (member "reordered" fs);
+              duplicated = as_int (member "duplicated" fs);
+              blackout_drops = as_int (member "blackout_drops" fs);
+            });
   }
 
 (* --------------------------- disk store --------------------------- *)
@@ -421,10 +497,22 @@ let disk_store ~dir ~key digest r =
         Tm.Counter.incr m_stores;
         Tm.Counter.add m_bytes_written n
       end
-  | exception _ ->
-      (* A read-only or vanished cache directory must never fail the
-         experiment — the result is still returned from memory. *)
-      ()
+  | exception e ->
+      (* A read-only or vanished cache directory (or a full disk) must
+         never fail the experiment — the result is still returned from
+         memory. Count the failure and warn once per process so the
+         silent-degradation mode is at least visible. *)
+      locked (fun () ->
+          incr s_store_errors;
+          if not !store_warned then begin
+            store_warned := true;
+            Printf.eprintf
+              "ebrc: warning: scenario cache store to %s failed (%s); \
+               continuing with the in-memory cache only\n\
+               %!"
+              dir (Printexc.to_string e)
+          end);
+      if Tm.is_on () then Tm.Counter.incr m_store_errors
 
 (* ------------------------------ run ------------------------------- *)
 

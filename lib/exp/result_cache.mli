@@ -44,6 +44,11 @@ type stats = {
   misses : int;      (** full simulation runs *)
   stores : int;      (** disk records written *)
   corrupt : int;     (** unreadable/mismatched disk records ignored *)
+  store_errors : int;
+      (** failed disk writes (unwritable [EBRC_CACHE_DIR], full disk):
+          warned once per process, counted per failure
+          ([cache.store_errors]); the run falls back to the in-memory
+          memo instead of raising mid-figure. *)
 }
 
 val stats : unit -> stats

@@ -19,6 +19,7 @@ module Link = Ebrc_net.Link
 module Queue_discipline = Ebrc_net.Queue_discipline
 module Gap_sink = Ebrc_net.Gap_sink
 module Flow_stats = Ebrc_net.Flow_stats
+module Fault = Ebrc_net.Fault
 module Tcp_sender = Ebrc_tcp.Tcp_sender
 module Tcp_receiver = Ebrc_tcp.Tcp_receiver
 module Tfrc_sender = Ebrc_tfrc.Tfrc_sender
@@ -49,6 +50,8 @@ type config = {
                                      factor drawn from 1 +/- jitter *)
   duration : float;               (* simulated seconds *)
   warmup : float;                 (* measurement start *)
+  faults : Fault.config option;   (* deterministic fault injection on the
+                                     forward path + TFRC feedback path *)
 }
 
 let default_config =
@@ -68,6 +71,7 @@ let default_config =
     reverse_jitter = 0.1;
     duration = 300.0;
     warmup = 50.0;
+    faults = None;
   }
 
 type flow_measure = {
@@ -86,6 +90,8 @@ type result = {
   link_utilization : float;
   queue_drops : int;
   sim_time : float;
+  tfrc_halvings : int;           (* nofeedback-timer halvings, all senders *)
+  fault_stats : Fault.stats option;  (* None when no injector was active *)
 }
 
 (* Mean base RTT, before queueing. *)
@@ -159,6 +165,27 @@ let run cfg =
     let j = cfg.reverse_jitter in
     cfg.one_way_delay *. (1.0 -. j +. (2.0 *. j *. Prng.float_unit master))
   in
+  (* Fault injector. Its PRNG is a pure function of the scenario seed
+     (Prng.stream, not a split of [master]), so configuring faults
+     never perturbs the master draw sequence — and with faults absent
+     or globally disabled (EBRC_FAULTS=0) the run is bit-identical to
+     a fault-free one. *)
+  let fault =
+    match cfg.faults with
+    | Some fc when Fault.enabled () ->
+        let inj =
+          Fault.create ~engine ~rng:(Prng.stream ~root:cfg.seed 9001) fc
+        in
+        if Fault.active inj then Some inj else None
+    | _ -> None
+  in
+  let send_link pkt = Link.send link pkt in
+  let forward =
+    match fault with Some f -> Fault.wrap_forward f send_link | None -> send_link
+  in
+  let feedback_sink sink =
+    match fault with Some f -> Fault.wrap_feedback f sink | None -> sink
+  in
   (* --- TFRC flows: ids 0 .. n_tfrc-1 --- *)
   let tfrc_flows =
     Array.init cfg.n_tfrc (fun i ->
@@ -173,15 +200,17 @@ let run cfg =
             ~flow ~l:cfg.tfrc_l ~rtt:rtt0 ()
         in
         let rd = reverse_delay () in
-        Tfrc_sender.set_transmit ts (fun pkt -> Link.send link pkt);
+        Tfrc_sender.set_transmit ts forward;
         (* Feedback is emitted in time order and delayed by the
            per-flow constant [rd], so the reverse path is FIFO and can
-           ride a fast lane instead of the heap. *)
+           ride a fast lane instead of the heap. A blackout filter
+           composes with that proof: it only removes pushes. *)
         let fb_lane = Engine.lane engine in
-        Tfrc_receiver.set_feedback_sink tr (fun pkt ->
-            Engine.lane_push fb_lane
-              ~at:(Engine.now engine +. rd)
-              (fun () -> Tfrc_sender.on_packet ts pkt));
+        Tfrc_receiver.set_feedback_sink tr
+          (feedback_sink (fun pkt ->
+               Engine.lane_push fb_lane
+                 ~at:(Engine.now engine +. rd)
+                 (fun () -> Tfrc_sender.on_packet ts pkt)));
         {
           ts;
           tr;
@@ -200,7 +229,11 @@ let run cfg =
         in
         let cr = Tcp_receiver.create ~engine ~flow () in
         let rd = reverse_delay () in
-        Tcp_sender.set_transmit cs (fun pkt -> Link.send link pkt);
+        (* Forward-path faults (flaps, spikes, reordering, duplication)
+           hit all traffic classes; blackouts are one-way and
+           TFRC-feedback-only, so TCP acks stay clean — the contrast
+           isolates the nofeedback-timer mechanism. *)
+        Tcp_sender.set_transmit cs forward;
         (* Acks are generated at delivery times (monotone) and delayed
            by the per-flow constant [rd] — FIFO, same as feedback. *)
         let ack_lane = Engine.lane engine in
@@ -231,7 +264,7 @@ let run cfg =
           ()
       in
       let sink = Gap_sink.create ~flow:probe_flow ~rtt_hint:rtt0 in
-      Probe_source.set_transmit src (fun pkt -> Link.send link pkt);
+      Probe_source.set_transmit src forward;
       Some (src, sink)
     end
   in
@@ -360,6 +393,11 @@ let run cfg =
       /. (cfg.bottleneck_bps *. window);
     queue_drops = Queue_discipline.drops queue - drops_at_warmup;
     sim_time = Engine.now engine;
+    tfrc_halvings =
+      Array.fold_left
+        (fun acc fl -> acc + Tfrc_sender.rate_halvings fl.ts)
+        0 tfrc_flows;
+    fault_stats = Option.map Fault.stats fault;
   }
 
 (* Aggregate helpers used by the figure runners. *)
@@ -386,3 +424,104 @@ let pooled_loss_rate ms =
       total := !total +. Array.fold_left ( +. ) 0.0 m.loss_intervals)
     ms;
   if !count = 0 then 0.0 else float_of_int !count /. !total
+
+(* ------------------------- robust presets -------------------------- *)
+
+(* Stress scenarios for the paper's qualitative claims outside the
+   clean closed-form world (the lab/Internet experiments of Sections
+   6-7): the control loop degrades, and TFRC's safety mechanisms — the
+   nofeedback timer, the conservative formula response to loss bursts
+   — keep it conservative rather than letting it overshoot. *)
+
+(* Recurring 15 s one-way feedback blackouts. With feedback gone for
+   >> 4 RTTs, the RFC 3448 nofeedback timer must fire repeatedly
+   (halving the rate each time) — the regression pinned by test_fault. *)
+let robust_blackout_config =
+  {
+    default_config with
+    seed = 71;
+    n_tfrc = 2;
+    n_tcp = 2;
+    with_probe = false;
+    duration = 160.0;
+    warmup = 30.0;
+    faults =
+      Some
+        {
+          Fault.none with
+          Fault.blackouts =
+            [ { Fault.start = 60.0; length = 15.0; period = 50.0 } ];
+        };
+  }
+
+(* Random link up/down flaps (outages ~1.5 s, up-times ~8 s): loss
+   bursts and dead air on the forward path. TFRC should track the
+   degraded loss process and stay at or below the formula rate f(p). *)
+let robust_flaps_config =
+  {
+    default_config with
+    seed = 72;
+    n_tfrc = 2;
+    n_tcp = 2;
+    with_probe = false;
+    duration = 160.0;
+    warmup = 30.0;
+    faults =
+      Some
+        {
+          Fault.none with
+          Fault.flaps =
+            Some
+              { Fault.first_down = 50.0; down_mean = 1.5; up_mean = 8.0;
+                flap_jitter = 0.4; park = false };
+        };
+  }
+
+(* Everything at once — parked-packet flaps, delay spikes, reordering,
+   duplication, a one-shot blackout — the determinism workout: the
+   whole schedule must be a pure function of the seed. *)
+let robust_chaos_config =
+  {
+    default_config with
+    seed = 73;
+    n_tfrc = 2;
+    n_tcp = 2;
+    with_probe = true;
+    duration = 120.0;
+    warmup = 30.0;
+    faults =
+      Some
+        {
+          Fault.flaps =
+            Some
+              { Fault.first_down = 40.0; down_mean = 0.5; up_mean = 6.0;
+                flap_jitter = 0.3; park = true };
+          blackouts = [ { Fault.start = 70.0; length = 5.0; period = 0.0 } ];
+          spike =
+            Some ({ Fault.start = 50.0; length = 10.0; period = 40.0 }, 0.03);
+          reorder =
+            Some
+              ({ Fault.start = 45.0; length = 10.0; period = 35.0 }, 0.2,
+               0.005);
+          duplicate =
+            Some ({ Fault.start = 55.0; length = 10.0; period = 45.0 }, 0.1);
+        };
+  }
+
+let robust_presets =
+  [
+    ("robust-blackout",
+     "recurring one-way feedback blackouts; nofeedback halvings fire",
+     robust_blackout_config);
+    ("robust-flaps",
+     "random link up/down flaps; TFRC stays conservative vs f(p)",
+     robust_flaps_config);
+    ("robust-chaos",
+     "flaps + delay spikes + reordering + duplication + blackout",
+     robust_chaos_config);
+  ]
+
+let robust_preset name =
+  List.find_map
+    (fun (n, _, cfg) -> if String.equal n name then Some cfg else None)
+    robust_presets

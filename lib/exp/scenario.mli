@@ -32,6 +32,14 @@ type config = {
           r′/r sub-condition under heterogeneous RTTs. *)
   duration : float;
   warmup : float;
+  faults : Ebrc_net.Fault.config option;
+      (** Deterministic fault injection (link flaps, delay spikes,
+          reordering, duplication on the forward path; one-way
+          blackouts on the TFRC feedback path). The injector draws
+          from [Prng.stream ~root:seed], so it never perturbs the
+          master sequence: a run with [faults = None] — or with the
+          layer disabled via [EBRC_FAULTS=0] — is bit-identical to a
+          fault-free run. *)
 }
 
 val default_config : config
@@ -54,6 +62,11 @@ type result = {
   link_utilization : float;
   queue_drops : int;
   sim_time : float;
+  tfrc_halvings : int;
+      (** RFC 3448 nofeedback-timer halvings summed over TFRC senders
+          (whole run, not just the measurement window). *)
+  fault_stats : Ebrc_net.Fault.stats option;
+      (** Injector counts; [None] when no injector was active. *)
 }
 
 val run : config -> result
@@ -71,3 +84,27 @@ val pooled_pairs : flow_measure array -> (float * float) array
 val pooled_loss_rate : flow_measure array -> float
 (** Loss-event rate over the union of all flows' completed intervals —
     stabler than averaging per-flow rates. *)
+
+(** {2 Robust presets}
+
+    Stress configs for the paper's qualitative claims when the control
+    loop degrades (the spirit of its lab/Internet experiments). *)
+
+val robust_blackout_config : config
+(** Recurring one-way feedback blackouts; the nofeedback timer must
+    fire (> 0 halvings) while TCP, whose acks are not blacked out,
+    keeps flowing. *)
+
+val robust_flaps_config : config
+(** Random link up/down flaps (drop mode); TFRC stays conservative
+    vs. the formula rate through the loss bursts. *)
+
+val robust_chaos_config : config
+(** Flaps (park mode) + delay spikes + reordering + duplication + a
+    one-shot blackout — the determinism workout. *)
+
+val robust_presets : (string * string * config) list
+(** [(name, description, config)]; names are ["robust-blackout"],
+    ["robust-flaps"], ["robust-chaos"]. *)
+
+val robust_preset : string -> config option

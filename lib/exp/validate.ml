@@ -359,11 +359,18 @@ type outcome = { check : check; passed : bool; evidence : string;
 
 (* Each check is a self-contained experiment with its own seeds, so the
    grid parallelises cleanly; only the wall-clock [seconds] column
-   depends on [jobs]. *)
+   depends on [jobs]. A check that raises (budget exceeded, crashed
+   substrate, ...) is recorded as FAIL with the exception as evidence
+   instead of killing the whole validation run. *)
 let run_all ?(quick = true) ?(jobs = 1) () =
   let one check =
     let t0 = Unix.gettimeofday () in
-    let passed, evidence = check.run ~quick in
+    let passed, evidence =
+      match check.run ~quick with
+      | outcome -> outcome
+      | exception e ->
+          (false, Printf.sprintf "raised %s" (Printexc.to_string e))
+    in
     { check; passed; evidence; seconds = Unix.gettimeofday () -. t0 }
   in
   if jobs <= 1 then List.map one checks

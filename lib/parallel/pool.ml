@@ -181,38 +181,121 @@ let run t ~length run_chunk =
     end
   end
 
-let map t f xs =
+(* ----------------------- crash isolation --------------------------- *)
+
+type task_error = {
+  t_index : int;
+  t_seed : int;
+  t_attempts : int;
+  t_exn : exn;
+  t_backtrace : Printexc.raw_backtrace;
+}
+
+exception Task_failed of task_error
+exception Task_skipped
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed e ->
+        Some
+          (Printf.sprintf
+             "Pool.Task_failed (task #%d, seed %d, attempt %d): %s" e.t_index
+             e.t_seed e.t_attempts (Printexc.to_string e.t_exn))
+    | Task_skipped -> Some "Pool.Task_skipped (only-task filter)"
+    | _ -> None)
+
+let m_task_failures =
+  Tm.Counter.make ~help:"tasks whose final attempt raised" "pool.task_failures"
+
+let m_task_retries =
+  Tm.Counter.make ~help:"task attempts retried after a failure"
+    "pool.task_retries"
+
+let only_task_ref =
+  ref
+    (match Sys.getenv_opt "EBRC_ONLY_TASK" with
+    | Some s -> int_of_string_opt (String.trim s)
+    | None -> None)
+
+let set_only_task o = only_task_ref := o
+let only_task () = !only_task_ref
+
+let try_init_gen ~honor_only ?(retries = 0) ?seed_of t n f =
   check_open t;
-  let n = Array.length xs in
+  if n < 0 then invalid_arg "Pool.try_init: negative length";
+  if retries < 0 then invalid_arg "Pool.try_init: negative retries";
+  let seed_of = match seed_of with Some g -> g | None -> fun i -> i in
+  let only = if honor_only then !only_task_ref else None in
   if n = 0 then [||]
   else begin
-    (* Seed the result array with the (real) first result rather than a
-       dummy so ['b] needs no placeholder; slots 1.. are then filled in
-       parallel, each at its own index. *)
-    let first = f xs.(0) in
-    let results = Array.make n first in
-    run t ~length:(n - 1) (fun lo hi ->
+    let nowhere = Printexc.get_callstack 0 in
+    let placeholder =
+      Error
+        { t_index = -1; t_seed = 0; t_attempts = 0; t_exn = Task_skipped;
+          t_backtrace = nowhere }
+    in
+    let results = Array.make n placeholder in
+    (* [one] never raises, so a crashing task can neither abort its
+       chunk-mates nor poison the job: every sibling still runs and
+       publishes its own Ok/Error slot. *)
+    let one i =
+      match only with
+      | Some k when k <> i ->
+          Error
+            { t_index = i; t_seed = seed_of i; t_attempts = 0;
+              t_exn = Task_skipped; t_backtrace = nowhere }
+      | _ ->
+          let rec attempt a =
+            match f ~attempt:a i with
+            | v -> Ok v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                if a < retries then begin
+                  if Tm.is_on () then Tm.Counter.incr m_task_retries;
+                  attempt (a + 1)
+                end
+                else begin
+                  if Tm.is_on () then Tm.Counter.incr m_task_failures;
+                  Error
+                    { t_index = i; t_seed = seed_of i; t_attempts = a + 1;
+                      t_exn = e; t_backtrace = bt }
+                end
+          in
+          attempt 0
+    in
+    run t ~length:n (fun lo hi ->
         for i = lo to hi - 1 do
-          results.(i + 1) <- f xs.(i + 1)
+          results.(i) <- one i
         done);
     results
   end
+
+let try_init ?retries ?seed_of t n f =
+  try_init_gen ~honor_only:true ?retries ?seed_of t n f
+
+(* Lowest failing index, so the raised error is deterministic (the old
+   first-failure-wins atomic depended on the chunk schedule). *)
+let lowest_error results =
+  let err = ref None in
+  for i = Array.length results - 1 downto 0 do
+    match results.(i) with Error e -> err := Some e | Ok _ -> ()
+  done;
+  !err
+
+let reap results =
+  match lowest_error results with
+  | Some e -> raise (Task_failed e)
+  | None -> Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let map t f xs =
+  let n = Array.length xs in
+  reap (try_init_gen ~honor_only:false t n (fun ~attempt:_ i -> f xs.(i)))
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
 let init t n f =
-  check_open t;
   if n < 0 then invalid_arg "Pool.init: negative length";
-  if n = 0 then [||]
-  else begin
-    let first = f 0 in
-    let results = Array.make n first in
-    run t ~length:(n - 1) (fun lo hi ->
-        for i = lo to hi - 1 do
-          results.(i + 1) <- f (i + 1)
-        done);
-    results
-  end
+  reap (try_init_gen ~honor_only:false t n (fun ~attempt:_ i -> f i))
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -27,16 +27,62 @@ val default_jobs : unit -> int
 (** The [EBRC_JOBS] environment variable if set to a positive integer,
     else [Domain.recommended_domain_count ()]. *)
 
+(** {2 Crash isolation}
+
+    Every task runs under a per-task exception barrier: a crashing
+    task never aborts its chunk-mates, and all sibling results are
+    preserved. {!try_init} exposes the per-task [result]s directly;
+    [map]/[init] are built on it and raise {!Task_failed} carrying the
+    lowest failing index (deterministic, unlike a first-observed
+    race), its seed, and the original exception + backtrace — enough
+    to replay exactly one task with {!set_only_task} /
+    [--only-task]. *)
+
+type task_error = {
+  t_index : int;       (** task index within the job *)
+  t_seed : int;        (** [seed_of t_index]; the index itself by default *)
+  t_attempts : int;    (** attempts made, including the failing one *)
+  t_exn : exn;         (** the original exception *)
+  t_backtrace : Printexc.raw_backtrace;
+}
+
+exception Task_failed of task_error
+
+exception Task_skipped
+(** The [t_exn] of tasks filtered out by {!set_only_task}. *)
+
+val try_init :
+  ?retries:int -> ?seed_of:(int -> int) -> t -> int ->
+  (attempt:int -> int -> 'a) -> ('a, task_error) result array
+(** Crash-isolated parallel [Array.init]: task [i] yields [Ok] of its
+    value or [Error] describing its final failure; siblings always run
+    to completion. [retries] (default 0) re-runs a failing task up to
+    that many extra times, passing the attempt number (0-based) so the
+    task can derive a fresh PRNG sub-stream per attempt, e.g.
+    [Prng.stream ~root (seed_of i + attempt)]. [seed_of] (default
+    [Fun.id]) records each task's seed in its [task_error] so a crash
+    report identifies the replication. Honors {!set_only_task}:
+    filtered tasks return [Error] with [t_exn = Task_skipped]. *)
+
+val set_only_task : int option -> unit
+(** Replay filter for {!try_init} (env default: [EBRC_ONLY_TASK]):
+    when set, only the matching task index actually runs — the knob
+    that makes a [Task_failed] report replayable in isolation. Ignored
+    by [map]/[init]. *)
+
+val only_task : unit -> int option
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving parallel [Array.map]. If any task raises, the
-    first exception observed is re-raised in the caller once in-flight
-    chunks have drained; the pool remains usable. *)
+(** Order-preserving parallel [Array.map]. Tasks are crash-isolated:
+    if any raise, the whole job still drains, then {!Task_failed} for
+    the lowest failing index is raised in the caller; the pool remains
+    usable. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map]. *)
 
 val init : t -> int -> (int -> 'a) -> 'a array
-(** Parallel [Array.init]. *)
+(** Parallel [Array.init], same failure contract as {!map}. *)
 
 val shutdown : t -> unit
 (** Join all workers. Idempotent; using the pool afterwards raises

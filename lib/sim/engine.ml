@@ -281,7 +281,64 @@ exception Stop
 
 let stop _t = raise Stop
 
-let run ?(until = infinity) ?(max_events = max_int) t =
+(* --------------------------- watchdogs ----------------------------- *)
+
+type budget_kind = Sim_time | Wall_clock
+
+exception
+  Budget_exceeded of {
+    kind : budget_kind;
+    budget : float;
+    at : float;
+    events : int;
+  }
+
+let parse_budget var =
+  match Sys.getenv_opt var with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some b when b > 0.0 && Float.is_finite b -> Some b
+      | _ -> None)
+
+(* Process-wide defaults, applied when [run] is not given an explicit
+   budget. Orchestration guards, not simulation parameters: a run that
+   stays within budget is bit-identical to an unbudgeted one, which is
+   why budgets are deliberately absent from the result-cache key. *)
+let default_sim_budget = ref (parse_budget "EBRC_SIM_BUDGET")
+let default_wall_budget = ref (parse_budget "EBRC_WALL_BUDGET")
+
+let check_budget what = function
+  | Some b when not (b > 0.0 && Float.is_finite b) ->
+      invalid_arg (Printf.sprintf "Engine: %s budget must be > 0" what)
+  | _ -> ()
+
+let set_sim_budget b =
+  check_budget "sim-time" b;
+  default_sim_budget := b
+
+let set_wall_budget b =
+  check_budget "wall-clock" b;
+  default_wall_budget := b
+
+let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
+    =
+  check_budget "sim-time" sim_budget;
+  check_budget "wall-clock" wall_budget;
+  let sim_budget =
+    match sim_budget with Some _ -> sim_budget | None -> !default_sim_budget
+  in
+  let wall_budget =
+    match wall_budget with Some _ -> wall_budget | None -> !default_wall_budget
+  in
+  (* Budgets resolve to a deadline once at entry; the per-event cost
+     with watchdogs off is one float compare and one option match. *)
+  let sim_deadline =
+    match sim_budget with Some b -> t.now +. b | None -> infinity
+  in
+  let wall_t0 =
+    match wall_budget with Some _ -> Tm.wall_now () | None -> 0.0
+  in
   t.horizon <- until;
   let reason = ref Queue_empty in
   (try
@@ -299,6 +356,23 @@ let run ?(until = infinity) ?(max_events = max_int) t =
              let ln = t.lanes.(src - 1) in
              ln.l_times.(ln.l_head)
          in
+         if time > sim_deadline then
+           (* [t.now] stays at the last fired event: the engine (and the
+              caller's per-flow measures) remain queryable, so partial
+              statistics can be salvaged by the handler. *)
+           raise
+             (Budget_exceeded
+                { kind = Sim_time; budget = Option.get sim_budget; at = time;
+                  events = t.processed });
+         (match wall_budget with
+          | Some b when t.processed land 1023 = 0 ->
+              let elapsed = Tm.wall_now () -. wall_t0 in
+              if elapsed > b then
+                raise
+                  (Budget_exceeded
+                     { kind = Wall_clock; budget = b; at = elapsed;
+                       events = t.processed })
+          | _ -> ());
          if time > until then begin
            (* Leave it queued for a later resumed run and stop. *)
            t.now <- until;

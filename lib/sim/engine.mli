@@ -72,6 +72,43 @@ type stop_reason = Queue_empty | Horizon_reached | Budget_exhausted | Stopped
 val stop : t -> 'a
 (** Abort the current [run] from inside an event handler. *)
 
-val run : ?until:float -> ?max_events:int -> t -> stop_reason
+(** {2 Watchdog budgets}
+
+    Opt-in guards for hung or runaway simulations: a sim-time budget
+    bounds how far simulated time may advance within one [run] call,
+    and a wall-clock budget bounds real elapsed time (checked every
+    1024 events). Exceeding either raises {!Budget_exceeded}; the
+    engine is left in a consistent state — [now] at the last fired
+    event, [processed] accurate — so partial statistics can be
+    salvaged. Budgets never perturb a run that stays within them, so
+    they are orchestration guards, not simulation parameters (and are
+    deliberately excluded from the result-cache key). *)
+
+type budget_kind = Sim_time | Wall_clock
+
+exception
+  Budget_exceeded of {
+    kind : budget_kind;
+    budget : float;  (** the configured budget, seconds *)
+    at : float;
+        (** [Sim_time]: the sim time of the event that would have
+            exceeded the budget; [Wall_clock]: elapsed wall seconds *)
+    events : int;    (** events processed when the budget tripped *)
+  }
+
+val set_sim_budget : float option -> unit
+(** Process-wide default sim-time budget per [run] call, used when the
+    call passes no explicit [?sim_budget] (env default:
+    [EBRC_SIM_BUDGET]). [None] disables. Raises [Invalid_argument] on
+    non-positive budgets. *)
+
+val set_wall_budget : float option -> unit
+(** Same for the wall-clock budget ([EBRC_WALL_BUDGET]). *)
+
+val run :
+  ?until:float -> ?max_events:int -> ?sim_budget:float ->
+  ?wall_budget:float -> t -> stop_reason
 (** Drain the queue until empty, the time horizon, or the event budget.
-    A horizon-interrupted run can be resumed with a later [until]. *)
+    A horizon-interrupted run can be resumed with a later [until].
+    [?sim_budget]/[?wall_budget] override the process-wide watchdog
+    defaults for this call; see {!Budget_exceeded}. *)

@@ -7,6 +7,7 @@ module A = Ebrc.Audio_scenario
 module P = Ebrc.Paths
 module Fig = Ebrc.Figures
 module RC = Ebrc.Result_cache
+module Pool = Ebrc.Pool
 
 let feq ?(eps = 1e-9) a b =
   Alcotest.(check bool)
@@ -164,15 +165,15 @@ let test_bdp_and_rtt_helpers () =
    serializes to the same bytes either way. *)
 let test_scenario_lanes_vs_heap_identical () =
   let cfg = { quick_cfg with duration = 20.0 } in
-  Alcotest.(check bool) "lanes default on" true
-    (Ebrc.Engine.fast_lanes_enabled ());
+  (* Pin each arm's toggle and restore the environment's choice (the
+     suite also runs under EBRC_LANES=0). *)
+  let was = Ebrc.Engine.fast_lanes_enabled () in
+  Fun.protect ~finally:(fun () -> Ebrc.Engine.set_fast_lanes was)
+  @@ fun () ->
+  Ebrc.Engine.set_fast_lanes true;
   let with_lanes = RC.serialize_result (S.run cfg) in
   Ebrc.Engine.set_fast_lanes false;
-  let heap_only =
-    Fun.protect
-      ~finally:(fun () -> Ebrc.Engine.set_fast_lanes true)
-      (fun () -> RC.serialize_result (S.run cfg))
-  in
+  let heap_only = RC.serialize_result (S.run cfg) in
   Alcotest.(check bool) "bit-identical serialization" true
     (String.equal with_lanes heap_only)
 
@@ -270,6 +271,48 @@ let test_cache_disabled_bypasses () =
       Alcotest.(check int) "no hits" 0 s.RC.hits;
       Alcotest.(check int) "no misses counted" 0 s.RC.misses)
 
+let test_cache_store_failure_degrades () =
+  (* An unwritable cache dir must not abort the run: the store error is
+     counted, a warning is printed once, and the in-memory memo still
+     serves hits. *)
+  with_clean_cache (fun () ->
+      RC.set_dir (Some "/dev/null/ebrc_nope");
+      let first = RC.serialize_result (RC.run cache_cfg) in
+      let second = RC.serialize_result (RC.run cache_cfg) in
+      Alcotest.(check bool) "memo still serves" true
+        (String.equal first second);
+      let s = RC.stats () in
+      Alcotest.(check bool) "store errors counted" true (s.RC.store_errors > 0);
+      Alcotest.(check int) "no store claimed" 0 s.RC.stores;
+      Alcotest.(check int) "one hit from memory" 1 s.RC.hits)
+
+let test_cache_robust_roundtrip () =
+  (* A faulted config round-trips through the disk store: the record
+     carries tfrc_halvings and fault_stats, and the faulted and
+     fault-free configs get distinct digests. Pin the fault gate on so
+     the test also holds under the EBRC_FAULTS=0 ablation leg. *)
+  let was_enabled = Ebrc.Fault.enabled () in
+  Ebrc.Fault.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Ebrc.Fault.set_enabled was_enabled)
+  @@ fun () ->
+  let robust =
+    { Ebrc.Scenario.robust_blackout_config with
+      Ebrc.Scenario.duration = 60.0;
+      warmup = 15.0 }
+  in
+  let clean = { robust with S.faults = None } in
+  Alcotest.(check bool) "faults change the digest" true
+    (RC.digest_of_config robust <> RC.digest_of_config clean);
+  with_clean_cache (fun () ->
+      RC.set_dir (Some cache_dir);
+      let first = RC.serialize_result (RC.run robust) in
+      RC.clear_memory ();
+      let from_disk = RC.serialize_result (RC.run robust) in
+      Alcotest.(check bool) "robust disk hit byte-identical" true
+        (String.equal first from_disk);
+      Alcotest.(check int) "served from disk" 1 (RC.stats ()).RC.disk_hits)
+
 let test_figures_byte_identical_with_cache () =
   (* Satellite guarantee: figure output is byte-identical cache-on
      (cold and warm) vs cache-off. Fig 17 is the cheapest DES-backed
@@ -333,12 +376,66 @@ let test_registry_complete () =
       Alcotest.(check bool) ("figure " ^ id) true (List.mem id ids))
     [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "9"; "10"; "11"; "12"; "13";
       "14"; "15"; "16"; "17"; "18"; "19"; "t1"; "c3"; "c4"; "a1"; "a2";
-      "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10"; "a11"; "a12"; "a13" ]
+      "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10"; "a11"; "a12"; "a13";
+      "r1"; "r2"; "r3" ]
 
 let test_registry_unknown () =
   match Fig.run_one ~quick:true "nope" with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+let test_run_one_result_unknown () =
+  match Fig.run_one_result ~quick:true "nope" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error f ->
+      Alcotest.(check string) "failure id" "nope" f.Fig.failed_id;
+      let has needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message lists valid ids" true
+        (has "valid" f.Fig.message && has "t1" f.Fig.message)
+
+let test_run_runner_result_failure () =
+  (* A runner that dies inside a pool sweep must surface the failing
+     task's index and seed with a replay hint, not a bare exception. *)
+  let boom : Fig.runner =
+   fun ?jobs ~quick () ->
+    ignore quick;
+    Pool.with_pool ?domains:jobs (fun pool ->
+        ignore
+          (Pool.init pool 8 (fun i ->
+               if i = 5 then failwith "injected crash" else i)));
+    []
+  in
+  match Fig.run_runner_result ~id:"boom" boom ~jobs:2 ~quick:true () with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error f ->
+      let has needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check string) "failure id" "boom" f.Fig.failed_id;
+      Alcotest.(check bool) "message names the task" true
+        (has "task #5" f.Fig.message);
+      Alcotest.(check bool) "message suggests --only-task" true
+        (has "--only-task 5" f.Fig.message)
+
+let test_run_all_keep_going_collects () =
+  (* Break one registry entry's pool sweep indirectly by running a
+     tiny fake registry through run_runner_result; then check the real
+     keep-going driver over two known-good cheap ids. *)
+  let ok : Fig.runner =
+   fun ?jobs ~quick () ->
+    ignore jobs;
+    ignore quick;
+    [ T.add_row (T.create ~title:"ok" ~header:[ "v" ]) [ "1" ] ]
+  in
+  match Fig.run_runner_result ~id:"ok" ok ~quick:true () with
+  | Error _ -> Alcotest.fail "good runner must succeed"
+  | Ok tables -> Alcotest.(check int) "tables pass through" 1 (List.length tables)
 
 let test_analytic_figures_run () =
   (* The cheap, purely analytic figures should run here; the DES sweeps
@@ -458,6 +555,10 @@ let () =
           Alcotest.test_case "disk roundtrip" `Quick test_cache_disk_roundtrip;
           Alcotest.test_case "corrupt record detected" `Quick
             test_cache_corrupt_record_detected;
+          Alcotest.test_case "store failure degrades" `Quick
+            test_cache_store_failure_degrades;
+          Alcotest.test_case "robust config roundtrip" `Quick
+            test_cache_robust_roundtrip;
           Alcotest.test_case "disabled bypasses" `Quick
             test_cache_disabled_bypasses;
           Alcotest.test_case "figures byte-identical" `Quick
@@ -476,6 +577,12 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_registry_complete;
           Alcotest.test_case "unknown id" `Quick test_registry_unknown;
+          Alcotest.test_case "unknown id (keep-going)" `Quick
+            test_run_one_result_unknown;
+          Alcotest.test_case "failing runner (keep-going)" `Quick
+            test_run_runner_result_failure;
+          Alcotest.test_case "good runner passes through" `Quick
+            test_run_all_keep_going_collects;
           Alcotest.test_case "analytic figures" `Quick test_analytic_figures_run;
           Alcotest.test_case "fig2 ratio" `Quick test_fig2_ratio_note;
           Alcotest.test_case "validate cheap checks" `Quick test_validate_cheap_checks;

@@ -56,16 +56,104 @@ exception Boom of int
 
 let test_exception_propagates () =
   Pool.with_pool ~domains:4 (fun pool ->
-      let raised =
+      let err =
         try
           ignore (Pool.init pool 100 (fun i -> if i = 37 then raise (Boom i) else i));
-          false
-        with Boom _ -> true
+          None
+        with Pool.Task_failed e -> Some e
       in
-      Alcotest.(check bool) "worker exception reaches caller" true raised;
+      (match err with
+      | None -> Alcotest.fail "expected Task_failed"
+      | Some e ->
+          Alcotest.(check int) "failing task index" 37 e.Pool.t_index;
+          Alcotest.(check int) "failing task seed" 37 e.Pool.t_seed;
+          Alcotest.(check int) "single attempt" 1 e.Pool.t_attempts;
+          Alcotest.(check bool) "original exception preserved" true
+            (e.Pool.t_exn = Boom 37));
       (* the pool survives a failed job *)
       check_int_list "usable after exception" [ 1; 2; 3 ]
         (Pool.map_list pool succ [ 0; 1; 2 ]))
+
+let test_lowest_failure_wins () =
+  (* Several tasks fail; the reported index must deterministically be
+     the lowest one regardless of scheduling order. *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let err =
+        try
+          ignore
+            (Pool.init pool 200 (fun i ->
+                 if i mod 17 = 5 then raise (Boom i) else i));
+          None
+        with Pool.Task_failed e -> Some e
+      in
+      match err with
+      | None -> Alcotest.fail "expected Task_failed"
+      | Some e -> Alcotest.(check int) "lowest failing index" 5 e.Pool.t_index)
+
+let test_try_init_isolates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let results =
+        Pool.try_init pool 50 (fun ~attempt:_ i ->
+            if i mod 10 = 3 then raise (Boom i) else i * 2)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "task %d ok" i)
+                true
+                (i mod 10 <> 3 && v = 2 * i)
+          | Error e ->
+              Alcotest.(check bool)
+                (Printf.sprintf "task %d failed" i)
+                true
+                (i mod 10 = 3 && e.Pool.t_index = i && e.Pool.t_exn = Boom i))
+        results)
+
+let test_retries_with_fresh_attempt () =
+  (* A task that fails on attempt 0 and succeeds on attempt 1 must be
+     retried transparently; a task that always fails reports the full
+     attempt count. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let results =
+        Pool.try_init ~retries:2 ~seed_of:(fun i -> 1000 + i) pool 10
+          (fun ~attempt i ->
+            if i = 4 && attempt < 1 then raise (Boom i)
+            else if i = 7 then raise (Boom i)
+            else attempt)
+      in
+      (match results.(4) with
+      | Ok attempt -> Alcotest.(check int) "succeeded on retry" 1 attempt
+      | Error _ -> Alcotest.fail "task 4 should succeed on attempt 1");
+      match results.(7) with
+      | Ok _ -> Alcotest.fail "task 7 should exhaust retries"
+      | Error e ->
+          Alcotest.(check int) "attempts counted" 3 e.Pool.t_attempts;
+          Alcotest.(check int) "custom seed recorded" 1007 e.Pool.t_seed)
+
+let test_only_task_filter () =
+  Pool.set_only_task (Some 3);
+  Fun.protect
+    ~finally:(fun () -> Pool.set_only_task None)
+    (fun () ->
+      Pool.with_pool ~domains:2 (fun pool ->
+          let results = Pool.try_init pool 6 (fun ~attempt:_ i -> i) in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok v ->
+                  Alcotest.(check int) "only the selected task ran" 3 i;
+                  Alcotest.(check int) "selected task value" 3 v
+              | Error e ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "task %d skipped" i)
+                    true
+                    (i <> 3 && e.Pool.t_exn = Pool.Task_skipped))
+            results;
+          (* map/init ignore the filter *)
+          check_int_list "map_list unaffected by only-task" [ 1; 2; 3 ]
+            (Pool.map_list pool succ [ 0; 1; 2 ])))
 
 (* ------------------------ pool reuse ----------------------------- *)
 
@@ -138,6 +226,14 @@ let () =
             test_empty_and_singleton;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "lowest failure wins" `Quick
+            test_lowest_failure_wins;
+          Alcotest.test_case "try_init isolates crashes" `Quick
+            test_try_init_isolates;
+          Alcotest.test_case "retries with fresh attempt" `Quick
+            test_retries_with_fresh_attempt;
+          Alcotest.test_case "only-task replay filter" `Quick
+            test_only_task_filter;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;

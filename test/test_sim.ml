@@ -181,6 +181,87 @@ let test_engine_stop () =
   Alcotest.(check bool) "stopped" true (r = E.Stopped);
   Alcotest.(check bool) "later event skipped" false !after_stop
 
+(* ------------------------ watchdog budgets ---------------------- *)
+
+let test_engine_sim_watchdog () =
+  let e = E.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (E.schedule e ~at:(float_of_int i) (fun () -> incr fired))
+  done;
+  (match E.run ~sim_budget:4.5 e with
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+  | exception E.Budget_exceeded { kind; budget; at; events } ->
+      Alcotest.(check bool) "sim-time kind" true (kind = E.Sim_time);
+      feq budget 4.5;
+      feq at 5.0;
+      Alcotest.(check int) "events before abort" 4 events);
+  (* Partial statistics are salvageable: the engine stays queryable at
+     the last fired event, and an unbudgeted resume drains the rest. *)
+  feq (E.now e) 4.0;
+  Alcotest.(check int) "events fired within budget" 4 !fired;
+  let r = E.run e in
+  Alcotest.(check bool) "resume drains" true (r = E.Queue_empty);
+  Alcotest.(check int) "all fired after resume" 10 !fired
+
+let test_engine_sim_watchdog_within_budget () =
+  (* A run that stays inside the budget is indistinguishable from an
+     unbudgeted one. *)
+  let e = E.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (E.schedule e ~at:(0.1 *. float_of_int i) (fun () -> incr fired))
+  done;
+  let r = E.run ~sim_budget:100.0 e in
+  Alcotest.(check bool) "drained" true (r = E.Queue_empty);
+  Alcotest.(check int) "all fired" 10 !fired
+
+let test_engine_wall_watchdog () =
+  let e = E.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 1_000_000 then ignore (E.schedule_after e ~delay:1e-6 tick)
+  in
+  ignore (E.schedule e ~at:0.0 tick);
+  match E.run ~wall_budget:1e-6 e with
+  | _ -> Alcotest.fail "expected wall-clock Budget_exceeded"
+  | exception E.Budget_exceeded { kind; budget; at; events } ->
+      Alcotest.(check bool) "wall-clock kind" true (kind = E.Wall_clock);
+      feq budget 1e-6;
+      Alcotest.(check bool) "elapsed reported" true (at >= 0.0);
+      Alcotest.(check bool) "aborted early" true (events < 1_000_000)
+
+let test_engine_budget_defaults () =
+  (* set_sim_budget installs a process-wide default that run picks up
+     when not given an explicit budget. *)
+  E.set_sim_budget (Some 2.5);
+  Fun.protect
+    ~finally:(fun () -> E.set_sim_budget None)
+    (fun () ->
+      let e = E.create () in
+      for i = 1 to 5 do
+        ignore (E.schedule e ~at:(float_of_int i) (fun () -> ()))
+      done;
+      (match E.run e with
+      | _ -> Alcotest.fail "expected Budget_exceeded from global default"
+      | exception E.Budget_exceeded { kind; budget; _ } ->
+          Alcotest.(check bool) "sim-time kind" true (kind = E.Sim_time);
+          feq budget 2.5);
+      (* An explicit budget overrides the global default. *)
+      let e2 = E.create () in
+      ignore (E.schedule e2 ~at:4.0 (fun () -> ()));
+      let r = E.run ~sim_budget:10.0 e2 in
+      Alcotest.(check bool) "explicit override drains" true
+        (r = E.Queue_empty));
+  let raised =
+    try
+      E.set_sim_budget (Some (-1.0));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative budget rejected" true raised
+
 let test_engine_self_scheduling_chain () =
   (* A classic send-loop: each event schedules the next. *)
   let e = E.create () in
@@ -239,6 +320,11 @@ let test_lane_two_lanes_merge () =
     (List.rev !log)
 
 let test_lane_fifo_violation_rejected () =
+  (* The FIFO push constraint only exists on the real lane path, so pin
+     the toggle on (the suite also runs under EBRC_LANES=0). *)
+  let was = E.fast_lanes_enabled () in
+  E.set_fast_lanes true;
+  Fun.protect ~finally:(fun () -> E.set_fast_lanes was) @@ fun () ->
   let e = E.create () in
   let ln = E.lane e in
   E.lane_push ln ~at:2.0 (fun () -> ());
@@ -287,10 +373,12 @@ let test_lane_disabled_fallback () =
     ignore (E.run e);
     List.rev !log
   in
-  let with_lanes = go () in
+  let was = E.fast_lanes_enabled () in
+  E.set_fast_lanes true;
+  let with_lanes = Fun.protect ~finally:(fun () -> E.set_fast_lanes was) go in
   E.set_fast_lanes false;
   let without =
-    Fun.protect ~finally:(fun () -> E.set_fast_lanes true) go
+    Fun.protect ~finally:(fun () -> E.set_fast_lanes was) go
   in
   Alcotest.(check (list string)) "same order" with_lanes without;
   Alcotest.(check (list string))
@@ -385,6 +473,14 @@ let () =
           Alcotest.test_case "horizon + resume" `Quick test_engine_horizon_resume;
           Alcotest.test_case "budget" `Quick test_engine_budget;
           Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "sim-time watchdog" `Quick
+            test_engine_sim_watchdog;
+          Alcotest.test_case "watchdog within budget" `Quick
+            test_engine_sim_watchdog_within_budget;
+          Alcotest.test_case "wall-clock watchdog" `Quick
+            test_engine_wall_watchdog;
+          Alcotest.test_case "budget defaults" `Quick
+            test_engine_budget_defaults;
           Alcotest.test_case "self-scheduling chain" `Quick test_engine_self_scheduling_chain;
           Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
         ] );
