@@ -21,8 +21,11 @@ test:
 # disabled: lane merge off, geometric gap-skip off, fault injection
 # off. Guards the contract that each toggle is behaviour-preserving
 # (or, for EBRC_FAULTS, that disabling it reproduces fault-free runs).
+# A second leg turns off just the timing wheel so every suite also
+# runs against the pure-heap event core.
 test-ablations:
 	EBRC_LANES=0 EBRC_GAP_SKIP=0 EBRC_FAULTS=0 dune runtest --force
+	EBRC_WHEEL=0 dune runtest --force
 
 # Regenerate every paper figure (quick mode) plus the micro-benchmarks;
 # writes BENCH_<date>.json. Set EBRC_JOBS=N to size the domain pool.

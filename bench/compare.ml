@@ -355,8 +355,70 @@ let () =
             | _ -> false)
         | None -> false
       in
+      (* Scheduler ablations: dispatch order must be bit-identical
+         across wheel / lanes / heap (and, at the 100k-flow scale
+         point, between wheel and heap fingerprints) — a [false] is
+         fatal regardless of timing, mirroring the faults gate. The
+         timing targets are reported but not fatal: they move with the
+         host. Absent in pre-wheel records; skipped then. *)
+      let wheel_broken =
+        match member "wheel_ablation" new_json with
+        | Some wa -> (
+            (match
+               (member "wheel_droptail_ms" wa, member "heap_droptail_ms" wa)
+             with
+            | Some (Num w), Some (Num h) ->
+                Printf.printf
+                  "  wheel ablation: droptail wheel %.1f ms, heap %.1f ms \
+                   (%.2fx vs heap; target < 7 ms %s)\n"
+                  w h (h /. w)
+                  (if w < 7.0 then "met" else "missed")
+            | _ -> ());
+            match member "bit_identical" wa with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  wheel ablation: wheel/lanes/heap runs bit-identical\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  wheel ablation: FAIL — wheel/lanes/heap runs are NOT \
+                   byte-identical\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
+      let flows_broken =
+        match member "flows100k" new_json with
+        | Some fl -> (
+            (match
+               ( member "wheel_ns_per_packet" fl,
+                 member "heap_ns_per_packet" fl )
+             with
+            | Some (Num w), Some (Num h) ->
+                Printf.printf
+                  "  flows100k: wheel %.0f ns/packet, heap %.0f ns/packet \
+                   (%.2fx vs heap; halving target %s)\n"
+                  w h (h /. w)
+                  (if w <= 0.5 *. h then "met" else "missed")
+            | _ -> ());
+            match member "bit_identical" fl with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  flows100k: wheel and heap dispatch fingerprints \
+                   identical\n\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  flows100k: FAIL — wheel and heap dispatch fingerprints \
+                   differ\n\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
       let failed = ref false in
       if faults_broken then failed := true;
+      if wheel_broken then failed := true;
+      if flows_broken then failed := true;
       (match List.rev !regressions with
       | [] -> print_endline "bench-compare: OK, no hot-path regression > 20%"
       | rs ->

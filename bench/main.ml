@@ -530,44 +530,60 @@ type lanes_ab = {
   lanes_identical : bool;  (* serialized results byte-identical *)
 }
 
+(* Shared scenario configs and best-of timer for the scheduler A/Bs. *)
+let ab_cfg queue =
+  {
+    Ebrc.Scenario.default_config with
+    n_tfrc = 2;
+    n_tcp = 2;
+    queue;
+    duration = 10.0;
+    warmup = 2.0;
+    seed = 9;
+  }
+
+let ab_droptail = ab_cfg (Ebrc.Scenario.Drop_tail { capacity = 100 })
+let ab_red = ab_cfg (Ebrc.Scenario.Red_auto { capacity = 0 })
+
+let ab_best_of reps cfg =
+  ignore (Ebrc.Scenario.run cfg);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Ebrc.Scenario.run cfg);
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best *. 1e3
+
 (* The lane merge reproduces the heap's pop order exactly (lanes draw
    tie-break tickets from the heap's own sequence counter), so besides
-   the timing both arms must serialize to the same bytes. *)
+   the timing both arms must serialize to the same bytes. The wheel is
+   held off for the whole measurement: in wheel mode no lane ever
+   registers, so lanes-vs-heap is only observable on the heap path. *)
 let measure_lanes_ab () =
-  let cfg queue =
-    {
-      Ebrc.Scenario.default_config with
-      n_tfrc = 2;
-      n_tcp = 2;
-      queue;
-      duration = 10.0;
-      warmup = 2.0;
-      seed = 9;
-    }
+  Ebrc.Engine.set_wheel false;
+  let lane_droptail_ms, lane_red_ms, lane_bytes =
+    Fun.protect
+      ~finally:(fun () -> Ebrc.Engine.set_wheel true)
+      (fun () ->
+        let d = ab_best_of 7 ab_droptail in
+        let r = ab_best_of 7 ab_red in
+        let b =
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run ab_droptail)
+        in
+        (d, r, b))
   in
-  let droptail = cfg (Ebrc.Scenario.Drop_tail { capacity = 100 }) in
-  let red = cfg (Ebrc.Scenario.Red_auto { capacity = 0 }) in
-  let best_of reps cfg =
-    ignore (Ebrc.Scenario.run cfg);
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      ignore (Ebrc.Scenario.run cfg);
-      best := Float.min !best (Unix.gettimeofday () -. t0)
-    done;
-    !best *. 1e3
-  in
-  let lane_droptail_ms = best_of 7 droptail in
-  let lane_red_ms = best_of 7 red in
-  let lane_bytes = Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run droptail) in
+  Ebrc.Engine.set_wheel false;
   Ebrc.Engine.set_fast_lanes false;
   let heap_droptail_ms, heap_red_ms, heap_bytes =
     Fun.protect
-      ~finally:(fun () -> Ebrc.Engine.set_fast_lanes true)
+      ~finally:(fun () ->
+        Ebrc.Engine.set_fast_lanes true;
+        Ebrc.Engine.set_wheel true)
       (fun () ->
-        ( best_of 7 droptail,
-          best_of 7 red,
-          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run droptail) ))
+        ( ab_best_of 7 ab_droptail,
+          ab_best_of 7 ab_red,
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run ab_droptail) ))
   in
   let lanes_identical = String.equal lane_bytes heap_bytes in
   Printf.printf
@@ -584,6 +600,125 @@ let measure_lanes_ab () =
     lanes_identical;
   { lane_droptail_ms; heap_droptail_ms; lane_red_ms; heap_red_ms;
     lanes_identical }
+
+(* ------------------------------------------------------------------ *)
+(* Timing-wheel A/B: wheel vs FIFO lanes vs pure heap.                 *)
+(* ------------------------------------------------------------------ *)
+
+type wheel_ab = {
+  wheel_droptail_ms : float;
+  wheel_lanes_droptail_ms : float;
+  wheel_heap_droptail_ms : float;
+  wheel_red_ms : float;
+  wheel_lanes_red_ms : float;
+  wheel_heap_red_ms : float;
+  wheel_identical : bool;
+      (* droptail results byte-identical across all three schedulers *)
+}
+
+(* The wheel draws tie-break tickets from the heap's shared sequence
+   counter and extracts the exact (time, seq) minimum, so all three
+   scheduler modes must serialize a scenario to the same bytes; the
+   gate in bench/compare.ml treats anything else as fatal. *)
+let measure_wheel_ab () =
+  let run_mode ~wheel ~lanes =
+    Ebrc.Engine.set_wheel wheel;
+    Ebrc.Engine.set_fast_lanes lanes;
+    Fun.protect
+      ~finally:(fun () ->
+        Ebrc.Engine.set_wheel true;
+        Ebrc.Engine.set_fast_lanes true)
+      (fun () ->
+        let d = ab_best_of 7 ab_droptail in
+        let r = ab_best_of 7 ab_red in
+        let b =
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run ab_droptail)
+        in
+        (d, r, b))
+  in
+  let wheel_droptail_ms, wheel_red_ms, wheel_bytes =
+    run_mode ~wheel:true ~lanes:true
+  in
+  let wheel_lanes_droptail_ms, wheel_lanes_red_ms, lane_bytes =
+    run_mode ~wheel:false ~lanes:true
+  in
+  let wheel_heap_droptail_ms, wheel_heap_red_ms, heap_bytes =
+    run_mode ~wheel:false ~lanes:false
+  in
+  let wheel_identical =
+    String.equal wheel_bytes lane_bytes && String.equal wheel_bytes heap_bytes
+  in
+  Printf.printf
+    "#############################################################\n\
+     # Timing-wheel A/B (scenario run, best of 7)\n\
+     #############################################################\n\n\
+    \  droptail: wheel %7.2f ms  lanes %7.2f ms  heap %7.2f ms  \
+     speedup vs heap %.2fx\n\
+    \  red:      wheel %7.2f ms  lanes %7.2f ms  heap %7.2f ms  \
+     speedup vs heap %.2fx\n\
+    \  bit-identical results: %b\n\n"
+    wheel_droptail_ms wheel_lanes_droptail_ms wheel_heap_droptail_ms
+    (wheel_heap_droptail_ms /. wheel_droptail_ms)
+    wheel_red_ms wheel_lanes_red_ms wheel_heap_red_ms
+    (wheel_heap_red_ms /. wheel_red_ms)
+    wheel_identical;
+  { wheel_droptail_ms; wheel_lanes_droptail_ms; wheel_heap_droptail_ms;
+    wheel_red_ms; wheel_lanes_red_ms; wheel_heap_red_ms; wheel_identical }
+
+(* ------------------------------------------------------------------ *)
+(* 100k-flow scale point: scheduler cost with 10^5 pending events.     *)
+(* ------------------------------------------------------------------ *)
+
+type flows100k = {
+  fl_flows : int;
+  fl_events : int;
+  fl_wheel_ns : float;     (* ns per packet tick, wheel scheduler *)
+  fl_heap_ns : float;      (* ns per packet tick, pure heap *)
+  fl_identical : bool;     (* dispatch-order fingerprints equal *)
+}
+
+(* Scenario benches hold a few dozen pending events — heap depth ~5 —
+   so they can't see the scheduler's asymptotic cost. The flock pins
+   ~10^5 events in the pending set, where a binary heap pays ~17
+   cache-missing sift levels per operation and the wheel stays O(1).
+   Flock members are deliberately minimal (bump a sequence number,
+   fold the dispatch fingerprint, reschedule) so ns/packet is
+   scheduler cost, not protocol work. *)
+let measure_flows100k () =
+  let flows = 100_000 and duration = 10.0 and seed = 1 in
+  let leg () =
+    let best = ref infinity in
+    let stats = ref None in
+    for _ = 1 to 3 do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      let s = Ebrc.Flock.run ~flows ~duration ~seed () in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      stats := Some s
+    done;
+    let s = Option.get !stats in
+    (!best *. 1e9 /. float s.Ebrc.Flock.events, s)
+  in
+  Ebrc.Engine.set_wheel true;
+  let fl_wheel_ns, wheel_stats = leg () in
+  Ebrc.Engine.set_wheel false;
+  let fl_heap_ns, heap_stats =
+    Fun.protect ~finally:(fun () -> Ebrc.Engine.set_wheel true) leg
+  in
+  let fl_identical =
+    wheel_stats.Ebrc.Flock.fingerprint = heap_stats.Ebrc.Flock.fingerprint
+    && wheel_stats.Ebrc.Flock.events = heap_stats.Ebrc.Flock.events
+  in
+  Printf.printf
+    "#############################################################\n\
+     # 100k-flow scale point (%d flows, %d events, best of 3)\n\
+     #############################################################\n\n\
+    \  wheel %7.1f ns/packet   heap %7.1f ns/packet   speedup %.2fx\n\
+    \  bit-identical dispatch order: %b\n\n"
+    flows wheel_stats.Ebrc.Flock.events fl_wheel_ns fl_heap_ns
+    (fl_heap_ns /. fl_wheel_ns) fl_identical;
+  { fl_flows = flows; fl_events = wheel_stats.Ebrc.Flock.events;
+    fl_wheel_ns; fl_heap_ns; fl_identical }
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection A/B: fault-free vs faults-disabled (must be byte-   *)
@@ -851,7 +986,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-    ~faults ~gap ~cache ~sweep =
+    ~wheel ~flows ~faults ~gap ~cache ~sweep =
   let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
@@ -946,6 +1081,36 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
     (lanes.heap_red_ms /. lanes.lane_red_ms)
     lanes.lanes_identical;
   Printf.fprintf oc
+    "  \"wheel_ablation\": {\n\
+    \    \"wheel_droptail_ms\": %.3f,\n\
+    \    \"lanes_droptail_ms\": %.3f,\n\
+    \    \"heap_droptail_ms\": %.3f,\n\
+    \    \"droptail_speedup_vs_heap\": %.3f,\n\
+    \    \"wheel_red_ms\": %.3f,\n\
+    \    \"lanes_red_ms\": %.3f,\n\
+    \    \"heap_red_ms\": %.3f,\n\
+    \    \"red_speedup_vs_heap\": %.3f,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    wheel.wheel_droptail_ms wheel.wheel_lanes_droptail_ms
+    wheel.wheel_heap_droptail_ms
+    (wheel.wheel_heap_droptail_ms /. wheel.wheel_droptail_ms)
+    wheel.wheel_red_ms wheel.wheel_lanes_red_ms wheel.wheel_heap_red_ms
+    (wheel.wheel_heap_red_ms /. wheel.wheel_red_ms)
+    wheel.wheel_identical;
+  Printf.fprintf oc
+    "  \"flows100k\": {\n\
+    \    \"flows\": %d,\n\
+    \    \"events\": %d,\n\
+    \    \"wheel_ns_per_packet\": %.2f,\n\
+    \    \"heap_ns_per_packet\": %.2f,\n\
+    \    \"speedup_vs_heap\": %.3f,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    flows.fl_flows flows.fl_events flows.fl_wheel_ns flows.fl_heap_ns
+    (flows.fl_heap_ns /. flows.fl_wheel_ns)
+    flows.fl_identical;
+  Printf.fprintf oc
     "  \"faults_ablation\": {\n\
     \    \"scenario_none_ms\": %.3f,\n\
     \    \"scenario_disabled_ms\": %.3f,\n\
@@ -988,10 +1153,15 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
   Printf.printf "bench record written to %s\n" path
 
 let () =
-  (* EBRC_BENCH_ONLY=sweep: just the parallel-sweep measurement, no
-     JSON — for iterating on the pool without a full bench run. *)
+  (* EBRC_BENCH_ONLY=sweep|wheel: a single measurement block, no JSON
+     — for iterating on the pool or the scheduler without a full bench
+     run. *)
   if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "sweep" then
     ignore (measure_parallel_sweep ())
+  else if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "wheel" then begin
+    ignore (measure_wheel_ab ());
+    ignore (measure_flows100k ())
+  end
   else begin
     let figure_seconds = regenerate_figures () in
     (* The regeneration phase leaves every memoized scenario result
@@ -1005,11 +1175,13 @@ let () =
     let alloc = measure_alloc_ab () in
     let telem = measure_telemetry () in
     let lanes = measure_lanes_ab () in
+    let wheel = measure_wheel_ab () in
+    let flows = measure_flows100k () in
     let faults = measure_faults_ab () in
     let gap = measure_gap_skip () in
     let cache = measure_cache () in
     let sweep = measure_parallel_sweep () in
     write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-      ~faults ~gap ~cache ~sweep;
+      ~wheel ~flows ~faults ~gap ~cache ~sweep;
     print_endline "\nbench: done."
   end

@@ -76,6 +76,19 @@ let no_cache_arg =
 
 let apply_cache no_cache = if no_cache then Ebrc.Result_cache.set_enabled false
 
+(* Event core: the timing wheel is on by default; --no-wheel (or
+   EBRC_WHEEL=0) drops every engine back to the pure binary heap.
+   Dispatch order is bit-identical either way — the toggle exists for
+   A/B timing and for isolating a suspected scheduler bug. *)
+let no_wheel_arg =
+  Arg.(
+    value & flag
+    & info [ "no-wheel" ]
+        ~doc:
+          "Schedule every event on the binary heap instead of the            hierarchical timing wheel (outputs are byte-identical either            way; see also EBRC_WHEEL=0).")
+
+let apply_wheel no_wheel = if no_wheel then Ebrc.Engine.set_wheel false
+
 (* Watchdog budgets (opt-in): cap every Engine.run in the process.
    Exceeding a budget raises Engine.Budget_exceeded — combine with
    --keep-going to salvage the remaining figures. *)
@@ -205,7 +218,7 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv jobs no_cache keep_going only_task budgets telem =
+  let run id full csv jobs no_cache no_wheel keep_going only_task budgets telem =
     let quick = not full in
     (* Unknown ids are a usage error: list the valid names and exit 2
        rather than surfacing an exception. *)
@@ -216,6 +229,7 @@ let figure_cmd =
     end;
     try
       apply_cache no_cache;
+      apply_wheel no_wheel;
       apply_budgets budgets;
       apply_only_task only_task;
       with_telemetry telem @@ fun () ->
@@ -253,7 +267,8 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id $ full $ csv $ jobs_arg $ no_cache_arg
-       $ keep_going_arg $ only_task_arg $ budget_args $ telemetry_args))
+       $ no_wheel_arg $ keep_going_arg $ only_task_arg $ budget_args
+       $ telemetry_args))
 
 (* --- list --- *)
 
@@ -525,8 +540,9 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full jobs no_cache keep_going budgets telem =
+  let run out ids full jobs no_cache no_wheel keep_going budgets telem =
     apply_cache no_cache;
+    apply_wheel no_wheel;
     apply_budgets budgets;
     with_telemetry telem @@ fun () ->
     let options =
@@ -546,8 +562,8 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Regenerate figures into a self-contained markdown report.")
     Term.(
-      const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ keep_going_arg
-      $ budget_args $ telemetry_args)
+      const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
+      $ keep_going_arg $ budget_args $ telemetry_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -557,8 +573,9 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full jobs no_cache telem =
+  let run full jobs no_cache no_wheel telem =
     apply_cache no_cache;
+    apply_wheel no_wheel;
     with_telemetry telem @@ fun () ->
     let outcomes =
       Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
@@ -575,7 +592,10 @@ let validate_cmd =
        ~doc:
          "Run the automated paper-claim validation suite (a scientific CI \
           gate).")
-    Term.(ret (const run $ full $ jobs_arg $ no_cache_arg $ telemetry_args))
+    Term.(
+      ret
+        (const run $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
+       $ telemetry_args))
 
 let main =
   let doc =

@@ -17,7 +17,7 @@
       {!Engine}, {!Packet}, {!Queue_discipline}, {!Link},
       {!Loss_module}, {!Flow_stats}, {!Gap_sink}, {!Tcp_sender},
       {!Tcp_receiver}, {!Tfrc_sender}, {!Tfrc_receiver},
-      {!Loss_history}, {!Probe_source}, {!Audio_source}.
+      {!Loss_history}, {!Probe_source}, {!Audio_source}, {!Flock}.
     - The paper's evaluation: {!Breakdown} (the four TCP-friendliness
       sub-conditions), {!Few_flows} (Claim 4), {!Many_sources}
       (Claim 3), {!Scenario} / {!Audio_scenario} / {!Paths} (experiment
@@ -57,6 +57,7 @@ module Exact = Ebrc_control.Exact
 (* Packet-level substrate *)
 module Engine = Ebrc_sim.Engine
 module Event_queue = Ebrc_sim.Event_queue
+module Timing_wheel = Ebrc_sim.Timing_wheel
 module Trace = Ebrc_sim.Trace
 module Packet = Ebrc_net.Packet
 module Queue_discipline = Ebrc_net.Queue_discipline
@@ -65,6 +66,7 @@ module Loss_module = Ebrc_net.Loss_module
 module Flow_stats = Ebrc_net.Flow_stats
 module Gap_sink = Ebrc_net.Gap_sink
 module Fault = Ebrc_net.Fault
+module Seq_set = Ebrc_tcp.Seq_set
 module Tcp_sender = Ebrc_tcp.Tcp_sender
 module Tcp_receiver = Ebrc_tcp.Tcp_receiver
 module Loss_history = Ebrc_tfrc.Loss_history
@@ -72,6 +74,7 @@ module Tfrc_sender = Ebrc_tfrc.Tfrc_sender
 module Tfrc_receiver = Ebrc_tfrc.Tfrc_receiver
 module Probe_source = Ebrc_sources.Probe_source
 module Audio_source = Ebrc_sources.Audio_source
+module Flock = Ebrc_sources.Flock
 
 (* Evaluation *)
 module Breakdown = Ebrc_analysis.Breakdown

@@ -36,8 +36,13 @@ let cell = Table.cell_float
    identical for every [jobs], and tables built from it are
    byte-identical to the sequential run. *)
 (* Sweeps below this many points stay serial: the job handoff to
-   parked workers costs more than it saves on tiny grids. *)
-let par_threshold = 4
+   parked workers costs more than it saves on tiny grids. Raised from 4
+   after a bench record caught figure 3's quick sweep at 0.44x with 2
+   jobs — its flattened 25-point grid cleared the old threshold, but at
+   ~3 ms a point the pool handoff dominated. Figure 3 now hands the
+   pool whole rows (see below), and any sweep shorter than 8 tasks is
+   assumed to be in the same fine-grained regime. *)
+let par_threshold = 8
 
 let par_map ~jobs f xs =
   if jobs <= 1 || List.compare_length_with xs par_threshold < 0 then
@@ -157,30 +162,31 @@ let fig3 ?(jobs = 1) ~quick () =
   in
   let cv = 1.0 -. (1.0 /. 1000.0) in
   let make kind title =
-    (* Flatten the (p, L) grid so every point is one parallel task. *)
-    let grid = List.concat_map (fun p -> List.map (fun l -> (p, l)) ls) ps in
-    let vals =
+    (* One parallel task per p-row, not per point: a quick-mode point
+       is ~3 ms of work, and at that grain the pool's job handoff
+       dominated (a recorded 0.44x "speedup" at 2 jobs). Rows are
+       self-contained — each point reseeds from its own coordinates —
+       so tables stay byte-identical at any job count. Quick mode's 5
+       rows fall under [par_threshold] and run serial by design. *)
+    let rows =
       par_map ~jobs
-        (fun (p, l) ->
-          (run_basic ~seed:(1000 + l) ~kind ~l ~p ~cv ~cycles)
-            .Basic_control.normalized)
-        grid
+        (fun p ->
+          List.map
+            (fun l ->
+              (run_basic ~seed:(1000 + l) ~kind ~l ~p ~cv ~cycles)
+                .Basic_control.normalized)
+            ls)
+        ps
     in
     let t =
       Table.create ~title
         ~header:("p" :: List.map (fun l -> Printf.sprintf "L=%d" l) ls)
     in
-    let width = List.length ls in
-    let t, _ =
-      List.fold_left
-        (fun (t, vals) p ->
-          let row, rest = take_drop width vals in
-          ( Table.add_row t
-              (cell ~decimals:2 p :: List.map (cell ~decimals:3) row),
-            rest ))
-        (t, vals) ps
-    in
-    t
+    List.fold_left2
+      (fun t p row ->
+        Table.add_row t
+          (cell ~decimals:2 p :: List.map (cell ~decimals:3) row))
+      t ps rows
   in
   [
     make Formula.Sqrt

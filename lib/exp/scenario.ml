@@ -238,9 +238,8 @@ let run cfg =
            by the per-flow constant [rd] — FIFO, same as feedback. *)
         let ack_lane = Engine.lane engine in
         Tcp_receiver.set_ack_sink cr (fun ~acked ~dup ~echo ->
-            Engine.lane_push ack_lane
-              ~at:(Engine.now engine +. rd)
-              (fun () -> Tcp_sender.on_ack cs ~acked ~dup ~echo));
+            Engine.lane_push_after ack_lane ~delay:rd (fun () ->
+                Tcp_sender.on_ack cs ~acked ~dup ~echo));
         {
           cs;
           cr;
@@ -270,7 +269,7 @@ let run cfg =
   in
   (* --- forward demux --- *)
   Link.set_deliver link (fun pkt ->
-      let now = Engine.now engine in
+      let now = engine.Engine.now in
       let f = pkt.Packet.flow in
       (if f < cfg.n_tfrc then Tfrc_receiver.on_data tfrc_flows.(f).tr pkt
        else if f < cfg.n_tfrc + cfg.n_tcp then

@@ -199,8 +199,11 @@ let copy_packet (pkt : Packet.t) =
       (* Through the constructor so the copy participates in the
          freelist like any other data packet. *)
       Packet.data ~flow:pkt.flow ~seq:pkt.seq ~size:pkt.size
-        ~sent_at:pkt.sent_at
-  | _ -> { pkt with Packet.flow = pkt.flow }
+        ~sent_at:(Packet.sent_at pkt)
+  | _ ->
+      (* [Packet.copy], not [{ pkt with ... }]: a record copy would
+         alias the timestamp cell with the original. *)
+      Packet.copy pkt
 
 (* Deliver one packet through the spike / reorder perturbations. Any
    extra delay goes through the heap: a perturbed stream is no longer

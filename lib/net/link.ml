@@ -28,7 +28,8 @@ let m_link_drops =
 let m_link_delivered =
   Tm.Counter.make ~help:"packets delivered downstream" "link.delivered"
 
-(* Growable FIFO ring of packets. *)
+(* Growable FIFO ring of packets. Capacity is always a power of two
+   (64, doubled), so index wrap is a mask, not a division. *)
 type ring = {
   mutable buf : Packet.t array;
   mutable head : int;
@@ -42,19 +43,20 @@ let ring_push r pkt =
   if r.len = cap then begin
     let bigger = Array.make (2 * cap) Packet.dummy in
     for i = 0 to r.len - 1 do
-      bigger.(i) <- r.buf.((r.head + i) mod cap)
+      bigger.(i) <- r.buf.((r.head + i) land (cap - 1))
     done;
     r.buf <- bigger;
     r.head <- 0
   end;
-  r.buf.((r.head + r.len) mod Array.length r.buf) <- pkt;
+  let cap = Array.length r.buf in
+  r.buf.((r.head + r.len) land (cap - 1)) <- pkt;
   r.len <- r.len + 1
 
 let ring_pop r =
   if r.len = 0 then invalid_arg "Link: pop from empty ring";
   let pkt = r.buf.(r.head) in
   r.buf.(r.head) <- Packet.dummy;
-  r.head <- (r.head + 1) mod Array.length r.buf;
+  r.head <- (r.head + 1) land (Array.length r.buf - 1);
   r.len <- r.len - 1;
   pkt
 
@@ -88,7 +90,7 @@ let start_service t =
     t.busy <- true;
     t.in_service <- pkt;
     let tx = transmission_time t pkt in
-    Engine.lane_push t.svc_lane ~at:(Engine.now t.engine +. tx) t.service_done
+    Engine.lane_push_after t.svc_lane ~delay:tx t.service_done
   end
 
 let create ~engine ~rate_bps ~delay ~queue ~rng =
@@ -119,16 +121,14 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
   t.deliver_head <- (fun () -> t.deliver (ring_pop t.in_flight));
   t.service_done <-
     (fun () ->
-      Queue_discipline.departure t.queue ~now:(Engine.now t.engine);
+      Queue_discipline.departure t.queue ~now:(t.engine.Engine.now);
       let pkt = t.in_service in
       t.in_service <- Packet.dummy;
       t.delivered <- t.delivered + 1;
       t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
-      if Tm.is_on () then Tm.Counter.incr m_link_delivered;
+      if Atomic.get Tm.on then Tm.Counter.incr m_link_delivered;
       ring_push t.in_flight pkt;
-      Engine.lane_push t.del_lane
-        ~at:(Engine.now t.engine +. t.delay)
-        t.deliver_head;
+      Engine.lane_push_after t.del_lane ~delay:t.delay t.deliver_head;
       start_service t);
   t
 
@@ -136,11 +136,11 @@ let set_deliver t f = t.deliver <- f
 let set_on_drop t f = t.on_drop <- f
 
 let send t pkt =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   let u = if t.needs_u then Ebrc_rng.Prng.float_unit t.rng else 0.0 in
   match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
   | Queue_discipline.Drop ->
-      if Tm.is_on () then begin
+      if Atomic.get Tm.on then begin
         Tm.Counter.incr m_link_drops;
         (* The per-flow attribution the counters cannot carry. *)
         Tm.event "link.drop" ~time:now ~flow:pkt.Packet.flow

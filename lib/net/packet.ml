@@ -5,20 +5,21 @@
    appropriately (ACKs travel on the reverse path and are never dropped
    by the forward bottleneck in our topologies).
 
+   Float storage: [sent_at] lives in a one-cell flat float array
+   rather than a mutable record field. In a mixed int/float record the
+   float field is a boxed pointer, so every store allocates a fresh box
+   and (for tenured records) pays a write barrier; a flat float-array
+   cell is unboxed, so stores are plain memory writes. With that change a
+   recycled packet's refill — flow/seq/size ints, the constant [Data]
+   constructor, the sent_at cell — touches no GC machinery at all,
+   which is what makes the freelist below worth having.
+
    Data packets — the per-event bulk of a simulation — can be recycled
    through a per-domain freelist: [data] draws from it and [release]
    returns to it. Terminal consumers (the scenario demux callbacks and
    the link drop path) release; a packet must not be touched after
    release. Ack/Feedback packets carry fresh payload records anyway and
-   are not pooled.
-
-   Pooling is OFF by default (EBRC_POOL=1 or [set_pooling true] turns
-   it on): measured on the scenario bench it halves minor-heap traffic
-   but costs ~40% wall time, because reused records are tenured, so
-   every store of a boxed value (the [sent_at] float, young payloads)
-   into them pays a write barrier and promotes a box the minor GC
-   would otherwise collect for free. The freelist is kept for A/B
-   measurement — bench/main.exe records both sides. *)
+   are not pooled. *)
 
 type kind =
   | Data
@@ -36,10 +37,22 @@ type t = {
   mutable seq : int;             (* per-flow sequence number *)
   mutable size : int;            (* bytes *)
   mutable kind : kind;
-  mutable sent_at : float;       (* origination time (for RTT samples) *)
+  f : float array;               (* [0] = origination time (RTT samples) *)
 }
 
-let dummy = { flow = -1; seq = -1; size = 1; kind = Data; sent_at = 0.0 }
+let sent_at t = Array.unsafe_get t.f 0
+let set_sent_at t v = Array.unsafe_set t.f 0 v
+
+(* [ [| sent_at |] ] is an inline minor-heap allocation;
+   [Float.Array.create] would be a C call per packet. *)
+let make ~flow ~seq ~size ~kind ~sent_at =
+  { flow; seq; size; kind; f = [| sent_at |] }
+
+let dummy = make ~flow:(-1) ~seq:(-1) ~size:1 ~kind:Data ~sent_at:0.0
+
+let copy pkt =
+  { flow = pkt.flow; seq = pkt.seq; size = pkt.size; kind = pkt.kind;
+    f = [| Array.unsafe_get pkt.f 0 |] }
 
 type pool = { mutable free : t array; mutable free_size : int }
 
@@ -51,20 +64,22 @@ let set_pooling b = pooling := b
 
 let data ~flow ~seq ~size ~sent_at =
   if size <= 0 then invalid_arg "Packet.data: size must be positive";
-  if not !pooling then { flow; seq; size; kind = Data; sent_at }
+  if not !pooling then make ~flow ~seq ~size ~kind:Data ~sent_at
   else begin
     let p = Domain.DLS.get pool_key in
-    if p.free_size = 0 then { flow; seq; size; kind = Data; sent_at }
+    if p.free_size = 0 then make ~flow ~seq ~size ~kind:Data ~sent_at
     else begin
       let n = p.free_size - 1 in
       p.free_size <- n;
       let pkt = p.free.(n) in
       p.free.(n) <- dummy;
+      (* Barrier-free refill: ints, a constant constructor, and an
+         unboxed float cell. *)
       pkt.flow <- flow;
       pkt.seq <- seq;
       pkt.size <- size;
       pkt.kind <- Data;
-      pkt.sent_at <- sent_at;
+      Array.unsafe_set pkt.f 0 sent_at;
       pkt
     end
   end
@@ -85,16 +100,12 @@ let release pkt =
       end
 
 let ack ~flow ~seq ~acked ~dup ~sent_at =
-  { flow; seq; size = 40; kind = Ack { acked; dup }; sent_at }
+  make ~flow ~seq ~size:40 ~kind:(Ack { acked; dup }) ~sent_at
 
 let feedback ~flow ~seq ~p_estimate ~recv_rate ~rtt_echo ~hold ~sent_at =
-  {
-    flow;
-    seq;
-    size = 40;
-    kind = Feedback { p_estimate; recv_rate; rtt_echo; hold };
-    sent_at;
-  }
+  make ~flow ~seq ~size:40
+    ~kind:(Feedback { p_estimate; recv_rate; rtt_echo; hold })
+    ~sent_at
 
 let is_data t = match t.kind with Data -> true | Ack _ | Feedback _ -> false
 

@@ -124,13 +124,13 @@ let offer ?(bytes = 1000) t ~now ~u =
   | Drop_tail ->
       if t.occupancy >= t.capacity then begin
         t.drops <- t.drops + 1;
-        if Tm.is_on () then Tm.Counter.incr m_drops;
+        if Atomic.get Tm.on then Tm.Counter.incr m_drops;
         Drop
       end
       else begin
         t.occupancy <- t.occupancy + 1;
         t.enqueues <- t.enqueues + 1;
-        if Tm.is_on () then begin
+        if Atomic.get Tm.on then begin
           Tm.Counter.incr m_enqueues;
           Tm.Gauge.set m_occupancy (float_of_int t.occupancy)
         end;
@@ -173,14 +173,14 @@ let offer ?(bytes = 1000) t ~now ~u =
       | Drop ->
           t.drops <- t.drops + 1;
           t.count <- 0;
-          if Tm.is_on () then begin
+          if Atomic.get Tm.on then begin
             Tm.Counter.incr m_drops;
             Tm.Counter.incr (if !forced then m_red_forced else m_red_early)
           end
       | Enqueue ->
           t.occupancy <- t.occupancy + 1;
           t.enqueues <- t.enqueues + 1;
-          if Tm.is_on () then begin
+          if Atomic.get Tm.on then begin
             Tm.Counter.incr m_enqueues;
             Tm.Gauge.set m_occupancy (float_of_int t.occupancy)
           end;

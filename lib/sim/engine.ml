@@ -6,16 +6,25 @@
    the heap (O(1) cancel, lazily discarded on pop) — the standard
    technique for simulators with many retransmit-timer resets.
 
-   Hot-path allocation: event records are recycled through a per-engine
-   freelist (most callers never cancel, so [schedule_unit] shares one
-   never-cancelled handle and a steady-state run allocates no event
-   records at all), and the run loop peeks/pops through the queue's
-   allocation-free accessors. *)
+   Event core v3: by default every bounded-horizon event rides a
+   hierarchical timing wheel ({!Timing_wheel}) with the binary heap
+   demoted to overflow/far-future duty; the PR 4 FIFO lanes are
+   subsumed (a wheel-mode lane is just a FIFO-contract checker in front
+   of the wheel). The wheel draws tie-break tickets from the heap's own
+   sequence counter and compares exact (time, seq) at extraction, so
+   the merged dispatch order — and therefore every trace, counter, and
+   figure byte — is identical to a pure-heap run ([EBRC_WHEEL=0]).
+
+   Hot-path allocation: wheel-accepted events store their fire thunk
+   directly in the slot arrays (no event record at all); heap events
+   can be recycled through a per-engine freelist (most callers never
+   cancel, so [schedule_unit] shares one never-cancelled handle), and
+   the run loop peeks/pops through allocation-free accessors. *)
 
 module Tm = Ebrc_telemetry.Telemetry
 
 (* Registered once at module init; recording is gated on
-   [Tm.is_on ()] so the disabled hot path pays one atomic load and a
+   [Atomic.get Tm.on] so the disabled hot path pays one atomic load and a
    branch per instrumentation point. *)
 let m_scheduled =
   Tm.Counter.make ~help:"events pushed onto the simulator queue"
@@ -55,21 +64,40 @@ type lane = {
   mutable l_fires : (unit -> unit) array;
   mutable l_head : int;
   mutable l_len : int;
-  mutable l_last : float;  (* time of the newest entry; FIFO guard *)
+  l_last : floatarray;
+      (* [0] = time of the newest entry; the FIFO guard. A floatarray
+         cell, not a mutable float field: it is stored on every push,
+         and a float field in this mixed record would be a boxed
+         pointer — allocation plus write barrier per store. *)
 }
 
 and t = {
   queue : event Event_queue.t;
   mutable now : float;
+      (* Boxed field, deliberately: [now] is read (cross-module) far
+         more often than it is stored, and returning the field is just
+         the existing box — a floatarray cell here measured {e worse},
+         because every [Engine.now] call would box a fresh float. *)
   mutable processed : int;
   mutable horizon : float;
   mutable pool : event array;
   mutable pool_size : int;
   mutable lanes : lane array;
   mutable n_lanes : int;
+  wheel : handle Timing_wheel.t;
+  use_wheel : bool;  (* sampled from the global toggle at [create] *)
 }
 
 let dummy_event = { fire = nop; handle = no_handle }
+
+(* Global A/B toggle (precedent: set_fast_lanes, set_pooling). Sampled
+   once per engine at [create]: flip only between engine creations.
+   With the wheel off and lanes on, scheduling behaves exactly as in
+   the PR 4 event core; with both off, it is the pure-heap baseline.
+   All three modes fire the same events in the same order. *)
+let wheel_on = ref (Sys.getenv_opt "EBRC_WHEEL" <> Some "0")
+let set_wheel b = wheel_on := b
+let wheel_enabled () = !wheel_on
 
 let create () =
   {
@@ -81,13 +109,15 @@ let create () =
     pool_size = 0;
     lanes = [||];
     n_lanes = 0;
+    wheel = Timing_wheel.create ~null:no_handle ();
+    use_wheel = !wheel_on;
   }
 
 let now t = t.now
 let processed t = t.processed
 
 let pending t =
-  let n = ref (Event_queue.size t.queue) in
+  let n = ref (Event_queue.size t.queue + Timing_wheel.count t.wheel) in
   for i = 0 to t.n_lanes - 1 do
     n := !n + t.lanes.(i).l_len
   done;
@@ -122,46 +152,64 @@ let recycle t ev =
   t.pool_size <- t.pool_size + 1
   end
 
+(* Call gated at each site ([if Atomic.get Tm.on then ...]): without
+   flambda an intra-module call is never inlined, so the gate must
+   live in the caller for the disabled path to cost one load. *)
 let note_scheduled t =
-  if Tm.is_on () then begin
-    Tm.Counter.incr m_scheduled;
-    Tm.Gauge.set m_depth (float_of_int (pending t))
-  end
+  Tm.Counter.incr m_scheduled;
+  Tm.Gauge.set m_depth (float_of_int (pending t))
 
-let check_at t at =
-  (* [not (at >= now)] also rejects NaN, which would otherwise poison
-     the queue ordering. *)
-  if not (at >= t.now) then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
-         t.now)
+(* Cold path of the past/NaN check. The compare itself ([at >= t.now],
+   which also rejects NaN) is inlined at each call site — without
+   flambda a [check_at] helper would cost a call per schedule. *)
+let check_at_fail t at =
+  invalid_arg
+    (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
+       t.now)
+
+(* Insert with a caller-supplied handle. The [fits] check runs before
+   any ticket is drawn: a wheel-accepted event takes its ticket via
+   [Event_queue.take_seq], an overflow event lets the heap push draw
+   the very same counter value — so tickets are issued in scheduling
+   order regardless of destination, which is the whole bit-identity
+   argument. *)
+let insert t ~at fire handle =
+  if t.use_wheel && Timing_wheel.try_push t.wheel t.queue ~now:t.now ~at fire handle
+  then ()
+  else Event_queue.push t.queue ~time:at (alloc_event t fire handle)
 
 let schedule t ~at fire =
-  check_at t at;
+  if not (at >= t.now) then check_at_fail t at;
   let handle = { cancelled = false } in
-  Event_queue.push t.queue ~time:at (alloc_event t fire handle);
-  note_scheduled t;
+  insert t ~at fire handle;
+  if Atomic.get Tm.on then note_scheduled t;
   handle
 
 let schedule_unit t ~at fire =
-  check_at t at;
-  Event_queue.push t.queue ~time:at (alloc_event t fire no_handle);
-  note_scheduled t
+  if not (at >= t.now) then check_at_fail t at;
+  insert t ~at fire no_handle;
+  if Atomic.get Tm.on then note_scheduled t
 
 (* A negative delay would silently schedule into the simulated past and
    a NaN delay would poison queue ordering; both are caller bugs, so
-   reject loudly rather than clamp. [not (delay >= 0)] catches both. *)
-let check_delay delay =
+   reject loudly rather than clamp. [not (delay >= 0)] catches both.
+   The message names the scheduler that rejected the delay — the
+   contract is identical on both, but a report against one mode should
+   say which event core it came from. *)
+let check_delay t delay =
   if not (delay >= 0.0) then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_after: negative or NaN delay %g" delay)
+      (Printf.sprintf
+         "Engine.schedule_after (%s scheduler): negative or NaN delay %g"
+         (if t.use_wheel then "wheel" else "heap")
+         delay)
 
 let schedule_after t ~delay fire =
-  check_delay delay;
+  check_delay t delay;
   schedule t ~at:(t.now +. delay) fire
 
 let schedule_after_unit t ~delay fire =
-  check_delay delay;
+  check_delay t delay;
   schedule_unit t ~at:(t.now +. delay) fire
 
 (* ------------------------------ lanes ------------------------------ *)
@@ -175,27 +223,43 @@ let set_fast_lanes b = lanes_on := b
 let fast_lanes_enabled () = !lanes_on
 
 let lane t =
-  let ln =
+  if t.use_wheel then
+    (* Subsumed by the wheel: the lane keeps its FIFO-contract guard
+       ([l_last]) but holds no ring and is not registered, so the run
+       loop's lane scan stays empty and disappears from the hot path.
+       Pushes route through the wheel like any other event. *)
     {
       l_eng = t;
-      l_times = Array.make 64 0.0;
-      l_seqs = Array.make 64 0;
-      l_fires = Array.make 64 nop;
+      l_times = [||];
+      l_seqs = [||];
+      l_fires = [||];
       l_head = 0;
       l_len = 0;
-      l_last = neg_infinity;
+      l_last = Float.Array.make 1 neg_infinity;
     }
-  in
-  if t.n_lanes = Array.length t.lanes then begin
-    (* Filler slots hold the new lane; iteration is bounded by
-       [n_lanes] so they are never visited. *)
-    let bigger = Array.make (max 4 (2 * t.n_lanes)) ln in
-    Array.blit t.lanes 0 bigger 0 t.n_lanes;
-    t.lanes <- bigger
-  end;
-  t.lanes.(t.n_lanes) <- ln;
-  t.n_lanes <- t.n_lanes + 1;
-  ln
+  else begin
+    let ln =
+      {
+        l_eng = t;
+        l_times = Array.make 64 0.0;
+        l_seqs = Array.make 64 0;
+        l_fires = Array.make 64 nop;
+        l_head = 0;
+        l_len = 0;
+        l_last = Float.Array.make 1 neg_infinity;
+      }
+    in
+    if t.n_lanes = Array.length t.lanes then begin
+      (* Filler slots hold the new lane; iteration is bounded by
+         [n_lanes] so they are never visited. *)
+      let bigger = Array.make (max 4 (2 * t.n_lanes)) ln in
+      Array.blit t.lanes 0 bigger 0 t.n_lanes;
+      t.lanes <- bigger
+    end;
+    t.lanes.(t.n_lanes) <- ln;
+    t.n_lanes <- t.n_lanes + 1;
+    ln
+  end
 
 let lane_depth ln = ln.l_len
 
@@ -217,14 +281,28 @@ let lane_grow ln =
 
 let lane_push ln ~at fire =
   let t = ln.l_eng in
-  if not !lanes_on then schedule_unit t ~at fire
-  else begin
-    check_at t at;
-    if at < ln.l_last then
+  if t.use_wheel then begin
+    (* Wheel mode keeps the lane's FIFO-contract check (callers still
+       promise time-ordered streams; a violation is a caller bug worth
+       catching in every mode) but the event itself rides the wheel. *)
+    if not (at >= t.now) then check_at_fail t at;
+    if at < Float.Array.unsafe_get ln.l_last 0 then
       invalid_arg
         (Printf.sprintf
            "Engine.lane_push: time %g below lane tail %g (FIFO violated)" at
-           ln.l_last);
+           (Float.Array.unsafe_get ln.l_last 0));
+    Float.Array.unsafe_set ln.l_last 0 at;
+    insert t ~at fire no_handle;
+    if Atomic.get Tm.on then note_scheduled t
+  end
+  else if not !lanes_on then schedule_unit t ~at fire
+  else begin
+    if not (at >= t.now) then check_at_fail t at;
+    if at < Float.Array.unsafe_get ln.l_last 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.lane_push: time %g below lane tail %g (FIFO violated)" at
+           (Float.Array.unsafe_get ln.l_last 0));
     let cap = Array.length ln.l_times in
     if ln.l_len = cap then lane_grow ln;
     let cap = Array.length ln.l_times in
@@ -234,9 +312,16 @@ let lane_push ln ~at fire =
     ln.l_seqs.(i) <- Event_queue.take_seq t.queue;
     ln.l_fires.(i) <- fire;
     ln.l_len <- ln.l_len + 1;
-    ln.l_last <- at;
-    note_scheduled t
+    Float.Array.unsafe_set ln.l_last 0 at;
+    if Atomic.get Tm.on then note_scheduled t
   end
+
+(* Every lane producer schedules at (now + constant delay); computing
+   the sum here spares each push a cross-module [now] call. The float
+   arithmetic is the same, so the resulting [at] — and the dispatch
+   order — is bit-identical to the two-call spelling. *)
+let lane_push_after ln ~delay fire =
+  lane_push ln ~at:(ln.l_eng.now +. delay) fire
 
 let lane_pop ln =
   let i = ln.l_head in
@@ -265,12 +350,44 @@ let rec scan_lanes t i best best_time best_seq =
   end
 
 let select_source t =
-  if t.n_lanes = 0 then (if Event_queue.is_empty t.queue then -1 else 0)
-  else if Event_queue.is_empty t.queue then
-    scan_lanes t 0 (-1) infinity max_int
+  let q = t.queue in
+  if t.n_lanes = 0 then (if q.Event_queue.size = 0 then -1 else 0)
+  else if q.Event_queue.size = 0 then scan_lanes t 0 (-1) infinity max_int
   else
-    scan_lanes t 0 0 (Event_queue.top_time t.queue)
-      (Event_queue.top_seq t.queue)
+    scan_lanes t 0 0
+      (Array.unsafe_get q.Event_queue.times 0)
+      (Array.unsafe_get q.Event_queue.seqs 0)
+
+(* Earliest source across wheel + heap + lanes: -2 = wheel, 0 = heap,
+   i+1 = lane i, -1 = everything empty. Returns a bare int (the caller
+   recomputes the time by branch) so the hot loop allocates nothing;
+   the wheel minimum is read through direct field loads because a
+   cross-module float-returning call would box its result on every
+   peek. In wheel mode no lane ever registers, so the merge is wheel
+   vs heap-overflow only. *)
+let select_all t =
+  if not t.use_wheel then select_source t
+  else begin
+    let w = t.wheel in
+    let q = t.queue in
+    if w.Timing_wheel.count0 = 0 && w.Timing_wheel.count1 = 0 then
+      (if q.Event_queue.size = 0 then -1 else 0)
+    else begin
+      Timing_wheel.ensure w;
+      if q.Event_queue.size = 0 then -2
+      else begin
+        let wt = Float.Array.unsafe_get w.Timing_wheel.fmin 0 in
+        let ht = Array.unsafe_get q.Event_queue.times 0 in
+        if
+          wt < ht
+          || (wt = ht
+              && w.Timing_wheel.min_seq
+                 < Array.unsafe_get q.Event_queue.seqs 0)
+        then -2
+        else 0
+      end
+    end
+  end
 
 let cancel handle = handle.cancelled <- true
 let is_cancelled handle = handle.cancelled
@@ -344,14 +461,15 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
   (try
      let continue = ref true in
      while !continue do
-       let src = select_source t in
-       if src < 0 then begin
+       let src = select_all t in
+       if src = -1 then begin
          reason := Queue_empty;
          continue := false
        end
        else begin
          let time =
-           if src = 0 then Event_queue.top_time t.queue
+           if src = -2 then Float.Array.unsafe_get t.wheel.Timing_wheel.fmin 0
+           else if src = 0 then Array.unsafe_get t.queue.Event_queue.times 0
            else
              let ln = t.lanes.(src - 1) in
              ln.l_times.(ln.l_head)
@@ -379,12 +497,40 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
            reason := Horizon_reached;
            continue := false
          end
+         else if src = -2 then begin
+           (* Wheel events mirror the heap pop exactly: a cancelled
+              entry is dispatched and discarded without advancing
+              [now], a live one fires. The handle is read through the
+              exposed fields (valid: select_all just ran [ensure]);
+              the flag gate means never-cancelled entries skip the
+              handle load entirely. *)
+           let w = t.wheel in
+           let idx = w.Timing_wheel.min_idx in
+           let cancelled =
+             Bytes.unsafe_get w.Timing_wheel.flags idx <> '\000'
+             && (w.Timing_wheel.handles.(idx)).cancelled
+           in
+           let fire = Timing_wheel.drop_min t.wheel in
+           if cancelled then begin
+             if Atomic.get Tm.on then Tm.Counter.incr m_discarded
+           end
+           else begin
+             t.now <- time;
+             t.processed <- t.processed + 1;
+             if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+             fire ();
+             if t.processed >= max_events then begin
+               reason := Budget_exhausted;
+               continue := false
+             end
+           end
+         end
          else if src > 0 then begin
            (* Lane events are never cancelled, so no discard branch. *)
            let fire = lane_pop t.lanes.(src - 1) in
            t.now <- time;
            t.processed <- t.processed + 1;
-           if Tm.is_on () then Tm.Counter.incr m_fired;
+           if Atomic.get Tm.on then Tm.Counter.incr m_fired;
            fire ();
            if t.processed >= max_events then begin
              reason := Budget_exhausted;
@@ -395,12 +541,12 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
            let ev = Event_queue.pop_exn t.queue in
            if ev.handle.cancelled then begin
              recycle t ev;
-             if Tm.is_on () then Tm.Counter.incr m_discarded
+             if Atomic.get Tm.on then Tm.Counter.incr m_discarded
            end
            else begin
              t.now <- time;
              t.processed <- t.processed + 1;
-             if Tm.is_on () then Tm.Counter.incr m_fired;
+             if Atomic.get Tm.on then Tm.Counter.incr m_fired;
              let fire = ev.fire in
              recycle t ev;
              fire ();

@@ -1,10 +1,45 @@
 (** Discrete-event simulation engine: thunks scheduled at absolute times,
     O(1) timer cancellation, deterministic processing order. *)
 
-type t
 type handle
+type event
+
+type lane
+(** A FIFO fast lane; see below. *)
+
+type t = private {
+  queue : event Event_queue.t;
+  mutable now : float;
+  mutable processed : int;
+  mutable horizon : float;
+  mutable pool : event array;
+  mutable pool_size : int;
+  mutable lanes : lane array;
+  mutable n_lanes : int;
+  wheel : handle Timing_wheel.t;
+  use_wheel : bool;
+}
+(** Exposed [private] (precedent: {!Timing_wheel.t}) so per-packet
+    callers can read the clock as a direct field load
+    ([eng.Engine.now]): without flambda a cross-module call cannot be
+    inlined, and the simulator reads the clock several times per
+    event. [private] keeps every field read-only outside this module —
+    all mutation still goes through the API. *)
 
 val create : unit -> t
+
+val set_wheel : bool -> unit
+(** A/B toggle for event core v3 (default on; set [EBRC_WHEEL=0] to
+    disable). With the wheel on, every bounded-horizon event rides a
+    two-level hierarchical {!Timing_wheel} and the binary heap is
+    demoted to overflow/far-future duty; FIFO lanes are subsumed. The
+    wheel draws tie-break tickets from the heap's sequence counter and
+    extracts by exact (time, seq), so all modes fire the same events
+    in the same order with identical telemetry counters — results are
+    bit-identical. Sampled once per engine at {!create}: flip only
+    between engine creations. *)
+
+val wheel_enabled : unit -> bool
 
 val set_pooling : bool -> unit
 (** Toggle event-record recycling through the per-engine freelist. Off
@@ -23,7 +58,9 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** Raises [Invalid_argument] if [delay] is negative or NaN — a
-    negative delay would otherwise schedule into the simulated past. *)
+    negative delay would otherwise schedule into the simulated past.
+    The contract holds identically on the wheel and heap paths; the
+    error message names which scheduler rejected the delay. *)
 
 val schedule_unit : t -> at:float -> (unit -> unit) -> unit
 (** Like {!schedule} for events that are never cancelled: shares one
@@ -45,9 +82,12 @@ val is_cancelled : handle -> bool
     lane: a growable ring with O(1) push/pop. The run loop k-way-merges
     lane heads with the heap top by (time, seq), and lane pushes draw
     tie-break tickets from the heap's own sequence counter, so the
-    merged fire order is bit-identical to a pure-heap run. *)
+    merged fire order is bit-identical to a pure-heap run.
 
-type lane
+    With the wheel enabled ({!set_wheel}) lanes are subsumed: a lane
+    still enforces its FIFO contract, but its events ride the wheel and
+    the lane scan vanishes from the run loop. {!lane_depth} is then
+    always 0. *)
 
 val set_fast_lanes : bool -> unit
 (** A/B toggle (default on; set [EBRC_LANES=0] to disable). With lanes
@@ -64,6 +104,12 @@ val lane_push : lane -> at:float -> (unit -> unit) -> unit
 (** Append an event to the lane. Raises [Invalid_argument] if [at] is
     in the past, NaN, or below the lane's newest entry (the caller's
     FIFO proof is violated). *)
+
+val lane_push_after : lane -> delay:float -> (unit -> unit) -> unit
+(** [lane_push_after ln ~delay fire] is exactly
+    [lane_push ln ~at:(now t +. delay) fire] — same float arithmetic,
+    so the schedule is bit-identical — minus one cross-module [now]
+    call on a very hot path. *)
 
 val lane_depth : lane -> int
 

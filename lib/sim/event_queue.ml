@@ -1,5 +1,13 @@
 (* Binary min-heap of timestamped events with stable FIFO tie-breaking.
 
+   Since event core v3 this heap serves overflow/far-future duty: the
+   engine routes bounded-horizon events onto a hierarchical timing
+   wheel and only events past the wheel window (or with the wheel
+   disabled) land here. The sequence counter below remains the single
+   source of tie-break tickets for every scheduler — wheel, lanes, and
+   heap — which is what keeps their merged dispatch order identical to
+   a pure-heap run.
+
    Ties matter: a packet arrival and a timer expiring at the same instant
    must be processed in schedule order for the simulation to be
    deterministic across runs. We break ties with a monotonically

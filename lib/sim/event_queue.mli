@@ -2,7 +2,22 @@
     so simultaneous events are processed in schedule order and runs are
     deterministic. *)
 
-type 'a t
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+(** Exposed concrete — and not [private] — for the two in-library
+    consumers on the per-event path: the engine's run loop peeks
+    [size]/[times.(0)]/[seqs.(0)] as direct loads, and
+    {!Timing_wheel.try_push} draws a tie-break ticket inline (a load
+    and an increment of [next_seq], exactly what {!take_seq} does)
+    instead of paying a cross-module call per scheduled event. Treat
+    the fields as read-only everywhere else; [payloads] holds [Obj.t]
+    by design (see the implementation) and must never be touched
+    outside this module. *)
 
 val create : unit -> 'a t
 val size : 'a t -> int

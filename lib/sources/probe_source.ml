@@ -58,7 +58,7 @@ let send_loop t =
       t.sent <- t.sent + 1;
       t.transmit pkt;
       (* Each tick pushes the next strictly later — FIFO per source. *)
-      Engine.lane_push t.send_lane ~at:(Engine.now t.engine +. next_gap t) tick
+      Engine.lane_push_after t.send_lane ~delay:(next_gap t) tick
     end
   in
   tick ()

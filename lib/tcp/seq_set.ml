@@ -1,0 +1,86 @@
+(* Open-addressing set of sequence numbers (non-negative ints).
+
+   Replaces [(int, unit) Hashtbl.t] on the TCP per-packet paths: the
+   generic hashtable pays a [caml_hash] C call per probe and a
+   polymorphic-compare C call per key test, which together were a
+   measurable slice of a scenario run. Here membership is a linear
+   probe over a flat int array — sequence numbers arrive nearly
+   consecutively, so the identity hash distributes perfectly and
+   probes almost never collide.
+
+   Deletion uses tombstones; the table rehashes when live + dead
+   entries pass half the capacity, which bounds probe lengths and
+   recycles tombstones. Capacities are powers of two. *)
+
+let empty_key = min_int
+let tomb_key = min_int + 1
+
+type t = {
+  mutable slots : int array;
+  mutable mask : int;
+  mutable live : int;
+  mutable used : int; (* live + tombstones *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = ref 16 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap empty_key;
+    mask = !cap - 1;
+    live = 0;
+    used = 0;
+  }
+
+let cardinal t = t.live
+
+(* Probe until [seq] or an empty slot; tombstones are skipped. The
+   table always keeps empty slots (rehash below half load), so the
+   walk terminates. *)
+let rec find_from slots mask seq i =
+  let k = Array.unsafe_get slots i in
+  if k = seq || k = empty_key then i
+  else find_from slots mask seq ((i + 1) land mask)
+
+let mem t seq = t.slots.(find_from t.slots t.mask seq (seq land t.mask)) = seq
+
+let rec insert_raw slots mask seq i =
+  let k = Array.unsafe_get slots i in
+  if k = seq then false
+  else if k = empty_key || k = tomb_key then begin
+    Array.unsafe_set slots i seq;
+    true
+  end
+  else insert_raw slots mask seq ((i + 1) land mask)
+
+let rehash t cap =
+  let slots = Array.make cap empty_key in
+  let mask = cap - 1 in
+  Array.iter
+    (fun k ->
+      if k <> empty_key && k <> tomb_key then
+        ignore (insert_raw slots mask k (k land mask)))
+    t.slots;
+  t.slots <- slots;
+  t.mask <- mask;
+  t.used <- t.live
+
+let add t seq =
+  if seq < 0 then invalid_arg "Seq_set.add: negative sequence number";
+  if 2 * (t.used + 1) > t.mask + 1 then
+    (* Grow only when at least half the occupancy is live; otherwise
+       same-size rehash just clears tombstones. *)
+    rehash t (if 4 * t.live > t.mask + 1 then 2 * (t.mask + 1) else t.mask + 1);
+  if insert_raw t.slots t.mask seq (seq land t.mask) then begin
+    t.live <- t.live + 1;
+    t.used <- t.used + 1
+  end
+
+let remove t seq =
+  let i = find_from t.slots t.mask seq (seq land t.mask) in
+  if t.slots.(i) = seq then begin
+    t.slots.(i) <- tomb_key;
+    t.live <- t.live - 1
+  end

@@ -13,7 +13,7 @@ type t = {
   engine : Engine.t;
   flow : int;
   mutable expected : int;               (* next in-order sequence wanted *)
-  out_of_order : (int, unit) Hashtbl.t;
+  out_of_order : Seq_set.t;
   mutable delayed : int;                (* in-order packets since last ACK *)
   ack_every : int;                      (* b: packets per ACK *)
   delack_timeout : float;
@@ -32,7 +32,7 @@ let create ?(ack_every = 2) ?(delack_timeout = 0.1) ~engine ~flow () =
     engine;
     flow;
     expected = 0;
-    out_of_order = Hashtbl.create 64;
+    out_of_order = Seq_set.create ~capacity:64 ();
     delayed = 0;
     ack_every;
     delack_timeout;
@@ -62,7 +62,11 @@ let ack_now t ~dup ~echo =
   t.send_ack ~acked:(t.expected - 1) ~dup ~echo
 
 let arm_delack t =
-  if t.delack_timer = None then
+  (* [match], not [= None]: option equality is a polymorphic-compare
+     call, and this runs per in-order packet. *)
+  match t.delack_timer with
+  | Some _ -> ()
+  | None ->
     t.delack_timer <-
       Some
         (Engine.schedule_after t.engine ~delay:t.delack_timeout (fun () ->
@@ -73,26 +77,28 @@ let on_data t (pkt : Ebrc_net.Packet.t) =
   t.received <- t.received + 1;
   t.bytes <- t.bytes + pkt.size;
   let seq = pkt.seq in
-  t.last_echo <- pkt.sent_at;
+  (* Read the timestamp once: each cross-module read of the unboxed
+     cell boxes a fresh float. *)
+  let stamp = Ebrc_net.Packet.sent_at pkt in
+  t.last_echo <- stamp;
   if seq = t.expected then begin
     t.expected <- t.expected + 1;
-    let filled_gap = Hashtbl.length t.out_of_order > 0 in
-    while Hashtbl.mem t.out_of_order t.expected do
-      Hashtbl.remove t.out_of_order t.expected;
+    let filled_gap = Seq_set.cardinal t.out_of_order > 0 in
+    while Seq_set.mem t.out_of_order t.expected do
+      Seq_set.remove t.out_of_order t.expected;
       t.expected <- t.expected + 1
     done;
     t.delayed <- t.delayed + 1;
     if filled_gap || t.delayed >= t.ack_every then
-      ack_now t ~dup:false ~echo:pkt.sent_at
+      ack_now t ~dup:false ~echo:stamp
     else arm_delack t
   end
   else if seq > t.expected then begin
-    if not (Hashtbl.mem t.out_of_order seq) then
-      Hashtbl.replace t.out_of_order seq ();
+    Seq_set.add t.out_of_order seq;
     (* Out-of-order: duplicate ACK, sent immediately, without resetting
        the in-order delayed count. *)
-    t.send_ack ~acked:(t.expected - 1) ~dup:true ~echo:pkt.sent_at
+    t.send_ack ~acked:(t.expected - 1) ~dup:true ~echo:stamp
   end
   else
     (* Stale duplicate (a spurious retransmission): re-ACK immediately. *)
-    ack_now t ~dup:false ~echo:pkt.sent_at
+    ack_now t ~dup:false ~echo:stamp

@@ -58,7 +58,7 @@ type t = {
   mutable timer : Engine.handle option;
   mutable timed_seq : int;             (* Karn: seq being timed, -1 none *)
   mutable timed_at : float;
-  mutable retransmitted : (int, unit) Hashtbl.t;
+  mutable retransmitted : Seq_set.t;
   (* --- statistics --- *)
   mutable packets_sent : int;
   mutable retransmits : int;
@@ -97,7 +97,7 @@ let create ?(packet_size = 1000) ?(initial_cwnd = 2.0) ?(max_window = 1e9)
     timer = None;
     timed_seq = -1;
     timed_at = 0.0;
-    retransmitted = Hashtbl.create 64;
+    retransmitted = Seq_set.create ~capacity:64 ();
     packets_sent = 0;
     retransmits = 0;
     timeouts = 0;
@@ -120,7 +120,7 @@ let window t = Float.min t.cwnd t.max_window
 (* --- loss-event accounting (paper definition) --- *)
 
 let note_congestion_event t =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   let window = if t.srtt > 0.0 then t.srtt else t.rto in
   if now -. t.last_event_at > window then begin
     if t.loss_events > 0 then
@@ -146,11 +146,11 @@ let rec arm_timer t =
   t.timer <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_timeout t))
 
 and send_segment t ~seq ~retransmission =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   let pkt = Packet.data ~flow:t.flow ~seq ~size:t.packet_size ~sent_at:now in
   if retransmission then begin
     t.retransmits <- t.retransmits + 1;
-    Hashtbl.replace t.retransmitted seq ();
+    Seq_set.add t.retransmitted seq;
     (* Karn: never time a retransmitted segment. *)
     if t.timed_seq = seq then t.timed_seq <- -1
   end
@@ -171,7 +171,9 @@ and try_send t =
     t.snd_nxt <- t.snd_nxt + 1;
     sent_any := true
   done;
-  if !sent_any && t.timer = None then arm_timer t
+  (match t.timer with
+   | None when !sent_any -> arm_timer t
+   | _ -> ())
 
 and on_timeout t =
   t.timer <- None;
@@ -180,7 +182,7 @@ and on_timeout t =
     if Tm.is_on () then begin
       Tm.Counter.incr m_timeouts;
       Tm.Counter.incr m_cwnd_halved;
-      Tm.event "tcp.timeout" ~time:(Engine.now t.engine) ~flow:t.flow
+      Tm.event "tcp.timeout" ~time:(t.engine.Engine.now) ~flow:t.flow
         ~value:t.cwnd
     end;
     note_congestion_event t;
@@ -219,7 +221,7 @@ let enter_fast_recovery t =
   if Tm.is_on () then begin
     Tm.Counter.incr m_fast_retx;
     Tm.Counter.incr m_cwnd_halved;
-    Tm.event "tcp.fast_retransmit" ~time:(Engine.now t.engine) ~flow:t.flow
+    Tm.event "tcp.fast_retransmit" ~time:(t.engine.Engine.now) ~flow:t.flow
       ~value:t.cwnd
   end;
   note_congestion_event t;
@@ -241,13 +243,13 @@ let enter_fast_recovery t =
   arm_timer t
 
 let on_ack t ~acked ~dup ~echo:_ =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   if acked >= t.snd_una then begin
     (* New (or repeated-but-advancing) cumulative ACK. *)
     if acked >= t.snd_una && not dup then begin
       (* RTT sample via the timed segment (Karn's rule). *)
       if t.timed_seq >= 0 && acked >= t.timed_seq
-         && not (Hashtbl.mem t.retransmitted t.timed_seq) then begin
+         && not (Seq_set.mem t.retransmitted t.timed_seq) then begin
         update_rtt t (now -. t.timed_at);
         t.timed_seq <- -1
       end;

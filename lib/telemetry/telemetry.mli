@@ -29,6 +29,14 @@ val set_enabled : bool -> unit
 
 val is_on : unit -> bool
 
+val on : bool Atomic.t
+(** The enable gate behind {!is_on}. Hot paths may read it directly
+    ([Atomic.get Telemetry.on]): [Atomic.get] is a compiler primitive,
+    so the check compiles to one load-and-branch even without
+    cross-module inlining, where calling {!is_on} would cost a
+    function call per instrumentation site. Treat as read-only —
+    writes go through {!set_enabled}. *)
+
 val wall_now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]); the clock used by spans
     and by the pool's chunk timings. *)

@@ -55,7 +55,7 @@ let set_rtt t rtt =
   if rtt > 0.0 then t.feedback_interval <- rtt
 
 let emit_report t =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   let elapsed = now -. t.last_report_at in
   let recv_rate =
     if elapsed <= 0.0 then 0.0
@@ -80,18 +80,18 @@ let feedback_loop t =
   let rec tick () =
     emit_report t;
     Engine.lane_push t.fb_lane
-      ~at:(Engine.now t.engine +. t.feedback_interval)
+      ~at:(t.engine.Engine.now +. t.feedback_interval)
       tick
   in
   Engine.lane_push t.fb_lane
-    ~at:(Engine.now t.engine +. t.feedback_interval)
+    ~at:(t.engine.Engine.now +. t.feedback_interval)
     tick
 
 let on_data t (pkt : Packet.t) =
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   t.received <- t.received + 1;
   t.bytes <- t.bytes + pkt.size;
-  t.last_data_stamp <- pkt.sent_at;
+  t.last_data_stamp <- (Packet.sent_at pkt);
   t.last_data_arrival <- now;
   if Float.is_nan t.first_recv_at then t.first_recv_at <- now;
   t.last_recv_at <- now;

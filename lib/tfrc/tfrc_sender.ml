@@ -101,15 +101,19 @@ and send_loop t =
   if t.running then begin
     let pkt =
       Packet.data ~flow:t.flow ~seq:t.seq ~size:t.packet_size
-        ~sent_at:(Engine.now t.engine)
+        ~sent_at:(t.engine.Engine.now)
     in
     t.seq <- t.seq + 1;
     t.sent <- t.sent + 1;
     t.transmit pkt;
-    let gap = 1.0 /. Float.max t.rate t.min_rate in
+    (* Not [Float.max]: both operands are positive and non-NaN, and
+       the stdlib's NaN/-0 handling is a [caml_signbit] C call per
+       packet. *)
+    let floor_ = if t.rate > t.min_rate then t.rate else t.min_rate in
+    let gap = 1.0 /. floor_ in
     (* Each tick schedules the next strictly later, and rate changes
        only affect ticks not yet pushed — FIFO holds per sender. *)
-    Engine.lane_push t.send_lane ~at:(Engine.now t.engine +. gap) t.send_tick
+    Engine.lane_push_after t.send_lane ~delay:gap t.send_tick
   end
 
 let set_transmit t f = t.transmit <- f
@@ -126,9 +130,9 @@ let set_rate t rate =
   let rate = Float.min (Float.max rate t.min_rate) t.max_rate in
   t.rate <- rate;
   Welford.add t.rate_stats rate;
-  if Tm.is_on () then begin
+  if Atomic.get Tm.on then begin
     Tm.Counter.incr m_rate_changes;
-    Tm.event "tfrc.rate" ~time:(Engine.now t.engine) ~flow:t.flow ~value:rate
+    Tm.event "tfrc.rate" ~time:(t.engine.Engine.now) ~flow:t.flow ~value:rate
   end;
   t.on_rate_change rate
 
@@ -153,10 +157,10 @@ let rec arm_nofeedback_timer t =
              t.nofeedback_timer <- None;
              if t.running then begin
                t.rate_halvings <- t.rate_halvings + 1;
-               if Tm.is_on () then begin
+               if Atomic.get Tm.on then begin
                  Tm.Counter.incr m_halvings;
                  Tm.event "tfrc.nofeedback_halving"
-                   ~time:(Engine.now t.engine) ~flow:t.flow ~value:t.rate
+                   ~time:(t.engine.Engine.now) ~flow:t.flow ~value:t.rate
                end;
                set_rate t (t.rate /. 2.0);
                arm_nofeedback_timer t
@@ -180,9 +184,9 @@ let stop t =
 
 let on_feedback t ~p_estimate ~recv_rate ~rtt_echo ~hold =
   t.feedbacks <- t.feedbacks + 1;
-  if Tm.is_on () then Tm.Counter.incr m_feedbacks;
+  if Atomic.get Tm.on then Tm.Counter.incr m_feedbacks;
   arm_nofeedback_timer t;
-  let now = Engine.now t.engine in
+  let now = t.engine.Engine.now in
   (* Exclude the receiver hold time from the RTT sample — without this
      a starved flow echoes a stale timestamp, its smoothed RTT explodes,
      and f(p, srtt) pins the rate at the floor (a death spiral). *)

@@ -45,7 +45,7 @@ let run_md1 ~rho ~seed ~duration =
   let sojourns = ref [] in
   PS.set_transmit src (fun pkt -> Link.send link pkt);
   Link.set_deliver link (fun pkt ->
-      sojourns := (E.now engine -. pkt.P.sent_at) :: !sojourns);
+      sojourns := (E.now engine -. P.sent_at pkt) :: !sojourns);
   ignore (E.schedule engine ~at:0.0 (fun () -> PS.start src));
   ignore (E.run ~until:duration engine);
   let mean_sojourn = Ebrc.Descriptive.mean (Array.of_list !sojourns) in
@@ -92,7 +92,7 @@ let test_littles_law () =
       incr arrivals;
       Link.send link pkt);
   Link.set_deliver link (fun pkt ->
-      sojourns := (E.now engine -. pkt.P.sent_at) :: !sojourns);
+      sojourns := (E.now engine -. P.sent_at pkt) :: !sojourns);
   let occ_sum = ref 0.0 and occ_n = ref 0 in
   let rec sample () =
     occ_sum := !occ_sum +. float_of_int (QD.occupancy queue);

@@ -252,9 +252,59 @@ let prop_reliable_under_random_loss =
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_reliable_under_random_loss ]
 
+(* ------------------------- Seq_set ------------------------- *)
+
+let test_seq_set_basics () =
+  let s = Ebrc.Seq_set.create ~capacity:4 () in
+  Alcotest.(check bool) "empty" false (Ebrc.Seq_set.mem s 0);
+  Ebrc.Seq_set.add s 5;
+  Ebrc.Seq_set.add s 5;
+  Ebrc.Seq_set.add s 0;
+  Alcotest.(check int) "idempotent add" 2 (Ebrc.Seq_set.cardinal s);
+  Alcotest.(check bool) "mem 5" true (Ebrc.Seq_set.mem s 5);
+  Ebrc.Seq_set.remove s 5;
+  Ebrc.Seq_set.remove s 5;
+  Alcotest.(check bool) "removed" false (Ebrc.Seq_set.mem s 5);
+  Alcotest.(check int) "cardinal after remove" 1 (Ebrc.Seq_set.cardinal s);
+  (match Ebrc.Seq_set.add s (-1) with
+  | () -> Alcotest.fail "expected Invalid_argument (negative)"
+  | exception Invalid_argument _ -> ())
+
+let test_seq_set_growth_and_churn () =
+  (* Grow far past the initial capacity, then churn adds/removes so
+     tombstone rehashing gets exercised; the set must agree with a
+     reference implementation throughout. *)
+  let s = Ebrc.Seq_set.create ~capacity:4 () in
+  let ref_tbl = Hashtbl.create 64 in
+  let rng = Ebrc.Prng.create ~seed:11 in
+  for _ = 1 to 5_000 do
+    let v = Ebrc.Prng.int rng 300 in
+    if Ebrc.Prng.bool rng then begin
+      Ebrc.Seq_set.add s v;
+      Hashtbl.replace ref_tbl v ()
+    end
+    else begin
+      Ebrc.Seq_set.remove s v;
+      Hashtbl.remove ref_tbl v
+    end
+  done;
+  Alcotest.(check int) "cardinal matches reference"
+    (Hashtbl.length ref_tbl) (Ebrc.Seq_set.cardinal s);
+  for v = 0 to 299 do
+    Alcotest.(check bool)
+      (Printf.sprintf "membership of %d" v)
+      (Hashtbl.mem ref_tbl v) (Ebrc.Seq_set.mem s v)
+  done
+
 let () =
   Alcotest.run "tcp"
     [
+      ( "seq_set",
+        [
+          Alcotest.test_case "basics" `Quick test_seq_set_basics;
+          Alcotest.test_case "growth and churn" `Quick
+            test_seq_set_growth_and_churn;
+        ] );
       ( "sender",
         [
           Alcotest.test_case "lossless progress" `Quick test_lossless_transfer_progresses;
