@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-compare figures validate report examples telemetry-demo clean
+.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-scale bench-compare figures validate report examples telemetry-demo clean
 
 all: build
 
@@ -22,10 +22,13 @@ test:
 # off. Guards the contract that each toggle is behaviour-preserving
 # (or, for EBRC_FAULTS, that disabling it reproduces fault-free runs).
 # A second leg turns off just the timing wheel so every suite also
-# runs against the pure-heap event core.
+# runs against the pure-heap event core, and a third turns off the
+# hybrid packet/fluid layer so configs carrying a fluid background
+# degrade to bit-identical packet-only runs.
 test-ablations:
 	EBRC_LANES=0 EBRC_GAP_SKIP=0 EBRC_FAULTS=0 dune runtest --force
 	EBRC_WHEEL=0 dune runtest --force
+	EBRC_HYBRID=0 dune runtest --force
 
 # Regenerate every paper figure (quick mode) plus the micro-benchmarks;
 # writes BENCH_<date>.json. Set EBRC_JOBS=N to size the domain pool.
@@ -37,6 +40,11 @@ bench-quick:
 # Paper-scale sweeps (long).
 bench-full:
 	EBRC_BENCH_FULL=1 dune exec bench/main.exe
+
+# Just the scale points: flows100k (packet-only scheduler), flows1m
+# (hybrid packet/fluid) and the EBRC_HYBRID=0 ablation. No JSON record.
+bench-scale:
+	EBRC_BENCH_ONLY=scale dune exec bench/main.exe
 
 # Diff the newest two BENCH_*.json records; exits non-zero when any
 # hot-path micro-benchmark regressed by more than 20%.

@@ -242,8 +242,11 @@ let compare_telemetry old_json new_json =
 
 (* Figure regeneration times: purely informational (wall time depends
    on the machine), but useful context next to the microbenches. A
-   figure whose time is null (sub-millisecond, analytic) or absent in
-   either record is skipped rather than compared against 0. *)
+   figure may carry an explicit "skipped: <reason>" string instead of
+   a number (sub-millisecond analytic figures do); those are counted
+   as deliberately skipped, distinct from figures absent in a record.
+   Legacy records used a bare null for the same thing; both forms are
+   set aside rather than compared against 0. *)
 let figure_seconds json =
   match member "figure_regeneration_seconds" json with
   | Some (Obj kvs) ->
@@ -251,6 +254,15 @@ let figure_seconds json =
         (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
         kvs
   | _ -> []
+
+let figure_skips json =
+  match member "figure_regeneration_seconds" json with
+  | Some (Obj kvs) ->
+      List.length
+        (List.filter
+           (function _, Str _ | _, Null -> true | _ -> false)
+           kvs)
+  | _ -> 0
 
 let compare_figure_seconds old_json new_json =
   let old_tbl = figure_seconds old_json in
@@ -267,11 +279,11 @@ let compare_figure_seconds old_json new_json =
           | _ -> (n, f, s))
         (0, 0, 0) old_tbl
     in
-    let skipped = List.length old_tbl - compared in
+    let absent = List.length old_tbl - compared in
     Printf.printf
       "  figure regeneration: %d timed figures compared (%d faster, %d \
-       slower, %d null/absent skipped; informational only)\n\n"
-      compared faster slower skipped
+       slower, %d explicitly skipped, %d absent; informational only)\n\n"
+      compared faster slower (figure_skips new_json) absent
   end
 
 let () =
@@ -415,10 +427,75 @@ let () =
             | _ -> false)
         | None -> false
       in
+      (* flows1m: informational timing for the hybrid scale point (the
+         <= 2x ratio vs flows100k moves with the host), but fingerprint
+         disagreement between equal-seed reruns is fatal — the hybrid
+         co-simulation's determinism contract. *)
+      let flows1m_broken =
+        match member "flows1m" new_json with
+        | Some fl -> (
+            (match
+               ( member "bg_flows" fl,
+                 member "ns_per_event" fl,
+                 member "ratio_vs_flows100k" fl )
+             with
+            | Some (Num bg), Some (Num ns), Some (Num ratio) ->
+                Printf.printf
+                  "  flows1m: %.0f fluid bg flows, %.0f ns/event (%.2fx vs \
+                   flows100k; <= 2x target %s)\n"
+                  bg ns ratio
+                  (if ratio <= 2.0 then "met" else "missed")
+            | _ -> ());
+            match member "bit_identical" fl with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  flows1m: equal-seed reruns bit-identical\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  flows1m: FAIL — equal-seed hybrid reruns disagree on \
+                   the dispatch fingerprint\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
+      (* Hybrid ablation: with EBRC_HYBRID=0 a config carrying a fluid
+         background must serialize byte-identically to the same config
+         with no background — a [false] means the hybrid layer leaks
+         into ablated runs, fatal regardless of timing. Absent in
+         pre-hybrid records; skipped then. *)
+      let hybrid_broken =
+        match member "hybrid_ablation" new_json with
+        | Some ha -> (
+            (match
+               ( member "scenario_none_ms" ha,
+                 member "scenario_enabled_ms" ha )
+             with
+            | Some (Num none_ms), Some (Num live_ms) ->
+                Printf.printf
+                  "  hybrid ablation: background-free %.1f ms, live %.1f ms\n"
+                  none_ms live_ms
+            | _ -> ());
+            match member "bit_identical" ha with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  hybrid ablation: EBRC_HYBRID=0 arm bit-identical to \
+                   background-free\n\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  hybrid ablation: FAIL — EBRC_HYBRID=0 run is NOT \
+                   byte-identical to the background-free run\n\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
       let failed = ref false in
       if faults_broken then failed := true;
       if wheel_broken then failed := true;
       if flows_broken then failed := true;
+      if flows1m_broken then failed := true;
+      if hybrid_broken then failed := true;
       (match List.rev !regressions with
       | [] -> print_endline "bench-compare: OK, no hot-path regression > 20%"
       | rs ->

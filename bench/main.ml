@@ -721,6 +721,130 @@ let measure_flows100k () =
     fl_wheel_ns; fl_heap_ns; fl_identical }
 
 (* ------------------------------------------------------------------ *)
+(* flows1m: the hybrid packet/fluid scale point.                       *)
+(* ------------------------------------------------------------------ *)
+
+type flows1m = {
+  f1_fg : int;
+  f1_bg : int;                (* fluid background flows *)
+  f1_events : int;
+  f1_ns_per_event : float;
+  f1_ratio_vs_flows100k : float;
+      (* hybrid ns/event over the packet-only flows100k wheel leg; the
+         ISSUE target is <= 2x *)
+  f1_fluid_advances : int;
+  f1_identical : bool;        (* equal-seed reruns agree on fingerprint *)
+}
+
+(* 20k packet-level foreground flows through a DropTail bottleneck
+   while the fluid carries the background aggregate — 200k flows in
+   quick mode, the full 10^6 under EBRC_BENCH_FULL=1. The fluid's ODE
+   cost is independent of bg_flows (two state variables either way),
+   which is the whole point of the hybrid: the measured ns/event must
+   stay within 2x of the packet-only flows100k scheduler bench. *)
+let measure_flows1m (packet_only : flows100k) =
+  let fg_flows = 20_000 and duration = 10.0 and seed = 1 in
+  let bg_flows = if quick then 200_000 else 1_000_000 in
+  let best = ref infinity in
+  let last = ref None in
+  let identical = ref true in
+  for _ = 1 to 3 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let (s : Ebrc.Flock.hybrid_stats) =
+      Ebrc.Flock.run_hybrid ~fg_flows ~bg_flows ~duration ~seed ()
+    in
+    best := Float.min !best (Unix.gettimeofday () -. t0);
+    (match !last with
+    | Some (prev : Ebrc.Flock.hybrid_stats) ->
+        identical :=
+          !identical
+          && prev.fingerprint = s.fingerprint
+          && prev.events = s.events
+    | None -> ());
+    last := Some s
+  done;
+  let (s : Ebrc.Flock.hybrid_stats) = Option.get !last in
+  let f1_ns_per_event = !best *. 1e9 /. float_of_int s.events in
+  let f1_fluid_advances =
+    match s.fluid with Some f -> f.Ebrc.Fluid.advances | None -> 0
+  in
+  let f1_ratio_vs_flows100k = f1_ns_per_event /. packet_only.fl_wheel_ns in
+  Printf.printf
+    "#############################################################\n\
+     # flows1m hybrid scale point (%d fg + %d fluid bg, best of 3)\n\
+     #############################################################\n\n\
+    \  %7.1f ns/event (%d events, %d fluid advances)\n\
+    \  vs flows100k wheel: %.2fx (target <= 2x %s)\n\
+    \  equal-seed reruns bit-identical: %b\n\n"
+    fg_flows bg_flows f1_ns_per_event s.events f1_fluid_advances
+    f1_ratio_vs_flows100k
+    (if f1_ratio_vs_flows100k <= 2.0 then "met" else "missed")
+    !identical;
+  { f1_fg = fg_flows; f1_bg = bg_flows; f1_events = s.events;
+    f1_ns_per_event; f1_ratio_vs_flows100k; f1_fluid_advances;
+    f1_identical = !identical }
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid ablation: background-free vs hybrid-disabled (must be byte-  *)
+(* identical) vs hybrid live.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type hybrid_ablation = {
+  hyb_none_ms : float;      (* config carries no background *)
+  hyb_off_ms : float;       (* background configured, layer ablated *)
+  hyb_on_ms : float;        (* fluid background live *)
+  hyb_identical : bool;     (* disabled run == background-free run *)
+}
+
+(* The EBRC_HYBRID=0 contract: with the layer ablated, a config that
+   carries a fluid background must serialize byte-identically to the
+   same config with no background at all — nothing may attach to the
+   link or the engine. bench/compare.ml fails on a [false] here. *)
+let measure_hybrid_ablation () =
+  (* 8 background flows: enough to contend for the 15 Mb/s default
+     link without starving the foreground (10^4+ flows would pin the
+     fluid at its cap and the live arm would measure a degenerate,
+     nearly packet-free run). *)
+  let with_bg =
+    { (ab_cfg (Ebrc.Scenario.Red_auto { capacity = 0 })) with
+      Ebrc.Scenario.background =
+        Some (Ebrc.Scenario.default_background ~flows:8) }
+  in
+  let clean = { with_bg with Ebrc.Scenario.background = None } in
+  let prior = Ebrc.Fluid.enabled () in
+  Ebrc.Fluid.set_hybrid true;
+  let hyb_none_ms, hyb_on_ms, none_bytes =
+    Fun.protect
+      ~finally:(fun () -> Ebrc.Fluid.set_hybrid prior)
+      (fun () ->
+        ( ab_best_of 5 clean,
+          ab_best_of 5 with_bg,
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run clean) ))
+  in
+  Ebrc.Fluid.set_hybrid false;
+  let hyb_off_ms, off_bytes =
+    Fun.protect
+      ~finally:(fun () -> Ebrc.Fluid.set_hybrid prior)
+      (fun () ->
+        ( ab_best_of 5 with_bg,
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run with_bg) ))
+  in
+  let hyb_identical = String.equal none_bytes off_bytes in
+  Printf.printf
+    "#############################################################\n\
+     # Hybrid packet/fluid ablation (RED scenario, best of 5)\n\
+     #############################################################\n\n\
+    \  no background      %7.2f ms\n\
+    \  hybrid disabled    %7.2f ms (EBRC_HYBRID=0 arm)\n\
+    \  hybrid live        %7.2f ms (overhead %+.1f%%)\n\
+    \  disabled == background-free bytes: %b\n\n"
+    hyb_none_ms hyb_off_ms hyb_on_ms
+    (100.0 *. ((hyb_on_ms /. hyb_none_ms) -. 1.0))
+    hyb_identical;
+  { hyb_none_ms; hyb_off_ms; hyb_on_ms; hyb_identical }
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection A/B: fault-free vs faults-disabled (must be byte-   *)
 (* identical) vs faults live (cost of a blackout schedule).            *)
 (* ------------------------------------------------------------------ *)
@@ -986,7 +1110,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-    ~wheel ~flows ~faults ~gap ~cache ~sweep =
+    ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep =
   let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
@@ -1020,10 +1144,12 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
   field_block "microbench_minor_words_per_run" minor_per_run
     (Printf.sprintf "%.1f");
   (* Analytic figures finish in well under a millisecond; "%.3f" would
-     record a misleading 0.000, so those emit null and bench-compare
-     skips them. *)
+     record a misleading 0.000, so those carry an explicit skip reason
+     (a string, which bench-compare recognizes and sets aside) rather
+     than a bare null that reads like a missing measurement. *)
   field_block "figure_regeneration_seconds" figure_seconds (fun v ->
-      if v < 0.0005 then "null" else Printf.sprintf "%.3f" v);
+      if v < 0.0005 then "\"skipped: sub-ms analytic figure\""
+      else Printf.sprintf "%.3f" v);
   Printf.fprintf oc "  \"ode_frontier\": {\n";
   Printf.fprintf oc "    \"fixed_step_ns_per_solve\": %.1f,\n"
     frontier.fixed_step_ns;
@@ -1111,6 +1237,28 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
     (flows.fl_heap_ns /. flows.fl_wheel_ns)
     flows.fl_identical;
   Printf.fprintf oc
+    "  \"flows1m\": {\n\
+    \    \"fg_flows\": %d,\n\
+    \    \"bg_flows\": %d,\n\
+    \    \"events\": %d,\n\
+    \    \"ns_per_event\": %.2f,\n\
+    \    \"ratio_vs_flows100k\": %.3f,\n\
+    \    \"fluid_advances\": %d,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    flows1m.f1_fg flows1m.f1_bg flows1m.f1_events flows1m.f1_ns_per_event
+    flows1m.f1_ratio_vs_flows100k flows1m.f1_fluid_advances
+    flows1m.f1_identical;
+  Printf.fprintf oc
+    "  \"hybrid_ablation\": {\n\
+    \    \"scenario_none_ms\": %.3f,\n\
+    \    \"scenario_disabled_ms\": %.3f,\n\
+    \    \"scenario_enabled_ms\": %.3f,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    hybrid.hyb_none_ms hybrid.hyb_off_ms hybrid.hyb_on_ms
+    hybrid.hyb_identical;
+  Printf.fprintf oc
     "  \"faults_ablation\": {\n\
     \    \"scenario_none_ms\": %.3f,\n\
     \    \"scenario_disabled_ms\": %.3f,\n\
@@ -1153,14 +1301,19 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
   Printf.printf "bench record written to %s\n" path
 
 let () =
-  (* EBRC_BENCH_ONLY=sweep|wheel: a single measurement block, no JSON
-     — for iterating on the pool or the scheduler without a full bench
-     run. *)
+  (* EBRC_BENCH_ONLY=sweep|wheel|scale: a single measurement block, no
+     JSON — for iterating on the pool, the scheduler or the hybrid
+     engine without a full bench run. *)
   if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "sweep" then
     ignore (measure_parallel_sweep ())
   else if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "wheel" then begin
     ignore (measure_wheel_ab ());
     ignore (measure_flows100k ())
+  end
+  else if Sys.getenv_opt "EBRC_BENCH_ONLY" = Some "scale" then begin
+    let flows = measure_flows100k () in
+    ignore (measure_flows1m flows);
+    ignore (measure_hybrid_ablation ())
   end
   else begin
     let figure_seconds = regenerate_figures () in
@@ -1177,11 +1330,13 @@ let () =
     let lanes = measure_lanes_ab () in
     let wheel = measure_wheel_ab () in
     let flows = measure_flows100k () in
+    let flows1m = measure_flows1m flows in
+    let hybrid = measure_hybrid_ablation () in
     let faults = measure_faults_ab () in
     let gap = measure_gap_skip () in
     let cache = measure_cache () in
     let sweep = measure_parallel_sweep () in
     write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-      ~wheel ~flows ~faults ~gap ~cache ~sweep;
+      ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep;
     print_endline "\nbench: done."
   end

@@ -89,6 +89,21 @@ let no_wheel_arg =
 
 let apply_wheel no_wheel = if no_wheel then Ebrc.Engine.set_wheel false
 
+(* Hybrid packet/fluid layer: on by default; --no-hybrid (or
+   EBRC_HYBRID=0) makes every scenario ignore its [background] config
+   and run packet-only — structurally inert, so such a run is
+   bit-identical to one whose config never had a background. *)
+let no_hybrid_arg =
+  Arg.(
+    value & flag
+    & info [ "no-hybrid" ]
+        ~doc:
+          "Disable the fluid background layer: scenarios run packet-only, \
+           ignoring any configured background aggregate (see also \
+           EBRC_HYBRID=0).")
+
+let apply_hybrid no_hybrid = if no_hybrid then Ebrc.Fluid.set_hybrid false
+
 (* Watchdog budgets (opt-in): cap every Engine.run in the process.
    Exceeding a budget raises Engine.Budget_exceeded — combine with
    --keep-going to salvage the remaining figures. *)
@@ -218,7 +233,8 @@ let figure_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run id full csv jobs no_cache no_wheel keep_going only_task budgets telem =
+  let run id full csv jobs no_cache no_wheel no_hybrid keep_going only_task
+      budgets telem =
     let quick = not full in
     (* Unknown ids are a usage error: list the valid names and exit 2
        rather than surfacing an exception. *)
@@ -230,6 +246,7 @@ let figure_cmd =
     try
       apply_cache no_cache;
       apply_wheel no_wheel;
+      apply_hybrid no_hybrid;
       apply_budgets budgets;
       apply_only_task only_task;
       with_telemetry telem @@ fun () ->
@@ -267,8 +284,8 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id $ full $ csv $ jobs_arg $ no_cache_arg
-       $ no_wheel_arg $ keep_going_arg $ only_task_arg $ budget_args
-       $ telemetry_args))
+       $ no_wheel_arg $ no_hybrid_arg $ keep_going_arg $ only_task_arg
+       $ budget_args $ telemetry_args))
 
 (* --- list --- *)
 
@@ -540,9 +557,11 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
-  let run out ids full jobs no_cache no_wheel keep_going budgets telem =
+  let run out ids full jobs no_cache no_wheel no_hybrid keep_going budgets
+      telem =
     apply_cache no_cache;
     apply_wheel no_wheel;
+    apply_hybrid no_hybrid;
     apply_budgets budgets;
     with_telemetry telem @@ fun () ->
     let options =
@@ -563,7 +582,7 @@ let report_cmd =
        ~doc:"Regenerate figures into a self-contained markdown report.")
     Term.(
       const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
-      $ keep_going_arg $ budget_args $ telemetry_args)
+      $ no_hybrid_arg $ keep_going_arg $ budget_args $ telemetry_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -573,9 +592,10 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full jobs no_cache no_wheel telem =
+  let run full jobs no_cache no_wheel no_hybrid telem =
     apply_cache no_cache;
     apply_wheel no_wheel;
+    apply_hybrid no_hybrid;
     with_telemetry telem @@ fun () ->
     let outcomes =
       Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
@@ -595,7 +615,7 @@ let validate_cmd =
     Term.(
       ret
         (const run $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
-       $ telemetry_args))
+       $ no_hybrid_arg $ telemetry_args))
 
 let main =
   let doc =

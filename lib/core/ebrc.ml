@@ -63,6 +63,7 @@ module Packet = Ebrc_net.Packet
 module Queue_discipline = Ebrc_net.Queue_discipline
 module Link = Ebrc_net.Link
 module Loss_module = Ebrc_net.Loss_module
+module Fluid = Ebrc_net.Fluid
 module Flow_stats = Ebrc_net.Flow_stats
 module Gap_sink = Ebrc_net.Gap_sink
 module Fault = Ebrc_net.Fault
@@ -75,6 +76,7 @@ module Tfrc_receiver = Ebrc_tfrc.Tfrc_receiver
 module Probe_source = Ebrc_sources.Probe_source
 module Audio_source = Ebrc_sources.Audio_source
 module Flock = Ebrc_sources.Flock
+module Flow_pool = Ebrc_sources.Flow_pool
 
 (* Evaluation *)
 module Breakdown = Ebrc_analysis.Breakdown

@@ -1681,6 +1681,154 @@ let robust_chaos ?jobs:_ ~quick:_ () =
        same bytes" ]
 
 (* ------------------------------------------------------------------ *)
+(* Hybrid packet/fluid engine: validation (h1) and scale (h2).         *)
+(* ------------------------------------------------------------------ *)
+
+(* h1: the hybrid validation gate. A small background population is
+   simulated twice — once packet-exact (n extra TCP flows) and once as
+   a fluid aggregate of the same n flows — and the TFRC foreground's
+   loss-event rate and normalized throughput are compared leg against
+   leg. Rough agreement here is what licenses replacing 10^4..10^6
+   packet flows with the ODE in h2, where a packet-exact leg no longer
+   exists. (The fluid is a mean-field model, so small n is its worst
+   case; the CI tolerance in test_fluid/test_exp is calibrated
+   accordingly and this table is the human-readable view.) *)
+let hybrid_agreement ?jobs:_ ~quick () =
+  let dur = if quick then 120.0 else 300.0 in
+  let base =
+    {
+      Scenario.default_config with
+      Scenario.with_probe = false;
+      duration = dur;
+      warmup = dur /. 4.0;
+    }
+  in
+  let formula =
+    Formula.create ~rtt:(Scenario.base_rtt base) base.Scenario.tfrc_formula_kind
+  in
+  let measure (r : Scenario.result) =
+    let p = Scenario.pooled_loss_rate r.Scenario.tfrc in
+    let x = Scenario.mean_throughput r.Scenario.tfrc in
+    let rtt = Scenario.mean_rtt r.Scenario.tfrc in
+    let norm =
+      if p <= 0.0 then nan
+      else x /. Formula.eval (Formula.with_rtt formula ~rtt) p
+    in
+    (p, norm)
+  in
+  let ns = if quick then [ 4; 8 ] else [ 4; 8; 16 ] in
+  let t =
+    Table.create
+      ~title:
+        "Hybrid validation: n background flows, packet-exact vs fluid \
+         aggregate"
+      ~header:
+        [ "bg flows"; "pkt p"; "fluid p"; "pkt x/f"; "fluid x/f";
+          "p ratio"; "x/f ratio" ]
+  in
+  let t =
+    List.fold_left
+      (fun t n ->
+        let pkt =
+          Result_cache.run
+            { base with Scenario.n_tcp = base.Scenario.n_tcp + n }
+        in
+        let fl =
+          Result_cache.run
+            {
+              base with
+              Scenario.background = Some (Scenario.default_background ~flows:n);
+            }
+        in
+        let p_pkt, x_pkt = measure pkt and p_fl, x_fl = measure fl in
+        Table.add_row t
+          [
+            string_of_int n;
+            cell ~decimals:4 p_pkt; cell ~decimals:4 p_fl;
+            cell ~decimals:3 x_pkt; cell ~decimals:3 x_fl;
+            cell ~decimals:3 (p_fl /. p_pkt);
+            cell ~decimals:3 (x_fl /. x_pkt);
+          ])
+      t ns
+  in
+  let note =
+    if Ebrc_net.Fluid.enabled () then
+      "both legs share seed, queue and foreground; only the background's \
+       representation changes (packets vs one ODE). Ratios near 1 mean \
+       the fluid is a faithful stand-in for the congestion the packet \
+       background would have caused"
+    else
+      "EBRC_HYBRID=0: the fluid leg ran packet-only, so the comparison \
+       is degenerate (fluid columns see no background at all)"
+  in
+  [ Table.add_note t note ]
+
+(* h2: fluid scale sweep — the many-sources regime the packet engine
+   cannot reach. The background aggregates 10^4..10^6 AIMD flows into
+   one 2-state ODE while the bottleneck scales with N (the paper's
+   many-sources normalization: per-flow share held constant, here
+   ~70 pkt/s so the RED ramp pins the fixed point at a moderate drop
+   rate). The simulated fluid endpoint is compared against its analytic
+   equilibrium, and the ODE-cost columns show why this scales: stepper
+   work is independent of N. *)
+let hybrid_scale ?jobs:_ ~quick () =
+  let dur = if quick then 60.0 else 180.0 in
+  let base n =
+    {
+      Scenario.default_config with
+      Scenario.with_probe = false;
+      (* ~70 pkt/s x 8000 bit packets per background flow. *)
+      bottleneck_bps = 5.6e5 *. float_of_int n;
+      duration = dur;
+      warmup = dur /. 3.0;
+    }
+  in
+  let ns =
+    if quick then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let t =
+    Table.create
+      ~title:"Hybrid scale: N-flow fluid background vs analytic equilibrium"
+      ~header:
+        [ "N"; "sim w"; "eq w"; "sim drop"; "eq p"; "tfrc x (pps)";
+          "ode steps"; "syncs" ]
+  in
+  let t =
+    List.fold_left
+      (fun t n ->
+        let bg = Scenario.default_background ~flows:n in
+        let cfg = { (base n) with Scenario.background = Some bg } in
+        let r = Result_cache.run cfg in
+        match r.Scenario.fluid_stats with
+        | None ->
+            Table.add_row t
+              [ string_of_int n; "-"; "-"; "-"; "-";
+                cell ~decimals:1 (Scenario.mean_throughput r.Scenario.tfrc);
+                "-"; "-" ]
+        | Some s ->
+            let eq = Ebrc_net.Fluid.equilibrium (Scenario.fluid_config cfg bg) in
+            Table.add_row t
+              [
+                string_of_int n;
+                cell ~decimals:3 s.Ebrc_net.Fluid.w;
+                cell ~decimals:3 eq.Ebrc_net.Fluid.eq_w;
+                cell ~decimals:4 s.Ebrc_net.Fluid.mean_drop;
+                cell ~decimals:4 eq.Ebrc_net.Fluid.eq_p;
+                cell ~decimals:1 (Scenario.mean_throughput r.Scenario.tfrc);
+                string_of_int s.Ebrc_net.Fluid.ode.Ebrc_numerics.Ode.accepted;
+                string_of_int s.Ebrc_net.Fluid.advances;
+              ])
+      t ns
+  in
+  [ Table.add_note t
+      "bottleneck scales with N (constant per-flow share), so the fixed \
+       point is N-invariant while a packet-level background would cost \
+       10^4..10^6 more events; mean_drop is a whole-run time average so \
+       it can sit off the endpoint equilibrium while the transient \
+       decays. The RED ramp couples both classes: the packet foreground \
+       is dropped on the same avg-occupancy ramp the fluid solves" ]
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1738,6 +1886,10 @@ let registry : (string * string * runner) list =
      robust_flaps);
     ("r3", "robust: chaos episodes, bit-reproducible schedule",
      robust_chaos);
+    ("h1", "hybrid: packet-exact vs fluid background agreement",
+     hybrid_agreement);
+    ("h2", "hybrid: fluid background scale sweep (10^4..10^6 flows)",
+     hybrid_scale);
   ]
 
 let find id =

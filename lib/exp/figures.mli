@@ -12,7 +12,7 @@ type runner = ?jobs:int -> quick:bool -> unit -> Table.t list
 
 val registry : (string * string * runner) list
 (** (figure id, description, runner). Ids: "1".."19", "t1", "c3",
-    "c4", "a1".."a13", "r1".."r3". *)
+    "c4", "a1".."a13", "r1".."r3", "h1".."h2". *)
 
 val ids : unit -> string list
 val describe : unit -> (string * string) list
@@ -90,3 +90,5 @@ val ablation_loss_families : runner
 val robust_blackout : runner
 val robust_flaps : runner
 val robust_chaos : runner
+val hybrid_agreement : runner
+val hybrid_scale : runner

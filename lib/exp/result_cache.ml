@@ -45,8 +45,9 @@ let m_store_errors =
     "cache.store_errors"
 
 (* Bump whenever Scenario.run's observable behaviour changes.
-   v5: result gains tfrc_halvings + fault_stats; key gains faults. *)
-let code_version = "ebrc-scenario-v5"
+   v5: result gains tfrc_halvings + fault_stats; key gains faults.
+   v6: result gains fluid_stats; key gains the hybrid background. *)
+let code_version = "ebrc-scenario-v6"
 
 let enabled_flag = ref (Sys.getenv_opt "EBRC_CACHE" <> Some "0")
 let set_enabled b = enabled_flag := b
@@ -160,15 +161,27 @@ let effective_faults (cfg : Scenario.config) =
   | Some fc when Fault.enabled () -> fault_config_key fc
   | _ -> "none"
 
+module Fluid = Ebrc_net.Fluid
+
+(* Same effective-config rule for the hybrid background: with the layer
+   disabled (EBRC_HYBRID=0) a hybrid config keys — and caches —
+   identically to a packet-only one, matching Scenario.run. *)
+let effective_background (cfg : Scenario.config) =
+  match cfg.Scenario.background with
+  | Some bg when Fluid.enabled () ->
+      Printf.sprintf "%d:%h:%h" bg.Scenario.bg_flows bg.bg_share_cap
+        bg.bg_resolution
+  | _ -> "none"
+
 let canonical_key (cfg : Scenario.config) =
   Printf.sprintf
-    "%s;seed=%d;bps=%h;owd=%h;queue=%s;pkt=%d;ntfrc=%d;ntcp=%d;probe=%b;l=%d;formula=%s;compr=%b;conform=%b;jitter=%h;dur=%h;warm=%h;faults=%s"
+    "%s;seed=%d;bps=%h;owd=%h;queue=%s;pkt=%d;ntfrc=%d;ntcp=%d;probe=%b;l=%d;formula=%s;compr=%b;conform=%b;jitter=%h;dur=%h;warm=%h;faults=%s;bg=%s"
     code_version cfg.Scenario.seed cfg.bottleneck_bps cfg.one_way_delay
     (queue_key cfg.queue) cfg.packet_size cfg.n_tfrc cfg.n_tcp cfg.with_probe
     cfg.tfrc_l
     (formula_key cfg.tfrc_formula_kind)
     cfg.tfrc_comprehensive cfg.tfrc_conform_to_analysis cfg.reverse_jitter
-    cfg.duration cfg.warmup (effective_faults cfg)
+    cfg.duration cfg.warmup (effective_faults cfg) (effective_background cfg)
 
 let digest_of_config cfg = Digest.to_hex (Digest.string (canonical_key cfg))
 
@@ -251,6 +264,26 @@ let serialize_result (r : Scenario.result) =
            "{\"transitions\":%d,\"down_drops\":%d,\"parked\":%d,\"spiked\":%d,\"reordered\":%d,\"duplicated\":%d,\"blackout_drops\":%d}"
            s.Fault.transitions s.down_drops s.parked s.spiked s.reordered
            s.duplicated s.blackout_drops));
+  Buffer.add_string buf ",\"fluid_stats\":";
+  (match r.fluid_stats with
+  | None -> Buffer.add_string buf "null"
+  | Some (s : Fluid.stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"advances\":%d,\"accepted\":%d,\"rejected\":%d,\"evals\":%d"
+           s.Fluid.advances s.ode.Ebrc_numerics.Ode.accepted s.ode.rejected
+           s.ode.evals);
+      Buffer.add_string buf ",\"w\":";
+      add_float buf s.w;
+      Buffer.add_string buf ",\"q\":";
+      add_float buf s.q;
+      Buffer.add_string buf ",\"a_fg\":";
+      add_float buf s.a_fg;
+      Buffer.add_string buf ",\"mean_util\":";
+      add_float buf s.mean_util;
+      Buffer.add_string buf ",\"mean_drop\":";
+      add_float buf s.mean_drop;
+      Buffer.add_char buf '}');
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -449,6 +482,25 @@ let result_of_record ~key (s : string) : Scenario.result =
               reordered = as_int (member "reordered" fs);
               duplicated = as_int (member "duplicated" fs);
               blackout_drops = as_int (member "blackout_drops" fs);
+            });
+    fluid_stats =
+      (match member "fluid_stats" r with
+      | Null -> None
+      | fs ->
+          Some
+            {
+              Fluid.advances = as_int (member "advances" fs);
+              ode =
+                {
+                  Ebrc_numerics.Ode.accepted = as_int (member "accepted" fs);
+                  rejected = as_int (member "rejected" fs);
+                  evals = as_int (member "evals" fs);
+                };
+              w = as_float (member "w" fs);
+              q = as_float (member "q" fs);
+              a_fg = as_float (member "a_fg" fs);
+              mean_util = as_float (member "mean_util" fs);
+              mean_drop = as_float (member "mean_drop" fs);
             });
   }
 

@@ -26,12 +26,23 @@ module Tfrc_sender = Ebrc_tfrc.Tfrc_sender
 module Tfrc_receiver = Ebrc_tfrc.Tfrc_receiver
 module Loss_history = Ebrc_tfrc.Loss_history
 module Probe_source = Ebrc_sources.Probe_source
+module Flow_pool = Ebrc_sources.Flow_pool
+module Fluid = Ebrc_net.Fluid
 module Formula = Ebrc_formulas.Formula
 
 type queue_config =
   | Drop_tail of { capacity : int }
   | Red_auto of { capacity : int }  (* thresholds from the BDP, as in ns-2 *)
   | Red_manual of { capacity : int; params : Queue_discipline.red_params }
+
+type background = {
+  bg_flows : int;        (* AIMD flows the fluid aggregate stands in for *)
+  bg_share_cap : float;  (* max capacity fraction the fluid may hold *)
+  bg_resolution : float; (* fluid sync quantum, seconds *)
+}
+
+let default_background ~flows =
+  { bg_flows = flows; bg_share_cap = 0.9; bg_resolution = 1e-3 }
 
 type config = {
   seed : int;
@@ -52,6 +63,11 @@ type config = {
   warmup : float;                 (* measurement start *)
   faults : Fault.config option;   (* deterministic fault injection on the
                                      forward path + TFRC feedback path *)
+  background : background option; (* fluid background aggregate sharing
+                                     the bottleneck; like [faults], a run
+                                     with [None] — or with the layer
+                                     disabled via EBRC_HYBRID=0 — is
+                                     bit-identical to a packet-only run *)
 }
 
 let default_config =
@@ -72,6 +88,7 @@ let default_config =
     duration = 300.0;
     warmup = 50.0;
     faults = None;
+    background = None;
   }
 
 type flow_measure = {
@@ -92,6 +109,7 @@ type result = {
   sim_time : float;
   tfrc_halvings : int;           (* nofeedback-timer halvings, all senders *)
   fault_stats : Fault.stats option;  (* None when no injector was active *)
+  fluid_stats : Fluid.stats option;  (* None when no fluid was attached *)
 }
 
 (* Mean base RTT, before queueing. *)
@@ -100,46 +118,67 @@ let base_rtt cfg = 2.0 *. cfg.one_way_delay
 let bdp_packets cfg =
   cfg.bottleneck_bps *. base_rtt cfg /. (8.0 *. float_of_int cfg.packet_size)
 
+(* Queue capacity in packets after the 0-means-2.5-BDP default. *)
+let queue_capacity cfg =
+  let auto capacity =
+    if capacity > 0 then capacity
+    else max 4 (int_of_float (2.5 *. bdp_packets cfg))
+  in
+  match cfg.queue with
+  | Drop_tail { capacity } | Red_auto { capacity } -> auto capacity
+  | Red_manual { capacity; _ } -> capacity
+
 let make_queue cfg =
   let bdp = bdp_packets cfg in
   let service_rate =
     cfg.bottleneck_bps /. (8.0 *. float_of_int cfg.packet_size)
   in
+  let capacity = queue_capacity cfg in
   match cfg.queue with
-  | Drop_tail { capacity } ->
-      let capacity =
-        if capacity > 0 then capacity
-        else max 4 (int_of_float (2.5 *. bdp))
-      in
+  | Drop_tail _ ->
       Queue_discipline.create ~service_rate ~capacity Queue_discipline.Drop_tail
-  | Red_auto { capacity } ->
-      let capacity =
-        if capacity > 0 then capacity
-        else max 4 (int_of_float (2.5 *. bdp))
-      in
+  | Red_auto _ ->
       Queue_discipline.create ~service_rate ~capacity
         (Queue_discipline.Red (Queue_discipline.default_red ~bdp))
-  | Red_manual { capacity; params } ->
+  | Red_manual { params; _ } ->
       Queue_discipline.create ~service_rate ~capacity
         (Queue_discipline.Red params)
 
-(* Mutable per-flow endpoints built by [run]. *)
-type tfrc_flow = {
-  ts : Tfrc_sender.t;
-  tr : Tfrc_receiver.t;
-  mutable recv_snapshot : int;
-  mutable recv_at_end : int;
-  mutable intervals_snapshot : int;
-  mutable pairs_snapshot : int;
-}
+(* The fluid config a scenario attaches for [bg]: drop profile mirroring
+   the packet queue, capacity and qmax shared with it. Exposed so the
+   figure runners can query the analytic [Fluid.equilibrium] of exactly
+   the aggregate the run used. *)
+let fluid_config cfg (bg : background) =
+  let capacity_pps =
+    cfg.bottleneck_bps /. (8.0 *. float_of_int cfg.packet_size)
+  in
+  let qmax = float_of_int (queue_capacity cfg) in
+  let ramp_of p =
+    Fluid.Ramp
+      {
+        min_th = p.Queue_discipline.min_th;
+        max_th = p.Queue_discipline.max_th;
+        max_p = p.Queue_discipline.max_p;
+      }
+  in
+  let profile =
+    match cfg.queue with
+    | Drop_tail _ -> Fluid.Tail { ramp = 0.25 }
+    | Red_auto _ ->
+        ramp_of (Queue_discipline.default_red ~bdp:(bdp_packets cfg))
+    | Red_manual { params; _ } -> ramp_of params
+  in
+  Fluid.default ~profile ~share_cap:bg.bg_share_cap
+    ~resolution:bg.bg_resolution ~flows:bg.bg_flows ~capacity_pps
+    ~base_rtt:(base_rtt cfg) ~qmax ()
 
-type tcp_flow = {
-  cs : Tcp_sender.t;
-  cr : Tcp_receiver.t;
-  mutable crecv_snapshot : int;
-  mutable crecv_at_end : int;
-  mutable cintervals_snapshot : int;
-}
+(* Per-flow endpoints built by [run]. Counter snapshots and the final
+   per-flow measurements live in a struct-of-arrays Flow_pool keyed by
+   flow id (TFRC flow i -> slot i, TCP flow j -> slot n_tfrc + j), so
+   the measurement pass walks flat columns instead of chasing mutable
+   fields through an array of records. *)
+type tfrc_flow = { ts : Tfrc_sender.t; tr : Tfrc_receiver.t }
+type tcp_flow = { cs : Tcp_sender.t; cr : Tcp_receiver.t }
 
 let run cfg =
   if cfg.duration <= cfg.warmup then
@@ -154,6 +193,25 @@ let run cfg =
   let rtt0 = base_rtt cfg in
   let formula =
     Formula.create ~rtt:rtt0 cfg.tfrc_formula_kind
+  in
+  (* Fluid background aggregate. Like the fault injector, it is only
+     constructed when configured AND globally enabled, and it draws no
+     randomness at all (its sync points are quantized event times), so
+     [background = None] — or EBRC_HYBRID=0 — leaves the packet-only
+     run bit-identical. The drop profile mirrors the packet queue so
+     both traffic classes see the same congestion signal. *)
+  let fluid =
+    match cfg.background with
+    | Some bg when Fluid.enabled () ->
+        let fl = Fluid.create (fluid_config cfg bg) in
+        Link.attach_fluid link fl;
+        Engine.set_advance_hook engine
+          (Some
+             (fun now ->
+               Fluid.set_pkt_occupancy fl (Queue_discipline.occupancy queue);
+               Fluid.sync fl ~now));
+        Some fl
+    | _ -> None
   in
   (* Per-flow reverse delays with +/-reverse_jitter spread: breaks
      DropTail phase effects and, at larger spreads, exercises the
@@ -186,6 +244,12 @@ let run cfg =
   let feedback_sink sink =
     match fault with Some f -> Fault.wrap_feedback f sink | None -> sink
   in
+  (* SoA measurement state: one slot per foreground flow (TFRC i -> i,
+     TCP j -> n_tfrc + j). *)
+  let pool = Flow_pool.create ~capacity:(max 1 (cfg.n_tfrc + cfg.n_tcp)) in
+  for _ = 1 to cfg.n_tfrc + cfg.n_tcp do
+    ignore (Flow_pool.add pool : int)
+  done;
   (* --- TFRC flows: ids 0 .. n_tfrc-1 --- *)
   let tfrc_flows =
     Array.init cfg.n_tfrc (fun i ->
@@ -211,14 +275,7 @@ let run cfg =
                Engine.lane_push fb_lane
                  ~at:(Engine.now engine +. rd)
                  (fun () -> Tfrc_sender.on_packet ts pkt)));
-        {
-          ts;
-          tr;
-          recv_snapshot = 0;
-          recv_at_end = 0;
-          intervals_snapshot = 0;
-          pairs_snapshot = 0;
-        })
+        { ts; tr })
   in
   (* --- TCP flows: ids n_tfrc .. n_tfrc+n_tcp-1 --- *)
   let tcp_flows =
@@ -240,13 +297,7 @@ let run cfg =
         Tcp_receiver.set_ack_sink cr (fun ~acked ~dup ~echo ->
             Engine.lane_push_after ack_lane ~delay:rd (fun () ->
                 Tcp_sender.on_ack cs ~acked ~dup ~echo));
-        {
-          cs;
-          cr;
-          crecv_snapshot = 0;
-          crecv_at_end = 0;
-          cintervals_snapshot = 0;
-        })
+        { cs; cr })
   in
   (* --- optional Poisson probe: id n_tfrc + n_tcp --- *)
   let probe_flow = cfg.n_tfrc + cfg.n_tcp in
@@ -299,18 +350,20 @@ let run cfg =
   (* --- warmup phase, snapshot, measurement phase --- *)
   ignore (Engine.run ~until:cfg.warmup engine);
   let probe_recv_snapshot = ref 0 and probe_ivs_snapshot = ref 0 in
-  Array.iter
-    (fun fl ->
-      fl.recv_snapshot <- Tfrc_receiver.received fl.tr;
-      fl.intervals_snapshot <-
-        Loss_history.interval_count (Tfrc_receiver.history fl.tr);
-      fl.pairs_snapshot <-
-        Loss_history.pair_count (Tfrc_receiver.history fl.tr))
+  let snap_recv = pool.Flow_pool.snap_recv
+  and snap_ivs = pool.Flow_pool.snap_ivs
+  and snap_pairs = pool.Flow_pool.snap_pairs in
+  Array.iteri
+    (fun i fl ->
+      snap_recv.(i) <- Tfrc_receiver.received fl.tr;
+      snap_ivs.(i) <- Loss_history.interval_count (Tfrc_receiver.history fl.tr);
+      snap_pairs.(i) <- Loss_history.pair_count (Tfrc_receiver.history fl.tr))
     tfrc_flows;
-  Array.iter
-    (fun fl ->
-      fl.crecv_snapshot <- Tcp_receiver.received fl.cr;
-      fl.cintervals_snapshot <- Tcp_sender.interval_count fl.cs)
+  Array.iteri
+    (fun j fl ->
+      let s = cfg.n_tfrc + j in
+      snap_recv.(s) <- Tcp_receiver.received fl.cr;
+      snap_ivs.(s) <- Tcp_sender.interval_count fl.cs)
     tcp_flows;
   (match probe with
   | Some (_, sink) ->
@@ -326,42 +379,44 @@ let run cfg =
     if Array.length ivs = 0 then 0.0
     else float_of_int (Array.length ivs) /. Array.fold_left ( +. ) 0.0 ivs
   in
+  (* The final measures are computed into the pool's float columns
+     first (throughput in [rate], RTT in [rtt], loss-event rate in
+     [loss_rate]) and then materialized as records for the result. *)
+  let measure_into slot ~flow ~recv_now ~mean_rtt:r ~ivs ~pairs =
+    let thr = float_of_int (recv_now - snap_recv.(slot)) /. window in
+    let rtt = if Float.is_nan r || r <= 0.0 then rtt0 else r in
+    let ler = interval_rate ivs in
+    Float.Array.set pool.Flow_pool.rate slot thr;
+    Float.Array.set pool.Flow_pool.rtt slot rtt;
+    Float.Array.set pool.Flow_pool.loss_rate slot ler;
+    {
+      flow;
+      throughput_pps = thr;
+      loss_event_rate = ler;
+      mean_rtt = rtt;
+      loss_intervals = ivs;
+      estimate_pairs = pairs;
+    }
+  in
   let tfrc_measures =
-    Array.map
-      (fun fl ->
+    Array.mapi
+      (fun i fl ->
         let hist = Tfrc_receiver.history fl.tr in
-        let ivs = tail (Loss_history.completed_intervals hist) fl.intervals_snapshot in
-        let pairs = tail (Loss_history.estimate_pairs hist) fl.pairs_snapshot in
-        fl.recv_at_end <- Tfrc_receiver.received fl.tr;
-        {
-          flow = Tfrc_sender.flow fl.ts;
-          throughput_pps =
-            float_of_int (fl.recv_at_end - fl.recv_snapshot) /. window;
-          loss_event_rate = interval_rate ivs;
-          mean_rtt =
-            (let r = Tfrc_sender.mean_rtt fl.ts in
-             if Float.is_nan r || r <= 0.0 then rtt0 else r);
-          loss_intervals = ivs;
-          estimate_pairs = pairs;
-        })
+        let ivs = tail (Loss_history.completed_intervals hist) snap_ivs.(i) in
+        let pairs = tail (Loss_history.estimate_pairs hist) snap_pairs.(i) in
+        measure_into i ~flow:(Tfrc_sender.flow fl.ts)
+          ~recv_now:(Tfrc_receiver.received fl.tr)
+          ~mean_rtt:(Tfrc_sender.mean_rtt fl.ts) ~ivs ~pairs)
       tfrc_flows
   in
   let tcp_measures =
     Array.mapi
       (fun i fl ->
-        let ivs = tail (Tcp_sender.loss_event_intervals fl.cs) fl.cintervals_snapshot in
-        fl.crecv_at_end <- Tcp_receiver.received fl.cr;
-        {
-          flow = cfg.n_tfrc + i;
-          throughput_pps =
-            float_of_int (fl.crecv_at_end - fl.crecv_snapshot) /. window;
-          loss_event_rate = interval_rate ivs;
-          mean_rtt =
-            (let r = Tcp_sender.mean_rtt fl.cs in
-             if Float.is_nan r || r <= 0.0 then rtt0 else r);
-          loss_intervals = ivs;
-          estimate_pairs = [||];
-        })
+        let s = cfg.n_tfrc + i in
+        let ivs = tail (Tcp_sender.loss_event_intervals fl.cs) snap_ivs.(s) in
+        measure_into s ~flow:s
+          ~recv_now:(Tcp_receiver.received fl.cr)
+          ~mean_rtt:(Tcp_sender.mean_rtt fl.cs) ~ivs ~pairs:[||])
       tcp_flows
   in
   let probe_measure =
@@ -397,6 +452,7 @@ let run cfg =
         (fun acc fl -> acc + Tfrc_sender.rate_halvings fl.ts)
         0 tfrc_flows;
     fault_stats = Option.map Fault.stats fault;
+    fluid_stats = Option.map Fluid.stats fluid;
   }
 
 (* Aggregate helpers used by the figure runners. *)

@@ -13,6 +13,19 @@ type queue_config =
       params : Ebrc_net.Queue_discipline.red_params;
     }
 
+type background = {
+  bg_flows : int;
+      (** Fluid background aggregate: the number of AIMD flows the ODE
+          stands in for (10⁴–10⁶ is the intended regime). *)
+  bg_share_cap : float;
+      (** Max capacity fraction the fluid may hold (service floor for
+          the packet-level foreground). *)
+  bg_resolution : float;  (** Fluid sync quantum, seconds. *)
+}
+
+val default_background : flows:int -> background
+(** share_cap 0.9, resolution 1 ms. *)
+
 type config = {
   seed : int;
   bottleneck_bps : float;
@@ -40,6 +53,12 @@ type config = {
           master sequence: a run with [faults = None] — or with the
           layer disabled via [EBRC_FAULTS=0] — is bit-identical to a
           fault-free run. *)
+  background : background option;
+      (** Fluid background aggregate sharing the bottleneck (the hybrid
+          packet/fluid engine). Like [faults], a run with [None] — or
+          with the layer disabled via [EBRC_HYBRID=0] — is bit-identical
+          to a packet-only run: nothing is attached to the link or the
+          engine. *)
 }
 
 val default_config : config
@@ -67,12 +86,25 @@ type result = {
           (whole run, not just the measurement window). *)
   fault_stats : Ebrc_net.Fault.stats option;
       (** Injector counts; [None] when no injector was active. *)
+  fluid_stats : Ebrc_net.Fluid.stats option;
+      (** Fluid background state at the end of the run; [None] when no
+          fluid was attached. *)
 }
 
 val run : config -> result
 
 val base_rtt : config -> float
 val bdp_packets : config -> float
+
+val queue_capacity : config -> int
+(** Bottleneck queue capacity in packets, after the 0-means-2.5×BDP
+    default. *)
+
+val fluid_config : config -> background -> Ebrc_net.Fluid.config
+(** The fluid configuration [run] attaches for this background: drop
+    profile mirroring the packet queue, capacity and qmax shared with
+    it. Lets callers query [Fluid.equilibrium] for exactly the
+    aggregate a run used. *)
 
 val mean_throughput : flow_measure array -> float
 val mean_loss_rate : flow_measure array -> float

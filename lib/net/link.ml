@@ -79,6 +79,12 @@ type t = {
   mutable on_drop : Packet.t -> unit;
   mutable delivered : int;
   mutable bytes_delivered : int;
+  mutable fluid : Fluid.t option;
+      (* Hybrid coupling: when attached, foreground drops see the fluid
+         backlog, service is scaled by the foreground share, and every
+         arrival feeds the fluid's input-rate estimate. [None] (the
+         default, and the only state when EBRC_HYBRID=0) leaves the
+         packet path structurally untouched. *)
 }
 
 let transmission_time t pkt = float_of_int (Packet.bits pkt) /. t.rate_bps
@@ -90,6 +96,18 @@ let start_service t =
     t.busy <- true;
     t.in_service <- pkt;
     let tx = transmission_time t pkt in
+    let tx =
+      match t.fluid with
+      | None -> tx
+      | Some fl ->
+          (* The fluid holds part of the capacity: the foreground is
+             served at the share the background leaves behind,
+             evaluated at service start (piecewise-constant per
+             packet, like the queue's own service model). *)
+          Fluid.set_pkt_occupancy fl (Queue_discipline.occupancy t.queue);
+          Fluid.sync fl ~now:t.engine.Engine.now;
+          tx /. Fluid.fg_share fl
+    in
     Engine.lane_push_after t.svc_lane ~delay:tx t.service_done
   end
 
@@ -116,6 +134,7 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
       on_drop = (fun _ -> ());
       delivered = 0;
       bytes_delivered = 0;
+      fluid = None;
     }
   in
   t.deliver_head <- (fun () -> t.deliver (ring_pop t.in_flight));
@@ -135,22 +154,48 @@ let create ~engine ~rate_bps ~delay ~queue ~rng =
 let set_deliver t f = t.deliver <- f
 let set_on_drop t f = t.on_drop <- f
 
+let attach_fluid t fl = t.fluid <- Some fl
+let fluid t = t.fluid
+
+let drop_pkt t ~now pkt =
+  if Atomic.get Tm.on then begin
+    Tm.Counter.incr m_link_drops;
+    (* The per-flow attribution the counters cannot carry. *)
+    Tm.event "link.drop" ~time:now ~flow:pkt.Packet.flow
+      ~value:(float_of_int pkt.Packet.seq)
+  end;
+  t.on_drop pkt;
+  Packet.release pkt
+
 let send t pkt =
   let now = t.engine.Engine.now in
-  let u = if t.needs_u then Ebrc_rng.Prng.float_unit t.rng else 0.0 in
-  match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
-  | Queue_discipline.Drop ->
-      if Atomic.get Tm.on then begin
-        Tm.Counter.incr m_link_drops;
-        (* The per-flow attribution the counters cannot carry. *)
-        Tm.event "link.drop" ~time:now ~flow:pkt.Packet.flow
-          ~value:(float_of_int pkt.Packet.seq)
-      end;
-      t.on_drop pkt;
-      Packet.release pkt
-  | Queue_discipline.Enqueue ->
-      ring_push t.backlog pkt;
-      if not t.busy then start_service t
+  match t.fluid with
+  | None -> (
+      let u = if t.needs_u then Ebrc_rng.Prng.float_unit t.rng else 0.0 in
+      match Queue_discipline.offer ~bytes:pkt.Packet.size t.queue ~now ~u with
+      | Queue_discipline.Drop -> drop_pkt t ~now pkt
+      | Queue_discipline.Enqueue ->
+          ring_push t.backlog pkt;
+          if not t.busy then start_service t)
+  | Some fl -> (
+      (* Hybrid ingress: bring the fluid up to date and let the drop
+         decision see a queue inflated by the fluid backlog. Only
+         {e admitted} packets feed the fluid's foreground-rate
+         estimate — dropped packets consume no service, and counting
+         them would let a foreground overshoot starve the fluid's
+         drain term and wedge the queue at its cap. *)
+      Fluid.set_pkt_occupancy fl (Queue_discipline.occupancy t.queue);
+      Fluid.sync fl ~now;
+      let u = if t.needs_u then Ebrc_rng.Prng.float_unit t.rng else 0.0 in
+      match
+        Queue_discipline.offer_fluid ~bytes:pkt.Packet.size t.queue ~now ~u
+          ~extra:(Fluid.queue_pkts fl)
+      with
+      | Queue_discipline.Drop -> drop_pkt t ~now pkt
+      | Queue_discipline.Enqueue ->
+          Fluid.on_packet_arrival fl;
+          ring_push t.backlog pkt;
+          if not t.busy then start_service t)
 
 let queue t = t.queue
 let delivered t = t.delivered

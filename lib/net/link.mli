@@ -20,6 +20,17 @@ val set_on_drop : t -> (Packet.t -> unit) -> unit
 val send : t -> Packet.t -> unit
 (** Offer a packet to the queue discipline. *)
 
+val attach_fluid : t -> Fluid.t -> unit
+(** Couple a fluid background aggregate to this link: foreground drop
+    decisions see the queue inflated by the fluid backlog
+    ({!Queue_discipline.offer_fluid}), foreground service is scaled by
+    {!Fluid.fg_share}, and every arrival feeds the fluid's input-rate
+    estimate. Never call this when {!Fluid.enabled} is false — the
+    unattached link is structurally the packet-only code path (the
+    EBRC_HYBRID ablation). *)
+
+val fluid : t -> Fluid.t option
+
 val transmission_time : t -> Packet.t -> float
 val queue : t -> Queue_discipline.t
 val delivered : t -> int

@@ -188,6 +188,95 @@ let offer ?(bytes = 1000) t ~now ~u =
           else t.count <- -1);
       verdict
 
+(* Hybrid-path variant of [offer]: the drop decision sees the queue
+   depth inflated by [extra] — the fluid background backlog in packets
+   (Fluid.queue_pkts). A separate entry point rather than a parameter
+   on [offer], so the packet-only path above stays byte-for-byte the
+   pre-hybrid code: the structural half of the EBRC_HYBRID ablation. *)
+let offer_fluid ?(bytes = 1000) t ~now ~u ~extra =
+  match t.kind with
+  | Drop_tail ->
+      if float_of_int t.occupancy +. extra >= float_of_int t.capacity then begin
+        t.drops <- t.drops + 1;
+        if Atomic.get Tm.on then Tm.Counter.incr m_drops;
+        Drop
+      end
+      else begin
+        t.occupancy <- t.occupancy + 1;
+        t.enqueues <- t.enqueues + 1;
+        if Atomic.get Tm.on then begin
+          Tm.Counter.incr m_enqueues;
+          Tm.Gauge.set m_occupancy (float_of_int t.occupancy +. extra)
+        end;
+        Enqueue
+      end
+  | Red p ->
+      (* RED's EWMA tracks the {e total} instantaneous queue — fluid
+         backlog included — so the early-drop ramp reacts to congestion
+         the background aggregate causes. *)
+      (match t.idle_since with
+      | Some t0 when t.service_rate > 0.0 ->
+          let m = (now -. t0) *. t.service_rate in
+          let decay = (1.0 -. p.wq) ** max 0.0 m in
+          (* Packet-idle is not link-idle here: the fluid backlog
+             persisted through the gap, so the average decays toward
+             that floor rather than toward an empty queue. *)
+          t.avg <- extra +. ((t.avg -. extra) *. decay);
+          t.idle_since <- None
+      | Some _ -> t.idle_since <- None
+      | None -> ());
+      t.avg <-
+        ((1.0 -. p.wq) *. t.avg)
+        +. (p.wq *. (float_of_int t.occupancy +. extra));
+      let hard_full = float_of_int t.occupancy +. extra >= float_of_int t.capacity in
+      let forced = ref true in
+      let verdict =
+        if hard_full then Drop
+        else if t.avg < p.min_th then Enqueue
+        else if t.avg >= p.max_th && not p.gentle then Drop
+        else if t.avg >= 2.0 *. p.max_th then Drop
+        else begin
+          forced := false;
+          t.count <- t.count + 1;
+          let pb =
+            if t.avg < p.max_th then
+              p.max_p *. (t.avg -. p.min_th) /. (p.max_th -. p.min_th)
+            else
+              p.max_p
+              +. ((1.0 -. p.max_p) *. (t.avg -. p.max_th) /. p.max_th)
+          in
+          let pb =
+            if p.byte_mode then
+              Float.min 1.0
+                (pb *. float_of_int bytes /. float_of_int p.mean_pktsize)
+            else pb
+          in
+          let pa =
+            let d = 1.0 -. (float_of_int t.count *. pb) in
+            if d <= 0.0 then 1.0 else pb /. d
+          in
+          if u < pa then Drop else Enqueue
+        end
+      in
+      (match verdict with
+      | Drop ->
+          t.drops <- t.drops + 1;
+          t.count <- 0;
+          if Atomic.get Tm.on then begin
+            Tm.Counter.incr m_drops;
+            Tm.Counter.incr (if !forced then m_red_forced else m_red_early)
+          end
+      | Enqueue ->
+          t.occupancy <- t.occupancy + 1;
+          t.enqueues <- t.enqueues + 1;
+          if Atomic.get Tm.on then begin
+            Tm.Counter.incr m_enqueues;
+            Tm.Gauge.set m_occupancy (float_of_int t.occupancy +. extra)
+          end;
+          if t.avg >= p.min_th then ()
+          else t.count <- -1);
+      verdict
+
 (* A packet departed the queue (finished service). *)
 let departure t ~now =
   if t.occupancy <= 0 then

@@ -39,6 +39,14 @@ val offer : ?bytes:int -> t -> now:float -> u:float -> decision
     [bytes] (default 1000) only matters for byte-mode RED. Updates
     occupancy and counters when enqueued. *)
 
+val offer_fluid :
+  ?bytes:int -> t -> now:float -> u:float -> extra:float -> decision
+(** Hybrid-path variant of {!offer}: the drop decision (DropTail wall,
+    RED average and hard-full check) sees the queue depth inflated by
+    [extra] — the fluid background backlog in packets. Only the
+    {!Link} hybrid path calls this; {!offer} itself is untouched, so a
+    run without an attached fluid executes the exact pre-hybrid code. *)
+
 val needs_random : t -> bool
 (** Whether [offer] consumes its uniform draw (RED yes, DropTail no) —
     lets the caller skip one RNG draw per packet on DropTail paths. *)

@@ -49,6 +49,7 @@ let no_handle = { cancelled = false }
 type event = { mutable fire : unit -> unit; mutable handle : handle }
 
 let nop () = ()
+let nop_hook (_ : float) = ()
 
 (* A fast lane is a growable FIFO ring of (time, seq, thunk) for event
    streams the caller proves are time-ordered and never cancelled
@@ -86,6 +87,12 @@ and t = {
   mutable n_lanes : int;
   wheel : handle Timing_wheel.t;
   use_wheel : bool;  (* sampled from the global toggle at [create] *)
+  mutable advance_hook : float -> unit;
+      (* Called with the event time before each live event fires (the
+         hybrid fluid advance). *)
+  mutable has_hook : bool;
+      (* Split from the closure so the unused-hook cost in the run loop
+         is one immediate-bool load and branch, not a closure compare. *)
 }
 
 let dummy_event = { fire = nop; handle = no_handle }
@@ -111,7 +118,17 @@ let create () =
     n_lanes = 0;
     wheel = Timing_wheel.create ~null:no_handle ();
     use_wheel = !wheel_on;
+    advance_hook = nop_hook;
+    has_hook = false;
   }
+
+let set_advance_hook t = function
+  | None ->
+      t.advance_hook <- nop_hook;
+      t.has_hook <- false
+  | Some f ->
+      t.advance_hook <- f;
+      t.has_hook <- true
 
 let now t = t.now
 let processed t = t.processed
@@ -518,6 +535,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
              t.now <- time;
              t.processed <- t.processed + 1;
              if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+             if t.has_hook then t.advance_hook time;
              fire ();
              if t.processed >= max_events then begin
                reason := Budget_exhausted;
@@ -531,6 +549,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
            t.now <- time;
            t.processed <- t.processed + 1;
            if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+           if t.has_hook then t.advance_hook time;
            fire ();
            if t.processed >= max_events then begin
              reason := Budget_exhausted;
@@ -547,6 +566,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
              t.now <- time;
              t.processed <- t.processed + 1;
              if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+             if t.has_hook then t.advance_hook time;
              let fire = ev.fire in
              recycle t ev;
              fire ();

@@ -18,6 +18,8 @@ type t = private {
   mutable n_lanes : int;
   wheel : handle Timing_wheel.t;
   use_wheel : bool;
+  mutable advance_hook : float -> unit;
+  mutable has_hook : bool;
 }
 (** Exposed [private] (precedent: {!Timing_wheel.t}) so per-packet
     callers can read the clock as a direct field load
@@ -52,6 +54,16 @@ val set_pooling : bool -> unit
 val now : t -> float
 val processed : t -> int
 val pending : t -> int
+
+val set_advance_hook : t -> (float -> unit) option -> unit
+(** Install (or clear) a continuous-state advance hook: called with the
+    event's time immediately before every live event fires, after the
+    clock has advanced to it. Used by the hybrid packet/fluid
+    bottleneck to integrate the fluid background up to each packet
+    event. The hook must not schedule, cancel, or mutate engine state —
+    it exists to advance co-simulated continuous state, so installing
+    one whose effects are invisible to the event population leaves the
+    run bit-identical (the unused-hook cost is one branch per event). *)
 
 val schedule : t -> at:float -> (unit -> unit) -> handle
 (** Raises [Invalid_argument] if [at] is in the past or NaN. *)

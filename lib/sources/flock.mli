@@ -23,7 +23,8 @@ type stats = { flows : int; events : int; fingerprint : int }
 val create : ?flows:int -> ?seed:int -> Ebrc_sim.Engine.t -> t
 (** Build the flock and schedule every member's first tick, staggered
     uniformly over its own first period. Defaults: 100_000 flows,
-    seed 1. The caller runs the engine. *)
+    seed 1. The caller runs the engine. Per-flow state lives in a
+    {!Flow_pool} (tick gap in [rate], sequence in [seq]). *)
 
 val events : t -> int
 (** Ticks dispatched so far. *)
@@ -31,7 +32,37 @@ val events : t -> int
 val fingerprint : t -> int
 (** Wrapping-int fold of [(flow, seq)] in dispatch order. *)
 
+val pool : t -> Flow_pool.t
+(** The flock's backing flow pool. *)
+
 val run : ?flows:int -> ?duration:float -> ?seed:int -> unit -> stats
 (** Convenience wrapper: fresh engine (current [Engine.set_wheel] /
     lane settings apply), run to [duration] (default 10 s of simulated
     time), return the tallies. *)
+
+(** {2 flows1m: the hybrid packet/fluid scale bench} *)
+
+type hybrid_stats = {
+  fg_flows : int;
+  bg_flows : int;
+  events : int;      (** engine events dispatched *)
+  sent : int;        (** foreground packets offered to the link *)
+  delivered : int;
+  dropped : int;
+  fingerprint : int; (** dispatch-order fold over deliveries and drops *)
+  fluid : Ebrc_net.Fluid.stats option;
+      (** [None] when the hybrid layer is disabled. *)
+}
+
+val run_hybrid :
+  ?fg_flows:int -> ?bg_flows:int -> ?duration:float -> ?seed:int ->
+  ?base_rtt:float -> ?capacity_factor:float -> unit -> hybrid_stats
+(** The flows1m bench: [fg_flows] (default 20_000) packet-level
+    periodic flows send real packets through a DropTail bottleneck
+    sized at [capacity_factor] (default 2.5) × their aggregate mean
+    rate, while a fluid aggregate of [bg_flows] (default 200_000) AIMD
+    background flows contends for the same queue (when
+    {!Ebrc_net.Fluid.enabled}; otherwise the identical packet-only
+    bench runs with no fluid attached). Deliveries and drops fold into
+    the fingerprint, so repeated runs at equal seeds must agree —
+    the hybrid co-simulation's determinism check. *)

@@ -1,0 +1,41 @@
+(** Struct-of-arrays per-flow hot state for 10⁴–10⁶ cheap flows.
+
+    Flat unboxed columns (rate, next-send time, RTT, loss-event rate)
+    plus int columns (sequence, sent, warmup-snapshot marks) replace
+    one heap record per flow: each access pattern stays dense and
+    prefetchable, and a flow costs a few cache lines instead of a
+    pointer chase per field. The record is exposed [private]
+    (precedent: {!Ebrc_sim.Engine.t}) so hot loops touch columns
+    directly; column {e contents} are freely mutable through the
+    fields, only the pool's bookkeeping goes through the API.
+
+    Column ownership is by convention — the source using the pool
+    decides which columns it maintains ({!Flock} keeps [rate] as its
+    tick gap; the scenario keeps the snapshot marks). Unused columns
+    cost one allocation and nothing per event. *)
+
+type t = private {
+  cap : int;
+  mutable n : int;
+  rate : floatarray;       (** pacing value: pkt/s, or tick gap (s) *)
+  next_send : floatarray;  (** absolute next-send time, s *)
+  rtt : floatarray;        (** smoothed / measured RTT, s *)
+  loss_rate : floatarray;  (** loss-event rate estimate *)
+  seq : int array;         (** next sequence number *)
+  sent : int array;        (** packets sent *)
+  snap_recv : int array;   (** warmup snapshot: packets received *)
+  snap_ivs : int array;    (** warmup snapshot: loss intervals *)
+  snap_pairs : int array;  (** warmup snapshot: RTT sample pairs *)
+}
+
+val create : capacity:int -> t
+(** All columns preallocated at [capacity] flows and zeroed. *)
+
+val add : ?rate:float -> ?next_send:float -> t -> int
+(** Claim the next flow slot, returning its index. Raises
+    [Invalid_argument] when the pool is full. *)
+
+val length : t -> int
+(** Flows added so far. *)
+
+val capacity : t -> int

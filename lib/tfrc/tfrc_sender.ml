@@ -3,8 +3,9 @@
    and the sender's smoothed RTT.
 
    Before any loss has been reported the sender doubles its rate each
-   feedback (TFRC's slow-start analogue), optionally capped at twice the
-   reported receive rate. After the first loss report, the rate is
+   feedback (TFRC's slow-start analogue), capped at twice the reported
+   receive rate; a report of zero receive rate holds the rate steady.
+   After the first loss report, the rate is
    X = f(p_reported, srtt) — the comprehensive control when the receiver
    applies the open-interval rule, the basic control otherwise.
 
@@ -207,14 +208,19 @@ let on_feedback t ~p_estimate ~recv_rate ~rtt_echo ~hold =
     set_rate t x
   end
   else if not t.saw_loss then begin
-    (* Slow-start analogue: double each feedback, capped by the receive
-       rate when not in analysis-conforming mode. *)
-    let target = 2.0 *. t.rate in
-    let target =
-      if t.conform_to_analysis || t.last_recv_rate <= 0.0 then target
-      else Float.min target (2.0 *. t.last_recv_rate)
-    in
-    set_rate t target
+    (* Slow-start analogue: double each feedback, capped at twice the
+       reported receive rate (RFC 3448 s4.3). A report with
+       recv_rate = 0 means nothing reached the receiver since the last
+       report — hold the rate rather than blind-double. Treating zero
+       as "no cap" let a slow starter (paced at its low initial rate,
+       its pending send tick not yet due) double to max_rate on empty
+       reports and then blast ~10^5 packets into a full queue the
+       moment the tick fired: ~1.5 MW of minor allocation and ~90k
+       drops in the first simulated second of every scenario run. *)
+    if t.conform_to_analysis then set_rate t (2.0 *. t.rate)
+    else if t.last_recv_rate > 0.0 then
+      set_rate t
+        (Float.min (2.0 *. t.rate) (2.0 *. t.last_recv_rate))
   end
 
 let on_packet t (pkt : Packet.t) =

@@ -313,6 +313,147 @@ let test_cache_robust_roundtrip () =
         (String.equal first from_disk);
       Alcotest.(check int) "served from disk" 1 (RC.stats ()).RC.disk_hits)
 
+(* ---------------------- hybrid packet/fluid ---------------------- *)
+
+let with_hybrid on f =
+  let before = Ebrc.Fluid.enabled () in
+  Ebrc.Fluid.set_hybrid on;
+  Fun.protect ~finally:(fun () -> Ebrc.Fluid.set_hybrid before) f
+
+(* The EBRC_HYBRID=0 ablation contract: with the layer disabled, a
+   config carrying a background is structurally the packet-only run —
+   byte-identical serialization AND an identical cache key. *)
+let test_hybrid_off_bit_identical () =
+  let cfg_bg =
+    { quick_cfg with
+      S.background = Some (S.default_background ~flows:50_000) }
+  in
+  let cfg_none = { quick_cfg with S.background = None } in
+  with_hybrid false (fun () ->
+      Alcotest.(check string) "digests collapse when disabled"
+        (RC.digest_of_config cfg_none)
+        (RC.digest_of_config cfg_bg);
+      let a = RC.serialize_result (S.run cfg_bg) in
+      let b = RC.serialize_result (S.run cfg_none) in
+      Alcotest.(check bool) "hybrid-off run bit-identical to packet-only"
+        true (String.equal a b));
+  with_hybrid true (fun () ->
+      Alcotest.(check bool) "digests differ when enabled" true
+        (RC.digest_of_config cfg_bg <> RC.digest_of_config cfg_none);
+      let r = S.run cfg_bg in
+      Alcotest.(check bool) "fluid stats present" true
+        (r.S.fluid_stats <> None))
+
+let test_hybrid_cache_roundtrip () =
+  (* fluid_stats round-trips byte-exactly through the disk store. *)
+  with_hybrid true (fun () ->
+      let cfg =
+        { cache_cfg with
+          S.background = Some (S.default_background ~flows:10_000) }
+      in
+      with_clean_cache (fun () ->
+          RC.set_dir (Some cache_dir);
+          let first = RC.serialize_result (RC.run cfg) in
+          Alcotest.(check bool) "result carries fluid stats" true
+            ((RC.run cfg).S.fluid_stats <> None);
+          RC.clear_memory ();
+          let from_disk = RC.serialize_result (RC.run cfg) in
+          Alcotest.(check bool) "hybrid disk hit byte-identical" true
+            (String.equal first from_disk);
+          Alcotest.(check int) "served from disk" 1
+            (RC.stats ()).RC.disk_hits))
+
+(* The hybrid validation gate (CI-enforced version of figure h1): the
+   same background population simulated packet-exact (n extra TCP
+   flows) and as an n-flow fluid must agree on what the TFRC
+   foreground experiences. The fluid is a mean-field model and n = 8
+   is its worst case, so the loss-event-rate tolerance is a factor,
+   not a percentage; normalized throughput (the paper's headline
+   metric) is much tighter because TFRC's formula response compensates
+   for the p difference. *)
+let test_hybrid_matches_packet_background () =
+  with_hybrid true @@ fun () ->
+  let base =
+    { S.default_config with
+      S.with_probe = false; duration = 120.0; warmup = 30.0 }
+  in
+  let n = 8 in
+  let pkt = S.run { base with S.n_tcp = base.S.n_tcp + n } in
+  let fl =
+    S.run { base with S.background = Some (S.default_background ~flows:n) }
+  in
+  let formula =
+    Ebrc.Formula.create ~rtt:(S.base_rtt base) base.S.tfrc_formula_kind
+  in
+  let norm (r : S.result) =
+    let p = S.pooled_loss_rate r.S.tfrc in
+    S.mean_throughput r.S.tfrc
+    /. Ebrc.Formula.eval
+         (Ebrc.Formula.with_rtt formula ~rtt:(S.mean_rtt r.S.tfrc))
+         p
+  in
+  let p_ratio = S.pooled_loss_rate fl.S.tfrc /. S.pooled_loss_rate pkt.S.tfrc
+  and x_ratio = norm fl /. norm pkt in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss-event rate ratio %.3f in [0.4, 2.5]" p_ratio)
+    true
+    (p_ratio > 0.4 && p_ratio < 2.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "normalized throughput ratio %.3f in [0.85, 1.15]"
+       x_ratio)
+    true
+    (x_ratio > 0.85 && x_ratio < 1.15)
+
+(* Satellite e2e: in the many-sources limit the fluid background is an
+   exogenous one-state congestion process for the foreground, so
+   Eq. (13)'s limit loss-event rate — for any rate profile — is the
+   state's drop probability, i.e. the fluid's analytic equilibrium.
+   The RED ramp couples the classes (packet foreground is dropped on
+   the same avg-occupancy ramp the fluid solves), so the TFRC
+   foreground's measured loss-event rate must approach that limit.
+   Seeds pinned; capacity scales with N per the many-sources
+   normalization. *)
+let test_hybrid_many_sources_limit () =
+  with_hybrid true @@ fun () ->
+  let n = 100_000 in
+  let bg = S.default_background ~flows:n in
+  let cfg =
+    { S.default_config with
+      S.seed = 11;
+      with_probe = false;
+      n_tfrc = 2;
+      n_tcp = 0;
+      bottleneck_bps = 5.6e5 *. float_of_int n;
+      duration = 60.0;
+      warmup = 20.0;
+      background = Some bg }
+  in
+  let r = S.run cfg in
+  let eq = Ebrc.Fluid.equilibrium (S.fluid_config cfg bg) in
+  let cp =
+    [| { Ebrc.Many_sources.p_i = eq.Ebrc.Fluid.eq_p; pi_i = 1.0 } |]
+  in
+  let p_limit =
+    Ebrc.Many_sources.limit_loss_event_rate cp
+      ~rates:(Ebrc.Many_sources.poisson_profile cp)
+  in
+  let p_sim = S.pooled_loss_rate r.S.tfrc in
+  (* RED's uniform drop spreading (p_a = p_b / (1 - count.p_b)) makes
+     inter-drop gaps uniform on [1, 1/p_b], so the realized per-packet
+     drop rate the foreground sees is 2.p_b / (1 + p_b), not p_b. The
+     fluid's mean-field ramp — and hence the Eq. (13) limit — is in
+     p_b units; convert before comparing. *)
+  let p_pred = 2.0 *. p_limit /. (1.0 +. p_limit) in
+  Alcotest.(check bool)
+    (Printf.sprintf "one-state limit is the equilibrium (%.4f)" p_limit)
+    true
+    (Float.abs (p_limit -. eq.Ebrc.Fluid.eq_p) < 1e-12);
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.4f vs spread-adjusted limit %.4f" p_sim
+       p_pred)
+    true
+    (p_sim > 0.6 *. p_pred && p_sim < 1.67 *. p_pred)
+
 let test_figures_byte_identical_with_cache () =
   (* Satellite guarantee: figure output is byte-identical cache-on
      (cold and warm) vs cache-off. Fig 17 is the cheapest DES-backed
@@ -563,6 +704,17 @@ let () =
             test_cache_disabled_bypasses;
           Alcotest.test_case "figures byte-identical" `Quick
             test_figures_byte_identical_with_cache;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "off = bit-identical packet-only" `Quick
+            test_hybrid_off_bit_identical;
+          Alcotest.test_case "cache roundtrip" `Quick
+            test_hybrid_cache_roundtrip;
+          Alcotest.test_case "matches packet background" `Quick
+            test_hybrid_matches_packet_background;
+          Alcotest.test_case "many-sources limit" `Quick
+            test_hybrid_many_sources_limit;
         ] );
       ( "audio_scenario",
         [ Alcotest.test_case "smoke" `Quick test_audio_scenario_smoke ] );
