@@ -46,14 +46,21 @@ let rec find_from slots mask seq i =
 
 let mem t seq = t.slots.(find_from t.slots t.mask seq (seq land t.mask)) = seq
 
-let rec insert_raw slots mask seq i =
+(* Probe until [seq] or an empty slot, remembering the first tombstone
+   ([tomb = -1] if none seen). Stopping at a tombstone would let a key
+   further down the chain be duplicated, so the walk must reach an
+   empty slot before deciding the key is absent; the insert then reuses
+   the remembered tombstone if there was one. *)
+let rec insert_raw slots mask seq i tomb =
   let k = Array.unsafe_get slots i in
   if k = seq then false
-  else if k = empty_key || k = tomb_key then begin
-    Array.unsafe_set slots i seq;
+  else if k = empty_key then begin
+    Array.unsafe_set slots (if tomb >= 0 then tomb else i) seq;
     true
   end
-  else insert_raw slots mask seq ((i + 1) land mask)
+  else
+    let tomb = if k = tomb_key && tomb < 0 then i else tomb in
+    insert_raw slots mask seq ((i + 1) land mask) tomb
 
 let rehash t cap =
   let slots = Array.make cap empty_key in
@@ -61,7 +68,7 @@ let rehash t cap =
   Array.iter
     (fun k ->
       if k <> empty_key && k <> tomb_key then
-        ignore (insert_raw slots mask k (k land mask)))
+        ignore (insert_raw slots mask k (k land mask) (-1)))
     t.slots;
   t.slots <- slots;
   t.mask <- mask;
@@ -73,7 +80,7 @@ let add t seq =
     (* Grow only when at least half the occupancy is live; otherwise
        same-size rehash just clears tombstones. *)
     rehash t (if 4 * t.live > t.mask + 1 then 2 * (t.mask + 1) else t.mask + 1);
-  if insert_raw t.slots t.mask seq (seq land t.mask) then begin
+  if insert_raw t.slots t.mask seq (seq land t.mask) (-1) then begin
     t.live <- t.live + 1;
     t.used <- t.used + 1
   end

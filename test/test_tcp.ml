@@ -270,6 +270,25 @@ let test_seq_set_basics () =
   | () -> Alcotest.fail "expected Invalid_argument (negative)"
   | exception Invalid_argument _ -> ())
 
+let test_seq_set_tombstone_no_duplicate () =
+  (* Regression: a key displaced past a slot that later becomes a
+     tombstone must not be re-inserted into the tombstone as a
+     duplicate. 5 and 21 share home slot 5 with capacity 16; removing
+     5 leaves a tombstone on 21's probe path. *)
+  let s = Ebrc.Seq_set.create ~capacity:16 () in
+  Ebrc.Seq_set.add s 5;
+  Ebrc.Seq_set.add s 21;
+  Ebrc.Seq_set.remove s 5;
+  Ebrc.Seq_set.add s 21;
+  Alcotest.(check int) "no duplicate via tombstone" 1 (Ebrc.Seq_set.cardinal s);
+  Ebrc.Seq_set.remove s 21;
+  Alcotest.(check bool) "fully removed" false (Ebrc.Seq_set.mem s 21);
+  Alcotest.(check int) "empty" 0 (Ebrc.Seq_set.cardinal s);
+  (* The tombstone slot is still reused when the key really is absent. *)
+  Ebrc.Seq_set.add s 21;
+  Alcotest.(check bool) "re-add after churn" true (Ebrc.Seq_set.mem s 21);
+  Alcotest.(check int) "single entry" 1 (Ebrc.Seq_set.cardinal s)
+
 let test_seq_set_growth_and_churn () =
   (* Grow far past the initial capacity, then churn adds/removes so
      tombstone rehashing gets exercised; the set must agree with a
@@ -302,6 +321,8 @@ let () =
       ( "seq_set",
         [
           Alcotest.test_case "basics" `Quick test_seq_set_basics;
+          Alcotest.test_case "tombstone no duplicate" `Quick
+            test_seq_set_tombstone_no_duplicate;
           Alcotest.test_case "growth and churn" `Quick
             test_seq_set_growth_and_churn;
         ] );
