@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-scale bench-compare figures validate report examples telemetry-demo clean
+.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-scale bench-compare bench-trend figures validate report examples telemetry-demo status-demo clean
 
 all: build
 
@@ -47,9 +47,17 @@ bench-scale:
 	EBRC_BENCH_ONLY=scale dune exec bench/main.exe
 
 # Diff the newest two BENCH_*.json records; exits non-zero when any
-# hot-path micro-benchmark regressed by more than 20%.
+# hot-path micro-benchmark regressed by more than 20%, a fixed-seed
+# counter drifted, or a determinism gate (wheel/faults/hybrid/stream
+# bit-identity) broke.
 bench-compare:
 	dune exec bench/compare.exe
+
+# Longitudinal view over the whole BENCH_*.json history: first/last/
+# best, per-record slope and regression flags for every hot-path
+# timing and fixed-seed counter.
+bench-trend:
+	dune exec bin/ebrc_cli.exe -- bench-trend
 
 figures:
 	dune exec bin/ebrc_cli.exe -- figure all
@@ -71,6 +79,18 @@ telemetry-demo:
 	@echo "trace.json      : Chrome trace_event format -- open chrome://tracing"
 	@echo "                  (or https://ui.perfetto.dev) and load the file to"
 	@echo "                  see per-figure spans and simulated-time events."
+
+# Live observability end to end: stream a figure run to ebrc.stream,
+# then render the finished stream with `ebrc status` (while a run is
+# still going, the same command in another terminal shows live
+# progress and `--once` emits machine-readable JSON).
+status-demo:
+	dune exec bin/ebrc_cli.exe -- figure 17 --no-cache --stream ebrc.stream
+	dune exec bin/ebrc_cli.exe -- status ebrc.stream
+	@echo
+	@echo "ebrc.stream : self-describing JSONL (meta/manifest/figure/delta"
+	@echo "              records); 'ebrc status --once ebrc.stream' prints"
+	@echo "              one JSON object for scripting."
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,146 +1,27 @@
 (* Compare the newest two BENCH_*.json records and fail loudly when a
    hot-path micro-benchmark regresses by more than 20%.
 
-   The records are written by bench/main.ml in a fixed shape, but the
-   parser below is a small general JSON reader so older records (and
-   hand-edited ones) keep working. Only tests present in both records
-   are compared, and sub-millisecond kernels are reported but never
-   fatal: at that scale run-to-run clock noise routinely exceeds the
-   regression threshold. *)
+   Records are ordered by the timestamp embedded in the filename (via
+   Ebrc_obs.Bench_records), so the historical day-only shape
+   [BENCH_2026-08-05.json] and the timestamped
+   [BENCH_2026-08-05T141802Z.json] coexist without the lexicographic
+   accident the old sort relied on; files without a recognisable
+   timestamp sort last with a warning rather than silently mis-order
+   the baseline. Parsing goes through Ebrc_obs.Json — the same reader
+   `ebrc bench-trend` uses — so older records (and hand-edited ones)
+   keep working. Only tests present in both records are compared, and
+   sub-millisecond kernels are reported but never fatal: at that scale
+   run-to-run clock noise routinely exceeds the regression
+   threshold. *)
 
-(* ------------------------------------------------------------------ *)
-(* Minimal JSON reader.                                                *)
-(* ------------------------------------------------------------------ *)
+open Ebrc_obs.Json
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | ' ' | '\t' | '\n' | '\r' ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if peek () = c then advance ()
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance ()
-      | '\\' ->
-          advance ();
-          (match peek () with
-          | 'n' -> Buffer.add_char buf '\n'
-          | 't' -> Buffer.add_char buf '\t'
-          | 'r' -> Buffer.add_char buf '\r'
-          | c -> Buffer.add_char buf c);
-          advance ();
-          go ()
-      | '\000' -> fail "unterminated string"
-      | c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while num_char (peek ()) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then (
-          advance ();
-          Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | '}' ->
-                advance ();
-                Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-    | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then (
-          advance ();
-          List [])
-        else
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                advance ();
-                elements (v :: acc)
-            | ']' ->
-                advance ();
-                List (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements []
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | 'n' -> literal "null" Null
-    | _ -> Num (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member name = function
-  | Obj kvs -> List.assoc_opt name kvs
-  | _ -> None
+let parse_json path s =
+  match Ebrc_obs.Json.parse s with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "bench-compare: %s: %s\n" path e;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Comparison.                                                         *)
@@ -164,13 +45,9 @@ let read_file path =
   s
 
 let bench_files () =
-  Sys.readdir "."
-  |> Array.to_list
-  |> List.filter (fun f ->
-         String.length f > 6
-         && String.sub f 0 6 = "BENCH_"
-         && Filename.check_suffix f ".json")
-  |> List.sort compare
+  let files, warnings = Ebrc_obs.Bench_records.list_ordered ~dir:"." in
+  List.iter (fun w -> Printf.eprintf "bench-compare: %s\n" w) warnings;
+  files
 
 let ns_table json =
   match member "microbench_ns_per_run" json with
@@ -296,8 +173,8 @@ let () =
   | newest :: prev :: _ ->
       Printf.printf "bench-compare: %s (baseline) -> %s (current)\n\n" prev
         newest;
-      let old_json = parse_json (read_file prev) in
-      let new_json = parse_json (read_file newest) in
+      let old_json = parse_json prev (read_file prev) in
+      let new_json = parse_json newest (read_file newest) in
       let old_tbl = ns_table old_json in
       let new_tbl = ns_table new_json in
       if old_tbl = [] || new_tbl = [] then begin
@@ -490,8 +367,78 @@ let () =
             | _ -> false)
         | None -> false
       in
+      (* Streaming ablation: two gates. The streamed run must
+         serialize byte-identically to the silent run — observation
+         may not perturb the simulation, fatal when false. And the
+         stream-off arm must stay within the regression threshold of
+         the telemetry ablation's own disabled arm (same config, same
+         seed): disabled streaming must be free. The timing gate
+         respects EBRC_COMPARE_WARN_ONLY (it moves with the host);
+         the identity gate does not. Absent in pre-stream records;
+         skipped then. *)
+      let stream_broken =
+        match member "stream_ablation" new_json with
+        | Some sa ->
+            let id_broken =
+              match member "bit_identical" sa with
+              | Some (Bool true) ->
+                  Printf.printf
+                    "  stream ablation: streamed run bit-identical to the \
+                     silent run\n";
+                  false
+              | Some (Bool false) ->
+                  Printf.printf
+                    "  stream ablation: FAIL — streaming a run changes its \
+                     serialized result\n";
+                  true
+              | _ -> false
+            in
+            let overhead_broken =
+              match member "scenario_off_ms" sa with
+              | Some (Num off_ms) -> (
+                  match
+                    Option.bind
+                      (member "telemetry_summary" new_json)
+                      (member "disabled_ms")
+                  with
+                  | Some (Num base_ms) when base_ms > 0.0 ->
+                      let ratio = off_ms /. base_ms in
+                      if ratio > 1.0 +. regression_threshold then begin
+                        Printf.printf
+                          "  stream ablation: %s — stream-off scenario %.1f \
+                           ms vs %.1f ms telemetry-off baseline (%.2fx; \
+                           disabled streaming must be free)\n"
+                          (if warn_only then
+                             "WARNING (EBRC_COMPARE_WARN_ONLY)"
+                           else "FAIL")
+                          off_ms base_ms ratio;
+                        not warn_only
+                      end
+                      else begin
+                        Printf.printf
+                          "  stream ablation: stream-off %.1f ms within \
+                           %.2fx of the %.1f ms telemetry-off baseline\n"
+                          off_ms ratio base_ms;
+                        false
+                      end
+                  | _ -> false)
+              | _ -> false
+            in
+            (match
+               (member "scenario_streaming_ms" sa, member "delta_records" sa)
+             with
+            | Some (Num on_ms), Some (Num deltas) ->
+                Printf.printf
+                  "  stream ablation: streaming arm %.1f ms, %.0f delta \
+                   record(s) (informational)\n\n"
+                  on_ms deltas
+            | _ -> print_newline ());
+            id_broken || overhead_broken
+        | None -> false
+      in
       let failed = ref false in
       if faults_broken then failed := true;
+      if stream_broken then failed := true;
       if wheel_broken then failed := true;
       if flows_broken then failed := true;
       if flows1m_broken then failed := true;

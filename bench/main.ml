@@ -602,6 +602,76 @@ let measure_lanes_ab () =
     lanes_identical }
 
 (* ------------------------------------------------------------------ *)
+(* Streaming-telemetry ablation: the delta stream must cost nothing    *)
+(* when disabled, and when live it may only observe — the streamed     *)
+(* run must serialize byte-identically to the silent one.              *)
+(* ------------------------------------------------------------------ *)
+
+type stream_ablation = {
+  stream_off_ms : float;    (* telemetry off, stream off (baseline) *)
+  stream_on_ms : float;     (* telemetry on, stream live, 1 s cadence *)
+  stream_deltas : int;      (* delta records written by the timed arm *)
+  stream_identical : bool;  (* streamed run == silent run, bytes *)
+}
+
+let measure_stream_ablation () =
+  let module Stream = Ebrc.Telemetry_stream in
+  (* Baseline arm: everything off. This is the configuration every
+     non-observed run pays for, so bench/compare.ml holds it against
+     the telemetry ablation's own disabled_ms (same config, same
+     seed). *)
+  let stream_off_ms = ab_best_of 5 ab_droptail in
+  let off_bytes =
+    Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run ab_droptail)
+  in
+  (* Live arm: registry on, stream on, wall progress off (progress
+     records are wall-dependent; the sim-time deltas are the product
+     being priced here). *)
+  let path = Filename.temp_file "ebrc_stream_ab" ".jsonl" in
+  Ebrc.Telemetry.set_enabled true;
+  Ebrc.Telemetry.reset ();
+  Stream.enable ~path ~period_sim:1.0 ~period_wall:0.0;
+  let stream_on_ms, on_bytes =
+    Fun.protect
+      ~finally:(fun () ->
+        Stream.disable ();
+        Ebrc.Telemetry.set_enabled false;
+        Ebrc.Telemetry.reset ())
+      (fun () ->
+        ( ab_best_of 5 ab_droptail,
+          Ebrc.Result_cache.serialize_result (Ebrc.Scenario.run ab_droptail) ))
+  in
+  let stream_deltas =
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         let tag = "{\"type\":\"delta\"" in
+         if
+           String.length line >= String.length tag
+           && String.sub line 0 (String.length tag) = tag
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let stream_identical = String.equal off_bytes on_bytes in
+  Printf.printf
+    "#############################################################\n\
+     # Streaming-telemetry ablation (DropTail scenario, best of 5)\n\
+     #############################################################\n\n\
+    \  silent              %7.2f ms\n\
+    \  streaming (1 s)     %7.2f ms  (+%.1f%%, %d delta records)\n\
+    \  streamed == silent bytes: %b\n\n"
+    stream_off_ms stream_on_ms
+    (100.0 *. ((stream_on_ms /. stream_off_ms) -. 1.0))
+    stream_deltas stream_identical;
+  { stream_off_ms; stream_on_ms; stream_deltas; stream_identical }
+
+(* ------------------------------------------------------------------ *)
 (* Timing-wheel A/B: wheel vs FIFO lanes vs pure heap.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1109,8 +1179,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-    ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep =
+let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~stream
+    ~lanes ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep =
   let ns_per_run, minor_per_run = microbench in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
@@ -1191,6 +1261,17 @@ let write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
         (if i = List.length counters - 1 then "" else ","))
     counters;
   Printf.fprintf oc "    }\n  },\n";
+  Printf.fprintf oc
+    "  \"stream_ablation\": {\n\
+    \    \"scenario_off_ms\": %.3f,\n\
+    \    \"scenario_streaming_ms\": %.3f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"delta_records\": %d,\n\
+    \    \"bit_identical\": %b\n\
+    \  },\n"
+    stream.stream_off_ms stream.stream_on_ms
+    (100.0 *. ((stream.stream_on_ms /. stream.stream_off_ms) -. 1.0))
+    stream.stream_deltas stream.stream_identical;
   Printf.fprintf oc
     "  \"lanes_ablation\": {\n\
     \    \"lane_droptail_ms\": %.3f,\n\
@@ -1327,6 +1408,7 @@ let () =
     let frontier = measure_ode_frontier () in
     let alloc = measure_alloc_ab () in
     let telem = measure_telemetry () in
+    let stream = measure_stream_ablation () in
     let lanes = measure_lanes_ab () in
     let wheel = measure_wheel_ab () in
     let flows = measure_flows100k () in
@@ -1336,7 +1418,7 @@ let () =
     let gap = measure_gap_skip () in
     let cache = measure_cache () in
     let sweep = measure_parallel_sweep () in
-    write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~lanes
-      ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep;
+    write_json ~figure_seconds ~microbench ~frontier ~alloc ~telem ~stream
+      ~lanes ~wheel ~flows ~flows1m ~hybrid ~faults ~gap ~cache ~sweep;
     print_endline "\nbench: done."
   end

@@ -195,6 +195,92 @@ let with_telemetry (jsonl, trace, summary) f =
       f
   end
 
+(* Live observability: --stream starts the JSONL telemetry stream
+   (tail it with `ebrc status`), --flight arms the crash flight
+   recorder. Both also honour their env knobs (EBRC_STREAM,
+   EBRC_STREAM_PERIOD, EBRC_STREAM_WALL, EBRC_FLIGHT) so a wrapper
+   script can arm them without touching the command line. *)
+let obs_args =
+  let stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stream" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and append live progress records (JSON lines) \
+             to $(docv) while the command runs; watch with `ebrc status \
+             $(docv)`. See also EBRC_STREAM.")
+  in
+  let period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "stream-period" ] ~docv:"SECONDS"
+          ~doc:
+            "Simulated-time sampling period for per-run delta records (0 \
+             disables sim-time sampling; the stream stays deterministic \
+             for any value). See also EBRC_STREAM_PERIOD.")
+  in
+  let wall =
+    Arg.(
+      value & opt float 0.5
+      & info [ "stream-wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock period for pool progress records (0 disables them; \
+             required for byte-identical streams). See also \
+             EBRC_STREAM_WALL.")
+  in
+  let flight =
+    Arg.(
+      value & flag
+      & info [ "flight" ]
+          ~doc:
+            "Arm the flight recorder: on a watchdog kill, failed task or \
+             crash, dump recent events and counters to \
+             flight-<ts>.jsonl. See also EBRC_FLIGHT.")
+  in
+  Term.(
+    const (fun stream period wall flight -> (stream, period, wall, flight))
+    $ stream $ period $ wall $ flight)
+
+let finalize_stream_once =
+  let finalized = ref false in
+  fun path ->
+    if not !finalized then begin
+      finalized := true;
+      Ebrc.Telemetry_stream.finalize ();
+      Option.iter (fun p -> Printf.eprintf "stream written to %s\n%!" p) path
+    end
+
+let with_observability ~cmd ~attrs (stream, period, wall, flight) f =
+  let stream_on =
+    match stream with
+    | Some path ->
+        Ebrc.Telemetry_stream.enable ~path ~period_sim:period
+          ~period_wall:wall;
+        true
+    | None -> Ebrc.Telemetry_stream.enable_from_env ()
+  in
+  if flight then Ebrc.Telemetry_flight.set_enabled true
+  else ignore (Ebrc.Telemetry_flight.enable_from_env () : bool);
+  if not (stream_on || Ebrc.Telemetry_flight.active ()) then f ()
+  else begin
+    let stream_path = Ebrc.Telemetry_stream.path () in
+    Ebrc.Telemetry.set_enabled true;
+    if stream_on then begin
+      Ebrc.Telemetry_stream.manifest ~cmd ~attrs ();
+      (* keep-going paths exit directly, bypassing Fun.protect, so the
+         stream is also finalized from at_exit (idempotent). *)
+      at_exit (fun () -> finalize_stream_once stream_path)
+    end;
+    Fun.protect
+      ~finally:(fun () -> if stream_on then finalize_stream_once stream_path)
+      (fun () ->
+        try f ()
+        with e ->
+          Ebrc.Telemetry_flight.on_exn ~reason:("cli:" ^ cmd) e;
+          raise e)
+  end
+
 let print_tables ?csv_dir tables =
   List.iteri
     (fun i t ->
@@ -234,7 +320,7 @@ let figure_cmd =
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
   let run id full csv jobs no_cache no_wheel no_hybrid keep_going only_task
-      budgets telem =
+      budgets telem obs =
     let quick = not full in
     (* Unknown ids are a usage error: list the valid names and exit 2
        rather than surfacing an exception. *)
@@ -249,8 +335,17 @@ let figure_cmd =
       apply_hybrid no_hybrid;
       apply_budgets budgets;
       apply_only_task only_task;
-      with_telemetry telem @@ fun () ->
       let jobs = resolve_jobs jobs in
+      with_observability ~cmd:"figure"
+        ~attrs:
+          [
+            ("id", Printf.sprintf "%S" id);
+            ("quick", string_of_bool quick);
+            ("jobs", string_of_int jobs);
+          ]
+        obs
+      @@ fun () ->
+      with_telemetry telem @@ fun () ->
       if keep_going then begin
         let tables, failures =
           if id = "all" then Ebrc.Figures.run_all_keep_going ~jobs ~quick ()
@@ -285,7 +380,7 @@ let figure_cmd =
       ret
         (const run $ id $ full $ csv $ jobs_arg $ no_cache_arg
        $ no_wheel_arg $ no_hybrid_arg $ keep_going_arg $ only_task_arg
-       $ budget_args $ telemetry_args))
+       $ budget_args $ telemetry_args $ obs_args))
 
 (* --- list --- *)
 
@@ -558,16 +653,26 @@ let report_cmd =
       & info [ "full" ] ~doc:"Paper-scale sweeps instead of quick mode.")
   in
   let run out ids full jobs no_cache no_wheel no_hybrid keep_going budgets
-      telem =
+      telem obs =
     apply_cache no_cache;
     apply_wheel no_wheel;
     apply_hybrid no_hybrid;
     apply_budgets budgets;
+    let jobs = resolve_jobs jobs in
+    with_observability ~cmd:"report"
+      ~attrs:
+        [
+          ("out", Printf.sprintf "%S" out);
+          ("quick", string_of_bool (not full));
+          ("jobs", string_of_int jobs);
+        ]
+      obs
+    @@ fun () ->
     with_telemetry telem @@ fun () ->
     let options =
       { Ebrc.Report.ids; quick = not full;
         heading = "EBRC reproduction report";
-        jobs = Some (resolve_jobs jobs);
+        jobs = Some jobs;
         keep_going }
     in
     let failures = Ebrc.Report.save_result ~options ~path:out () in
@@ -582,7 +687,8 @@ let report_cmd =
        ~doc:"Regenerate figures into a self-contained markdown report.")
     Term.(
       const run $ out $ ids $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
-      $ no_hybrid_arg $ keep_going_arg $ budget_args $ telemetry_args)
+      $ no_hybrid_arg $ keep_going_arg $ budget_args $ telemetry_args
+      $ obs_args)
 
 (* --- validate: assert the paper's qualitative claims --- *)
 
@@ -592,14 +698,18 @@ let validate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Run the long (paper-scale) validations.")
   in
-  let run full jobs no_cache no_wheel no_hybrid telem =
+  let run full jobs no_cache no_wheel no_hybrid telem obs =
     apply_cache no_cache;
     apply_wheel no_wheel;
     apply_hybrid no_hybrid;
+    let jobs = resolve_jobs jobs in
+    with_observability ~cmd:"validate"
+      ~attrs:
+        [ ("quick", string_of_bool (not full)); ("jobs", string_of_int jobs) ]
+      obs
+    @@ fun () ->
     with_telemetry telem @@ fun () ->
-    let outcomes =
-      Ebrc.Validate.run_all ~quick:(not full) ~jobs:(resolve_jobs jobs) ()
-    in
+    let outcomes = Ebrc.Validate.run_all ~quick:(not full) ~jobs () in
     Ebrc.Table.print (Ebrc.Validate.to_table outcomes);
     if Ebrc.Validate.all_passed outcomes then begin
       print_endline "all claims validated";
@@ -615,7 +725,152 @@ let validate_cmd =
     Term.(
       ret
         (const run $ full $ jobs_arg $ no_cache_arg $ no_wheel_arg
-       $ no_hybrid_arg $ telemetry_args))
+       $ no_hybrid_arg $ telemetry_args $ obs_args))
+
+(* --- status: tail live telemetry streams --- *)
+
+let status_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"STREAM"
+          ~doc:
+            "Stream file(s) written by a running --stream invocation \
+             (default: $EBRC_STREAM).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print one machine-readable (JSON) snapshot and exit.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period of the live view.")
+  in
+  let run files once interval =
+    let files =
+      match files with
+      | [] -> (
+          match Sys.getenv_opt "EBRC_STREAM" with
+          | Some p when p <> "" -> [ p ]
+          | _ -> [])
+      | fs -> fs
+    in
+    if files = [] then
+      `Error
+        (false, "no stream file: pass one or set EBRC_STREAM (see --stream)")
+    else if interval <= 0.0 then `Error (false, "interval must be > 0")
+    else begin
+      let read f =
+        match Ebrc_obs.Status.read_file f with
+        | Ok v -> Some v
+        | Error msg ->
+            Printf.eprintf "ebrc status: %s: %s\n%!" f msg;
+            None
+      in
+      if once then begin
+        List.iter
+          (fun f ->
+            match read f with
+            | Some v ->
+                let body = String.trim (Ebrc_obs.Status.render_json v) in
+                Printf.printf "{\"file\":\"%s\",\"status\":%s}\n"
+                  (Ebrc_obs.Json.escape f) body
+            | None -> ())
+          files;
+        `Ok ()
+      end
+      else begin
+        let tty = Unix.isatty Unix.stdout in
+        let rec loop () =
+          let views = List.map (fun f -> (f, read f)) files in
+          if tty then print_string "\027[2J\027[H";
+          List.iter
+            (fun (f, v) ->
+              match v with
+              | Some v ->
+                  if List.length files > 1 then Printf.printf "== %s ==\n" f;
+                  print_string (Ebrc_obs.Status.render v)
+              | None -> ())
+            views;
+          print_string "\n";
+          flush stdout;
+          let all_finished =
+            views <> []
+            && List.for_all
+                 (fun (_, v) ->
+                   match v with
+                   | Some v -> v.Ebrc_obs.Status.finished
+                   | None -> false)
+                 views
+          in
+          if all_finished then `Ok ()
+          else begin
+            Unix.sleepf interval;
+            loop ()
+          end
+        in
+        loop ()
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Watch the live progress of a running figure/report/validate \
+          invocation through its --stream file.")
+    Term.(ret (const run $ files $ once $ interval))
+
+(* --- bench-trend: longitudinal perf analytics over BENCH records --- *)
+
+let bench_trend_cmd =
+  let dir =
+    Arg.(
+      value & opt dir "."
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the BENCH_*.json records.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the trend report as JSON to $(docv).")
+  in
+  let run dir json_out =
+    let records, warnings = Ebrc_obs.Bench_records.load_all ~dir in
+    List.iter (fun w -> Printf.eprintf "ebrc bench-trend: warning: %s\n" w)
+      warnings;
+    if records = [] then
+      `Error (false, "no BENCH_*.json records found in " ^ dir)
+    else begin
+      let files =
+        List.map (fun r -> r.Ebrc_obs.Bench_records.file) records
+      in
+      let series = Ebrc_obs.Trend.analyze records in
+      print_string (Ebrc_obs.Trend.render ~files series);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Ebrc_obs.Trend.to_json ~files ~warnings series));
+          Printf.printf "trend json written to %s\n" path)
+        json_out;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-trend"
+       ~doc:
+         "Analyze perf trends across all checked-in BENCH_*.json records: \
+          first/last/best, per-record slope, and regression flags per \
+          hot-path timing and telemetry counter.")
+    Term.(ret (const run $ dir $ json_out))
 
 let main =
   let doc =
@@ -625,6 +880,6 @@ let main =
   Cmd.group
     (Cmd.info "ebrc" ~version:Ebrc.version ~doc)
     [ figure_cmd; list_cmd; quickstart_cmd; breakdown_cmd; convexity_cmd;
-      report_cmd; design_cmd; validate_cmd ]
+      report_cmd; design_cmd; validate_cmd; status_cmd; bench_trend_cmd ]
 
 let () = exit (Cmd.eval main)

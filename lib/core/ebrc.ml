@@ -38,6 +38,8 @@ module Point_process = Ebrc_rng.Point_process
 module Pool = Ebrc_parallel.Pool
 module Telemetry = Ebrc_telemetry.Telemetry
 module Telemetry_export = Ebrc_telemetry.Export
+module Telemetry_stream = Ebrc_telemetry.Stream
+module Telemetry_flight = Ebrc_telemetry.Flight
 module Convexity = Ebrc_numerics.Convexity
 module Roots = Ebrc_numerics.Roots
 module Quadrature = Ebrc_numerics.Quadrature

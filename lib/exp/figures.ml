@@ -1903,13 +1903,24 @@ let describe () = List.map (fun (id, d, _) -> (id, d)) registry
    the summary whenever telemetry is enabled; the counters make the
    replication count visible to bench-compare. *)
 let run_runner ~id (runner : runner) ?jobs ~quick () =
-  Tm.with_span ~cat:"figure" ("figure:" ^ id) (fun () ->
-      let tables = runner ?jobs ~quick () in
-      if Tm.is_on () then begin
-        Tm.Counter.incr m_figures_run;
-        Tm.Counter.add m_tables (List.length tables)
-      end;
-      tables)
+  Ebrc_telemetry.Stream.figure_event ~id ~phase:"start" ();
+  match
+    Tm.with_span ~cat:"figure" ("figure:" ^ id) (fun () ->
+        let tables = runner ?jobs ~quick () in
+        if Tm.is_on () then begin
+          Tm.Counter.incr m_figures_run;
+          Tm.Counter.add m_tables (List.length tables)
+        end;
+        tables)
+  with
+  | tables ->
+      Ebrc_telemetry.Stream.figure_event ~id ~phase:"done"
+        ~tables:(List.length tables) ();
+      tables
+  | exception e ->
+      Ebrc_telemetry.Stream.figure_event ~id ~phase:"failed" ();
+      Ebrc_telemetry.Flight.on_exn ~reason:("figure:" ^ id) e;
+      raise e
 
 let run_one ?jobs ~quick id =
   match find id with

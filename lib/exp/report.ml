@@ -91,6 +91,19 @@ let default_options =
 let generate_result ?(options = default_options) () =
   Tm.with_span ~cat:"report" "report:generate" @@ fun () ->
   if Tm.is_on () then Tm.Counter.incr m_reports;
+  Ebrc_telemetry.Stream.manifest ~cmd:"report"
+    ~attrs:
+      [
+        ( "ids",
+          Printf.sprintf "\"%s\""
+            (Ebrc_telemetry.Export.json_escape
+               (String.concat " " options.ids)) );
+        ("quick", string_of_bool options.quick);
+        ( "jobs",
+          match options.jobs with Some j -> string_of_int j | None -> "1" );
+        ("keep_going", string_of_bool options.keep_going);
+      ]
+    ();
   let buf = Buffer.create 8192 in
   Buffer.add_string buf (Printf.sprintf "# %s\n\n" options.heading);
   Buffer.add_string buf

@@ -29,6 +29,7 @@ module Probe_source = Ebrc_sources.Probe_source
 module Flow_pool = Ebrc_sources.Flow_pool
 module Fluid = Ebrc_net.Fluid
 module Formula = Ebrc_formulas.Formula
+module Stream = Ebrc_telemetry.Stream
 
 type queue_config =
   | Drop_tail of { capacity : int }
@@ -180,10 +181,59 @@ let fluid_config cfg (bg : background) =
 type tfrc_flow = { ts : Tfrc_sender.t; tr : Tfrc_receiver.t }
 type tcp_flow = { cs : Tcp_sender.t; cr : Tcp_receiver.t }
 
+(* Stream-run identity: a pure function of the scenario config, so the
+   same simulation gets the same key no matter which pool domain it is
+   scheduled on or in what order. Distinct sweep points differ in at
+   least one of these fields; identical configs produce identical
+   (deterministic) runs, so a key collision merely makes the finalized
+   stream's stable sort see equal lines. Deliberately not the result
+   cache's digest: that lives upstream of this module. *)
+let stream_key cfg =
+  let queue_tag =
+    match cfg.queue with
+    | Drop_tail { capacity } -> Printf.sprintf "dt%d" capacity
+    | Red_auto { capacity } -> Printf.sprintf "reda%d" capacity
+    | Red_manual { capacity; _ } -> Printf.sprintf "redm%d" capacity
+  in
+  Printf.sprintf "s%d:n%d+%d%s:d%g:w%g:%s%s%s" cfg.seed cfg.n_tfrc cfg.n_tcp
+    (if cfg.with_probe then "+p" else "")
+    cfg.duration cfg.warmup queue_tag
+    (if cfg.faults <> None then ":f" else "")
+    (if cfg.background <> None then ":bg" else "")
+
 let run cfg =
   if cfg.duration <= cfg.warmup then
     invalid_arg "Scenario.run: duration must exceed warmup";
   let engine = Engine.create () in
+  (* Live-stream sampling: the engine fires the sampler at sim-time
+     boundaries (deterministic; see Engine.set_sampler), and the
+     sampler reads only this domain's metric shards, so the emitted
+     deltas are exactly this run's contribution. *)
+  let stream_run =
+    if Stream.sim_active () then begin
+      let r = Stream.run_start ~key:(stream_key cfg) in
+      Engine.set_sampler engine ~period:(Stream.sim_period ()) (fun b ->
+          Stream.sample r ~t_sim:b ~events:engine.Engine.processed
+            ~pending:(Engine.pending engine));
+      Some r
+    end
+    else None
+  in
+  let stream_end ~ok =
+    match stream_run with
+    | Some r ->
+        Stream.run_end r ~t_sim:(Engine.now engine)
+          ~events:engine.Engine.processed
+          ~pending:(Engine.pending engine) ~ok;
+        Engine.clear_sampler engine
+    | None -> ()
+  in
+  let guarded_run ~until =
+    try ignore (Engine.run ~until engine : Engine.stop_reason)
+    with e ->
+      stream_end ~ok:false;
+      raise e
+  in
   let master = Prng.create ~seed:cfg.seed in
   let queue = make_queue cfg in
   let link =
@@ -348,7 +398,7 @@ let run cfg =
       ignore (Engine.schedule engine ~at:0.5 (fun () -> Probe_source.start src))
   | None -> ());
   (* --- warmup phase, snapshot, measurement phase --- *)
-  ignore (Engine.run ~until:cfg.warmup engine);
+  guarded_run ~until:cfg.warmup;
   let probe_recv_snapshot = ref 0 and probe_ivs_snapshot = ref 0 in
   let snap_recv = pool.Flow_pool.snap_recv
   and snap_ivs = pool.Flow_pool.snap_ivs
@@ -372,7 +422,8 @@ let run cfg =
   | None -> ());
   let drops_at_warmup = Queue_discipline.drops queue in
   let delivered_at_warmup = Link.bytes_delivered link in
-  ignore (Engine.run ~until:cfg.duration engine);
+  guarded_run ~until:cfg.duration;
+  stream_end ~ok:true;
   let window = cfg.duration -. cfg.warmup in
   let tail arr from = Array.sub arr from (Array.length arr - from) in
   let interval_rate ivs =

@@ -92,6 +92,17 @@ type result = {
 }
 
 val run : config -> result
+(** When live streaming with sim-time sampling is active
+    ({!Ebrc_telemetry.Stream.sim_active}), [run] also emits a
+    [run_start]/[delta]/[run_end] record sequence keyed by
+    {!stream_key}: an engine sampler fires at sim-time boundaries and
+    streams this run's domain-local telemetry deltas. The sampler
+    neither schedules events nor draws randomness, so the simulation
+    result is bit-identical with streaming on or off. *)
+
+val stream_key : config -> string
+(** Config-derived identity used for this run's stream records — a
+    pure function of the config, independent of pool scheduling. *)
 
 val base_rtt : config -> float
 val bdp_packets : config -> float

@@ -1,0 +1,29 @@
+(** Minimal JSON reader for the repo's own machine outputs (bench
+    records, telemetry streams): a full parser for the JSON those
+    writers produce, with permissive number handling and no
+    dependencies. Not a general-purpose validator — unknown escapes
+    pass through and numbers are whatever [float_of_string] accepts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; the error string carries a character
+    offset. Trailing whitespace is allowed, trailing content is an
+    error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** [Num]; also [Null] → [nan] (our writers emit [null] for
+    non-finite floats). *)
+
+val to_int : t -> int option
+val to_string : t -> string option
+val escape : string -> string

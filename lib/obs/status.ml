@@ -1,0 +1,320 @@
+(* Stream-file reader behind `ebrc status`. *)
+
+type run_row = {
+  run_key : string;
+  seq : int;
+  t_sim : float;
+  events : int;
+  pending : int;
+  ended : bool;
+  run_ok : bool;
+}
+
+type figure_row = {
+  fig_id : string;
+  phase : string;
+  t_start : float;
+  t_last : float;
+  tables : int;
+}
+
+type view = {
+  manifest : (string * string) list;
+  runs : run_row list;
+  figures : figure_row list;
+  counters : (string * int) list;
+  event_rate : float;
+  task_rate : float;
+  eta : float;
+  t_progress : float;
+  finished : bool;
+  skipped : int;
+}
+
+let scalar_to_string = function
+  | Json.Str s -> s
+  | Json.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "null"
+  | Json.List _ | Json.Obj _ -> "<json>"
+
+let fget j k = Option.bind (Json.member k j) Json.to_float
+let iget j k = Option.bind (Json.member k j) Json.to_int
+let sget j k = Option.bind (Json.member k j) Json.to_string
+
+let counters_of j =
+  match Json.member "counters" j with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match Json.to_int v with Some n -> Some (k, n) | None -> None)
+        fields
+  | _ -> []
+
+let of_lines lines =
+  let runs : (string, run_row) Hashtbl.t = Hashtbl.create 16 in
+  let run_order = ref [] in
+  let figs : (string, figure_row) Hashtbl.t = Hashtbl.create 16 in
+  let fig_order = ref [] in
+  let manifest = ref [] in
+  let first_progress = ref None in
+  let last_progress = ref None in
+  let finished = ref false in
+  let skipped = ref 0 in
+  let on_run j ~ended =
+    match (sget j "run", iget j "seq") with
+    | Some key, Some seq ->
+        let prev = Hashtbl.find_opt runs key in
+        if prev = None then run_order := key :: !run_order;
+        let base =
+          match prev with
+          | Some r -> r
+          | None ->
+              { run_key = key; seq = 0; t_sim = 0.0; events = 0; pending = 0;
+                ended = false; run_ok = false }
+        in
+        let t_sim =
+          match fget j "t_sim" with Some t -> t | None -> base.t_sim
+        in
+        let d_events =
+          match iget j "d_events" with Some d -> d | None -> 0
+        in
+        let pending =
+          match iget j "pending" with Some p -> p | None -> base.pending
+        in
+        let run_ok =
+          match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> base.run_ok
+        in
+        Hashtbl.replace runs key
+          { base with seq = max base.seq seq; t_sim;
+            events = base.events + d_events; pending;
+            ended = base.ended || ended; run_ok }
+    | _ -> incr skipped
+  in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Json.parse line with
+        | Error _ -> incr skipped
+        | Ok j -> (
+            match sget j "type" with
+            | Some "run_start" -> on_run j ~ended:false
+            | Some "delta" -> on_run j ~ended:false
+            | Some "run_end" -> on_run j ~ended:true
+            | Some "figure" -> (
+                match (sget j "id", sget j "phase") with
+                | Some id, Some phase ->
+                    let t =
+                      match fget j "t_wall" with Some t -> t | None -> nan
+                    in
+                    let prev = Hashtbl.find_opt figs id in
+                    if prev = None then fig_order := id :: !fig_order;
+                    let base =
+                      match prev with
+                      | Some f -> f
+                      | None ->
+                          { fig_id = id; phase; t_start = nan; t_last = t;
+                            tables = 0 }
+                    in
+                    let t_start =
+                      if phase = "start" then t else base.t_start
+                    in
+                    let tables =
+                      match iget j "tables" with
+                      | Some n -> n
+                      | None -> base.tables
+                    in
+                    Hashtbl.replace figs id
+                      { base with phase; t_start; t_last = t; tables }
+                | _ -> incr skipped)
+            | Some "progress" ->
+                let p =
+                  ( (match fget j "t_wall" with Some t -> t | None -> nan),
+                    counters_of j )
+                in
+                if !first_progress = None then first_progress := Some p;
+                last_progress := Some p
+            | Some "manifest" -> (
+                match j with
+                | Json.Obj fields ->
+                    manifest :=
+                      List.filter_map
+                        (fun (k, v) ->
+                          if k = "type" then None
+                          else Some (k, scalar_to_string v))
+                        fields
+                | _ -> ())
+            | Some "stream_end" -> finished := true
+            | Some _ | None -> ()))
+    lines;
+  let counters, t_progress =
+    match !last_progress with Some (t, c) -> (c, t) | None -> ([], nan)
+  in
+  let rate name =
+    match (!first_progress, !last_progress) with
+    | Some (t0, c0), Some (t1, c1) when t1 > t0 -> (
+        match (List.assoc_opt name c0, List.assoc_opt name c1) with
+        | Some a, Some b -> float_of_int (b - a) /. (t1 -. t0)
+        | _ -> nan)
+    | _ -> nan
+  in
+  let event_rate = rate "sim.events_fired" in
+  let task_rate = rate "pool.tasks" in
+  let eta =
+    match
+      (List.assoc_opt "pool.tasks_submitted" counters,
+       List.assoc_opt "pool.tasks" counters)
+    with
+    | Some submitted, Some tasks
+      when Float.is_finite task_rate && task_rate > 0.0 ->
+        float_of_int (max 0 (submitted - tasks)) /. task_rate
+    | _ -> nan
+  in
+  {
+    manifest = !manifest;
+    runs =
+      List.rev_map (fun k -> Hashtbl.find runs k) !run_order;
+    figures = List.rev_map (fun k -> Hashtbl.find figs k) !fig_order;
+    counters;
+    event_rate;
+    task_rate;
+    eta;
+    t_progress;
+    finished = !finished;
+    skipped = !skipped;
+  }
+
+let read_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | lines -> Ok (of_lines lines)
+  | exception Sys_error msg -> Error msg
+
+let fmt_rate r = if Float.is_finite r then Printf.sprintf "%.0f/s" r else "-"
+
+let fmt_eta e =
+  if not (Float.is_finite e) then "-"
+  else if e >= 3600.0 then Printf.sprintf "%.1fh" (e /. 3600.0)
+  else if e >= 60.0 then Printf.sprintf "%.1fm" (e /. 60.0)
+  else Printf.sprintf "%.0fs" e
+
+let render v =
+  let buf = Buffer.create 2048 in
+  if v.manifest <> [] then begin
+    Buffer.add_string buf "invocation:";
+    List.iter
+      (fun (k, s) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k s))
+      v.manifest;
+    Buffer.add_char buf '\n'
+  end;
+  if v.figures <> [] then begin
+    Buffer.add_string buf "figures:\n";
+    List.iter
+      (fun f ->
+        let elapsed =
+          if Float.is_finite f.t_start && Float.is_finite f.t_last then
+            Printf.sprintf " %.1fs" (f.t_last -. f.t_start)
+          else ""
+        in
+        let tables =
+          if f.tables > 0 then Printf.sprintf " tables=%d" f.tables else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s %-7s%s%s\n" f.fig_id f.phase elapsed tables))
+      v.figures
+  end;
+  if v.runs <> [] then begin
+    let live = List.filter (fun r -> not r.ended) v.runs in
+    let done_ = List.length v.runs - List.length live in
+    Buffer.add_string buf
+      (Printf.sprintf "runs: %d done, %d live\n" done_ (List.length live));
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s t_sim=%-8g events=%-9d pending=%d\n"
+             r.run_key r.t_sim r.events r.pending))
+      live
+  end;
+  let c name = List.assoc_opt name v.counters in
+  (match (c "pool.tasks", c "pool.tasks_submitted") with
+  | Some t, Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "pool: %d/%d tasks (%d chunks, %d steals)  rate=%s  eta=%s\n" t s
+           (Option.value ~default:0 (c "pool.chunks"))
+           (Option.value ~default:0 (c "pool.steals"))
+           (fmt_rate v.task_rate) (fmt_eta v.eta))
+  | _ -> ());
+  if Float.is_finite v.event_rate then
+    Buffer.add_string buf
+      (Printf.sprintf "engine: %s events\n" (fmt_rate v.event_rate));
+  if v.finished then Buffer.add_string buf "stream: finished\n"
+  else if v.counters <> [] || v.runs <> [] || v.figures <> [] then
+    Buffer.add_string buf "stream: live\n"
+  else Buffer.add_string buf "stream: empty\n";
+  if v.skipped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d unparsable line(s) skipped)\n" v.skipped);
+  Buffer.contents buf
+
+let render_json v =
+  let buf = Buffer.create 2048 in
+  let num f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null" in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf "\"manifest\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape s)))
+    v.manifest;
+  Buffer.add_string buf "},\"figures\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"phase\":\"%s\",\"t_start\":%s,\"t_last\":%s,\
+            \"tables\":%d}"
+           (Json.escape f.fig_id) (Json.escape f.phase) (num f.t_start)
+           (num f.t_last) f.tables))
+    v.figures;
+  Buffer.add_string buf "],\"runs\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"run\":\"%s\",\"seq\":%d,\"t_sim\":%s,\"events\":%d,\
+            \"pending\":%d,\"ended\":%b,\"ok\":%b}"
+           (Json.escape r.run_key) r.seq (num r.t_sim) r.events r.pending
+           r.ended r.run_ok))
+    v.runs;
+  Buffer.add_string buf "],\"counters\":{";
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (Json.escape k) n))
+    v.counters;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "},\"event_rate\":%s,\"task_rate\":%s,\"eta_s\":%s,\"t_progress\":%s,\
+        \"finished\":%b,\"skipped\":%d}"
+       (num v.event_rate) (num v.task_rate) (num v.eta) (num v.t_progress)
+       v.finished v.skipped);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Reader for live telemetry stream files (the `ebrc status` view):
+    parses the JSONL records `Ebrc_telemetry.Stream` writes and folds
+    them into one progress snapshot — per-run delta cursors, figure
+    lifecycle, pool counters with an ETA from the completed-task rate.
+    Tolerant of a file being mid-write: a torn final line (or any
+    unparsable line) is skipped, everything before it still counts. *)
+
+type run_row = {
+  run_key : string;
+  seq : int;  (** last delta seq seen *)
+  t_sim : float;  (** last sampled simulated time *)
+  events : int;  (** summed d_events *)
+  pending : int;  (** last event-queue depth *)
+  ended : bool;
+  run_ok : bool;  (** meaningful when [ended] *)
+}
+
+type figure_row = {
+  fig_id : string;
+  phase : string;  (** latest of start/done/failed *)
+  t_start : float;  (** wall clock of the start record; [nan] unseen *)
+  t_last : float;  (** wall clock of the latest record *)
+  tables : int;  (** from the done record; 0 otherwise *)
+}
+
+type view = {
+  manifest : (string * string) list;
+      (** cmd plus attrs of the latest manifest record, values
+          re-rendered as strings *)
+  runs : run_row list;  (** stream order *)
+  figures : figure_row list;  (** stream order *)
+  counters : (string * int) list;
+      (** totals from the latest progress record *)
+  event_rate : float;  (** d sim.events_fired / d t_wall; [nan] unknown *)
+  task_rate : float;  (** d pool.tasks / d t_wall; [nan] unknown *)
+  eta : float;
+      (** (tasks_submitted - tasks) / task_rate, seconds; [nan]
+          unknown *)
+  t_progress : float;  (** wall clock of latest progress; [nan] none *)
+  finished : bool;  (** a stream_end record was seen *)
+  skipped : int;  (** unparsable lines (usually a torn tail) *)
+}
+
+val of_lines : string list -> view
+
+val read_file : string -> (view, string) result
+(** {!of_lines} over the file's lines; [Error] when unreadable. *)
+
+val render : view -> string
+(** Human-readable live view. *)
+
+val render_json : view -> string
+(** Machine-readable one-object rendering (for [--once]). *)

@@ -23,6 +23,11 @@ let m_chunk_seconds =
   Tm.Histogram.make ~help:"wall-clock seconds per executed chunk"
     "pool.chunk_seconds"
 
+let m_tasks_submitted =
+  Tm.Counter.make
+    ~help:"tasks posted with jobs (drained or not); ETA denominator"
+    "pool.tasks_submitted"
+
 type job = {
   run_chunk : int -> int -> unit;  (* process indices [lo, hi) *)
   length : int;
@@ -73,7 +78,10 @@ let execute job =
         if (Domain.self () :> int) <> job.submitter then
           Tm.Counter.incr m_steals;
         Tm.Histogram.observe m_chunk_seconds (Tm.wall_now () -. t0)
-      end
+      end;
+      (* Live-stream progress probe: rate-limited inside, one atomic
+         load when streaming is off. *)
+      Ebrc_telemetry.Stream.wall_tick ()
     end
   done
 
@@ -135,6 +143,7 @@ let run t ~length run_chunk =
   if length > 0 then begin
     if Tm.is_on () then begin
       Tm.Counter.incr m_jobs;
+      Tm.Counter.add m_tasks_submitted length;
       if t.n_domains = 1 || length = 1 then begin
         (* The inline fast path bypasses [execute]; account for it
            here so pool.tasks totals match across domain counts. *)
@@ -142,9 +151,11 @@ let run t ~length run_chunk =
         Tm.Counter.add m_tasks length
       end
     end;
-    if t.n_domains = 1 || length = 1 then
+    if t.n_domains = 1 || length = 1 then begin
       (* Inline fast path: no handoff, exceptions propagate directly. *)
-      run_chunk 0 length
+      run_chunk 0 length;
+      Ebrc_telemetry.Stream.wall_tick ()
+    end
     else begin
       let job =
         {
@@ -284,7 +295,10 @@ let lowest_error results =
 
 let reap results =
   match lowest_error results with
-  | Some e -> raise (Task_failed e)
+  | Some e ->
+      let exn = Task_failed e in
+      Ebrc_telemetry.Flight.on_exn ~reason:"pool.task_failed" exn;
+      raise exn
   | None -> Array.map (function Ok v -> v | Error _ -> assert false) results
 
 let map t f xs =

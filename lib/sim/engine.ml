@@ -93,6 +93,12 @@ and t = {
   mutable has_hook : bool;
       (* Split from the closure so the unused-hook cost in the run loop
          is one immediate-bool load and branch, not a closure compare. *)
+  mutable sampler : float -> unit;
+      (* Sim-time telemetry sampler (the live-stream cadence). *)
+  mutable next_sample : float;
+      (* Next sampling boundary; [infinity] when no sampler is set, so
+         the disabled run-loop cost is one float compare per event. *)
+  mutable sample_period : float;
 }
 
 let dummy_event = { fire = nop; handle = no_handle }
@@ -120,6 +126,9 @@ let create () =
     use_wheel = !wheel_on;
     advance_hook = nop_hook;
     has_hook = false;
+    sampler = nop_hook;
+    next_sample = infinity;
+    sample_period = 0.0;
   }
 
 let set_advance_hook t = function
@@ -129,6 +138,35 @@ let set_advance_hook t = function
   | Some f ->
       t.advance_hook <- f;
       t.has_hook <- true
+
+let set_sampler t ~period f =
+  if not (period > 0.0 && Float.is_finite period) then
+    invalid_arg "Engine.set_sampler: period must be > 0 and finite";
+  t.sampler <- f;
+  t.sample_period <- period;
+  t.next_sample <- t.now +. period
+
+let clear_sampler t =
+  t.sampler <- nop_hook;
+  t.next_sample <- infinity;
+  t.sample_period <- 0.0
+
+(* An event at [time] crossed the next sampling boundary: fire the
+   sampler once, labelled with that boundary, then skip past any
+   further boundaries the same event jumped over (one sample per
+   crossing event, not per elapsed period — idle stretches produce no
+   records, and the labels stay pure functions of the event times, so
+   the sample sequence is deterministic). Kept out of line: the run
+   loop pays one float compare when no boundary was crossed. *)
+let fire_sampler t time =
+  let b = t.next_sample in
+  let p = t.sample_period in
+  let next = ref (b +. p) in
+  while !next <= time do
+    next := !next +. p
+  done;
+  t.next_sample <- !next;
+  t.sampler b
 
 let now t = t.now
 let processed t = t.processed
@@ -491,22 +529,30 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
              let ln = t.lanes.(src - 1) in
              ln.l_times.(ln.l_head)
          in
-         if time > sim_deadline then
+         if time > sim_deadline then begin
            (* [t.now] stays at the last fired event: the engine (and the
               caller's per-flow measures) remain queryable, so partial
               statistics can be salvaged by the handler. *)
-           raise
-             (Budget_exceeded
-                { kind = Sim_time; budget = Option.get sim_budget; at = time;
-                  events = t.processed });
+           let e =
+             Budget_exceeded
+               { kind = Sim_time; budget = Option.get sim_budget; at = time;
+                 events = t.processed }
+           in
+           Ebrc_telemetry.Flight.on_exn ~reason:"engine.budget" e;
+           raise e
+         end;
          (match wall_budget with
           | Some b when t.processed land 1023 = 0 ->
               let elapsed = Tm.wall_now () -. wall_t0 in
-              if elapsed > b then
-                raise
-                  (Budget_exceeded
-                     { kind = Wall_clock; budget = b; at = elapsed;
-                       events = t.processed })
+              if elapsed > b then begin
+                let e =
+                  Budget_exceeded
+                    { kind = Wall_clock; budget = b; at = elapsed;
+                      events = t.processed }
+                in
+                Ebrc_telemetry.Flight.on_exn ~reason:"engine.budget" e;
+                raise e
+              end
           | _ -> ());
          if time > until then begin
            (* Leave it queued for a later resumed run and stop. *)
@@ -535,6 +581,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
              t.now <- time;
              t.processed <- t.processed + 1;
              if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+             if time >= t.next_sample then fire_sampler t time;
              if t.has_hook then t.advance_hook time;
              fire ();
              if t.processed >= max_events then begin
@@ -549,6 +596,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
            t.now <- time;
            t.processed <- t.processed + 1;
            if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+           if time >= t.next_sample then fire_sampler t time;
            if t.has_hook then t.advance_hook time;
            fire ();
            if t.processed >= max_events then begin
@@ -566,6 +614,7 @@ let run ?(until = infinity) ?(max_events = max_int) ?sim_budget ?wall_budget t
              t.now <- time;
              t.processed <- t.processed + 1;
              if Atomic.get Tm.on then Tm.Counter.incr m_fired;
+             if time >= t.next_sample then fire_sampler t time;
              if t.has_hook then t.advance_hook time;
              let fire = ev.fire in
              recycle t ev;

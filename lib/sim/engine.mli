@@ -20,6 +20,9 @@ type t = private {
   use_wheel : bool;
   mutable advance_hook : float -> unit;
   mutable has_hook : bool;
+  mutable sampler : float -> unit;
+  mutable next_sample : float;
+  mutable sample_period : float;
 }
 (** Exposed [private] (precedent: {!Timing_wheel.t}) so per-packet
     callers can read the clock as a direct field load
@@ -64,6 +67,23 @@ val set_advance_hook : t -> (float -> unit) option -> unit
     it exists to advance co-simulated continuous state, so installing
     one whose effects are invisible to the event population leaves the
     run bit-identical (the unused-hook cost is one branch per event). *)
+
+val set_sampler : t -> period:float -> (float -> unit) -> unit
+(** Install a sim-time telemetry sampler: whenever a live event's time
+    reaches the next multiple-of-[period] boundary past the install
+    time, the sampler is called once with that boundary (before the
+    event's hook and thunk run), and boundaries the event jumped over
+    are skipped — one sample per crossing event. Because boundaries
+    are pure functions of install time and event times, the sample
+    sequence is deterministic and independent of pool scheduling,
+    which is what makes sim-time-cadenced telemetry streams
+    [-j1]-vs-[-jN] byte-identical. The sampler must not schedule or
+    cancel events (it observes; it does not participate — and it draws
+    no tie-break tickets, so installing one never perturbs the run).
+    Cost when no boundary is crossed: one float compare per event.
+    Raises [Invalid_argument] unless [period > 0] and finite. *)
+
+val clear_sampler : t -> unit
 
 val schedule : t -> at:float -> (unit -> unit) -> handle
 (** Raises [Invalid_argument] if [at] is in the past or NaN. *)

@@ -191,10 +191,13 @@ let summary () =
       Printf.sprintf "%-36s %g .. %g  (n=%d)" s.snap_name s.min_v s.max_v
         s.count);
   section Telemetry.Histogram "histograms" (fun s ->
-      Printf.sprintf "%-36s n=%-9d sum=%-12g mean=%-10g min=%-10g max=%g"
+      let q p = Telemetry.quantile_of_buckets s.buckets p in
+      Printf.sprintf
+        "%-36s n=%-9d sum=%-12g mean=%-10g p50=%-10.3g p90=%-10.3g \
+         p99=%-10.3g min=%-10g max=%g"
         s.snap_name s.count s.sum
         (s.sum /. float_of_int s.count)
-        s.min_v s.max_v);
+        (q 0.5) (q 0.9) (q 0.99) s.min_v s.max_v);
   let spans = Telemetry.spans () in
   if spans <> [] then begin
     Buffer.add_string buf "  spans:\n";

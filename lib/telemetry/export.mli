@@ -16,4 +16,22 @@ val write_chrome_trace : path:string -> unit -> unit
 
 val summary : unit -> string
 (** Pretty-printed table of every registered metric with non-zero
-    activity, plus span and event totals. *)
+    activity (histograms include interpolated p50/p90/p99), plus span
+    and event totals. *)
+
+(** {1 JSON building blocks}
+
+    Shared by the streaming and flight-recorder sinks so every
+    observability file speaks the same dialect. *)
+
+val json_escape : string -> string
+
+val num : float -> string
+(** Round-trippable double rendering ([%.17g], integral values
+    trimmed); non-finite floats become [null]. *)
+
+val metric_line : Buffer.t -> Telemetry.snapshot -> unit
+(** Append one metric's JSONL line (newline included). *)
+
+val span_line : Buffer.t -> Telemetry.span -> unit
+val event_line : Buffer.t -> Telemetry.event -> unit

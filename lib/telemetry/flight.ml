@@ -1,0 +1,94 @@
+(* Flight recorder. The dump reuses Export's line builders so the
+   postmortem file speaks the same JSONL dialect as --telemetry-json,
+   prefixed with the stream's recent lines (already self-describing
+   records) for the "what was happening" context. *)
+
+let enabled = Atomic.make false
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+(* Under [mutex]. *)
+let dir = ref "."
+let last_exn : exn option ref = ref None
+let last_path : string option ref = ref None
+let dump_count = ref 0
+
+let set_enabled b = Atomic.set enabled b
+let active () = Atomic.get enabled
+let set_dir d = locked (fun () -> dir := d)
+let last_dump () = locked (fun () -> !last_path)
+
+let enable_from_env () =
+  match Sys.getenv_opt "EBRC_FLIGHT" with
+  | None | Some "" | Some "0" -> false
+  | Some "1" ->
+      set_enabled true;
+      true
+  | Some d ->
+      set_dir d;
+      set_enabled true;
+      true
+
+let max_events = 512
+
+let timestamp now =
+  let tm = Unix.gmtime now in
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Called with [mutex] held. *)
+let dump ~reason exn =
+  let now = Telemetry.wall_now () in
+  incr dump_count;
+  let name =
+    Printf.sprintf "flight-%s-%d-%d.jsonl" (timestamp now) (Unix.getpid ())
+      !dump_count
+  in
+  let path = Filename.concat !dir name in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"type\":\"flight\",\"schema\":1,\"reason\":\"%s\",\"exn\":\"%s\",\
+        \"t_wall\":%s,\"pid\":%d}\n"
+       (Export.json_escape reason)
+       (Export.json_escape (Printexc.to_string exn))
+       (Export.num now) (Unix.getpid ()));
+  List.iter
+    (fun l ->
+      if l <> "" then begin
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+      end)
+    (Stream.recent ());
+  List.iter (Export.metric_line buf) (Telemetry.snapshot ());
+  List.iter (Export.span_line buf) (Telemetry.spans ());
+  let events = Telemetry.events () in
+  let n = List.length events in
+  let events =
+    if n <= max_events then events
+    else List.filteri (fun i _ -> i >= n - max_events) events
+  in
+  List.iter (Export.event_line buf) events;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path;
+  last_path := Some path;
+  Printf.eprintf "[ebrc] flight recorder: wrote %s (%s)\n%!" path reason
+
+let on_exn ~reason exn =
+  if Atomic.get enabled then
+    locked (fun () ->
+        let already =
+          match !last_exn with Some e -> e == exn | None -> false
+        in
+        if not already then begin
+          last_exn := Some exn;
+          try dump ~reason exn with _ -> ()
+        end)

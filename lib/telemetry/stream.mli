@@ -1,0 +1,115 @@
+(** Live telemetry streaming: append-only JSONL delta records written
+    while a figure/report/bench invocation runs, so `ebrc status` (and
+    anything else that can tail a file) can watch progress without
+    touching the simulator.
+
+    Two cadences coexist:
+
+    - {e sim-time} sampling ({!sim_active}): the engine fires the
+      sampler at fixed simulated-time boundaries, so the resulting
+      [run_start]/[delta]/[run_end] records depend only on the
+      simulation itself. Combined with {!finalize}'s canonical
+      reordering, a stream recorded under a 1-domain and a 4-domain
+      pool is byte-identical.
+    - {e wall-clock} progress ({!wall_tick}): the pool pings the
+      stream after each chunk; at most one [progress] record per
+      {e period_wall} seconds is written, carrying global counter
+      totals. These records are inherently wall-dependent and are
+      excluded from the determinism contract (disable with
+      [period_wall = 0] when byte-identity matters).
+
+    Every record is one self-describing JSON object per line, appended
+    under a single mutex with an immediate flush, so concurrent pool
+    domains never interleave partial lines and a reader always sees
+    whole records (the last line may be missing, never torn mid-write
+    beyond the final line).
+
+    Delta records carry {e integer} fields only (counter deltas, gauge
+    sample-count deltas, histogram count deltas): integers telescope
+    exactly, so summed deltas equal the final snapshot bit-for-bit and
+    are independent of domain scheduling. Float sums are deliberately
+    omitted — a domain-local float accumulator includes contributions
+    from other runs scheduled on the same domain, which would break the
+    [-j1]-vs-[-jN] contract. *)
+
+val enable : path:string -> period_sim:float -> period_wall:float -> unit
+(** Open [path] (append/create) and start streaming. [period_sim] is
+    the simulated-seconds sampling period (0 disables sim-time
+    sampling); [period_wall] the wall-clock progress period in seconds
+    (0 disables progress records). Writes the stream's [meta] line if
+    the file is empty. Implies nothing about {!Telemetry.set_enabled}:
+    callers turn the registry on themselves. *)
+
+val enable_from_env : unit -> bool
+(** Honour [EBRC_STREAM] (stream file path; unset/empty = off),
+    [EBRC_STREAM_PERIOD] (sim period, default 1.0) and
+    [EBRC_STREAM_WALL] (wall period, default 0.5). Returns whether
+    streaming was enabled. *)
+
+val disable : unit -> unit
+(** Stop streaming and close the file (no reordering; see
+    {!finalize}). Safe when not enabled. *)
+
+val active : unit -> bool
+
+val sim_active : unit -> bool
+(** Streaming is on {e and} sim-time sampling is wanted — the test a
+    scenario uses before attaching an engine sampler. *)
+
+val sim_period : unit -> float
+
+val path : unit -> string option
+
+val manifest : cmd:string -> ?attrs:(string * string) list -> unit -> unit
+(** Append a [manifest] record describing the invocation ([attrs] are
+    pre-rendered JSON values keyed by field name). *)
+
+val figure_event : id:string -> phase:string -> ?tables:int -> unit -> unit
+(** Append a [figure] lifecycle record; [phase] is ["start"], ["done"]
+    or ["failed"]. *)
+
+val wall_tick : unit -> unit
+(** Rate-limited wall-clock progress probe (see module doc). Cheap
+    when streaming is off (one atomic load). *)
+
+(** {1 Per-run delta sampling} *)
+
+type run
+(** Mutable cursor for one simulation run on the calling domain:
+    remembers the domain-local metric totals at the last sample so the
+    next sample can emit just the diff. A domain executes one run at a
+    time, which is what makes domain-local deltas equal that run's own
+    contribution regardless of pool scheduling. *)
+
+val run_start : key:string -> run
+(** Start a run stream keyed by [key] (a config-derived identity,
+    stable across schedules). Captures the domain-local baseline
+    without emitting it — baselines depend on what ran earlier on this
+    domain and must stay out of the file. *)
+
+val sample : run -> t_sim:float -> events:int -> pending:int -> unit
+(** Append a [delta] record at simulated time [t_sim]: integer metric
+    deltas since the previous sample, plus the run's cumulative engine
+    event count [events] (streamed as a delta) and current event-queue
+    depth [pending]. *)
+
+val run_end : run -> t_sim:float -> events:int -> pending:int -> ok:bool -> unit
+(** Append the final [run_end] record (same delta payload plus
+    [ok]). After this the summed deltas of the run equal its total
+    contribution exactly. *)
+
+(** {1 Reading back} *)
+
+val recent : unit -> string list
+(** The most recent stream lines (bounded ring, oldest first) — the
+    flight recorder's view of "what was happening". *)
+
+val finalize : unit -> unit
+(** Close the stream and rewrite the file in canonical order:
+    non-run records (meta/manifest/progress/figure) keep their
+    original order, run records are stably sorted by
+    (run key, seq, record rank), and a [stream_end] record is
+    appended. The rewrite goes through a temp file + rename, so
+    readers never observe a half-written file. Canonical order is what
+    turns "same simulations, different pool interleaving" into
+    byte-identical files. No-op when streaming was never enabled. *)

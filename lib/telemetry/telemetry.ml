@@ -139,6 +139,34 @@ let local_shard m =
     s
   end
 
+(* Quantile over merged log2 buckets: find the bucket where the
+   cumulative count crosses [q * total] and interpolate linearly inside
+   its [lo, 2*lo) range. Exact only up to bucket resolution (a factor
+   of 2), which is the deal the log2 layout already made. *)
+let quantile_of_buckets buckets q =
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  if total = 0 then nan
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target = q *. float_of_int total in
+    let last = Array.length buckets - 1 in
+    let rec find i cum =
+      let lo, c = buckets.(i) in
+      let cum' = cum +. float_of_int c in
+      if cum' >= target || i = last then begin
+        let frac =
+          if c = 0 then 0.0 else (target -. cum) /. float_of_int c
+        in
+        let frac =
+          if frac < 0.0 then 0.0 else if frac > 1.0 then 1.0 else frac
+        in
+        lo *. (1.0 +. frac)
+      end
+      else find (i + 1) cum'
+    in
+    find 0 0.0
+  end
+
 module Counter = struct
   type t = metric
 
@@ -211,6 +239,22 @@ module Histogram = struct
   let sum m =
     locked (fun () ->
         List.fold_left (fun acc s -> acc +. s.stats.(0)) 0.0 m.shards)
+
+  let quantile m q =
+    let buckets =
+      locked (fun () ->
+          let merged = Array.make n_buckets 0 in
+          List.iter
+            (fun s ->
+              Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.bkts)
+            m.shards;
+          let out = ref [] in
+          for i = n_buckets - 1 downto 0 do
+            if merged.(i) > 0 then out := (bucket_lower i, merged.(i)) :: !out
+          done;
+          Array.of_list !out)
+    in
+    quantile_of_buckets buckets q
 end
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +332,24 @@ let snapshot () =
   locked (fun () ->
       Hashtbl.fold (fun _ m acc -> snapshot_metric m :: acc) metrics [])
   |> List.sort (fun a b -> compare a.snap_name b.snap_name)
+
+(* The calling domain's shard values, for the stream sampler: a domain
+   runs one scenario at a time, so deltas of these totals over a run
+   are exactly that run's contribution — independent of which domain
+   the pool scheduled it on. *)
+let local_totals () =
+  let slots = (Domain.DLS.get dls).slots in
+  let n = Array.length slots in
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ m acc ->
+          if m.id < n then
+            match slots.(m.id) with
+            | Some s when s.icount > 0 -> (m.mname, m.mkind, s.icount, s.stats.(0)) :: acc
+            | _ -> acc
+          else acc)
+        metrics [])
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
 
 (* ------------------------------------------------------------------ *)
 (* Event rings.                                                        *)

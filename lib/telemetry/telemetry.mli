@@ -92,6 +92,13 @@ module Histogram : sig
   val observe : t -> float -> unit
   val count : t -> int
   val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [[0, 1]] (clamped): the cumulative
+      count over the merged log2 buckets crosses [q * count] in some
+      bucket [[lo, 2*lo)]; the result interpolates linearly within it.
+      Deterministic across domain partitions (bucket counts are integer
+      sums); accurate to bucket resolution. [nan] when empty. *)
 end
 
 type snapshot = {
@@ -113,6 +120,21 @@ type snapshot = {
 
 val snapshot : unit -> snapshot list
 (** Merged view of every registered metric, sorted by name. *)
+
+val quantile_of_buckets : (float * int) array -> float -> float
+(** The interpolation behind {!Histogram.quantile}, usable directly on
+    a {!snapshot}'s [buckets] array (so exporters can print percentiles
+    without re-reading the registry). [nan] when the total count is
+    zero. *)
+
+val local_totals : unit -> (string * kind * int * float) list
+(** The {e calling domain's} shard of every metric it has recorded to:
+    [(name, kind, count, sum)] sorted by name ([sum] is 0 except for
+    histograms). This is the stream sampler's read primitive: a domain
+    executes one simulation at a time, so deltas of these totals across
+    a run are exactly that run's contribution, independent of which
+    pool domain the run was scheduled on — the property behind the
+    [-j1]-vs[-jN] byte-identity of sim-time-cadenced streams. *)
 
 (** {1 Structured events} *)
 

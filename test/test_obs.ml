@@ -1,0 +1,227 @@
+(* Tests for the observability toolkit library: the JSON reader, the
+   BENCH_*.json locator's dual filename shapes and timestamp ordering,
+   and the longitudinal trend analytics. *)
+
+module J = Ebrc_obs.Json
+module BR = Ebrc_obs.Bench_records
+module Trend = Ebrc_obs.Trend
+
+(* ------------------------------ json ------------------------------ *)
+
+let ok s =
+  match J.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_json_values () =
+  Alcotest.(check bool) "null" true (ok "null" = J.Null);
+  Alcotest.(check bool) "bool" true (ok " true " = J.Bool true);
+  Alcotest.(check bool) "int" true (ok "42" = J.Num 42.0);
+  Alcotest.(check bool) "neg float" true (ok "-2.5e3" = J.Num (-2500.0));
+  Alcotest.(check bool) "string escapes" true
+    (ok "\"a\\\"b\\n\"" = J.Str "a\"b\n");
+  Alcotest.(check bool) "array" true
+    (ok "[1, 2]" = J.List [ J.Num 1.0; J.Num 2.0 ]);
+  match ok "{\"k\": {\"n\": 7}}" |> J.member "k" with
+  | Some inner -> (
+      match J.member "n" inner with
+      | Some v -> Alcotest.(check (option int)) "nested" (Some 7) (J.to_int v)
+      | None -> Alcotest.fail "missing n")
+  | None -> Alcotest.fail "missing k"
+
+let test_json_errors () =
+  let bad s =
+    match J.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "\"unterminated";
+  bad "1 2" (* trailing content *)
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "to_int rejects fraction" None
+    (J.to_int (J.Num 1.5));
+  Alcotest.(check bool) "null to_float is nan" true
+    (match J.to_float J.Null with Some f -> Float.is_nan f | None -> false);
+  Alcotest.(check (option string)) "to_string" (Some "x")
+    (J.to_string (J.Str "x"));
+  Alcotest.(check string) "escape" "a\\\"b\\\\c" (J.escape "a\"b\\c")
+
+(* -------------------------- bench records ------------------------- *)
+
+let test_timestamp_of_filename () =
+  let check name expect =
+    Alcotest.(check (option string)) name expect (BR.timestamp_of_filename name)
+  in
+  check "BENCH_2026-08-05.json" (Some "2026-08-05T000000Z");
+  check "BENCH_2026-08-05T141802Z.json" (Some "2026-08-05T141802Z");
+  check "BENCH_custom.json" None;
+  check "BENCH_2026-8-5.json" None;
+  check "other.json" None
+
+let with_temp_dir f =
+  let base = Filename.temp_file "ebrc_obs_test" "" in
+  Sys.remove base;
+  let dir = base ^ ".d" in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let write dir name content =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc content;
+  close_out oc
+
+let test_list_ordered () =
+  with_temp_dir @@ fun dir ->
+  List.iter
+    (fun n -> write dir n "{}")
+    [
+      "BENCH_2026-08-05.json";
+      "BENCH_2026-08-05T141802Z.json";
+      "BENCH_2026-08-04T230000Z.json";
+      "BENCH_custom.json";
+      "NOTBENCH_2026-08-05.json";
+    ];
+  let files, warnings = BR.list_ordered ~dir in
+  Alcotest.(check (list string))
+    "embedded-timestamp order, unstamped last"
+    [
+      "BENCH_2026-08-04T230000Z.json";
+      "BENCH_2026-08-05.json";
+      "BENCH_2026-08-05T141802Z.json";
+      "BENCH_custom.json";
+    ]
+    files;
+  Alcotest.(check int) "one unstamped warning" 1 (List.length warnings)
+
+let test_load_all_drops_bad_records () =
+  with_temp_dir @@ fun dir ->
+  write dir "BENCH_2026-08-01T000001Z.json" "{\"a\": 1}";
+  write dir "BENCH_2026-08-02T000001Z.json" "not json at all";
+  let records, warnings = BR.load_all ~dir in
+  Alcotest.(check int) "one parsable record" 1 (List.length records);
+  Alcotest.(check bool) "unparsable warned" true (List.length warnings >= 1);
+  match records with
+  | [ r ] ->
+      Alcotest.(check string) "file" "BENCH_2026-08-01T000001Z.json" r.BR.file;
+      Alcotest.(check (option int)) "payload parsed" (Some 1)
+        (Option.bind (J.member "a" r.BR.json) J.to_int)
+  | _ -> Alcotest.fail "unreachable"
+
+(* ------------------------------ trend ----------------------------- *)
+
+let synthetic_record i ns_kvs ctr_kvs =
+  {
+    BR.file = Printf.sprintf "BENCH_2026-08-0%dT000000Z.json" (i + 1);
+    ts = Some (Printf.sprintf "2026-08-0%dT000000Z" (i + 1));
+    json =
+      J.Obj
+        [
+          ( "microbench_ns_per_run",
+            J.Obj (List.map (fun (k, v) -> (k, J.Num v)) ns_kvs) );
+          ( "telemetry_summary",
+            J.Obj
+              [
+                ( "counters",
+                  J.Obj (List.map (fun (k, v) -> (k, J.Num v)) ctr_kvs) );
+              ] );
+        ];
+  }
+
+let test_trend_flags () =
+  let records =
+    [
+      synthetic_record 0
+        [ ("slow", 2e6); ("fast", 2e6); ("tiny", 1e3) ]
+        [ ("stable", 100.0); ("drift", 100.0) ];
+      synthetic_record 1
+        [ ("slow", 2.5e6); ("fast", 1.5e6); ("tiny", 5e3) ]
+        [ ("stable", 100.0); ("drift", 110.0) ];
+      synthetic_record 2
+        [ ("slow", 3e6); ("fast", 1e6); ("tiny", 1e4) ]
+        [ ("stable", 100.0); ("drift", 120.0) ];
+    ]
+  in
+  let series = Trend.analyze records in
+  let find key =
+    match List.find_opt (fun s -> s.Trend.key = key) series with
+    | Some s -> s
+    | None -> Alcotest.failf "series %s missing" key
+  in
+  let slow = find "slow" in
+  Alcotest.(check int) "n records" 3 slow.Trend.n;
+  Alcotest.(check bool) "slow regressed" true slow.Trend.regressed;
+  Alcotest.(check bool) "positive slope" true (slow.Trend.slope > 0.0);
+  Alcotest.(check (float 1e-6)) "first" 2e6 slow.Trend.first;
+  Alcotest.(check (float 1e-6)) "last" 3e6 slow.Trend.last;
+  Alcotest.(check (float 1e-6)) "best" 2e6 slow.Trend.best;
+  let fast = find "fast" in
+  Alcotest.(check bool) "fast improved" true fast.Trend.improved;
+  Alcotest.(check bool) "fast not regressed" false fast.Trend.regressed;
+  (* A 10x swing below the 1 ms noise floor stays unflagged. *)
+  Alcotest.(check bool) "sub-ms never regresses" false
+    (find "tiny").Trend.regressed;
+  Alcotest.(check bool) "stable counter unchanged" false
+    (find "stable").Trend.changed;
+  let drift = find "drift" in
+  Alcotest.(check bool) "drifting counter flagged" true drift.Trend.changed;
+  Alcotest.(check bool) "counter group" true (drift.Trend.group = Trend.Counter);
+  (* Renderings: the table carries the flag, the JSON parses. *)
+  let files = List.map (fun r -> r.BR.file) records in
+  let table = Trend.render ~files series in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "table flags regression" true
+    (contains ~sub:"REGRESSED" table);
+  match J.parse (Trend.to_json ~files ~warnings:[] series) with
+  | Ok j -> (
+      match J.member "series" j with
+      | Some (J.List l) ->
+          Alcotest.(check int) "all series exported" (List.length series)
+            (List.length l)
+      | _ -> Alcotest.fail "to_json missing series array")
+  | Error e -> Alcotest.failf "to_json not valid JSON: %s" e
+
+let test_trend_single_record () =
+  (* One record: nothing to compare, nothing flagged. *)
+  let series = Trend.analyze [ synthetic_record 0 [ ("a", 5e6) ] [] ] in
+  match series with
+  | [ s ] ->
+      Alcotest.(check int) "n" 1 s.Trend.n;
+      Alcotest.(check bool) "not regressed" false s.Trend.regressed;
+      Alcotest.(check bool) "not improved" false s.Trend.improved
+  | l -> Alcotest.failf "expected 1 series, got %d" (List.length l)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "bench_records",
+        [
+          Alcotest.test_case "filename shapes" `Quick
+            test_timestamp_of_filename;
+          Alcotest.test_case "timestamp ordering" `Quick test_list_ordered;
+          Alcotest.test_case "load_all drops bad" `Quick
+            test_load_all_drops_bad_records;
+        ] );
+      ( "trend",
+        [
+          Alcotest.test_case "flags" `Quick test_trend_flags;
+          Alcotest.test_case "single record" `Quick test_trend_single_record;
+        ] );
+    ]

@@ -283,6 +283,38 @@ let test_engine_simultaneous_fifo () =
   ignore (E.run e);
   Alcotest.(check (list string)) "fifo ties" [ "a"; "b" ] (List.rev !log)
 
+let test_engine_sampler_boundaries () =
+  (* The sampler fires once per crossing event, labeled with the first
+     missed boundary, and skips boundaries the simulation jumped over
+     entirely (events at 0.5/1.2/2.7/5.1 with period 1.0 cross 1.0,
+     2.0 and 3.0 once each; 4.0 and 5.0 are jumped by the same event
+     that crosses 3.0). *)
+  let e = E.create () in
+  let fired = ref [] in
+  E.set_sampler e ~period:1.0 (fun b -> fired := b :: !fired);
+  List.iter
+    (fun t -> ignore (E.schedule e ~at:t (fun () -> ())))
+    [ 0.5; 1.2; 2.7; 5.1 ];
+  ignore (E.run e);
+  Alcotest.(check (list (float 1e-12)))
+    "boundaries" [ 1.0; 2.0; 3.0 ] (List.rev !fired)
+
+let test_engine_sampler_cleared () =
+  let e = E.create () in
+  let n = ref 0 in
+  E.set_sampler e ~period:1.0 (fun _ -> incr n);
+  E.clear_sampler e;
+  ignore (E.schedule e ~at:5.0 (fun () -> ()));
+  ignore (E.run e);
+  Alcotest.(check int) "no samples after clear" 0 !n;
+  (* Contract checks: invalid periods are rejected loudly. *)
+  (match E.set_sampler e ~period:0.0 (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument (zero period)"
+  | exception Invalid_argument _ -> ());
+  match E.set_sampler e ~period:Float.nan (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument (NaN period)"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------- fast lanes -------------------------- *)
 
 let test_lane_merge_order () =
@@ -473,6 +505,10 @@ let () =
           Alcotest.test_case "horizon + resume" `Quick test_engine_horizon_resume;
           Alcotest.test_case "budget" `Quick test_engine_budget;
           Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "sampler boundaries" `Quick
+            test_engine_sampler_boundaries;
+          Alcotest.test_case "sampler cleared" `Quick
+            test_engine_sampler_cleared;
           Alcotest.test_case "sim-time watchdog" `Quick
             test_engine_sim_watchdog;
           Alcotest.test_case "watchdog within budget" `Quick

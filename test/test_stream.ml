@@ -1,0 +1,277 @@
+(* Tests for the live observability service: the streamed delta
+   records' telescoping invariant (summed deltas == final snapshot),
+   the -j1 vs -j4 byte-identity contract, the JSONL schema, the
+   flight recorder, and the `ebrc status` reader over real streams. *)
+
+module Tm = Ebrc.Telemetry
+module Stream = Ebrc.Telemetry_stream
+module Flight = Ebrc.Telemetry_flight
+module Pool = Ebrc.Pool
+module J = Ebrc_obs.Json
+
+let scrub () =
+  Stream.disable ();
+  Tm.set_enabled false;
+  Tm.reset ()
+
+(* A scenario quick enough to run repeatedly but long enough for the
+   0.5 s sampler to fire several times. *)
+let cfg seed =
+  {
+    Ebrc.Scenario.default_config with
+    n_tfrc = 1;
+    n_tcp = 1;
+    queue = Ebrc.Scenario.Drop_tail { capacity = 50 };
+    duration = 4.0;
+    warmup = 1.0;
+    seed;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let lines_of path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> l <> "")
+
+let parse line =
+  match J.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparsable stream line (%s): %s" e line
+
+let record_type j =
+  match J.member "type" j with Some (J.Str t) -> t | _ -> "?"
+
+(* Run one streamed scenario and return (stream lines, counter-kind
+   snapshot totals by name, gauge+histogram sample counts by name). *)
+let streamed_run () =
+  scrub ();
+  let path = Filename.temp_file "ebrc_stream_test" ".jsonl" in
+  Tm.set_enabled true;
+  Stream.enable ~path ~period_sim:0.5 ~period_wall:0.0;
+  ignore (Ebrc.Scenario.run (cfg 42));
+  let snap = Tm.snapshot () in
+  Stream.finalize ();
+  scrub ();
+  let ls = lines_of path in
+  Sys.remove path;
+  (ls, snap)
+
+let test_deltas_sum_to_snapshot () =
+  let lines, snap = streamed_run () in
+  (* Accumulate every per-name integer delta across delta + run_end
+     records; integers telescope, so per streamed name the sum must
+     equal the final merged snapshot's count exactly. *)
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let n_deltas = ref 0 in
+  List.iter
+    (fun line ->
+      let j = parse line in
+      match record_type j with
+      | "delta" | "run_end" ->
+          incr n_deltas;
+          List.iter
+            (fun section ->
+              match J.member section j with
+              | Some (J.Obj kvs) ->
+                  List.iter
+                    (fun (name, v) ->
+                      match J.to_int v with
+                      | Some d ->
+                          Hashtbl.replace totals name
+                            (d + Option.value ~default:0
+                                   (Hashtbl.find_opt totals name))
+                      | None ->
+                          Alcotest.failf "non-integer delta for %s" name)
+                    kvs
+              | _ -> ())
+            [ "counters"; "gauges"; "hists" ]
+      | _ -> ())
+    lines;
+  Alcotest.(check bool) "several sampled records" true (!n_deltas >= 3);
+  Alcotest.(check bool) "streamed some metrics" true
+    (Hashtbl.length totals > 0);
+  Hashtbl.iter
+    (fun name total ->
+      match List.find_opt (fun s -> s.Tm.snap_name = name) snap with
+      | Some s ->
+          Alcotest.(check int)
+            (name ^ " deltas sum to final snapshot")
+            s.Tm.count total
+      | None -> Alcotest.failf "streamed metric %s missing from snapshot" name)
+    totals
+
+let test_stream_schema () =
+  let lines, _ = streamed_run () in
+  Alcotest.(check bool) "has lines" true (List.length lines >= 4);
+  (match lines with
+  | first :: _ -> (
+      let j = parse first in
+      Alcotest.(check string) "first line is meta" "meta" (record_type j);
+      match J.member "schema" j with
+      | Some (J.Num _) -> ()
+      | _ -> Alcotest.fail "meta line missing schema")
+  | [] -> Alcotest.fail "empty stream");
+  (match List.rev lines with
+  | last :: _ ->
+      Alcotest.(check string) "last line is stream_end" "stream_end"
+        (record_type (parse last))
+  | [] -> ());
+  let seen_end = ref false in
+  List.iter
+    (fun line ->
+      let j = parse line in
+      match record_type j with
+      | "delta" | "run_end" as ty ->
+          List.iter
+            (fun k ->
+              if J.member k j = None then
+                Alcotest.failf "%s record missing %S: %s" ty k line)
+            [ "run"; "seq"; "t_sim"; "d_events"; "pending" ];
+          if ty = "run_end" then begin
+            seen_end := true;
+            match J.member "ok" j with
+            | Some (J.Bool _) -> ()
+            | _ -> Alcotest.fail "run_end missing ok"
+          end
+      | "run_start" ->
+          if J.member "run" j = None then
+            Alcotest.fail "run_start missing run key"
+      | "meta" | "stream_end" -> ()
+      | other -> Alcotest.failf "unexpected record type %S" other)
+    lines;
+  Alcotest.(check bool) "run_end present" true !seen_end
+
+(* The -j determinism contract: the same four scenarios streamed under
+   a 1-domain and a 4-domain pool must produce byte-identical files
+   (wall progress off; finalize canonicalises run interleaving). *)
+let stream_bytes ~domains =
+  scrub ();
+  let path = Filename.temp_file "ebrc_stream_j" ".jsonl" in
+  Tm.set_enabled true;
+  Stream.enable ~path ~period_sim:0.5 ~period_wall:0.0;
+  Pool.with_pool ~domains (fun pool ->
+      ignore
+        (Pool.init pool 4 (fun i ->
+             ignore (Ebrc.Scenario.run (cfg (100 + i)));
+             i)));
+  Stream.finalize ();
+  scrub ();
+  let s = read_file path in
+  Sys.remove path;
+  s
+
+let test_stream_j1_vs_j4 () =
+  let s1 = stream_bytes ~domains:1 in
+  let s4 = stream_bytes ~domains:4 in
+  Alcotest.(check bool) "non-trivial stream" true (String.length s1 > 200);
+  Alcotest.(check string) "byte-identical across -j" s1 s4
+
+let test_flight_dump_on_budget () =
+  scrub ();
+  Tm.set_enabled true;
+  Flight.set_dir (Filename.get_temp_dir_name ());
+  Flight.set_enabled true;
+  Ebrc.Engine.set_sim_budget (Some 0.5);
+  Fun.protect
+    ~finally:(fun () ->
+      Ebrc.Engine.set_sim_budget None;
+      Flight.set_enabled false;
+      Flight.set_dir ".";
+      scrub ())
+  @@ fun () ->
+  (match Ebrc.Scenario.run (cfg 7) with
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+  | exception Ebrc.Engine.Budget_exceeded _ -> ());
+  match Flight.last_dump () with
+  | None -> Alcotest.fail "watchdog abort left no flight dump"
+  | Some p ->
+      Fun.protect ~finally:(fun () -> Sys.remove p)
+      @@ fun () ->
+      let lines = lines_of p in
+      (match lines with
+      | first :: _ -> (
+          let j = parse first in
+          Alcotest.(check string) "first line is flight header" "flight"
+            (record_type j);
+          (match J.member "reason" j with
+          | Some (J.Str "engine.budget") -> ()
+          | _ -> Alcotest.fail "dump reason is not engine.budget");
+          match J.member "exn" j with
+          | Some (J.Str _) -> ()
+          | _ -> Alcotest.fail "dump missing exn")
+      | [] -> Alcotest.fail "empty flight dump");
+      (* The postmortem carries the merged metric snapshot. *)
+      Alcotest.(check bool) "snapshot lines present" true
+        (List.exists (fun l -> record_type (parse l) = "counter") lines)
+
+let test_flight_dedups_same_exn () =
+  scrub ();
+  Flight.set_dir (Filename.get_temp_dir_name ());
+  Flight.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_enabled false;
+      Flight.set_dir ".";
+      scrub ())
+  @@ fun () ->
+  let e = Failure "flight-dedup-probe" in
+  Flight.on_exn ~reason:"test.first" e;
+  let p1 = Flight.last_dump () in
+  Flight.on_exn ~reason:"test.second" e;
+  let p2 = Flight.last_dump () in
+  (match p1 with
+  | Some p -> if Sys.file_exists p then Sys.remove p
+  | None -> Alcotest.fail "first on_exn produced no dump");
+  Alcotest.(check bool) "same exception dumps once" true (p1 = p2)
+
+let test_status_view () =
+  let lines, _ = streamed_run () in
+  let v = Ebrc_obs.Status.of_lines lines in
+  Alcotest.(check bool) "finished" true v.Ebrc_obs.Status.finished;
+  Alcotest.(check int) "no skipped lines" 0 v.Ebrc_obs.Status.skipped;
+  (match v.Ebrc_obs.Status.runs with
+  | [ r ] ->
+      Alcotest.(check bool) "run ended" true r.Ebrc_obs.Status.ended;
+      Alcotest.(check bool) "run ok" true r.Ebrc_obs.Status.run_ok;
+      Alcotest.(check bool) "events accumulated" true
+        (r.Ebrc_obs.Status.events > 0);
+      Alcotest.(check bool) "sampled to the end" true
+        (r.Ebrc_obs.Status.t_sim > 3.0)
+  | rs -> Alcotest.failf "expected 1 run row, got %d" (List.length rs));
+  (* A torn tail (mid-write read) is skipped, not fatal. *)
+  let torn = Ebrc_obs.Status.of_lines (lines @ [ "{\"type\":\"del" ]) in
+  Alcotest.(check int) "torn tail skipped" 1 torn.Ebrc_obs.Status.skipped;
+  (* The machine rendering is itself valid JSON. *)
+  match J.parse (Ebrc_obs.Status.render_json v) with
+  | Ok j -> (
+      match J.member "finished" j with
+      | Some (J.Bool true) -> ()
+      | _ -> Alcotest.fail "render_json finished flag wrong")
+  | Error e -> Alcotest.failf "render_json not valid JSON: %s" e
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "deltas",
+        [
+          Alcotest.test_case "sum to final snapshot" `Quick
+            test_deltas_sum_to_snapshot;
+          Alcotest.test_case "schema" `Quick test_stream_schema;
+          Alcotest.test_case "-j1 vs -j4 byte-identical" `Slow
+            test_stream_j1_vs_j4;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump on budget abort" `Quick
+            test_flight_dump_on_budget;
+          Alcotest.test_case "dedups same exception" `Quick
+            test_flight_dedups_same_exn;
+        ] );
+      ( "status",
+        [ Alcotest.test_case "view over a real stream" `Quick test_status_view ] );
+    ]

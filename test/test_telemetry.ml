@@ -77,6 +77,45 @@ let test_histogram_buckets () =
   Alcotest.(check bool) "coalesced bucket" true
     (Array.exists (fun (lo, n) -> lo = 1.0 && n = 2) snap.Tm.buckets)
 
+(* Quantile estimation over the log2 buckets: the estimate interpolates
+   inside the crossing bucket, so exact values are checkable by hand. *)
+let test_quantile_of_buckets () =
+  let b = [| (1.0, 2); (2.0, 2) |] in
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Tm.quantile_of_buckets b 0.5);
+  Alcotest.(check (float 1e-9)) "p75" 3.0 (Tm.quantile_of_buckets b 0.75);
+  Alcotest.(check (float 1e-9)) "p100 = top of last bucket" 4.0
+    (Tm.quantile_of_buckets b 1.0);
+  Alcotest.(check (float 1e-9)) "q clamps below" 1.0
+    (Tm.quantile_of_buckets b (-1.0));
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Tm.quantile_of_buckets [||] 0.5))
+
+let test_histogram_quantile () =
+  with_telemetry_on @@ fun () ->
+  let h = Tm.Histogram.make "test.histogram.quantile" in
+  List.iter (Tm.Histogram.observe h) [ 1.5; 1.9 ];
+  (* Both samples share the [1,2) bucket. *)
+  Alcotest.(check (float 1e-9)) "median interpolates" 1.5
+    (Tm.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 2.0 (Tm.Histogram.quantile h 1.0);
+  let empty = Tm.Histogram.make "test.histogram.quantile.empty" in
+  Alcotest.(check bool) "no samples is nan" true
+    (Float.is_nan (Tm.Histogram.quantile empty 0.5))
+
+let test_local_totals () =
+  with_telemetry_on @@ fun () ->
+  let c = Tm.Counter.make "test.local.counter" in
+  Tm.Counter.add c 5;
+  match
+    List.find_opt
+      (fun (n, _, _, _) -> n = "test.local.counter")
+      (Tm.local_totals ())
+  with
+  | Some (_, kind, icount, _) ->
+      Alcotest.(check bool) "kind" true (kind = Tm.Counter);
+      Alcotest.(check int) "count" 5 icount
+  | None -> Alcotest.fail "counter missing from local_totals"
+
 let test_kind_clash_rejected () =
   scrub ();
   ignore (Tm.Counter.make "test.clash.name");
@@ -442,7 +481,12 @@ let test_summary_renders () =
   populate ();
   let s = Export.summary () in
   Alcotest.(check bool) "mentions counter" true
-    (contains ~sub:"test.export.counter" s)
+    (contains ~sub:"test.export.counter" s);
+  (* Histogram lines carry the percentile estimates. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("mentions " ^ p) true (contains ~sub:p s))
+    [ "p50"; "p90"; "p99" ]
 
 let () =
   Alcotest.run "telemetry"
@@ -458,6 +502,11 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter_basics;
           Alcotest.test_case "gauge extremes" `Quick test_gauge_extremes;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "quantile of buckets" `Quick
+            test_quantile_of_buckets;
+          Alcotest.test_case "histogram quantile" `Quick
+            test_histogram_quantile;
+          Alcotest.test_case "local totals" `Quick test_local_totals;
           Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
         ] );
       ( "events",
