@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all ci build test test-ablations bench bench-quick bench-full bench-scale bench-compare bench-trend figures validate report examples telemetry-demo status-demo clean
+.PHONY: all ci build test test-ablations serve-e2e serve-demo bench bench-quick bench-full bench-scale bench-compare bench-trend figures validate report examples telemetry-demo status-demo clean
 
 all: build
 
@@ -9,7 +9,7 @@ all: build
 # against the previous one (fails on hot-path regressions > 20% or
 # fixed-seed telemetry drift; set EBRC_COMPARE_WARN_ONLY=1 when a
 # simulator change makes drift intentional).
-ci: build test test-ablations bench-quick bench-compare
+ci: build test test-ablations serve-e2e bench-quick bench-compare
 
 build:
 	dune build @all
@@ -29,6 +29,26 @@ test-ablations:
 	EBRC_LANES=0 EBRC_GAP_SKIP=0 EBRC_FAULTS=0 dune runtest --force
 	EBRC_WHEEL=0 dune runtest --force
 	EBRC_HYBRID=0 dune runtest --force
+
+# End-to-end check of the multi-process sweep service: serve a 6-task
+# manifest with 2 workers to completion, resume over a partial store,
+# warm-resume with --workers 0, and assert the exit-code contract
+# (0 = all published, 2 = bad manifest).
+serve-e2e: build
+	sh scripts/serve_ci.sh
+
+# The sweep service end to end, human-sized: write a demo manifest,
+# serve it with 2 workers (live fleet progress), then re-serve to show
+# the warm resume skipping everything already in the store.
+serve-demo: build
+	dune exec bin/ebrc_cli.exe -- manifest serve-demo.json --tasks 6 --duration 20
+	dune exec bin/ebrc_cli.exe -- serve serve-demo.json --workers 2
+	dune exec bin/ebrc_cli.exe -- serve serve-demo.json --workers 0
+	@echo
+	@echo "serve-demo.json       : the sweep manifest (canonical hex-float JSON)"
+	@echo "serve-demo.json.queue : task queue (tasks/ + leases/) and store/ with"
+	@echo "                        one content-addressed record per task; re-running"
+	@echo "                        'serve' is a warm resume and completes instantly."
 
 # Regenerate every paper figure (quick mode) plus the micro-benchmarks;
 # writes BENCH_<date>.json. Set EBRC_JOBS=N to size the domain pool.
@@ -102,3 +122,4 @@ examples:
 
 clean:
 	dune clean
+	rm -rf serve-demo.json serve-demo.json.queue

@@ -436,8 +436,53 @@ let () =
             id_broken || overhead_broken
         | None -> false
       in
+      (* Sweep service: the worker fleet publishes into a
+         content-addressed store that must be byte-identical to a
+         serial in-process run of the same manifest — disagreement
+         means the service layer perturbs results, fatal regardless of
+         timing. The throughput and warm-resume numbers move with the
+         host and are informational. Absent in pre-service records;
+         skipped then. *)
+      let service_broken =
+        match member "sweep_service" new_json with
+        | Some sv -> (
+            (match
+               ( member "tasks" sv,
+                 member "worker1_seconds" sv,
+                 member "worker4_seconds" sv )
+             with
+            | Some (Num tasks), Some (Num w1), Some (Num w4)
+              when w1 > 0.0 && w4 > 0.0 ->
+                Printf.printf
+                  "  sweep service: %.0f tasks — %.1f tasks/s at 1 worker, \
+                   %.1f tasks/s at 4\n"
+                  tasks (tasks /. w1) (tasks /. w4)
+            | _ -> ());
+            (match member "cold_over_warm" sv with
+            | Some (Num r) ->
+                Printf.printf
+                  "  sweep service: warm resume %.0fx faster than cold \
+                   (>= 50x target %s)\n"
+                  r
+                  (if r >= 50.0 then "met" else "missed")
+            | _ -> ());
+            match member "store_identical" sv with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  sweep service: 4-worker store byte-identical to the \
+                   serial in-process run\n\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  sweep service: FAIL — multi-worker store is NOT \
+                   byte-identical to the serial in-process run\n\n";
+                true
+            | _ -> false)
+        | None -> false
+      in
       let failed = ref false in
       if faults_broken then failed := true;
+      if service_broken then failed := true;
       if stream_broken then failed := true;
       if wheel_broken then failed := true;
       if flows_broken then failed := true;

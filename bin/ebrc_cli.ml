@@ -872,6 +872,240 @@ let bench_trend_cmd =
           hot-path timing and telemetry counter.")
     Term.(ret (const run $ dir $ json_out))
 
+(* --- manifest / serve / worker: the multi-process sweep service --- *)
+
+let manifest_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Manifest file to write.")
+  in
+  let tasks =
+    Arg.(
+      value & opt int 6
+      & info [ "tasks" ] ~docv:"N" ~doc:"Number of demo tasks to generate.")
+  in
+  let seed0 =
+    Arg.(
+      value & opt int 42
+      & info [ "seed0" ] ~docv:"SEED"
+          ~doc:"Seed of the first task (consecutive seeds follow).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds per task.")
+  in
+  let run path tasks seed0 duration =
+    if tasks < 1 then `Error (false, "need at least one task")
+    else begin
+      let m = Ebrc_serve.Manifest.demo ~seed0 ~duration ~tasks () in
+      Ebrc_serve.Manifest.save ~path m;
+      Printf.printf "manifest with %d task(s) written to %s\n" tasks path;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "manifest"
+       ~doc:
+         "Write a demo sweep manifest (small dumbbell scenarios over \
+          consecutive seeds) for `ebrc serve`.")
+    Term.(ret (const run $ path $ tasks $ seed0 $ duration))
+
+let serve_cmd =
+  let manifest_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:"Sweep manifest (see `ebrc manifest`).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "queue" ] ~docv:"DIR"
+          ~doc:"Task queue directory (default: $(i,MANIFEST).queue).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result store shared by the workers \
+             (default: $(i,QUEUE)/store). Re-serving over a partial \
+             store enqueues only the missing tasks.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers"; "w" ] ~docv:"N"
+          ~doc:
+            "Worker processes to spawn (0 = just prime the queue for \
+             externally started `ebrc worker` processes).")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 300.0
+      & info [ "ttl" ] ~docv:"S"
+          ~doc:
+            "Lease lifetime handed to workers: a SIGKILL'd worker \
+             delays its task by at most $(docv) seconds.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra in-process attempts per crashing task.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress the periodic progress line.")
+  in
+  let run manifest_path queue store workers ttl retries quiet =
+    if workers < 0 then `Error (false, "workers must be >= 0")
+    else if ttl <= 0.0 then `Error (false, "ttl must be > 0")
+    else begin
+      let d = Ebrc_serve.Serve.default ~manifest_path in
+      let queue_dir = Option.value ~default:d.Ebrc_serve.Serve.queue_dir queue in
+      let cfg =
+        {
+          d with
+          Ebrc_serve.Serve.queue_dir;
+          store_dir =
+            Option.value ~default:(Filename.concat queue_dir "store") store;
+          workers;
+          ttl;
+          retries;
+          quiet;
+        }
+      in
+      exit (Ebrc_serve.Serve.run cfg)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a sweep manifest through the multi-process experiment \
+          service: enqueue every task not already in the result store, \
+          spawn workers, and watch until the sweep drains. Resumable: \
+          re-serving skips published results.")
+    Term.(
+      ret
+        (const run $ manifest_path $ queue $ store $ workers $ ttl $ retries
+       $ quiet))
+
+let worker_cmd =
+  let queue =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUEUE"
+          ~doc:"Task queue directory (see `ebrc serve`).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Result store directory (default: $(i,QUEUE)/store).")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Worker id recorded in leases and failure records \
+             (default: w<pid>).")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 300.0
+      & info [ "ttl" ] ~docv:"S" ~doc:"Lease lifetime in seconds.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra in-process attempts per crashing task.")
+  in
+  let poll =
+    Arg.(
+      value & opt float 0.2
+      & info [ "poll" ] ~docv:"S"
+          ~doc:"Rescan period while the queue is fully leased.")
+  in
+  let max_tasks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tasks" ] ~docv:"N"
+          ~doc:"Stop after executing $(docv) tasks.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Keep polling for new tasks instead of exiting once the \
+             queue drains.")
+  in
+  let run queue store id ttl retries poll max_tasks follow no_wheel no_hybrid
+      budgets telem obs =
+    if ttl <= 0.0 then `Error (false, "ttl must be > 0")
+    else if poll <= 0.0 then `Error (false, "poll must be > 0")
+    else begin
+      apply_wheel no_wheel;
+      apply_hybrid no_hybrid;
+      apply_budgets budgets;
+      let d = Ebrc_serve.Worker.default ~queue_dir:queue in
+      let cfg =
+        {
+          d with
+          Ebrc_serve.Worker.store_dir =
+            Option.value ~default:d.Ebrc_serve.Worker.store_dir store;
+          worker_id = Option.value ~default:d.Ebrc_serve.Worker.worker_id id;
+          ttl;
+          retries;
+          poll;
+          max_tasks;
+          exit_when_drained = not follow;
+        }
+      in
+      with_observability ~cmd:"worker"
+        ~attrs:
+          [
+            ("queue", Printf.sprintf "%S" queue);
+            ("worker", Printf.sprintf "%S" cfg.Ebrc_serve.Worker.worker_id);
+          ]
+        obs
+      @@ fun () ->
+      with_telemetry telem @@ fun () ->
+      let o = Ebrc_serve.Worker.run cfg in
+      Printf.printf "worker %s: %d ran, %d cached, %d failed\n"
+        cfg.Ebrc_serve.Worker.worker_id o.Ebrc_serve.Worker.ran
+        o.Ebrc_serve.Worker.cached o.Ebrc_serve.Worker.failed;
+      if o.Ebrc_serve.Worker.failed > 0 then exit 1;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Drain a sweep-service task queue: lease tasks, run each \
+          scenario crash-isolated, publish results into the shared \
+          content-addressed store. Any number of workers can share one \
+          queue.")
+    Term.(
+      ret
+        (const run $ queue $ store $ id $ ttl $ retries $ poll $ max_tasks
+       $ follow $ no_wheel_arg $ no_hybrid_arg $ budget_args
+       $ telemetry_args $ obs_args))
+
 let main =
   let doc =
     "Reproduction of 'On the Long-Run Behavior of Equation-Based Rate \
@@ -880,6 +1114,7 @@ let main =
   Cmd.group
     (Cmd.info "ebrc" ~version:Ebrc.version ~doc)
     [ figure_cmd; list_cmd; quickstart_cmd; breakdown_cmd; convexity_cmd;
-      report_cmd; design_cmd; validate_cmd; status_cmd; bench_trend_cmd ]
+      report_cmd; design_cmd; validate_cmd; status_cmd; bench_trend_cmd;
+      manifest_cmd; serve_cmd; worker_cmd ]
 
 let () = exit (Cmd.eval main)

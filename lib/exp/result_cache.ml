@@ -44,6 +44,10 @@ let m_store_errors =
   Tm.Counter.make ~help:"scenario cache disk-store failures"
     "cache.store_errors"
 
+let m_tmp_reclaimed =
+  Tm.Counter.make ~help:"stale cache tmp files reclaimed at startup"
+    "cache.tmp_reclaimed"
+
 (* Bump whenever Scenario.run's observable behaviour changes.
    v5: result gains tfrc_halvings + fault_stats; key gains faults.
    v6: result gains fluid_stats; key gains the hybrid background. *)
@@ -565,6 +569,69 @@ let disk_store ~dir ~key digest r =
               dir (Printexc.to_string e)
           end);
       if Tm.is_on () then Tm.Counter.incr m_store_errors
+
+(* ------------------------ store as a service ---------------------- *)
+
+(* The sweep service (lib/serve) treats the disk store as the shared
+   result backbone for many worker processes: every accessor below
+   takes an explicit directory and never touches the per-process memo,
+   so a million-task worker stays O(1) in memory and a publication is
+   visible to every other process the instant the rename lands. *)
+
+let load_from ~dir cfg =
+  let key = canonical_key cfg in
+  disk_load ~dir ~key (Digest.to_hex (Digest.string key))
+
+let store_to ~dir cfg r =
+  let key = canonical_key cfg in
+  disk_store ~dir ~key (Digest.to_hex (Digest.string key)) r
+
+(* Full load + verification, not a bare [Sys.file_exists]: a truncated
+   or stale-version record counts as unpublished, so a resumed sweep
+   recomputes it instead of trusting a corpse. *)
+let published ~dir cfg = load_from ~dir cfg <> None
+
+let list_store ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      let digests =
+        Array.to_list entries
+        |> List.filter_map (fun e ->
+               if String.length e > 0 && e.[0] <> '.'
+                  && Filename.check_suffix e ".json"
+               then Some (Filename.chop_suffix e ".json")
+               else None)
+      in
+      List.sort String.compare digests
+
+(* A writer SIGKILL'd between open and rename strands its
+   [.<digest>.<pid>.tmp]; they are invisible to readers (digest file
+   names never start with '.') but accumulate forever. The age gate
+   keeps a live writer's in-flight tmp safe: anything younger than
+   [max_age] is left alone. *)
+let gc_tmp ?(max_age = 3600.0) dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun n e ->
+          if String.length e > 0 && e.[0] = '.'
+             && Filename.check_suffix e ".tmp"
+          then
+            let p = Filename.concat dir e in
+            match Unix.stat p with
+            | st when now -. st.Unix.st_mtime > max_age -> (
+                match Unix.unlink p with
+                | () ->
+                    if Tm.is_on () then Tm.Counter.incr m_tmp_reclaimed;
+                    n + 1
+                | exception Unix.Unix_error _ -> n)
+            | _ -> n
+            | exception Unix.Unix_error _ -> n
+          else n)
+        0 entries
 
 (* ------------------------------ run ------------------------------- *)
 

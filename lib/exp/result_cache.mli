@@ -38,6 +38,38 @@ val serialize_result : Scenario.result -> string
 (** The exact JSON payload stored on disk; also useful for
     byte-identity checks in tests and benchmarks. *)
 
+(** {2 Store as a service}
+
+    Explicit-directory accessors for the multi-process sweep service
+    (lib/serve): workers publish results into a shared store and serve
+    watches it for completion. None of these touch the in-process
+    memo, so a long-running worker stays O(1) in memory. *)
+
+val load_from : dir:string -> Scenario.config -> Scenario.result option
+(** Load and fully verify (schema, version tag, full key) the record
+    for this config; [None] when absent or corrupt. *)
+
+val store_to : dir:string -> Scenario.config -> Scenario.result -> unit
+(** Publish a result into [dir] with the atomic tmp+rename discipline
+    (same failure behaviour as the implicit store: a failed write is
+    counted and warned, never raised). *)
+
+val published : dir:string -> Scenario.config -> bool
+(** [load_from] succeeds — a full verification, so a truncated or
+    stale-version record reads as unpublished and gets recomputed. *)
+
+val list_store : dir:string -> string list
+(** Digests with a record file present in [dir], sorted; [[]] when the
+    directory is unreadable. Presence alone does not imply validity —
+    use {!published} per config for that. *)
+
+val gc_tmp : ?max_age:float -> string -> int
+(** Unlink stale [.<digest>.<pid>.tmp] files stranded by crashed
+    writers, returning how many were reclaimed (also counted on the
+    [cache.tmp_reclaimed] telemetry counter). Files younger than
+    [max_age] seconds (default 3600) are left alone so a live writer's
+    in-flight record survives. Safe on a missing directory. *)
+
 type stats = {
   hits : int;        (** in-memory memo hits *)
   disk_hits : int;   (** disk-record hits (schema + key verified) *)

@@ -22,6 +22,7 @@ type view = {
   manifest : (string * string) list;
   runs : run_row list;
   figures : figure_row list;
+  tasks : figure_row list;
   counters : (string * int) list;
   event_rate : float;
   task_rate : float;
@@ -59,6 +60,8 @@ let of_lines lines =
   let run_order = ref [] in
   let figs : (string, figure_row) Hashtbl.t = Hashtbl.create 16 in
   let fig_order = ref [] in
+  let tasks : (string, figure_row) Hashtbl.t = Hashtbl.create 16 in
+  let task_order = ref [] in
   let manifest = ref [] in
   let first_progress = ref None in
   let last_progress = ref None in
@@ -94,6 +97,29 @@ let of_lines lines =
             ended = base.ended || ended; run_ok }
     | _ -> incr skipped
   in
+  (* Figure and task records share one lifecycle shape: id + phase +
+     wall clock, with figures additionally carrying a table count.
+     [start] names the phase whose wall clock anchors elapsed time. *)
+  let on_lifecycle tbl order j ~start =
+    match (sget j "id", sget j "phase") with
+    | Some id, Some phase ->
+        let t = match fget j "t_wall" with Some t -> t | None -> nan in
+        let prev = Hashtbl.find_opt tbl id in
+        if prev = None then order := id :: !order;
+        let base =
+          match prev with
+          | Some f -> f
+          | None ->
+              { fig_id = id; phase; t_start = nan; t_last = t; tables = 0 }
+        in
+        let t_start = if phase = start then t else base.t_start in
+        let tables =
+          match iget j "tables" with Some n -> n | None -> base.tables
+        in
+        Hashtbl.replace tbl id
+          { base with phase; t_start; t_last = t; tables }
+    | _ -> incr skipped
+  in
   List.iter
     (fun line ->
       if String.trim line <> "" then
@@ -104,32 +130,8 @@ let of_lines lines =
             | Some "run_start" -> on_run j ~ended:false
             | Some "delta" -> on_run j ~ended:false
             | Some "run_end" -> on_run j ~ended:true
-            | Some "figure" -> (
-                match (sget j "id", sget j "phase") with
-                | Some id, Some phase ->
-                    let t =
-                      match fget j "t_wall" with Some t -> t | None -> nan
-                    in
-                    let prev = Hashtbl.find_opt figs id in
-                    if prev = None then fig_order := id :: !fig_order;
-                    let base =
-                      match prev with
-                      | Some f -> f
-                      | None ->
-                          { fig_id = id; phase; t_start = nan; t_last = t;
-                            tables = 0 }
-                    in
-                    let t_start =
-                      if phase = "start" then t else base.t_start
-                    in
-                    let tables =
-                      match iget j "tables" with
-                      | Some n -> n
-                      | None -> base.tables
-                    in
-                    Hashtbl.replace figs id
-                      { base with phase; t_start; t_last = t; tables }
-                | _ -> incr skipped)
+            | Some "figure" -> on_lifecycle figs fig_order j ~start:"start"
+            | Some "task" -> on_lifecycle tasks task_order j ~start:"leased"
             | Some "progress" ->
                 let p =
                   ( (match fget j "t_wall" with Some t -> t | None -> nan),
@@ -178,6 +180,7 @@ let of_lines lines =
     runs =
       List.rev_map (fun k -> Hashtbl.find runs k) !run_order;
     figures = List.rev_map (fun k -> Hashtbl.find figs k) !fig_order;
+    tasks = List.rev_map (fun k -> Hashtbl.find tasks k) !task_order;
     counters;
     event_rate;
     task_rate;
@@ -185,6 +188,60 @@ let of_lines lines =
     t_progress;
     finished = !finished;
     skipped = !skipped;
+  }
+
+(* Combine per-worker views into one fleet view: the serve watcher
+   reads one stream file per worker and wants a single snapshot.
+   Counters sum (each worker's totals are disjoint), rows concatenate
+   (workers never share a run/figure/task id — task digests are leased
+   exclusively), rates sum where known, and the fleet is finished only
+   when every member is. *)
+let merge views =
+  let sum f = List.fold_left (fun acc v -> acc + f v) 0 views in
+  let sum_rate f =
+    let known = List.filter (fun v -> Float.is_finite (f v)) views in
+    if known = [] then nan
+    else List.fold_left (fun acc v -> acc +. f v) 0.0 known
+  in
+  let max_f f =
+    List.fold_left
+      (fun acc v ->
+        let x = f v in
+        if Float.is_finite x && not (Float.is_finite acc && acc >= x) then x
+        else acc)
+      nan views
+  in
+  let counters =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (k, n) ->
+            match Hashtbl.find_opt tbl k with
+            | Some m -> Hashtbl.replace tbl k (m + n)
+            | None ->
+                order := k :: !order;
+                Hashtbl.replace tbl k n)
+          v.counters)
+      views;
+    List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+  in
+  {
+    manifest =
+      (match List.find_opt (fun v -> v.manifest <> []) views with
+      | Some v -> v.manifest
+      | None -> []);
+    runs = List.concat_map (fun v -> v.runs) views;
+    figures = List.concat_map (fun v -> v.figures) views;
+    tasks = List.concat_map (fun v -> v.tasks) views;
+    counters;
+    event_rate = sum_rate (fun v -> v.event_rate);
+    task_rate = sum_rate (fun v -> v.task_rate);
+    eta = max_f (fun v -> v.eta);
+    t_progress = max_f (fun v -> v.t_progress);
+    finished = views <> [] && List.for_all (fun v -> v.finished) views;
+    skipped = sum (fun v -> v.skipped);
   }
 
 let read_file path =
@@ -236,6 +293,13 @@ let render v =
         Buffer.add_string buf
           (Printf.sprintf "  %-24s %-7s%s%s\n" f.fig_id f.phase elapsed tables))
       v.figures
+  end;
+  if v.tasks <> [] then begin
+    let count p = List.length (List.filter (fun t -> t.phase = p) v.tasks) in
+    Buffer.add_string buf
+      (Printf.sprintf "tasks: %d done, %d failed, %d leased\n" (count "done")
+         (count "failed")
+         (List.length v.tasks - count "done" - count "failed"))
   end;
   if v.runs <> [] then begin
     let live = List.filter (fun r -> not r.ended) v.runs in
@@ -293,6 +357,16 @@ let render_json v =
            (Json.escape f.fig_id) (Json.escape f.phase) (num f.t_start)
            (num f.t_last) f.tables))
     v.figures;
+  Buffer.add_string buf "],\"tasks\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"phase\":\"%s\",\"t_start\":%s,\"t_last\":%s}"
+           (Json.escape f.fig_id) (Json.escape f.phase) (num f.t_start)
+           (num f.t_last)))
+    v.tasks;
   Buffer.add_string buf "],\"runs\":[";
   List.iteri
     (fun i r ->

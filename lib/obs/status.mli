@@ -29,6 +29,10 @@ type view = {
           re-rendered as strings *)
   runs : run_row list;  (** stream order *)
   figures : figure_row list;  (** stream order *)
+  tasks : figure_row list;
+      (** sweep-service task lifecycle records ([task] type), one row
+          per task digest; [phase] is the latest of
+          leased/done/failed and [t_start] anchors at the lease *)
   counters : (string * int) list;
       (** totals from the latest progress record *)
   event_rate : float;  (** d sim.events_fired / d t_wall; [nan] unknown *)
@@ -42,6 +46,14 @@ type view = {
 }
 
 val of_lines : string list -> view
+
+val merge : view list -> view
+(** Fold per-worker views into one fleet snapshot (the serve watcher
+    reads one stream file per worker): counters sum by key, row lists
+    concatenate (workers never share a task digest — leases are
+    exclusive), rates sum over the workers that report one, [eta] and
+    [t_progress] take the max, and the fleet is [finished] only when
+    every member is. [merge []] is the empty view. *)
 
 val read_file : string -> (view, string) result
 (** {!of_lines} over the file's lines; [Error] when unreadable. *)

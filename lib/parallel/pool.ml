@@ -284,6 +284,13 @@ let try_init_gen ~honor_only ?(retries = 0) ?seed_of t n f =
 let try_init ?retries ?seed_of t n f =
   try_init_gen ~honor_only:true ?retries ?seed_of t n f
 
+(* Single-task crash isolation for callers that are not sweeps — the
+   serve worker leases one task at a time and must not be filtered by
+   a sweep-replay EBRC_ONLY_TASK left in the environment. *)
+let run_isolated ?retries t f =
+  (try_init_gen ~honor_only:false ?retries t 1 (fun ~attempt _ ->
+       f ~attempt)).(0)
+
 (* Lowest failing index, so the raised error is deterministic (the old
    first-failure-wins atomic depended on the chunk schedule). *)
 let lowest_error results =

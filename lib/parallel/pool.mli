@@ -64,6 +64,15 @@ val try_init :
     report identifies the replication. Honors {!set_only_task}:
     filtered tasks return [Error] with [t_exn = Task_skipped]. *)
 
+val run_isolated :
+  ?retries:int -> t -> (attempt:int -> 'a) -> ('a, task_error) result
+(** One task under the same per-task exception barrier as {!try_init}:
+    [Ok] of the value or [Error] describing the final failure, with
+    [retries] extra attempts (the attempt number lets the task derive
+    a fresh PRNG sub-stream). Unlike {!try_init} it ignores
+    {!set_only_task} — it serves callers (the sweep-service worker)
+    whose unit of replay is not a sweep index. *)
+
 val set_only_task : int option -> unit
 (** Replay filter for {!try_init} (env default: [EBRC_ONLY_TASK]):
     when set, only the matching task index actually runs — the knob

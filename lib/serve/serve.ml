@@ -1,0 +1,217 @@
+(* Manifest → queue → worker fleet → watch; see the .mli. *)
+
+module Rc = Ebrc_exp.Result_cache
+module Status = Ebrc_obs.Status
+
+type config = {
+  manifest_path : string;
+  queue_dir : string;
+  store_dir : string;
+  workers : int;
+  ttl : float;
+  retries : int;
+  poll : float;
+  quiet : bool;
+}
+
+let default ~manifest_path =
+  let queue_dir = manifest_path ^ ".queue" in
+  {
+    manifest_path;
+    queue_dir;
+    store_dir = Filename.concat queue_dir "store";
+    workers = 2;
+    ttl = 300.0;
+    retries = 1;
+    poll = 0.25;
+    quiet = false;
+  }
+
+type progress = {
+  total : int;
+  published : int;
+  queued : int;
+  leased : int;
+  failed : int;
+}
+
+(* Distinct digests: a manifest may repeat a config; identity is the
+   digest, so duplicates collapse to one task. *)
+let distinct_tasks (m : Manifest.t) =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun cfg ->
+      let d = Manifest.digest cfg in
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    m.Manifest.tasks
+
+let progress ~store_dir ~queue m =
+  let tasks = distinct_tasks m in
+  let published =
+    List.length (List.filter (fun c -> Rc.published ~dir:store_dir c) tasks)
+  in
+  {
+    total = List.length tasks;
+    published;
+    queued = List.length (Task_queue.pending queue);
+    leased = Task_queue.leased queue;
+    failed = List.length (Task_queue.failed queue);
+  }
+
+let plan ~store_dir ~queue m =
+  ignore (Rc.gc_tmp store_dir);
+  let outstanding = ref 0 in
+  List.iter
+    (fun cfg ->
+      if not (Rc.published ~dir:store_dir cfg) then begin
+        incr outstanding;
+        Task_queue.enqueue queue ~digest:(Manifest.digest cfg)
+          ~spec:(Manifest.task_to_json cfg)
+      end)
+    (distinct_tasks m);
+  !outstanding
+
+(* ---------------------------- worker fleet ------------------------ *)
+
+let spawn_worker cfg ~queue ~index =
+  let stream =
+    Filename.concat (Task_queue.streams_dir queue)
+      (Printf.sprintf "worker-%d.jsonl" index)
+  in
+  (* Fresh stream per serve invocation: a stale finished stream would
+     read as a live worker's. *)
+  (try Sys.remove stream with Sys_error _ -> ());
+  let argv =
+    [|
+      Sys.executable_name;
+      "worker";
+      cfg.queue_dir;
+      "--store"; cfg.store_dir;
+      "--id"; Printf.sprintf "serve-w%d" index;
+      "--ttl"; string_of_float cfg.ttl;
+      "--retries"; string_of_int cfg.retries;
+      "--stream"; stream;
+    |]
+  in
+  Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
+    Unix.stderr
+
+let reap pids =
+  List.filter
+    (fun pid ->
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error _ -> false)
+    pids
+
+(* Merge whatever the workers have streamed so far into one fleet
+   view; tolerant of torn tails and missing files by construction. *)
+let fleet_view queue =
+  let dir = Task_queue.streams_dir queue in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | entries ->
+      let views =
+        Array.to_list entries
+        |> List.filter (fun e -> Filename.check_suffix e ".jsonl")
+        |> List.sort String.compare
+        |> List.filter_map (fun e ->
+               match Status.read_file (Filename.concat dir e) with
+               | Ok v -> Some v
+               | Error _ -> None)
+      in
+      if views = [] then None else Some (Status.merge views)
+
+let progress_line p view =
+  let fleet =
+    match view with
+    | None -> ""
+    | Some (v : Status.view) ->
+        let rate =
+          if Float.is_finite v.Status.event_rate then
+            Printf.sprintf "  %.0f events/s" v.Status.event_rate
+          else ""
+        in
+        Printf.sprintf "  (%d task records%s)" (List.length v.Status.tasks)
+          rate
+  in
+  Printf.sprintf "serve: %d/%d published, %d queued, %d leased, %d failed%s"
+    p.published p.total p.queued p.leased p.failed fleet
+
+let run cfg =
+  match Manifest.load ~path:cfg.manifest_path with
+  | Error msg ->
+      Printf.eprintf "ebrc serve: %s: %s\n%!" cfg.manifest_path msg;
+      2
+  | Ok m ->
+      let queue = Task_queue.create ~dir:cfg.queue_dir in
+      let outstanding = plan ~store_dir:cfg.store_dir ~queue m in
+      let say fmt =
+        Printf.ksprintf
+          (fun s -> if not cfg.quiet then print_endline s)
+          fmt
+      in
+      let p0 = progress ~store_dir:cfg.store_dir ~queue m in
+      say "serve: %d task(s), %d already published, %d outstanding"
+        p0.total p0.published outstanding;
+      let finish p =
+        if p.published = p.total then begin
+          say "serve: complete (%d/%d published)" p.published p.total;
+          0
+        end
+        else begin
+          List.iter
+            (fun (digest, msg) ->
+              Printf.eprintf "ebrc serve: task %s failed: %s\n%!" digest msg)
+            (Task_queue.failed queue);
+          Printf.eprintf "ebrc serve: incomplete (%d/%d published, %d failed)\n%!"
+            p.published p.total p.failed;
+          1
+        end
+      in
+      if outstanding = 0 then
+        (* Warm resume: everything already in the store. *)
+        finish p0
+      else if cfg.workers <= 0 then begin
+        (* Prime-only mode: external workers will drain the queue. *)
+        say "serve: queue primed at %s (no workers spawned)" cfg.queue_dir;
+        if p0.failed > 0 then finish p0 else 0
+      end
+      else begin
+        let pids =
+          List.init cfg.workers (fun i -> spawn_worker cfg ~queue ~index:i)
+        in
+        say "serve: spawned %d worker(s)" (List.length pids);
+        let rec watch pids last_line =
+          let p = progress ~store_dir:cfg.store_dir ~queue m in
+          let line = progress_line p (fleet_view queue) in
+          if line <> last_line then say "%s" line;
+          if p.published + p.failed >= p.total then p
+          else begin
+            let pids = reap pids in
+            if pids = [] then begin
+              (* Fleet gone with work remaining: report what we have
+                 rather than spinning forever. *)
+              Printf.eprintf "ebrc serve: all workers exited early\n%!";
+              p
+            end
+            else begin
+              Unix.sleepf cfg.poll;
+              watch pids line
+            end
+          end
+        in
+        let p = watch pids "" in
+        (* Drained (or stalled): collect the fleet. *)
+        List.iter
+          (fun pid ->
+            try ignore (Unix.waitpid [] pid)
+            with Unix.Unix_error _ -> ())
+          pids;
+        finish p
+      end

@@ -1,0 +1,48 @@
+(** The sweep-service front end behind [ebrc serve]: load a manifest,
+    prime the task queue with every config not already published in
+    the content-addressed store, optionally spawn a fleet of worker
+    processes, and watch the store until the sweep drains.
+
+    Because enqueueing consults the store first, sweeps are resumable
+    and incremental for free: re-serving a manifest over a partial
+    store enqueues only the missing tasks, and a fully published
+    manifest returns immediately (the warm-resume path). *)
+
+type config = {
+  manifest_path : string;
+  queue_dir : string;
+  store_dir : string;
+  workers : int;
+      (** worker processes to spawn (re-exec of the current
+          executable's [worker] subcommand). 0 = prime the queue and
+          report without waiting — external workers drain it. *)
+  ttl : float;  (** lease lifetime handed to spawned workers *)
+  retries : int;  (** per-task retry budget handed to spawned workers *)
+  poll : float;  (** watch-loop period, seconds *)
+  quiet : bool;  (** suppress the periodic progress line *)
+}
+
+val default : manifest_path:string -> config
+(** [queue_dir] = [<manifest_path>.queue], [store_dir] =
+    [<queue_dir>/store], [workers] = 2, [ttl] = 300s, [retries] = 1,
+    [poll] = 0.25s. *)
+
+type progress = {
+  total : int;  (** distinct task digests in the manifest *)
+  published : int;  (** verified result records in the store *)
+  queued : int;  (** task files still present in the queue *)
+  leased : int;  (** lease files present (live and expired) *)
+  failed : int;  (** terminal failure records *)
+}
+
+val progress : store_dir:string -> queue:Task_queue.t -> Manifest.t -> progress
+
+val plan : store_dir:string -> queue:Task_queue.t -> Manifest.t -> int
+(** Enqueue every manifest task whose result is not already published
+    (idempotent), returning how many are outstanding. Also reclaims
+    stale store tmp files ({!Ebrc_exp.Result_cache.gc_tmp}). *)
+
+val run : config -> int
+(** The [ebrc serve] entry point; returns the process exit code:
+    0 — every task published; 1 — terminal failures, or the fleet
+    exited with work remaining; 2 — unreadable manifest. *)

@@ -1,0 +1,214 @@
+(* On-disk task queue with O_EXCL lease claims; see the .mli for the
+   protocol and the failure model. *)
+
+module Tm = Ebrc_telemetry.Telemetry
+module Json = Ebrc_obs.Json
+
+let m_claims = Tm.Counter.make ~help:"queue leases claimed" "queue.claims"
+
+let m_conflicts =
+  Tm.Counter.make ~help:"queue claim attempts lost to a live lease"
+    "queue.claim_conflicts"
+
+let m_reclaimed =
+  Tm.Counter.make ~help:"expired queue leases reclaimed"
+    "queue.leases_reclaimed"
+
+let m_completed =
+  Tm.Counter.make ~help:"queue tasks completed" "queue.completed"
+
+let m_failed =
+  Tm.Counter.make ~help:"queue tasks terminally failed" "queue.failed"
+
+type t = {
+  root : string;
+  tasks_dir : string;
+  leases_dir : string;
+  failed_dir : string;
+  streams : string;
+}
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  let t =
+    {
+      root = dir;
+      tasks_dir = Filename.concat dir "tasks";
+      leases_dir = Filename.concat dir "leases";
+      failed_dir = Filename.concat dir "failed";
+      streams = Filename.concat dir "streams";
+    }
+  in
+  mkdir_p t.tasks_dir;
+  mkdir_p t.leases_dir;
+  mkdir_p t.failed_dir;
+  mkdir_p t.streams;
+  t
+
+let dir t = t.root
+let streams_dir t = t.streams
+let task_path t digest = Filename.concat t.tasks_dir (digest ^ ".json")
+let lease_path t digest = Filename.concat t.leases_dir (digest ^ ".lease")
+let failed_path t digest = Filename.concat t.failed_dir (digest ^ ".json")
+
+let list_dir dir ~suffix =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             if String.length e > 0 && e.[0] <> '.'
+                && Filename.check_suffix e suffix
+             then Some (Filename.chop_suffix e suffix)
+             else None)
+      |> List.sort String.compare
+
+let atomic_write path content =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Some s
+  | exception Sys_error _ -> None
+
+let enqueue t ~digest ~spec =
+  if not (Sys.file_exists (task_path t digest)) then
+    atomic_write (task_path t digest) (spec ^ "\n")
+
+let pending t = list_dir t.tasks_dir ~suffix:".json"
+let read_spec t ~digest = read_file (task_path t digest)
+let leased t = List.length (list_dir t.leases_dir ~suffix:".lease")
+
+(* ------------------------------ leases ---------------------------- *)
+
+type claim_outcome = Claimed | Busy | Gone
+
+let lease_body ~worker ~deadline =
+  Printf.sprintf
+    "{\"schema\":1,\"worker\":\"%s\",\"pid\":%d,\"deadline\":\"%h\"}\n"
+    (Json.escape worker) (Unix.getpid ()) deadline
+
+(* O_EXCL create: the one atomic "exactly one winner" primitive the
+   whole queue rests on. *)
+let create_exclusive path content =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = Bytes.of_string content in
+          ignore (Unix.write fd b 0 (Bytes.length b)));
+      true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+(* A lease that cannot be parsed is usually a claimant killed between
+   the O_EXCL create and the write. The torn file still holds the
+   lease (we cannot know its deadline), but only for a grace period —
+   after that it reads as expired and gets reclaimed. *)
+let torn_lease_grace = 10.0
+
+let lease_expired path ~now =
+  match read_file path with
+  | None -> false (* vanished: released or completed; not ours to take *)
+  | Some body -> (
+      match
+        Option.bind (Json.parse body |> Result.to_option) (fun j ->
+            Option.bind (Json.member "deadline" j) Json.to_string)
+      with
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some deadline -> now > deadline
+          | None -> true)
+      | None -> (
+          match Unix.stat path with
+          | st -> now -. st.Unix.st_mtime > torn_lease_grace
+          | exception Unix.Unix_error _ -> false))
+
+let claim t ~worker ~ttl ~digest =
+  if not (Sys.file_exists (task_path t digest)) then Gone
+  else begin
+    let now = Unix.gettimeofday () in
+    let path = lease_path t digest in
+    let body = lease_body ~worker ~deadline:(now +. ttl) in
+    let try_create () =
+      if create_exclusive path body then begin
+        if Tm.is_on () then Tm.Counter.incr m_claims;
+        Claimed
+      end
+      else begin
+        if Tm.is_on () then Tm.Counter.incr m_conflicts;
+        Busy
+      end
+    in
+    if not (Sys.file_exists path) then try_create ()
+    else if not (lease_expired path ~now) then begin
+      if Tm.is_on () then Tm.Counter.incr m_conflicts;
+      Busy
+    end
+    else begin
+      (* Expired: rename it away first. Rename is atomic, so of any
+         number of concurrent reclaimers exactly one succeeds; the
+         losers see ENOENT and move on. *)
+      let grave =
+        Filename.concat t.leases_dir
+          (Printf.sprintf ".%s.%s.%d.reclaim" digest worker (Unix.getpid ()))
+      in
+      match Unix.rename path grave with
+      | () ->
+          (try Unix.unlink grave with Unix.Unix_error _ -> ());
+          if Tm.is_on () then Tm.Counter.incr m_reclaimed;
+          try_create ()
+      | exception Unix.Unix_error _ -> Busy
+    end
+  end
+
+let unlink_quiet path =
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let release t ~digest = unlink_quiet (lease_path t digest)
+
+let complete t ~digest =
+  unlink_quiet (task_path t digest);
+  unlink_quiet (lease_path t digest);
+  if Tm.is_on () then Tm.Counter.incr m_completed
+
+let fail t ~worker ~digest ~message =
+  atomic_write (failed_path t digest)
+    (Printf.sprintf "{\"schema\":1,\"digest\":\"%s\",\"worker\":\"%s\",\"message\":\"%s\"}\n"
+       digest (Json.escape worker) (Json.escape message));
+  unlink_quiet (task_path t digest);
+  unlink_quiet (lease_path t digest);
+  if Tm.is_on () then Tm.Counter.incr m_failed
+
+let failed t =
+  List.filter_map
+    (fun digest ->
+      match read_file (failed_path t digest) with
+      | None -> None
+      | Some body ->
+          let message =
+            match
+              Option.bind (Json.parse body |> Result.to_option) (fun j ->
+                  Option.bind (Json.member "message" j) Json.to_string)
+            with
+            | Some m -> m
+            | None -> "unreadable failure record"
+          in
+          Some (digest, message))
+    (list_dir t.failed_dir ~suffix:".json")

@@ -1,0 +1,68 @@
+(** On-disk task queue for the multi-process sweep service.
+
+    Layout under the queue root:
+
+    {v
+    tasks/<digest>.json    one task spec (a Manifest task object)
+    leases/<digest>.lease  O_EXCL claim file: worker id, pid, deadline
+    failed/<digest>.json   terminal failure record
+    streams/               per-worker telemetry JSONL (by convention)
+    v}
+
+    Claiming is an [O_CREAT|O_EXCL] create of the lease file — the
+    filesystem arbitrates, so exactly one of any number of concurrent
+    claimants wins. Leases carry an absolute wall-clock deadline: an
+    expired lease is reclaimable, so a SIGKILL'd worker costs one
+    lease timeout, not the sweep. Reclaim renames the expired lease to
+    a private name first (rename is atomic; exactly one reclaimer
+    succeeds, the loser gets ENOENT) and then re-claims through the
+    same O_EXCL path.
+
+    Failure model: leases are a work-avoidance mechanism, not a
+    correctness mechanism. Correctness comes from the content-addressed
+    store — results are published by atomic rename under a key that is
+    a pure function of the config, and the simulator is deterministic,
+    so the rare double-execution around an expired lease wastes time
+    but publishes byte-identical bytes. *)
+
+type t
+
+val create : dir:string -> t
+(** Open (creating directories as needed) the queue rooted at [dir]. *)
+
+val dir : t -> string
+val streams_dir : t -> string
+
+val enqueue : t -> digest:string -> spec:string -> unit
+(** Write [tasks/<digest>.json] atomically (tmp+rename). Idempotent:
+    an existing task file is left in place. *)
+
+val pending : t -> string list
+(** Digests with a task file present, sorted. *)
+
+val read_spec : t -> digest:string -> string option
+
+type claim_outcome =
+  | Claimed
+  | Busy  (** a live (unexpired) lease exists, or we lost the race *)
+  | Gone  (** no task file — already completed or failed *)
+
+val claim : t -> worker:string -> ttl:float -> digest:string -> claim_outcome
+(** Try to lease the task for [ttl] seconds. *)
+
+val release : t -> digest:string -> unit
+(** Drop our lease without completing the task (it becomes immediately
+    claimable again). *)
+
+val complete : t -> digest:string -> unit
+(** Remove the task file and lease after the result was published. *)
+
+val fail : t -> worker:string -> digest:string -> message:string -> unit
+(** Record a terminal failure ([failed/<digest>.json]) and dequeue the
+    task so the sweep can drain. *)
+
+val failed : t -> (string * string) list
+(** [(digest, message)] of terminally failed tasks, sorted. *)
+
+val leased : t -> int
+(** Number of lease files present (live and expired alike). *)

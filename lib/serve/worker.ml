@@ -1,0 +1,132 @@
+(* Lease/execute/publish loop; see the .mli for the contract. *)
+
+module Rc = Ebrc_exp.Result_cache
+module Scenario = Ebrc_exp.Scenario
+module Tm = Ebrc_telemetry.Telemetry
+module Stream = Ebrc_telemetry.Stream
+module Pool = Ebrc_parallel.Pool
+
+let m_ran =
+  Tm.Counter.make ~help:"sweep tasks simulated and published"
+    "worker.tasks_ran"
+
+let m_cached =
+  Tm.Counter.make ~help:"sweep tasks satisfied by the store on lease"
+    "worker.tasks_cached"
+
+let m_failed =
+  Tm.Counter.make ~help:"sweep tasks marked terminally failed"
+    "worker.tasks_failed"
+
+type config = {
+  queue_dir : string;
+  store_dir : string;
+  worker_id : string;
+  ttl : float;
+  retries : int;
+  poll : float;
+  max_tasks : int option;
+  exit_when_drained : bool;
+}
+
+let default ~queue_dir =
+  {
+    queue_dir;
+    store_dir = Filename.concat queue_dir "store";
+    worker_id = Printf.sprintf "w%d" (Unix.getpid ());
+    ttl = 300.0;
+    retries = 1;
+    poll = 0.2;
+    max_tasks = None;
+    exit_when_drained = true;
+  }
+
+type outcome = { ran : int; cached : int; failed : int }
+
+let run cfg =
+  ignore (Rc.gc_tmp cfg.store_dir);
+  let q = Task_queue.create ~dir:cfg.queue_dir in
+  (* domains:1 spawns nothing; the pool only supplies the per-task
+     exception barrier + retry policy of [run_isolated]. *)
+  let pool = Pool.create ~domains:1 () in
+  let ran = ref 0 and cached = ref 0 and failed = ref 0 in
+  let executed () = !ran + !failed in
+  let under_cap () =
+    match cfg.max_tasks with Some n -> executed () < n | None -> true
+  in
+  let mark_failed digest message =
+    Task_queue.fail q ~worker:cfg.worker_id ~digest ~message;
+    Stream.task ~key:digest ~phase:"failed" ();
+    if Tm.is_on () then Tm.Counter.incr m_failed;
+    incr failed
+  in
+  let execute digest scenario_cfg =
+    Stream.task ~key:digest ~phase:"leased" ();
+    match
+      Pool.run_isolated ~retries:cfg.retries pool (fun ~attempt:_ ->
+          Scenario.run scenario_cfg)
+    with
+    | Ok r ->
+        Rc.store_to ~dir:cfg.store_dir scenario_cfg r;
+        Task_queue.complete q ~digest;
+        Stream.task ~key:digest ~phase:"done" ();
+        if Tm.is_on () then Tm.Counter.incr m_ran;
+        incr ran
+    | Error e ->
+        mark_failed digest
+          (Printf.sprintf "%s (after %d attempt(s))"
+             (Printexc.to_string e.Pool.t_exn)
+             e.Pool.t_attempts)
+  in
+  let run_claimed digest =
+    match Task_queue.read_spec q ~digest with
+    | None ->
+        (* Task file vanished between claim and read: someone else
+           completed it; drop our stray lease. *)
+        Task_queue.release q ~digest
+    | Some spec -> (
+        match Manifest.task_of_json spec with
+        | Error msg -> mark_failed digest ("unparsable task spec: " ^ msg)
+        | Ok scenario_cfg ->
+            if Manifest.digest scenario_cfg <> digest then
+              mark_failed digest "task spec does not match its digest"
+            else if Rc.published ~dir:cfg.store_dir scenario_cfg then begin
+              (* Resume path: already in the store — complete without
+                 simulating. *)
+              Task_queue.complete q ~digest;
+              Stream.task ~key:digest ~phase:"done"
+                ~attrs:[ ("cached", "true") ] ();
+              if Tm.is_on () then Tm.Counter.incr m_cached;
+              incr cached
+            end
+            else execute digest scenario_cfg)
+  in
+  let stop = ref false in
+  while not !stop do
+    Stream.wall_tick ();
+    match Task_queue.pending q with
+    | [] ->
+        if cfg.exit_when_drained then stop := true else Unix.sleepf cfg.poll
+    | pending ->
+        let progressed = ref false in
+        List.iter
+          (fun digest ->
+            if under_cap () && not !stop then
+              match
+                Task_queue.claim q ~worker:cfg.worker_id ~ttl:cfg.ttl ~digest
+              with
+              | Busy | Gone -> ()
+              | Claimed ->
+                  progressed := true;
+                  run_claimed digest)
+          pending;
+        if not (under_cap ()) then stop := true
+        else if not !progressed then
+          (* Everything pending is leased by live peers (or their
+             leases have not yet expired): wait and rescan — never
+             exit while task files remain, or a peer's SIGKILL would
+             strand its task. *)
+          Unix.sleepf cfg.poll
+  done;
+  Pool.shutdown pool;
+  { ran = !ran; cached = !cached; failed = !failed }

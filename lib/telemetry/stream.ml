@@ -134,6 +134,25 @@ let figure_event ~id ~phase ?tables () =
     emit (Buffer.contents buf)
   end
 
+(* Task lifecycle records for the sweep-service worker: same shape as
+   figure records (id + phase + wall clock) so `ebrc status` folds
+   them the same way, under their own type tag. *)
+let task ~key ~phase ?(attrs = []) () =
+  if Atomic.get on then begin
+    let buf = Buffer.create 96 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"type\":\"task\",\"id\":\"%s\",\"phase\":\"%s\",\"t_wall\":%s"
+         (esc key) (esc phase)
+         (num (Telemetry.wall_now ())));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (esc k) v))
+      attrs;
+    Buffer.add_char buf '}';
+    emit (Buffer.contents buf)
+  end
+
 let progress_line now =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

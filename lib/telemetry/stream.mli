@@ -68,6 +68,13 @@ val figure_event : id:string -> phase:string -> ?tables:int -> unit -> unit
 (** Append a [figure] lifecycle record; [phase] is ["start"], ["done"]
     or ["failed"]. *)
 
+val task : key:string -> phase:string -> ?attrs:(string * string) list ->
+  unit -> unit
+(** Append a [task] lifecycle record (the sweep-service worker's
+    lease/done/failed transitions), keyed by the task's content
+    digest. [attrs] are pre-rendered JSON values keyed by field
+    name. *)
+
 val wall_tick : unit -> unit
 (** Rate-limited wall-clock progress probe (see module doc). Cheap
     when streaming is off (one atomic load). *)

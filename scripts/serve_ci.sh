@@ -1,0 +1,52 @@
+# End-to-end CI leg for the multi-process sweep service (run via
+# `make serve-e2e`, which builds first). Exercises the contract the
+# docs promise: a fresh 6-task sweep completes with 2 workers, a
+# partial store resumes by recomputing only what is missing (and
+# byte-identically), --workers 0 is a warm resume over a complete
+# store, and a missing manifest exits 2.
+set -eu
+
+EBRC=_build/default/bin/ebrc_cli.exe
+[ -x "$EBRC" ] || { echo "serve_ci: $EBRC not built (run from repo root after dune build)"; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ebrc-serve-ci.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+MANIFEST="$WORK/sweep.json"
+QUEUE="$MANIFEST.queue"
+STORE="$QUEUE/store"
+
+fail() { echo "serve_ci: FAIL: $*"; exit 1; }
+
+store_count() { ls "$STORE" 2>/dev/null | grep -c '\.json$' || true; }
+store_sum() { cat $(ls "$STORE"/*.json | sort) | cksum; }
+
+# 1. Fresh sweep: 6 tasks, 2 workers, must complete with exit 0 and
+#    publish exactly one record per task.
+"$EBRC" manifest "$MANIFEST" --tasks 6 --duration 5 >/dev/null
+"$EBRC" serve "$MANIFEST" --workers 2 --quiet || fail "fresh serve exited $?"
+[ "$(store_count)" = 6 ] || fail "expected 6 store records, got $(store_count)"
+SUM_FULL=$(store_sum)
+
+# 2. Resume over a partial store: delete two records, re-serve. Only
+#    the missing tasks are outstanding; the refilled store must be
+#    byte-identical to the original (content-addressed determinism).
+ls "$STORE"/*.json | head -2 | while read -r f; do rm "$f"; done
+[ "$(store_count)" = 4 ] || fail "partial store should hold 4 records"
+"$EBRC" serve "$MANIFEST" --workers 2 --quiet || fail "partial resume exited $?"
+[ "$(store_count)" = 6 ] || fail "resume did not refill the store"
+[ "$(store_sum)" = "$SUM_FULL" ] || fail "resumed store differs from original bytes"
+
+# 3. Warm resume: everything published, --workers 0 spawns nothing and
+#    still exits 0 immediately.
+"$EBRC" serve "$MANIFEST" --workers 0 --quiet || fail "warm resume exited $?"
+
+# 4. Exit-code contract: a missing manifest is a usage error (2), not
+#    a crash or a silent success.
+set +e
+"$EBRC" serve "$WORK/absent.json" --workers 0 --quiet 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = 2 ] || fail "missing manifest should exit 2, got $RC"
+
+echo "serve_ci: OK (fresh sweep, partial resume byte-identical, warm resume, exit codes)"

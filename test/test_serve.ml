@@ -1,0 +1,421 @@
+(* Tests for the multi-process sweep service: manifest codec
+   exactness, lease-claim atomicity (including cross-process
+   contention via fork — safe here because these tests spawn no
+   domains before forking), crashed-worker recovery, store tmp GC, and
+   the serve planner's resume semantics. *)
+
+module Manifest = Ebrc_serve.Manifest
+module Task_queue = Ebrc_serve.Task_queue
+module Worker = Ebrc_serve.Worker
+module Serve = Ebrc_serve.Serve
+module Scenario = Ebrc.Scenario
+module Rc = Ebrc.Result_cache
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun name ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ebrc-test-serve-%d-%s-%d" (Unix.getpid ()) name
+           !counter)
+    in
+    let rec rm_rf p =
+      match Unix.lstat p with
+      | exception Unix.Unix_error _ -> ()
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+          Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+          (try Unix.rmdir p with Unix.Unix_error _ -> ())
+      | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+
+(* A config exercising every optional arm of the codec: manual RED,
+   AIMD formula, full fault config, fluid background. *)
+let ornate_config =
+  {
+    Scenario.default_config with
+    seed = 7;
+    bottleneck_bps = 1.25e6;
+    queue =
+      Scenario.Red_manual
+        {
+          capacity = 60;
+          params =
+            {
+              Ebrc.Queue_discipline.min_th = 5.0;
+              max_th = 15.0;
+              max_p = 0.1;
+              wq = 0.002;
+              byte_mode = false;
+              mean_pktsize = 1000;
+              gentle = true;
+            };
+        };
+    tfrc_formula_kind = Ebrc.Formula.Aimd { alpha = 0.31; beta = 0.125 };
+    reverse_jitter = 0.2;
+    duration = 11.5;
+    warmup = 2.3;
+    faults =
+      Some
+        {
+          Ebrc.Fault.flaps =
+            Some
+              {
+                Ebrc.Fault.first_down = 3.0;
+                down_mean = 0.5;
+                up_mean = 4.0;
+                flap_jitter = 0.1;
+                park = false;
+              };
+          blackouts =
+            [ { Ebrc.Fault.start = 1.0; length = 0.2; period = 5.0 } ];
+          spike =
+            Some ({ Ebrc.Fault.start = 2.0; length = 0.5; period = 0.0 }, 0.05);
+          reorder =
+            Some
+              ({ Ebrc.Fault.start = 0.0; length = 1.0; period = 3.0 }, 0.2, 0.01);
+          duplicate =
+            Some ({ Ebrc.Fault.start = 4.0; length = 0.3; period = 0.0 }, 0.5);
+        };
+    background = Some (Scenario.default_background ~flows:1000);
+  }
+
+(* ----------------------------- manifest --------------------------- *)
+
+let test_manifest_roundtrip () =
+  let m = Manifest.demo ~tasks:3 () in
+  let json = Manifest.to_json m in
+  match Manifest.of_json json with
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+  | Ok m' ->
+      Alcotest.(check string) "re-save is byte-identical" json
+        (Manifest.to_json m');
+      Alcotest.(check (list string))
+        "digests survive the round-trip"
+        (List.map Manifest.digest m.Manifest.tasks)
+        (List.map Manifest.digest m'.Manifest.tasks)
+
+let test_manifest_ornate_task () =
+  let json = Manifest.task_to_json ornate_config in
+  match Manifest.task_of_json json with
+  | Error e -> Alcotest.failf "task_of_json failed: %s" e
+  | Ok c ->
+      Alcotest.(check bool) "config round-trips exactly" true
+        (c = ornate_config);
+      Alcotest.(check string) "digest is stable"
+        (Manifest.digest ornate_config)
+        (Manifest.digest c)
+
+let test_manifest_file_io () =
+  let dir = tmp_dir "manifest" in
+  let path = Filename.concat dir "m.json" in
+  let m = Manifest.demo ~tasks:2 ~seed0:9 ~duration:3.0 () in
+  Manifest.save ~path m;
+  (match Manifest.load ~path with
+  | Ok m' ->
+      Alcotest.(check string) "load/save byte-identical" (Manifest.to_json m)
+        (Manifest.to_json m')
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  match Manifest.load ~path:(Filename.concat dir "absent.json") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing manifest succeeded"
+
+let test_manifest_rejects_junk () =
+  (match Manifest.of_json "{\"schema\":1,\"codec\":\"nope\",\"tasks\":[]}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong codec accepted");
+  match Manifest.task_of_json "{\"seed\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated task accepted"
+
+(* ---------------------------- task queue -------------------------- *)
+
+let claim_tt =
+  Alcotest.testable
+    (fun ppf -> function
+      | Task_queue.Claimed -> Format.fprintf ppf "Claimed"
+      | Task_queue.Busy -> Format.fprintf ppf "Busy"
+      | Task_queue.Gone -> Format.fprintf ppf "Gone")
+    ( = )
+
+let test_queue_basics () =
+  let q = Task_queue.create ~dir:(tmp_dir "queue") in
+  Alcotest.(check (list string)) "empty" [] (Task_queue.pending q);
+  Task_queue.enqueue q ~digest:"bbb" ~spec:"{\"b\":1}";
+  Task_queue.enqueue q ~digest:"aaa" ~spec:"{\"a\":1}";
+  Task_queue.enqueue q ~digest:"aaa" ~spec:"{\"overwrite\":true}";
+  Alcotest.(check (list string)) "sorted" [ "aaa"; "bbb" ]
+    (Task_queue.pending q);
+  Alcotest.(check (option string)) "enqueue is idempotent"
+    (Some "{\"a\":1}\n")
+    (Task_queue.read_spec q ~digest:"aaa");
+  Alcotest.check claim_tt "first claim wins" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"w1" ~ttl:60.0 ~digest:"aaa");
+  Alcotest.check claim_tt "second claimant busy" Task_queue.Busy
+    (Task_queue.claim q ~worker:"w2" ~ttl:60.0 ~digest:"aaa");
+  Alcotest.(check int) "one lease" 1 (Task_queue.leased q);
+  Task_queue.release q ~digest:"aaa";
+  Alcotest.check claim_tt "claimable after release" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"w2" ~ttl:60.0 ~digest:"aaa");
+  Task_queue.complete q ~digest:"aaa";
+  Alcotest.(check (list string)) "completed leaves the queue" [ "bbb" ]
+    (Task_queue.pending q);
+  Alcotest.check claim_tt "completed task is gone" Task_queue.Gone
+    (Task_queue.claim q ~worker:"w2" ~ttl:60.0 ~digest:"aaa");
+  Task_queue.fail q ~worker:"w2" ~digest:"bbb" ~message:"boom \"quoted\"";
+  Alcotest.(check (list string)) "failed leaves the queue" []
+    (Task_queue.pending q);
+  match Task_queue.failed q with
+  | [ (d, m) ] ->
+      Alcotest.(check string) "failed digest" "bbb" d;
+      Alcotest.(check string) "failure message survives escaping"
+        "boom \"quoted\"" m
+  | l -> Alcotest.failf "expected 1 failure record, got %d" (List.length l)
+
+let test_queue_expired_lease_reclaim () =
+  let q = Task_queue.create ~dir:(tmp_dir "reclaim") in
+  Task_queue.enqueue q ~digest:"t1" ~spec:"{}";
+  (* Negative ttl: the lease is born expired. *)
+  Alcotest.check claim_tt "claim with past deadline" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"dead" ~ttl:(-1.0) ~digest:"t1");
+  Alcotest.check claim_tt "expired lease is reclaimed" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"alive" ~ttl:60.0 ~digest:"t1");
+  Alcotest.check claim_tt "fresh lease holds" Task_queue.Busy
+    (Task_queue.claim q ~worker:"third" ~ttl:60.0 ~digest:"t1")
+
+let test_queue_torn_lease () =
+  let dir = tmp_dir "torn" in
+  let q = Task_queue.create ~dir in
+  Task_queue.enqueue q ~digest:"t1" ~spec:"{}";
+  (* A claimant killed between O_EXCL create and write leaves an empty
+     lease file. Within the grace period it still holds the lease;
+     once aged past it, it reads as expired. *)
+  let lease = Filename.concat (Filename.concat dir "leases") "t1.lease" in
+  let oc = open_out lease in
+  close_out oc;
+  Alcotest.check claim_tt "young torn lease holds" Task_queue.Busy
+    (Task_queue.claim q ~worker:"w" ~ttl:60.0 ~digest:"t1");
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes lease old old;
+  Alcotest.check claim_tt "aged torn lease is reclaimed" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"w" ~ttl:60.0 ~digest:"t1")
+
+(* Cross-process contention: fork claimants racing for one digest;
+   the O_EXCL protocol must elect exactly one winner. Forked before
+   any domain is spawned (this binary runs no pool work first). *)
+let test_queue_fork_contention () =
+  let dir = tmp_dir "contention" in
+  let q = Task_queue.create ~dir in
+  Task_queue.enqueue q ~digest:"prize" ~spec:"{}";
+  let n = 8 in
+  let pids =
+    List.init n (fun i ->
+        match Unix.fork () with
+        | 0 ->
+            let q = Task_queue.create ~dir in
+            let outcome =
+              Task_queue.claim q
+                ~worker:(Printf.sprintf "c%d" i)
+                ~ttl:60.0 ~digest:"prize"
+            in
+            Unix._exit (if outcome = Task_queue.Claimed then 0 else 1)
+        | pid -> pid)
+  in
+  let winners =
+    List.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> acc + 1
+        | _, Unix.WEXITED 1 -> acc
+        | _ -> Alcotest.fail "claimant child died abnormally")
+      0 pids
+  in
+  Alcotest.(check int) "exactly one winner" 1 winners;
+  Alcotest.(check int) "exactly one lease file" 1 (Task_queue.leased q)
+
+(* ------------------------------ gc_tmp ---------------------------- *)
+
+let test_gc_tmp () =
+  let dir = tmp_dir "gc" in
+  let touch name =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc "x";
+    close_out oc
+  in
+  touch ".stale.123.tmp";
+  touch ".fresh.456.tmp";
+  touch "abcdef.json";
+  let old = Unix.gettimeofday () -. 7200.0 in
+  Unix.utimes (Filename.concat dir ".stale.123.tmp") old old;
+  Alcotest.(check int) "one stale tmp reclaimed" 1 (Rc.gc_tmp dir);
+  Alcotest.(check bool) "stale gone" false
+    (Sys.file_exists (Filename.concat dir ".stale.123.tmp"));
+  Alcotest.(check bool) "fresh tmp survives" true
+    (Sys.file_exists (Filename.concat dir ".fresh.456.tmp"));
+  Alcotest.(check bool) "records survive" true
+    (Sys.file_exists (Filename.concat dir "abcdef.json"));
+  Alcotest.(check int) "second sweep finds nothing" 0 (Rc.gc_tmp dir);
+  Alcotest.(check int) "missing dir is safe" 0
+    (Rc.gc_tmp (Filename.concat dir "nope"))
+
+(* --------------------------- worker + serve ----------------------- *)
+
+let demo_manifest = Manifest.demo ~tasks:3 ~duration:3.0 ()
+
+let serial_store_bytes store =
+  Sys.readdir store |> Array.to_list |> List.sort String.compare
+  |> List.filter (fun e -> Filename.check_suffix e ".json")
+  |> List.map (fun e ->
+         let ic = open_in_bin (Filename.concat store e) in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> (e, really_input_string ic (in_channel_length ic))))
+
+let test_worker_drains_queue () =
+  let root = tmp_dir "worker" in
+  let qdir = Filename.concat root "queue" in
+  let store = Filename.concat root "store" in
+  let q = Task_queue.create ~dir:qdir in
+  let outstanding = Serve.plan ~store_dir:store ~queue:q demo_manifest in
+  Alcotest.(check int) "all tasks outstanding" 3 outstanding;
+  let o = Worker.run { (Worker.default ~queue_dir:qdir) with store_dir = store } in
+  Alcotest.(check int) "ran all" 3 o.Worker.ran;
+  Alcotest.(check int) "nothing cached" 0 o.Worker.cached;
+  Alcotest.(check int) "nothing failed" 0 o.Worker.failed;
+  Alcotest.(check (list string)) "queue drained" [] (Task_queue.pending q);
+  (* The published store must be byte-identical to a serial in-process
+     run of the same configs. *)
+  let serial = Filename.concat root "serial" in
+  Unix.mkdir serial 0o755;
+  List.iter
+    (fun cfg -> Rc.store_to ~dir:serial cfg (Scenario.run cfg))
+    demo_manifest.Manifest.tasks;
+  Alcotest.(check bool) "store byte-identical to serial run" true
+    (serial_store_bytes store = serial_store_bytes serial);
+  (* Resume: a second plan finds nothing to do; a second worker run
+     over a re-primed queue completes by store lookup alone. *)
+  Alcotest.(check int) "warm plan enqueues nothing" 0
+    (Serve.plan ~store_dir:store ~queue:q demo_manifest);
+  List.iter
+    (fun cfg ->
+      Task_queue.enqueue q ~digest:(Manifest.digest cfg)
+        ~spec:(Manifest.task_to_json cfg))
+    demo_manifest.Manifest.tasks;
+  let o2 =
+    Worker.run { (Worker.default ~queue_dir:qdir) with store_dir = store }
+  in
+  Alcotest.(check int) "resume simulates nothing" 0 o2.Worker.ran;
+  Alcotest.(check int) "resume completes from the store" 3 o2.Worker.cached
+
+(* A worker SIGKILL'd mid-task strands a lease; after its ttl a second
+   worker must reclaim and finish, ending with the complete result
+   set, byte-identical to a serial run. *)
+let test_worker_killed_recovery () =
+  let root = tmp_dir "killed" in
+  let qdir = Filename.concat root "queue" in
+  let store = Filename.concat root "store" in
+  let q = Task_queue.create ~dir:qdir in
+  ignore (Serve.plan ~store_dir:store ~queue:q demo_manifest);
+  (* Child claims the first task with a short ttl and dies without
+     completing it — the claim-then-SIGKILL window. *)
+  let victim = List.hd (Task_queue.pending q) in
+  (match Unix.fork () with
+  | 0 ->
+      let q = Task_queue.create ~dir:qdir in
+      ignore (Task_queue.claim q ~worker:"victim" ~ttl:0.3 ~digest:victim);
+      Unix._exit 0
+  | pid -> ignore (Unix.waitpid [] pid));
+  Alcotest.(check int) "stranded lease present" 1 (Task_queue.leased q);
+  let o =
+    Worker.run
+      { (Worker.default ~queue_dir:qdir) with store_dir = store; poll = 0.05 }
+  in
+  Alcotest.(check int) "survivor runs every task" 3 o.Worker.ran;
+  Alcotest.(check int) "no failures" 0 o.Worker.failed;
+  Alcotest.(check (list string)) "queue drained" [] (Task_queue.pending q);
+  let serial = Filename.concat root "serial" in
+  Unix.mkdir serial 0o755;
+  List.iter
+    (fun cfg -> Rc.store_to ~dir:serial cfg (Scenario.run cfg))
+    demo_manifest.Manifest.tasks;
+  Alcotest.(check bool) "recovered store byte-identical to serial" true
+    (serial_store_bytes store = serial_store_bytes serial)
+
+let test_worker_records_bad_spec () =
+  let root = tmp_dir "badspec" in
+  let qdir = Filename.concat root "queue" in
+  let q = Task_queue.create ~dir:qdir in
+  Task_queue.enqueue q ~digest:"nonsense" ~spec:"{\"not\":\"a config\"}";
+  let o = Worker.run (Worker.default ~queue_dir:qdir) in
+  Alcotest.(check int) "bad spec is a failure" 1 o.Worker.failed;
+  Alcotest.(check (list string)) "queue still drains" []
+    (Task_queue.pending q);
+  match Task_queue.failed q with
+  | [ (d, _) ] -> Alcotest.(check string) "failure recorded" "nonsense" d
+  | l -> Alcotest.failf "expected 1 failure, got %d" (List.length l)
+
+let test_serve_progress_and_exit_codes () =
+  let root = tmp_dir "serve" in
+  let path = Filename.concat root "m.json" in
+  Manifest.save ~path demo_manifest;
+  let d = Serve.default ~manifest_path:path in
+  let cfg = { d with Serve.workers = 0; quiet = true } in
+  (* Prime-only pass: queue primed, nothing published yet. *)
+  Alcotest.(check int) "prime-only exits 0" 0 (Serve.run cfg);
+  let q = Task_queue.create ~dir:cfg.Serve.queue_dir in
+  let p = Serve.progress ~store_dir:cfg.Serve.store_dir ~queue:q demo_manifest in
+  Alcotest.(check int) "total" 3 p.Serve.total;
+  Alcotest.(check int) "queued" 3 p.Serve.queued;
+  Alcotest.(check int) "published" 0 p.Serve.published;
+  (* Drain in-process, then the same serve invocation is a warm resume. *)
+  ignore
+    (Worker.run
+       {
+         (Worker.default ~queue_dir:cfg.Serve.queue_dir) with
+         store_dir = cfg.Serve.store_dir;
+       });
+  Alcotest.(check int) "warm resume exits 0" 0 (Serve.run cfg);
+  let p = Serve.progress ~store_dir:cfg.Serve.store_dir ~queue:q demo_manifest in
+  Alcotest.(check int) "all published" 3 p.Serve.published;
+  Alcotest.(check int) "queue empty" 0 p.Serve.queued;
+  Alcotest.(check int) "unreadable manifest exits 2" 2
+    (Serve.run
+       { cfg with Serve.manifest_path = Filename.concat root "absent.json" })
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "manifest",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "ornate task" `Quick test_manifest_ornate_task;
+          Alcotest.test_case "file io" `Quick test_manifest_file_io;
+          Alcotest.test_case "rejects junk" `Quick test_manifest_rejects_junk;
+        ] );
+      ( "task_queue",
+        [
+          Alcotest.test_case "basics" `Quick test_queue_basics;
+          Alcotest.test_case "expired lease reclaim" `Quick
+            test_queue_expired_lease_reclaim;
+          Alcotest.test_case "torn lease" `Quick test_queue_torn_lease;
+          Alcotest.test_case "fork contention" `Quick
+            test_queue_fork_contention;
+        ] );
+      ("gc", [ Alcotest.test_case "store tmp gc" `Quick test_gc_tmp ]);
+      ( "worker",
+        [
+          Alcotest.test_case "drains queue" `Quick test_worker_drains_queue;
+          Alcotest.test_case "killed-worker recovery" `Quick
+            test_worker_killed_recovery;
+          Alcotest.test_case "bad spec" `Quick test_worker_records_bad_spec;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "progress and exit codes" `Quick
+            test_serve_progress_and_exit_codes;
+        ] );
+    ]

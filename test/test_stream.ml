@@ -254,6 +254,57 @@ let test_status_view () =
       | _ -> Alcotest.fail "render_json finished flag wrong")
   | Error e -> Alcotest.failf "render_json not valid JSON: %s" e
 
+(* Task lifecycle records (the sweep-service worker's stream) and the
+   multi-worker merge the serve watcher builds on. *)
+let test_status_tasks_and_merge () =
+  let module S = Ebrc_obs.Status in
+  let worker n lines =
+    S.of_lines
+      ([
+         Printf.sprintf
+           "{\"type\":\"manifest\",\"cmd\":\"worker\",\"worker\":\"w%d\"}" n;
+       ]
+      @ lines)
+  in
+  let v1 =
+    worker 1
+      [
+        "{\"type\":\"task\",\"id\":\"aaa\",\"phase\":\"leased\",\"t_wall\":1.0}";
+        "{\"type\":\"task\",\"id\":\"aaa\",\"phase\":\"done\",\"t_wall\":3.5}";
+        "{\"type\":\"progress\",\"t_wall\":3.5,\"counters\":{\"queue.claims\":1}}";
+        "{\"type\":\"stream_end\"}";
+      ]
+  in
+  let v2 =
+    worker 2
+      [
+        "{\"type\":\"task\",\"id\":\"bbb\",\"phase\":\"leased\",\"t_wall\":1.2}";
+        "{\"type\":\"task\",\"id\":\"bbb\",\"phase\":\"failed\",\"t_wall\":2.0}";
+        "{\"type\":\"progress\",\"t_wall\":4.0,\"counters\":{\"queue.claims\":2,\"queue.failed\":1}}";
+      ]
+  in
+  (match v1.S.tasks with
+  | [ t ] ->
+      Alcotest.(check string) "task id" "aaa" t.S.fig_id;
+      Alcotest.(check string) "latest phase" "done" t.S.phase;
+      Alcotest.(check bool) "t_start anchors at the lease" true
+        (t.S.t_start = 1.0 && t.S.t_last = 3.5)
+  | ts -> Alcotest.failf "expected 1 task row, got %d" (List.length ts));
+  let m = S.merge [ v1; v2 ] in
+  Alcotest.(check int) "rows concatenate" 2 (List.length m.S.tasks);
+  Alcotest.(check (option int)) "counters sum by key" (Some 3)
+    (List.assoc_opt "queue.claims" m.S.counters);
+  Alcotest.(check (option int)) "singleton counters survive" (Some 1)
+    (List.assoc_opt "queue.failed" m.S.counters);
+  Alcotest.(check bool) "fleet unfinished while any member is" false
+    m.S.finished;
+  Alcotest.(check bool) "t_progress takes the max" true
+    (m.S.t_progress = 4.0);
+  let m_done = S.merge [ v1; { v2 with S.finished = true } ] in
+  Alcotest.(check bool) "fleet finished when all are" true m_done.S.finished;
+  Alcotest.(check bool) "merge [] is empty and unfinished" false
+    (S.merge []).S.finished
+
 let () =
   Alcotest.run "stream"
     [
@@ -273,5 +324,9 @@ let () =
             test_flight_dedups_same_exn;
         ] );
       ( "status",
-        [ Alcotest.test_case "view over a real stream" `Quick test_status_view ] );
+        [
+          Alcotest.test_case "view over a real stream" `Quick test_status_view;
+          Alcotest.test_case "task rows and fleet merge" `Quick
+            test_status_tasks_and_merge;
+        ] );
     ]
