@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all ci build test test-ablations serve-e2e serve-demo bench bench-quick bench-full bench-scale bench-compare bench-trend figures validate report examples telemetry-demo status-demo clean
+.PHONY: all ci build test test-ablations serve-e2e chaos-e2e serve-demo bench bench-quick bench-full bench-scale bench-compare bench-trend figures validate report examples telemetry-demo status-demo clean
 
 all: build
 
@@ -9,7 +9,7 @@ all: build
 # against the previous one (fails on hot-path regressions > 20% or
 # fixed-seed telemetry drift; set EBRC_COMPARE_WARN_ONLY=1 when a
 # simulator change makes drift intentional).
-ci: build test test-ablations serve-e2e bench-quick bench-compare
+ci: build test test-ablations serve-e2e chaos-e2e bench-quick bench-compare
 
 build:
 	dune build @all
@@ -36,6 +36,13 @@ test-ablations:
 # (0 = all published, 2 = bad manifest).
 serve-e2e: build
 	sh scripts/serve_ci.sh
+
+# Chaos soak end to end: serve a manifest under injected I/O faults
+# and random worker SIGKILLs, corrupt and scrub the store, resume
+# fault-free, and assert the healed store is byte-identical to a
+# fault-free reference run.
+chaos-e2e: build
+	sh scripts/chaos_ci.sh
 
 # The sweep service end to end, human-sized: write a demo manifest,
 # serve it with 2 workers (live fleet progress), then re-serve to show

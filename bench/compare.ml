@@ -480,9 +480,46 @@ let () =
             | _ -> false)
         | None -> false
       in
+      (* Chaos soak: a sweep served under injected I/O faults and
+         random worker kills, scrubbed and resumed fault-free, must
+         end with a store byte-identical to the fault-free reference
+         run. Disagreement means chaos leaked into results — fatal.
+         [store_identical] is null when the soak was skipped (no CLI
+         binary next to the bench), and absent in pre-chaos records. *)
+      let chaos_broken =
+        match member "chaos_soak" new_json with
+        | Some cs -> (
+            (match
+               ( member "soak_seconds" cs,
+                 member "soak_exit" cs,
+                 member "scrub_quarantined" cs )
+             with
+            | Some (Num soak), Some (Num code), Some (Num quarantined) ->
+                Printf.printf
+                  "  chaos soak: %.1f s under faults + kills (exit %.0f), \
+                   %.0f record(s) quarantined by scrub\n"
+                  soak code quarantined
+            | _ -> ());
+            match member "store_identical" cs with
+            | Some (Bool true) ->
+                Printf.printf
+                  "  chaos soak: resumed store byte-identical to the \
+                   fault-free run\n\n";
+                false
+            | Some (Bool false) ->
+                Printf.printf
+                  "  chaos soak: FAIL — store after soak + scrub + resume \
+                   is NOT byte-identical to the fault-free run\n\n";
+                true
+            | _ ->
+                Printf.printf "  chaos soak: skipped\n\n";
+                false)
+        | None -> false
+      in
       let failed = ref false in
       if faults_broken then failed := true;
       if service_broken then failed := true;
+      if chaos_broken then failed := true;
       if stream_broken then failed := true;
       if wheel_broken then failed := true;
       if flows_broken then failed := true;

@@ -874,6 +874,24 @@ let bench_trend_cmd =
 
 (* --- manifest / serve / worker: the multi-process sweep service --- *)
 
+(* Shared by serve / worker / scrub: arm the deterministic I/O fault
+   shim (equivalent to EBRC_CHAOS=<seed>, and overriding it). *)
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Arm the deterministic chaos layer: injected EIO/ENOSPC, torn \
+           writes, lost fsync and lease clock skew on every queue and \
+           store write, scheduled from a PRNG stream under $(docv) so \
+           the run is replayable. Equivalent to EBRC_CHAOS=$(docv).")
+
+let apply_chaos seed =
+  match seed with
+  | None -> ()
+  | Some s -> Ebrc_chaos.Io_fault.set_seed (Some s)
+
 let manifest_cmd =
   let path =
     Arg.(
@@ -965,10 +983,40 @@ let serve_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress the periodic progress line.")
   in
-  let run manifest_path queue store workers ttl retries quiet =
+  let watchdog =
+    Arg.(
+      value & opt float 120.0
+      & info [ "watchdog" ] ~docv:"S"
+          ~doc:
+            "Stall detector: SIGKILL a worker whose telemetry stream \
+             has not grown for $(docv) seconds and reclaim its leases \
+             (0 disables).")
+  in
+  let max_strikes =
+    Arg.(
+      value & opt int 3
+      & info [ "max-strikes" ] ~docv:"N"
+          ~doc:
+            "Crash-loop circuit breaker: poison a task once $(docv) \
+             workers died while holding its lease.")
+  in
+  let chaos_kill =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill" ] ~docv:"SEED"
+          ~doc:
+            "Arm the chaos monkey: SIGKILL random live workers on a \
+             deterministic schedule drawn under $(docv). For chaos \
+             soaks.")
+  in
+  let run manifest_path queue store workers ttl retries quiet watchdog
+      max_strikes chaos_kill chaos =
     if workers < 0 then `Error (false, "workers must be >= 0")
     else if ttl <= 0.0 then `Error (false, "ttl must be > 0")
+    else if max_strikes < 1 then `Error (false, "max-strikes must be >= 1")
     else begin
+      apply_chaos chaos;
       let d = Ebrc_serve.Serve.default ~manifest_path in
       let queue_dir = Option.value ~default:d.Ebrc_serve.Serve.queue_dir queue in
       let cfg =
@@ -980,6 +1028,9 @@ let serve_cmd =
           workers;
           ttl;
           retries;
+          watchdog;
+          max_strikes;
+          chaos_kill;
           quiet;
         }
       in
@@ -991,12 +1042,13 @@ let serve_cmd =
        ~doc:
          "Run a sweep manifest through the multi-process experiment \
           service: enqueue every task not already in the result store, \
-          spawn workers, and watch until the sweep drains. Resumable: \
-          re-serving skips published results.")
+          spawn and supervise workers (heartbeat stall detection, \
+          backoff restarts, crash-loop poisoning), and watch until the \
+          sweep drains. Resumable: re-serving skips published results.")
     Term.(
       ret
         (const run $ manifest_path $ queue $ store $ workers $ ttl $ retries
-       $ quiet))
+       $ quiet $ watchdog $ max_strikes $ chaos_kill $ chaos_arg))
 
 let worker_cmd =
   let queue =
@@ -1054,14 +1106,15 @@ let worker_cmd =
             "Keep polling for new tasks instead of exiting once the \
              queue drains.")
   in
-  let run queue store id ttl retries poll max_tasks follow no_wheel no_hybrid
-      budgets telem obs =
+  let run queue store id ttl retries poll max_tasks follow chaos no_wheel
+      no_hybrid budgets telem obs =
     if ttl <= 0.0 then `Error (false, "ttl must be > 0")
     else if poll <= 0.0 then `Error (false, "poll must be > 0")
     else begin
       apply_wheel no_wheel;
       apply_hybrid no_hybrid;
       apply_budgets budgets;
+      apply_chaos chaos;
       let d = Ebrc_serve.Worker.default ~queue_dir:queue in
       let cfg =
         {
@@ -1103,8 +1156,53 @@ let worker_cmd =
     Term.(
       ret
         (const run $ queue $ store $ id $ ttl $ retries $ poll $ max_tasks
-       $ follow $ no_wheel_arg $ no_hybrid_arg $ budget_args
+       $ follow $ chaos_arg $ no_wheel_arg $ no_hybrid_arg $ budget_args
        $ telemetry_args $ obs_args))
+
+let scrub_cmd =
+  let store =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE"
+          ~doc:"Content-addressed result store directory to verify.")
+  in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:
+            "Where corrupt records are moved (default: \
+             $(i,STORE)/quarantine). Nothing is ever deleted.")
+  in
+  let run store quarantine chaos =
+    apply_chaos chaos;
+    if not (Sys.file_exists store) then
+      `Error (false, Printf.sprintf "no such store: %s" store)
+    else begin
+      let r = Ebrc.Result_cache.scrub ?quarantine ~dir:store () in
+      List.iter
+        (fun digest ->
+          Printf.printf "scrub: quarantined %s -> %s\n" digest
+            r.Ebrc.Result_cache.scrub_dir)
+        r.Ebrc.Result_cache.scrub_quarantined;
+      Printf.printf "scrub: %d record(s) checked, %d ok, %d quarantined\n"
+        r.Ebrc.Result_cache.scrub_checked r.Ebrc.Result_cache.scrub_ok
+        (List.length r.Ebrc.Result_cache.scrub_quarantined);
+      if r.Ebrc.Result_cache.scrub_quarantined <> [] then exit 1;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify every record in a sweep result store against its \
+          content digest and schema; corrupt or truncated records are \
+          moved to quarantine/ (never deleted) so re-serving the \
+          manifest recomputes exactly the damaged digests. Exit 1 when \
+          anything was quarantined.")
+    Term.(ret (const run $ store $ quarantine $ chaos_arg))
 
 let main =
   let doc =
@@ -1115,6 +1213,6 @@ let main =
     (Cmd.info "ebrc" ~version:Ebrc.version ~doc)
     [ figure_cmd; list_cmd; quickstart_cmd; breakdown_cmd; convexity_cmd;
       report_cmd; design_cmd; validate_cmd; status_cmd; bench_trend_cmd;
-      manifest_cmd; serve_cmd; worker_cmd ]
+      manifest_cmd; serve_cmd; worker_cmd; scrub_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,188 @@
+(* Seed-driven I/O fault injection; see the .mli for the fault classes
+   and the zero-overhead-when-off contract. *)
+
+module Tm = Ebrc_telemetry.Telemetry
+module Prng = Ebrc_rng.Prng
+
+let m_eio = Tm.Counter.make ~help:"chaos: injected EIO faults" "chaos.eio"
+
+let m_enospc =
+  Tm.Counter.make ~help:"chaos: injected ENOSPC faults" "chaos.enospc"
+
+let m_torn =
+  Tm.Counter.make ~help:"chaos: injected torn writes" "chaos.torn_writes"
+
+let m_fsync_lost =
+  Tm.Counter.make ~help:"chaos: fsync barriers silently lost"
+    "chaos.fsync_lost"
+
+let m_skews =
+  Tm.Counter.make ~help:"chaos: skewed clock readings" "chaos.clock_skews"
+
+type stats = {
+  eio : int;
+  enospc : int;
+  torn_writes : int;
+  fsync_lost : int;
+  clock_skews : int;
+}
+
+(* Per-fault-class probabilities, per guarded operation. Low enough
+   that a bounded retry loop converges almost surely, high enough that
+   a short soak exercises every class. *)
+let p_open_eio = 0.03
+let p_open_enospc = 0.03
+let p_write_eio = 0.03
+let p_write_torn = 0.06
+let p_rename_eio = 0.04
+let p_fsync_lost = 0.25
+let p_skew = 0.08
+let skew_magnitude = 30.0
+
+let lock = Mutex.create ()
+
+(* Under [lock] (except the armed/disarmed check, which is a single
+   ref load on the hot path). *)
+let rng : Prng.t option ref = ref None
+let seed_ref : int option ref = ref None
+let s_eio = ref 0
+let s_enospc = ref 0
+let s_torn = ref 0
+let s_fsync_lost = ref 0
+let s_skews = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_seed s =
+  locked (fun () ->
+      seed_ref := s;
+      rng := Option.map (fun root -> Prng.stream ~root 0) s;
+      s_eio := 0;
+      s_enospc := 0;
+      s_torn := 0;
+      s_fsync_lost := 0;
+      s_skews := 0)
+
+let seed () = locked (fun () -> !seed_ref)
+let enabled () = !rng <> None
+
+let stats () =
+  locked (fun () ->
+      {
+        eio = !s_eio;
+        enospc = !s_enospc;
+        torn_writes = !s_torn;
+        fsync_lost = !s_fsync_lost;
+        clock_skews = !s_skews;
+      })
+
+let () =
+  match Sys.getenv_opt "EBRC_CHAOS" with
+  | None | Some "" | Some "0" -> ()
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some s -> set_seed (Some s)
+      | None -> ())
+
+let count counter cell =
+  incr cell;
+  if Tm.is_on () then Tm.Counter.incr counter
+
+let injected what path =
+  Sys_error (Printf.sprintf "%s: chaos injected %s" path what)
+
+let guard_open path =
+  match !rng with
+  | None -> ()
+  | Some g ->
+      locked (fun () ->
+          let u = Prng.float_unit g in
+          if u < p_open_eio then begin
+            count m_eio s_eio;
+            raise (injected "EIO on open" path)
+          end
+          else if u < p_open_eio +. p_open_enospc then begin
+            count m_enospc s_enospc;
+            raise (injected "ENOSPC on open" path)
+          end)
+
+let guard_rename path =
+  match !rng with
+  | None -> ()
+  | Some g ->
+      locked (fun () ->
+          if Prng.float_unit g < p_rename_eio then begin
+            count m_eio s_eio;
+            raise (injected "EIO on rename" path)
+          end)
+
+let write oc s =
+  match !rng with
+  | None -> output_string oc s
+  | Some g -> (
+      let fault =
+        locked (fun () ->
+            let u = Prng.float_unit g in
+            if u < p_write_eio then begin
+              count m_eio s_eio;
+              `Eio
+            end
+            else if u < p_write_eio +. p_write_torn && String.length s > 1
+            then begin
+              count m_torn s_torn;
+              `Torn (1 + Prng.int g (String.length s - 1))
+            end
+            else `None)
+      in
+      match fault with
+      | `None -> output_string oc s
+      | `Eio -> raise (injected "EIO on write" "<channel>")
+      | `Torn n ->
+          (* The prefix really lands (flushed) before the failure, so a
+             half-written tmp/record is observable — the case the
+             scrubber and the torn-lease grace exist for. *)
+          output_string oc (String.sub s 0 n);
+          flush oc;
+          raise (injected "torn write" "<channel>"))
+
+let maim s =
+  match !rng with
+  | None -> s
+  | Some g ->
+      locked (fun () ->
+          if Prng.float_unit g < p_write_torn && String.length s > 1 then begin
+            count m_torn s_torn;
+            String.sub s 0 (1 + Prng.int g (String.length s - 1))
+          end
+          else s)
+
+let fsync oc =
+  match !rng with
+  | None -> ()
+  | Some g ->
+      flush oc;
+      let lost =
+        locked (fun () ->
+            if Prng.float_unit g < p_fsync_lost then begin
+              count m_fsync_lost s_fsync_lost;
+              true
+            end
+            else false)
+      in
+      if not lost then
+        try Unix.fsync (Unix.descr_of_out_channel oc)
+        with Unix.Unix_error _ -> ()
+
+let now () =
+  let t = Unix.gettimeofday () in
+  match !rng with
+  | None -> t
+  | Some g ->
+      locked (fun () ->
+          if Prng.float_unit g < p_skew then begin
+            count m_skews s_skews;
+            t +. (((Prng.float_unit g *. 2.0) -. 1.0) *. skew_magnitude)
+          end
+          else t)

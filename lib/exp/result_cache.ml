@@ -16,6 +16,7 @@
    results round-trip bit-exactly, including nan and infinity. *)
 
 module Tm = Ebrc_telemetry.Telemetry
+module Chaos = Ebrc_chaos.Io_fault
 
 let m_hits = Tm.Counter.make ~help:"scenario cache memo hits" "cache.hits"
 
@@ -47,6 +48,18 @@ let m_store_errors =
 let m_tmp_reclaimed =
   Tm.Counter.make ~help:"stale cache tmp files reclaimed at startup"
     "cache.tmp_reclaimed"
+
+let m_scrub_checked =
+  Tm.Counter.make ~help:"store records examined by the scrubber"
+    "scrub.checked"
+
+let m_scrub_ok =
+  Tm.Counter.make ~help:"store records that passed scrub verification"
+    "scrub.ok"
+
+let m_scrub_quarantined =
+  Tm.Counter.make ~help:"corrupt store records moved to quarantine"
+    "scrub.quarantined"
 
 (* Bump whenever Scenario.run's observable behaviour changes.
    v5: result gains tfrc_halvings + fault_stats; key gains faults.
@@ -539,11 +552,15 @@ let disk_store ~dir ~key digest r =
       Filename.concat dir
         (Printf.sprintf ".%s.%d.tmp" digest (Unix.getpid ()))
     in
+    Chaos.guard_open tmp;
     let oc = open_out_bin tmp in
     let record = record_string ~key r in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc record);
+      (fun () ->
+        Chaos.write oc record;
+        Chaos.fsync oc);
+    Chaos.guard_rename path;
     Sys.rename tmp path;
     String.length record
   with
@@ -632,6 +649,84 @@ let gc_tmp ?(max_age = 3600.0) dir =
             | exception Unix.Unix_error _ -> n
           else n)
         0 entries
+
+(* ------------------------------ scrub ----------------------------- *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Full verification of a store record against the digest its file name
+   claims: parse, schema, version tag, MD5(key) = digest, and the
+   result payload itself must decode. *)
+let verify_record ~digest (s : string) =
+  match
+    let j = parse_json s in
+    let k = match member "key" j with Str k -> k | _ -> raise Corrupt in
+    if Digest.to_hex (Digest.string k) <> digest then raise Corrupt;
+    ignore (result_of_record ~key:k s)
+  with
+  | () -> true
+  | exception _ -> false
+
+type scrub_report = {
+  scrub_checked : int;
+  scrub_ok : int;
+  scrub_quarantined : string list;
+  scrub_dir : string;
+}
+
+let scrub ?quarantine ~dir () =
+  let qdir =
+    match quarantine with
+    | Some q -> q
+    | None -> Filename.concat dir "quarantine"
+  in
+  let checked = ref 0 and ok = ref 0 and quarantined = ref [] in
+  List.iter
+    (fun digest ->
+      incr checked;
+      if Tm.is_on () then Tm.Counter.incr m_scrub_checked;
+      let path = Filename.concat dir (digest ^ ".json") in
+      let good =
+        match read_file path with
+        | s -> verify_record ~digest s
+        | exception _ -> false
+      in
+      if good then begin
+        incr ok;
+        if Tm.is_on () then Tm.Counter.incr m_scrub_ok
+      end
+      else begin
+        (* Never silently delete: the corpse moves to quarantine under
+           its own name (suffixed if a previous scrub already parked
+           one) so it stays available for postmortem. *)
+        mkdir_p qdir;
+        let dst =
+          let base = Filename.concat qdir (digest ^ ".json") in
+          if not (Sys.file_exists base) then base
+          else
+            let rec pick i =
+              let p = Printf.sprintf "%s.%d" base i in
+              if Sys.file_exists p then pick (i + 1) else p
+            in
+            pick 1
+        in
+        match Unix.rename path dst with
+        | () ->
+            quarantined := digest :: !quarantined;
+            if Tm.is_on () then Tm.Counter.incr m_scrub_quarantined
+        | exception Unix.Unix_error _ -> ()
+      end)
+    (list_store ~dir);
+  {
+    scrub_checked = !checked;
+    scrub_ok = !ok;
+    scrub_quarantined = List.rev !quarantined;
+    scrub_dir = qdir;
+  }
 
 (* ------------------------------ run ------------------------------- *)
 

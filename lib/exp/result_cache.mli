@@ -68,7 +68,28 @@ val gc_tmp : ?max_age:float -> string -> int
     writers, returning how many were reclaimed (also counted on the
     [cache.tmp_reclaimed] telemetry counter). Files younger than
     [max_age] seconds (default 3600) are left alone so a live writer's
-    in-flight record survives. Safe on a missing directory. *)
+    in-flight record survives — sweep callers pass [2 × lease ttl] so
+    the threshold always dominates a worker's longest possible
+    publication window. Safe on a missing directory. *)
+
+type scrub_report = {
+  scrub_checked : int;  (** records examined *)
+  scrub_ok : int;  (** records that verified clean *)
+  scrub_quarantined : string list;
+      (** digests whose records were moved to quarantine, sorted by
+          store order *)
+  scrub_dir : string;  (** the quarantine directory used *)
+}
+
+val scrub : ?quarantine:string -> dir:string -> unit -> scrub_report
+(** Verify every record in the store against the digest its file name
+    claims: JSON parse, schema number, code-version tag, MD5 of the
+    embedded key, and a full result decode. Corrupt or truncated
+    records are moved — never deleted — into [quarantine] (default
+    [dir/quarantine]), so re-serving the manifest recomputes exactly
+    the quarantined digests. Emits [scrub.checked] / [scrub.ok] /
+    [scrub.quarantined] telemetry. Invariant (property-tested):
+    quarantined ∪ surviving = the original record set. *)
 
 type stats = {
   hits : int;        (** in-memory memo hits *)

@@ -1,7 +1,9 @@
-(* Manifest → queue → worker fleet → watch; see the .mli. *)
+(* Manifest → queue → supervised worker fleet → watch; see the .mli. *)
 
 module Rc = Ebrc_exp.Result_cache
 module Status = Ebrc_obs.Status
+module Chaos = Ebrc_chaos.Io_fault
+module Prng = Ebrc_rng.Prng
 
 type config = {
   manifest_path : string;
@@ -11,6 +13,9 @@ type config = {
   ttl : float;
   retries : int;
   poll : float;
+  watchdog : float;
+  max_strikes : int;
+  chaos_kill : int option;
   quiet : bool;
 }
 
@@ -24,6 +29,9 @@ let default ~manifest_path =
     ttl = 300.0;
     retries = 1;
     poll = 0.25;
+    watchdog = 120.0;
+    max_strikes = 3;
+    chaos_kill = None;
     quiet = false;
   }
 
@@ -33,7 +41,24 @@ type progress = {
   queued : int;
   leased : int;
   failed : int;
+  poisoned : int;
 }
+
+type taxonomy = {
+  mutable t_restarts : int;
+  mutable t_stall_kills : int;
+  mutable t_chaos_kills : int;
+  mutable t_strikes : int;
+}
+
+(* Exponential-backoff respawn delay after the n-th consecutive death
+   (n from 0), capped so a flapping fleet still probes for recovery. *)
+let backoff n = Float.min 15.0 (0.5 *. Float.pow 2.0 (float_of_int n))
+
+(* Consecutive deaths without any fleet-wide publication progress
+   before a worker slot is retired — the fleet-level circuit breaker
+   backing up the per-digest poison one. *)
+let max_barren_restarts = 5
 
 (* Distinct digests: a manifest may repeat a config; identity is the
    digest, so duplicates collapse to one task. *)
@@ -60,54 +85,63 @@ let progress ~store_dir ~queue m =
     queued = List.length (Task_queue.pending queue);
     leased = Task_queue.leased queue;
     failed = List.length (Task_queue.failed queue);
+    poisoned = List.length (Task_queue.poisoned queue);
   }
 
-let plan ~store_dir ~queue m =
-  ignore (Rc.gc_tmp store_dir);
+let plan ?gc_max_age ~store_dir ~queue m =
+  ignore (Rc.gc_tmp ?max_age:gc_max_age store_dir);
   let outstanding = ref 0 in
   List.iter
     (fun cfg ->
       if not (Rc.published ~dir:store_dir cfg) then begin
         incr outstanding;
-        Task_queue.enqueue queue ~digest:(Manifest.digest cfg)
-          ~spec:(Manifest.task_to_json cfg)
+        let digest = Manifest.digest cfg in
+        (* Re-serving is the operator's retry: a poison verdict from a
+           previous invocation is cleared when its digest is enqueued
+           again. *)
+        Task_queue.clear_poison queue ~digest;
+        Task_queue.enqueue queue ~digest ~spec:(Manifest.task_to_json cfg)
       end)
     (distinct_tasks m);
   !outstanding
 
 (* ---------------------------- worker fleet ------------------------ *)
 
+let stream_path queue index =
+  Filename.concat (Task_queue.streams_dir queue)
+    (Printf.sprintf "worker-%d.jsonl" index)
+
+let worker_id index = Printf.sprintf "serve-w%d" index
+
 let spawn_worker cfg ~queue ~index =
-  let stream =
-    Filename.concat (Task_queue.streams_dir queue)
-      (Printf.sprintf "worker-%d.jsonl" index)
-  in
-  (* Fresh stream per serve invocation: a stale finished stream would
-     read as a live worker's. *)
+  let stream = stream_path queue index in
+  (* Fresh stream per spawn: a stale finished stream would read as a
+     live worker's (and fake its heartbeat). *)
   (try Sys.remove stream with Sys_error _ -> ());
+  let chaos_args =
+    (* Forward chaos to spawned workers with per-worker derived seeds
+       so the fleet doesn't inject faults in lockstep. An inherited
+       EBRC_CHAOS env var is overridden by this flag in the child. *)
+    match Chaos.seed () with
+    | None -> []
+    | Some s -> [ "--chaos"; string_of_int (s + (1009 * (index + 1))) ]
+  in
   let argv =
-    [|
-      Sys.executable_name;
-      "worker";
-      cfg.queue_dir;
-      "--store"; cfg.store_dir;
-      "--id"; Printf.sprintf "serve-w%d" index;
-      "--ttl"; string_of_float cfg.ttl;
-      "--retries"; string_of_int cfg.retries;
-      "--stream"; stream;
-    |]
+    Array.of_list
+      ([
+         Sys.executable_name;
+         "worker";
+         cfg.queue_dir;
+         "--store"; cfg.store_dir;
+         "--id"; worker_id index;
+         "--ttl"; string_of_float cfg.ttl;
+         "--retries"; string_of_int cfg.retries;
+         "--stream"; stream;
+       ]
+      @ chaos_args)
   in
   Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
     Unix.stderr
-
-let reap pids =
-  List.filter
-    (fun pid ->
-      match Unix.waitpid [ Unix.WNOHANG ] pid with
-      | 0, _ -> true
-      | _ -> false
-      | exception Unix.Unix_error _ -> false)
-    pids
 
 (* Merge whatever the workers have streamed so far into one fleet
    view; tolerant of torn tails and missing files by construction. *)
@@ -140,8 +174,249 @@ let progress_line p view =
         Printf.sprintf "  (%d task records%s)" (List.length v.Status.tasks)
           rate
   in
-  Printf.sprintf "serve: %d/%d published, %d queued, %d leased, %d failed%s"
-    p.published p.total p.queued p.leased p.failed fleet
+  let poisoned =
+    if p.poisoned > 0 then Printf.sprintf ", %d poisoned" p.poisoned else ""
+  in
+  Printf.sprintf "serve: %d/%d published, %d queued, %d leased, %d failed%s%s"
+    p.published p.total p.queued p.leased p.failed poisoned fleet
+
+(* ----------------------------- supervisor ------------------------- *)
+
+(* One supervised worker slot. The worker id (hence lease attribution)
+   is stable across restarts of the same slot. *)
+type slot = {
+  index : int;
+  stream : string;
+  mutable pid : int option;
+  mutable beat : float;  (** wall time of the last observed heartbeat *)
+  mutable stream_size : int;
+  mutable deaths : int;  (** consecutive deaths without fleet progress *)
+  mutable spawn_after : float;  (** backoff gate for the next respawn *)
+  mutable retired : bool;
+}
+
+let supervise cfg ~queue ~say m =
+  let strikes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let tax =
+    { t_restarts = 0; t_stall_kills = 0; t_chaos_kills = 0; t_strikes = 0 }
+  in
+  (* The chaos monkey draws from its own stream (index 1; the I/O shim
+     owns index 0) so kill schedules replay independently of I/O
+     faulting. It kills on a drawn interval (0.5–2 s) rather than a
+     per-tick coin flip so even a short sweep is guaranteed to lose
+     workers. *)
+  let monkey =
+    Option.map
+      (fun s ->
+        let g = Prng.stream ~root:s 1 in
+        (g, ref (Unix.gettimeofday () +. 0.5 +. (1.5 *. Prng.float_unit g))))
+      cfg.chaos_kill
+  in
+  let slots =
+    Array.init cfg.workers (fun i ->
+        {
+          index = i;
+          stream = stream_path queue i;
+          pid = None;
+          beat = 0.0;
+          stream_size = -1;
+          deaths = 0;
+          spawn_after = 0.0;
+          retired = false;
+        })
+  in
+  let spawn slot =
+    slot.pid <- Some (spawn_worker cfg ~queue ~index:slot.index);
+    slot.beat <- Unix.gettimeofday ();
+    slot.stream_size <- -1
+  in
+  (* Digest → config for the published-already check below. *)
+  let cfg_of : (string, Ebrc_exp.Scenario.config) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun c -> Hashtbl.replace cfg_of (Manifest.digest c) c)
+    (distinct_tasks m);
+  (* Worker death with the slot's leases still on disk means the task
+     under each lease may have killed the process: strike it, free the
+     lease for the survivors, and poison it once it has demonstrably
+     taken [max_strikes] workers down. Digests whose task file is gone
+     or whose result is already published are merely reclaimed — a
+     worker dying between publish and complete must not poison a
+     perfectly good task (and poisoning it would double-count the
+     digest in the completion arithmetic). *)
+  let strike_leases slot =
+    List.iter
+      (fun digest ->
+        let still_pending =
+          Task_queue.read_spec queue ~digest <> None
+          && not
+               (match Hashtbl.find_opt cfg_of digest with
+               | Some c -> Rc.published ~dir:cfg.store_dir c
+               | None -> false)
+        in
+        if still_pending then begin
+          let n =
+            1
+            + (match Hashtbl.find_opt strikes digest with
+              | Some n -> n
+              | None -> 0)
+          in
+          Hashtbl.replace strikes digest n;
+          tax.t_strikes <- tax.t_strikes + 1;
+          if n >= cfg.max_strikes then begin
+            Task_queue.poison queue ~digest
+              ~message:
+                (Printf.sprintf
+                   "%d worker death(s) while leased (crash-loop circuit \
+                    breaker)"
+                   n);
+            Printf.eprintf
+              "ebrc serve: task %s poisoned after %d worker death(s)\n%!"
+              digest n
+          end
+        end)
+      (Task_queue.reclaim_worker queue ~worker:(worker_id slot.index))
+  in
+  let handle_death slot ~now ~clean ~outstanding =
+    slot.pid <- None;
+    strike_leases slot;
+    if clean && not outstanding then slot.retired <- true
+    else begin
+      slot.deaths <- slot.deaths + 1;
+      if slot.deaths > max_barren_restarts then begin
+        slot.retired <- true;
+        Printf.eprintf
+          "ebrc serve: worker %d retired after %d deaths without fleet \
+           progress\n\
+           %!"
+          slot.index slot.deaths
+      end
+      else slot.spawn_after <- now +. backoff (slot.deaths - 1)
+    end
+  in
+  let heartbeat slot now =
+    (* Stream growth is the heartbeat: workers wall-tick while polling
+       and stream sim-time deltas while running, so a silent stream is
+       a hung process, not a busy one. *)
+    match Unix.stat slot.stream with
+    | st ->
+        if st.Unix.st_size <> slot.stream_size then begin
+          slot.stream_size <- st.Unix.st_size;
+          slot.beat <- now
+        end
+    | exception Unix.Unix_error _ -> ()
+  in
+  Array.iter spawn slots;
+  say (Printf.sprintf "serve: spawned %d worker(s)" cfg.workers);
+  let last_published = ref (-1) in
+  let rec watch last_line =
+    let now = Unix.gettimeofday () in
+    let p = progress ~store_dir:cfg.store_dir ~queue m in
+    if p.published > !last_published then begin
+      if !last_published >= 0 then
+        Array.iter (fun s -> s.deaths <- 0) slots;
+      last_published := p.published
+    end;
+    let line = progress_line p (fleet_view queue) in
+    if line <> last_line then say line;
+    if p.published + p.failed + p.poisoned >= p.total then p
+    else begin
+      let outstanding = p.queued > 0 || p.leased > 0 in
+      Array.iter
+        (fun slot ->
+          match slot.pid with
+          | Some pid -> (
+              heartbeat slot now;
+              if cfg.watchdog > 0.0 && now -. slot.beat > cfg.watchdog
+              then begin
+                Printf.eprintf
+                  "ebrc serve: worker %d stalled (no heartbeat for %.0f \
+                   s); killing\n\
+                   %!"
+                  slot.index cfg.watchdog;
+                (try Unix.kill pid Sys.sigkill
+                 with Unix.Unix_error _ -> ());
+                tax.t_stall_kills <- tax.t_stall_kills + 1
+              end;
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> ()
+              | _, status ->
+                  handle_death slot ~now
+                    ~clean:(status = Unix.WEXITED 0)
+                    ~outstanding
+              | exception Unix.Unix_error _ ->
+                  handle_death slot ~now ~clean:false ~outstanding)
+          | None ->
+              if (not slot.retired) && outstanding && now >= slot.spawn_after
+              then begin
+                tax.t_restarts <- tax.t_restarts + 1;
+                spawn slot
+              end)
+        slots;
+      (match monkey with
+      | Some (g, next_kill) when now >= !next_kill -> (
+          next_kill := now +. 0.5 +. (1.5 *. Prng.float_unit g);
+          let live =
+            Array.to_list slots |> List.filter (fun s -> s.pid <> None)
+          in
+          match live with
+          | [] -> ()
+          | _ -> (
+              match
+                (List.nth live (Prng.int g (List.length live))).pid
+              with
+              | Some pid ->
+                  (try Unix.kill pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  tax.t_chaos_kills <- tax.t_chaos_kills + 1
+              | None -> ()))
+      | _ -> ());
+      let all_retired =
+        Array.for_all (fun s -> s.retired && s.pid = None) slots
+      in
+      if all_retired then begin
+        Printf.eprintf
+          "ebrc serve: every worker slot retired with work remaining\n%!";
+        p
+      end
+      else begin
+        Unix.sleepf cfg.poll;
+        watch line
+      end
+    end
+  in
+  let p = watch "" in
+  (* Collect the fleet. Post-completion the queue has no task files,
+     so live workers exit on their own; give them a grace period, then
+     SIGKILL stragglers (a worker hung inside a poisoned task's
+     simulation would otherwise wedge serve itself). *)
+  Array.iter
+    (fun slot ->
+      match slot.pid with
+      | None -> ()
+      | Some pid ->
+          let rec wait tries =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+                if tries <= 0 then begin
+                  (try Unix.kill pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  try ignore (Unix.waitpid [] pid)
+                  with Unix.Unix_error _ -> ()
+                end
+                else begin
+                  Unix.sleepf 0.1;
+                  wait (tries - 1)
+                end
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          wait 50)
+    slots;
+  (p, tax)
+
+(* ------------------------------- run ------------------------------ *)
 
 let run cfg =
   match Manifest.load ~path:cfg.manifest_path with
@@ -149,8 +424,10 @@ let run cfg =
       Printf.eprintf "ebrc serve: %s: %s\n%!" cfg.manifest_path msg;
       2
   | Ok m ->
-      let queue = Task_queue.create ~dir:cfg.queue_dir in
-      let outstanding = plan ~store_dir:cfg.store_dir ~queue m in
+      let queue = Task_queue.create ~dir:cfg.queue_dir () in
+      let outstanding =
+        plan ~gc_max_age:(2.0 *. cfg.ttl) ~store_dir:cfg.store_dir ~queue m
+      in
       let say fmt =
         Printf.ksprintf
           (fun s -> if not cfg.quiet then print_endline s)
@@ -159,7 +436,16 @@ let run cfg =
       let p0 = progress ~store_dir:cfg.store_dir ~queue m in
       say "serve: %d task(s), %d already published, %d outstanding"
         p0.total p0.published outstanding;
-      let finish p =
+      let finish ?tax p =
+        (match tax with
+        | Some t ->
+            say
+              "serve: exit taxonomy — %d clean completion(s), %d \
+               restart(s), %d stall kill(s), %d chaos kill(s), %d lease \
+               strike(s), %d poisoned"
+              p.published t.t_restarts t.t_stall_kills t.t_chaos_kills
+              t.t_strikes p.poisoned
+        | None -> ());
         if p.published = p.total then begin
           say "serve: complete (%d/%d published)" p.published p.total;
           0
@@ -169,8 +455,16 @@ let run cfg =
             (fun (digest, msg) ->
               Printf.eprintf "ebrc serve: task %s failed: %s\n%!" digest msg)
             (Task_queue.failed queue);
-          Printf.eprintf "ebrc serve: incomplete (%d/%d published, %d failed)\n%!"
-            p.published p.total p.failed;
+          List.iter
+            (fun (digest, msg) ->
+              Printf.eprintf "ebrc serve: task %s poisoned: %s\n%!" digest
+                msg)
+            (Task_queue.poisoned queue);
+          Printf.eprintf
+            "ebrc serve: incomplete (%d/%d published, %d failed, %d \
+             poisoned)\n\
+             %!"
+            p.published p.total p.failed p.poisoned;
           1
         end
       in
@@ -180,38 +474,13 @@ let run cfg =
       else if cfg.workers <= 0 then begin
         (* Prime-only mode: external workers will drain the queue. *)
         say "serve: queue primed at %s (no workers spawned)" cfg.queue_dir;
-        if p0.failed > 0 then finish p0 else 0
+        if p0.failed > 0 || p0.poisoned > 0 then finish p0 else 0
       end
       else begin
-        let pids =
-          List.init cfg.workers (fun i -> spawn_worker cfg ~queue ~index:i)
+        let p, tax =
+          supervise cfg ~queue
+            ~say:(fun s -> if not cfg.quiet then print_endline s)
+            m
         in
-        say "serve: spawned %d worker(s)" (List.length pids);
-        let rec watch pids last_line =
-          let p = progress ~store_dir:cfg.store_dir ~queue m in
-          let line = progress_line p (fleet_view queue) in
-          if line <> last_line then say "%s" line;
-          if p.published + p.failed >= p.total then p
-          else begin
-            let pids = reap pids in
-            if pids = [] then begin
-              (* Fleet gone with work remaining: report what we have
-                 rather than spinning forever. *)
-              Printf.eprintf "ebrc serve: all workers exited early\n%!";
-              p
-            end
-            else begin
-              Unix.sleepf cfg.poll;
-              watch pids line
-            end
-          end
-        in
-        let p = watch pids "" in
-        (* Drained (or stalled): collect the fleet. *)
-        List.iter
-          (fun pid ->
-            try ignore (Unix.waitpid [] pid)
-            with Unix.Unix_error _ -> ())
-          pids;
-        finish p
+        finish ~tax p
       end

@@ -3,6 +3,7 @@
 
 module Tm = Ebrc_telemetry.Telemetry
 module Json = Ebrc_obs.Json
+module Chaos = Ebrc_chaos.Io_fault
 
 let m_claims = Tm.Counter.make ~help:"queue leases claimed" "queue.claims"
 
@@ -20,12 +21,18 @@ let m_completed =
 let m_failed =
   Tm.Counter.make ~help:"queue tasks terminally failed" "queue.failed"
 
+let m_poisoned =
+  Tm.Counter.make ~help:"queue tasks poisoned by the crash-loop breaker"
+    "queue.poisoned"
+
 type t = {
   root : string;
   tasks_dir : string;
   leases_dir : string;
   failed_dir : string;
+  poisoned_dir : string;
   streams : string;
+  torn_grace : float;
 }
 
 let rec mkdir_p d =
@@ -35,23 +42,43 @@ let rec mkdir_p d =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ~dir =
+(* A lease that cannot be parsed is usually a claimant killed between
+   the O_EXCL create and the write. The torn file still holds the
+   lease (we cannot know its deadline), but only for a grace period —
+   after that it reads as expired and gets reclaimed. Configurable
+   per queue ([?torn_grace]) or fleet-wide via EBRC_LEASE_GRACE. *)
+let default_torn_grace () =
+  match Sys.getenv_opt "EBRC_LEASE_GRACE" with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some g when g >= 0.0 -> g
+      | _ -> 10.0)
+  | None -> 10.0
+
+let create ?torn_grace ~dir () =
   let t =
     {
       root = dir;
       tasks_dir = Filename.concat dir "tasks";
       leases_dir = Filename.concat dir "leases";
       failed_dir = Filename.concat dir "failed";
+      poisoned_dir = Filename.concat dir "poisoned";
       streams = Filename.concat dir "streams";
+      torn_grace =
+        (match torn_grace with
+        | Some g -> g
+        | None -> default_torn_grace ());
     }
   in
   mkdir_p t.tasks_dir;
   mkdir_p t.leases_dir;
   mkdir_p t.failed_dir;
+  mkdir_p t.poisoned_dir;
   mkdir_p t.streams;
   t
 
 let dir t = t.root
+let torn_grace t = t.torn_grace
 let streams_dir t = t.streams
 let task_path t digest = Filename.concat t.tasks_dir (digest ^ ".json")
 let lease_path t digest = Filename.concat t.leases_dir (digest ^ ".lease")
@@ -71,11 +98,27 @@ let list_dir dir ~suffix =
 
 let atomic_write path content =
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  Chaos.guard_open tmp;
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content);
+    (fun () ->
+      Chaos.write oc content;
+      Chaos.fsync oc);
+  Chaos.guard_rename path;
   Sys.rename tmp path
+
+(* Queue metadata writes must land even under fault injection — the
+   faults are probabilistic, so a bounded retry converges almost
+   surely. Chaos off: the first attempt is the only one. *)
+let atomic_write_retry path content =
+  let rec go attempt =
+    match atomic_write path content with
+    | () -> ()
+    | exception Sys_error _ when Chaos.enabled () && attempt < 100 ->
+        go (attempt + 1)
+  in
+  go 0
 
 let read_file path =
   match
@@ -89,7 +132,7 @@ let read_file path =
 
 let enqueue t ~digest ~spec =
   if not (Sys.file_exists (task_path t digest)) then
-    atomic_write (task_path t digest) (spec ^ "\n")
+    atomic_write_retry (task_path t digest) (spec ^ "\n")
 
 let pending t = list_dir t.tasks_dir ~suffix:".json"
 let read_spec t ~digest = read_file (task_path t digest)
@@ -105,25 +148,21 @@ let lease_body ~worker ~deadline =
     (Json.escape worker) (Unix.getpid ()) deadline
 
 (* O_EXCL create: the one atomic "exactly one winner" primitive the
-   whole queue rests on. *)
+   whole queue rests on. Under chaos the body may land torn
+   ([Chaos.maim]) while the claim itself stands — exactly the
+   crashed-mid-write shape the torn-lease grace covers. *)
 let create_exclusive path content =
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
   | fd ->
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
-          let b = Bytes.of_string content in
+          let b = Bytes.of_string (Chaos.maim content) in
           ignore (Unix.write fd b 0 (Bytes.length b)));
       true
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
 
-(* A lease that cannot be parsed is usually a claimant killed between
-   the O_EXCL create and the write. The torn file still holds the
-   lease (we cannot know its deadline), but only for a grace period —
-   after that it reads as expired and gets reclaimed. *)
-let torn_lease_grace = 10.0
-
-let lease_expired path ~now =
+let lease_expired t path ~now =
   match read_file path with
   | None -> false (* vanished: released or completed; not ours to take *)
   | Some body -> (
@@ -137,13 +176,13 @@ let lease_expired path ~now =
           | None -> true)
       | None -> (
           match Unix.stat path with
-          | st -> now -. st.Unix.st_mtime > torn_lease_grace
+          | st -> now -. st.Unix.st_mtime > t.torn_grace
           | exception Unix.Unix_error _ -> false))
 
 let claim t ~worker ~ttl ~digest =
   if not (Sys.file_exists (task_path t digest)) then Gone
   else begin
-    let now = Unix.gettimeofday () in
+    let now = Chaos.now () in
     let path = lease_path t digest in
     let body = lease_body ~worker ~deadline:(now +. ttl) in
     let try_create () =
@@ -157,7 +196,7 @@ let claim t ~worker ~ttl ~digest =
       end
     in
     if not (Sys.file_exists path) then try_create ()
-    else if not (lease_expired path ~now) then begin
+    else if not (lease_expired t path ~now) then begin
       if Tm.is_on () then Tm.Counter.incr m_conflicts;
       Busy
     end
@@ -189,17 +228,17 @@ let complete t ~digest =
   if Tm.is_on () then Tm.Counter.incr m_completed
 
 let fail t ~worker ~digest ~message =
-  atomic_write (failed_path t digest)
+  atomic_write_retry (failed_path t digest)
     (Printf.sprintf "{\"schema\":1,\"digest\":\"%s\",\"worker\":\"%s\",\"message\":\"%s\"}\n"
        digest (Json.escape worker) (Json.escape message));
   unlink_quiet (task_path t digest);
   unlink_quiet (lease_path t digest);
   if Tm.is_on () then Tm.Counter.incr m_failed
 
-let failed t =
+let record_messages dir ~path_of =
   List.filter_map
     (fun digest ->
-      match read_file (failed_path t digest) with
+      match read_file (path_of digest) with
       | None -> None
       | Some body ->
           let message =
@@ -211,4 +250,45 @@ let failed t =
             | None -> "unreadable failure record"
           in
           Some (digest, message))
-    (list_dir t.failed_dir ~suffix:".json")
+    (list_dir dir ~suffix:".json")
+
+let failed t = record_messages t.failed_dir ~path_of:(failed_path t)
+
+(* --------------------------- poison / reclaim --------------------- *)
+
+let poisoned_path t digest = Filename.concat t.poisoned_dir (digest ^ ".json")
+
+let poison t ~digest ~message =
+  atomic_write_retry (poisoned_path t digest)
+    (Printf.sprintf "{\"schema\":1,\"digest\":\"%s\",\"message\":\"%s\"}\n"
+       digest (Json.escape message));
+  unlink_quiet (task_path t digest);
+  unlink_quiet (lease_path t digest);
+  if Tm.is_on () then Tm.Counter.incr m_poisoned
+
+let poisoned t = record_messages t.poisoned_dir ~path_of:(poisoned_path t)
+let clear_poison t ~digest = unlink_quiet (poisoned_path t digest)
+
+let lease_holders t =
+  List.filter_map
+    (fun digest ->
+      match read_file (lease_path t digest) with
+      | None -> None
+      | Some body -> (
+          match
+            Option.bind (Json.parse body |> Result.to_option) (fun j ->
+                Option.bind (Json.member "worker" j) Json.to_string)
+          with
+          | Some w -> Some (digest, w)
+          | None -> None))
+    (list_dir t.leases_dir ~suffix:".lease")
+
+let reclaim_worker t ~worker =
+  List.filter_map
+    (fun (digest, w) ->
+      if w = worker then begin
+        release t ~digest;
+        Some digest
+      end
+      else None)
+    (lease_holders t)

@@ -3,10 +3,11 @@
     Layout under the queue root:
 
     {v
-    tasks/<digest>.json    one task spec (a Manifest task object)
-    leases/<digest>.lease  O_EXCL claim file: worker id, pid, deadline
-    failed/<digest>.json   terminal failure record
-    streams/               per-worker telemetry JSONL (by convention)
+    tasks/<digest>.json     one task spec (a Manifest task object)
+    leases/<digest>.lease   O_EXCL claim file: worker id, pid, deadline
+    failed/<digest>.json    terminal failure record
+    poisoned/<digest>.json  crash-loop circuit-breaker record
+    streams/                per-worker telemetry JSONL (by convention)
     v}
 
     Claiming is an [O_CREAT|O_EXCL] create of the lease file — the
@@ -27,11 +28,17 @@
 
 type t
 
-val create : dir:string -> t
-(** Open (creating directories as needed) the queue rooted at [dir]. *)
+val create : ?torn_grace:float -> dir:string -> unit -> t
+(** Open (creating directories as needed) the queue rooted at [dir].
+    [torn_grace] is the mtime grace period for unparsable (torn) lease
+    files before they read as expired; default from [EBRC_LEASE_GRACE]
+    or 10 s. *)
 
 val dir : t -> string
 val streams_dir : t -> string
+
+val torn_grace : t -> float
+(** The effective torn-lease grace for this queue handle. *)
 
 val enqueue : t -> digest:string -> spec:string -> unit
 (** Write [tasks/<digest>.json] atomically (tmp+rename). Idempotent:
@@ -64,5 +71,28 @@ val fail : t -> worker:string -> digest:string -> message:string -> unit
 val failed : t -> (string * string) list
 (** [(digest, message)] of terminally failed tasks, sorted. *)
 
+val poison : t -> digest:string -> message:string -> unit
+(** Record a crash-loop circuit-breaker verdict
+    ([poisoned/<digest>.json]) and dequeue the task: used by the serve
+    supervisor when the same digest keeps killing worker processes, so
+    the sweep drains around it instead of crash-looping forever. *)
+
+val poisoned : t -> (string * string) list
+(** [(digest, message)] of poisoned tasks, sorted. *)
+
+val clear_poison : t -> digest:string -> unit
+(** Remove a poison verdict (re-serving a manifest counts as the
+    operator retrying the task). *)
+
 val leased : t -> int
 (** Number of lease files present (live and expired alike). *)
+
+val lease_holders : t -> (string * string) list
+(** [(digest, worker-id)] for every parsable lease file, sorted by
+    digest; torn leases are omitted (their holder is unknowable). *)
+
+val reclaim_worker : t -> worker:string -> string list
+(** Release every lease held by [worker], returning the digests freed.
+    Safe only once that worker process is known dead (the supervisor
+    calls this after SIGKILL + reap) — otherwise it would merely
+    re-open the benign double-execution window. *)

@@ -4,7 +4,9 @@ module Rc = Ebrc_exp.Result_cache
 module Scenario = Ebrc_exp.Scenario
 module Tm = Ebrc_telemetry.Telemetry
 module Stream = Ebrc_telemetry.Stream
+module Flight = Ebrc_telemetry.Flight
 module Pool = Ebrc_parallel.Pool
+module Chaos = Ebrc_chaos.Io_fault
 
 let m_ran =
   Tm.Counter.make ~help:"sweep tasks simulated and published"
@@ -17,6 +19,14 @@ let m_cached =
 let m_failed =
   Tm.Counter.make ~help:"sweep tasks marked terminally failed"
     "worker.tasks_failed"
+
+let m_publish_retries =
+  Tm.Counter.make ~help:"publications retried after a failed read-back"
+    "worker.publish_retries"
+
+let m_publish_failed =
+  Tm.Counter.make ~help:"publications that never verified on read-back"
+    "worker.publish_failed"
 
 type config = {
   queue_dir : string;
@@ -44,12 +54,16 @@ let default ~queue_dir =
 type outcome = { ran : int; cached : int; failed : int }
 
 let run cfg =
-  ignore (Rc.gc_tmp cfg.store_dir);
-  let q = Task_queue.create ~dir:cfg.queue_dir in
+  (* 2 × lease ttl: a startup gc sweep must never reclaim a live
+     peer's in-flight publication, and no publication outlives its
+     task's lease by more than the lease itself. *)
+  ignore (Rc.gc_tmp ~max_age:(2.0 *. cfg.ttl) cfg.store_dir);
+  let q = Task_queue.create ~dir:cfg.queue_dir () in
   (* domains:1 spawns nothing; the pool only supplies the per-task
      exception barrier + retry policy of [run_isolated]. *)
   let pool = Pool.create ~domains:1 () in
   let ran = ref 0 and cached = ref 0 and failed = ref 0 in
+  let publish_failures : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let executed () = !ran + !failed in
   let under_cap () =
     match cfg.max_tasks with Some n -> executed () < n | None -> true
@@ -60,6 +74,24 @@ let run cfg =
     if Tm.is_on () then Tm.Counter.incr m_failed;
     incr failed
   in
+  (* Publish with read-back verification: [store_to] degrades store
+     failures to a warning by design, so under injected faults (or a
+     genuinely sick disk) a publication can silently not land.
+     Verifying via [published] (a full load + key check) and retrying
+     bounds that: the record either verifies or the task is handed
+     back / failed — never "completed" with an empty store slot. *)
+  let publish scenario_cfg r =
+    let rec go attempt =
+      Rc.store_to ~dir:cfg.store_dir scenario_cfg r;
+      if Rc.published ~dir:cfg.store_dir scenario_cfg then true
+      else if attempt < 8 then begin
+        if Tm.is_on () then Tm.Counter.incr m_publish_retries;
+        go (attempt + 1)
+      end
+      else false
+    in
+    go 0
+  in
   let execute digest scenario_cfg =
     Stream.task ~key:digest ~phase:"leased" ();
     match
@@ -67,12 +99,43 @@ let run cfg =
           Scenario.run scenario_cfg)
     with
     | Ok r ->
-        Rc.store_to ~dir:cfg.store_dir scenario_cfg r;
-        Task_queue.complete q ~digest;
-        Stream.task ~key:digest ~phase:"done" ();
-        if Tm.is_on () then Tm.Counter.incr m_ran;
-        incr ran
+        if publish scenario_cfg r then begin
+          Task_queue.complete q ~digest;
+          Stream.task ~key:digest ~phase:"done" ();
+          if Tm.is_on () then Tm.Counter.incr m_ran;
+          incr ran
+        end
+        else begin
+          if Tm.is_on () then Tm.Counter.incr m_publish_failed;
+          let strikes =
+            1
+            + (match Hashtbl.find_opt publish_failures digest with
+              | Some n -> n
+              | None -> 0)
+          in
+          Hashtbl.replace publish_failures digest strikes;
+          if strikes >= 2 then
+            mark_failed digest "result publication failed read-back verification"
+          else begin
+            (* Hand the task back rather than completing with nothing
+               in the store: another worker (or a later rescan here)
+               re-runs it against a hopefully healthier disk. *)
+            Task_queue.release q ~digest;
+            Stream.task ~key:digest ~phase:"publish-failed" ()
+          end
+        end
     | Error e ->
+        Flight.on_exn ~reason:"worker.task"
+          ~attrs:
+            ([
+               ("digest", digest);
+               ("attempts", string_of_int e.Pool.t_attempts);
+             ]
+            @
+            match Chaos.seed () with
+            | Some s -> [ ("chaos_seed", string_of_int s) ]
+            | None -> [])
+          e.Pool.t_exn;
         mark_failed digest
           (Printf.sprintf "%s (after %d attempt(s))"
              (Printexc.to_string e.Pool.t_exn)

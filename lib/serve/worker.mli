@@ -44,6 +44,13 @@ type outcome = {
 val run : config -> outcome
 (** Run the lease/execute/publish loop until the queue drains (or
     forever, per [exit_when_drained]). Startup reclaims stale store
-    tmp files ({!Ebrc_exp.Result_cache.gc_tmp}). Never raises on task
-    failure — crashing tasks are retried then recorded under
-    [failed/]. *)
+    tmp files ({!Ebrc_exp.Result_cache.gc_tmp}, age threshold
+    [2 × ttl]). Never raises on task failure — crashing tasks are
+    retried then recorded under [failed/], with a {!Flight} dump
+    (digest, attempt count, chaos seed) when the recorder is armed.
+
+    Publication is read-back verified: after [store_to] the record
+    must load and key-verify from the store; a publication that never
+    verifies (full disk, injected chaos faults) first hands the task
+    back for a clean re-run, then fails it terminally — it is never
+    "completed" with an empty store slot. *)

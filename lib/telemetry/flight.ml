@@ -41,7 +41,7 @@ let timestamp now =
     tm.Unix.tm_sec
 
 (* Called with [mutex] held. *)
-let dump ~reason exn =
+let dump ~reason ~attrs exn =
   let now = Telemetry.wall_now () in
   incr dump_count;
   let name =
@@ -50,13 +50,21 @@ let dump ~reason exn =
   in
   let path = Filename.concat !dir name in
   let buf = Buffer.create 65536 in
+  let attr_fields =
+    String.concat ""
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf ",\"%s\":\"%s\"" (Export.json_escape k)
+             (Export.json_escape v))
+         attrs)
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"type\":\"flight\",\"schema\":1,\"reason\":\"%s\",\"exn\":\"%s\",\
-        \"t_wall\":%s,\"pid\":%d}\n"
+        \"t_wall\":%s,\"pid\":%d%s}\n"
        (Export.json_escape reason)
        (Export.json_escape (Printexc.to_string exn))
-       (Export.num now) (Unix.getpid ()));
+       (Export.num now) (Unix.getpid ()) attr_fields);
   List.iter
     (fun l ->
       if l <> "" then begin
@@ -82,7 +90,7 @@ let dump ~reason exn =
   last_path := Some path;
   Printf.eprintf "[ebrc] flight recorder: wrote %s (%s)\n%!" path reason
 
-let on_exn ~reason exn =
+let on_exn ~reason ?(attrs = []) exn =
   if Atomic.get enabled then
     locked (fun () ->
         let already =
@@ -90,5 +98,5 @@ let on_exn ~reason exn =
         in
         if not already then begin
           last_exn := Some exn;
-          try dump ~reason exn with _ -> ()
+          try dump ~reason ~attrs exn with _ -> ()
         end)

@@ -21,11 +21,13 @@ val enable_from_env : unit -> bool
     in the current directory; any other value = on, value is the dump
     directory. Returns whether the recorder was enabled. *)
 
-val on_exn : reason:string -> exn -> unit
+val on_exn : reason:string -> ?attrs:(string * string) list -> exn -> unit
 (** Record a dump for [exn] if the recorder is active and this exact
     exception value was not already dumped. [reason] names the trigger
-    site (e.g. ["engine.budget"], ["figure"], ["cli"]). Never
-    raises. *)
+    site (e.g. ["engine.budget"], ["figure"], ["cli"]); [attrs] are
+    extra string fields rendered into the dump's header line (the
+    sweep worker records the task digest, attempt count and chaos seed
+    so a failure is replayable offline). Never raises. *)
 
 val last_dump : unit -> string option
 (** Path of the most recent dump, if any. *)

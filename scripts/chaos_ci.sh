@@ -1,0 +1,78 @@
+# End-to-end CI leg for the chaos-hardened fleet (run via
+# `make chaos-e2e`, which builds first). Exercises the headline
+# robustness contract: a sweep served under injected I/O faults and
+# random worker SIGKILLs, then scrubbed and resumed fault-free, ends
+# with a store byte-identical to a fault-free run — chaos may cost
+# retries and wall-clock, never bytes. Also checks the scrubber's
+# quarantine discipline on deliberately corrupted records.
+set -eu
+
+EBRC=_build/default/bin/ebrc_cli.exe
+[ -x "$EBRC" ] || { echo "chaos_ci: $EBRC not built (run from repo root after dune build)"; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ebrc-chaos-ci.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+MANIFEST="$WORK/soak.json"
+QREF="$WORK/qref"
+QSOAK="$WORK/qsoak"
+
+fail() { echo "chaos_ci: FAIL: $*"; exit 1; }
+
+store_sum() { cat $(ls "$1"/*.json | sort) | cksum; }
+store_count() { ls "$1" 2>/dev/null | grep -c '\.json$' || true; }
+
+# Tasks long enough (~1 s wall each) that the chaos monkey's 0.5–2 s
+# kill schedule lands mid-simulation.
+"$EBRC" manifest "$MANIFEST" --tasks 6 --duration 1200 >/dev/null
+
+# 1. Fault-free reference arm.
+"$EBRC" serve "$MANIFEST" --queue "$QREF" --workers 2 --quiet \
+  || fail "fault-free reference serve exited $?"
+[ "$(store_count "$QREF/store")" = 6 ] || fail "reference store incomplete"
+SUM_REF=$(store_sum "$QREF/store")
+
+# 2. Chaos soak: I/O faults in the workers (--chaos), the supervisor's
+#    chaos monkey SIGKILLing workers (--chaos-kill), short leases and a
+#    tight watchdog so recovery paths actually run. A degraded exit (1:
+#    poisoned or failed tasks) is an acceptable soak outcome — the
+#    fault-free resume below must heal it.
+set +e
+EBRC_LEASE_GRACE=2 "$EBRC" serve "$MANIFEST" --queue "$QSOAK" --workers 2 \
+  --ttl 5 --watchdog 15 --chaos 99 --chaos-kill 42 --quiet
+SOAK_RC=$?
+set -e
+case "$SOAK_RC" in
+  0|1) ;;
+  *) fail "chaos soak exited $SOAK_RC (expected 0 or 1)" ;;
+esac
+
+# 3. Scrub discipline: corrupt two records (byte flip + truncation),
+#    then scrub. Exactly those two must be quarantined — moved, never
+#    deleted — and scrub must exit 1 to flag the damage.
+"$EBRC" serve "$MANIFEST" --queue "$QSOAK" --workers 2 --quiet \
+  || fail "post-soak resume exited $?"
+[ "$(store_count "$QSOAK/store")" = 6 ] || fail "soaked store incomplete after resume"
+VICTIMS=$(ls "$QSOAK/store"/*.json | sort | head -2)
+FLIP=$(echo "$VICTIMS" | head -1)
+TRUNC=$(echo "$VICTIMS" | tail -1)
+printf 'X' | dd of="$FLIP" bs=1 seek=40 conv=notrunc 2>/dev/null
+head -c 100 "$TRUNC" > "$TRUNC.cut" && mv "$TRUNC.cut" "$TRUNC"
+set +e
+"$EBRC" scrub "$QSOAK/store" > "$WORK/scrub.out"
+SCRUB_RC=$?
+set -e
+[ "$SCRUB_RC" = 1 ] || fail "scrub of a corrupted store should exit 1, got $SCRUB_RC"
+grep -q '2 quarantined' "$WORK/scrub.out" || fail "scrub should quarantine exactly 2 records: $(cat "$WORK/scrub.out")"
+[ "$(store_count "$QSOAK/store/quarantine")" = 2 ] || fail "quarantine dir should hold the 2 corrupt records"
+[ "$(store_count "$QSOAK/store")" = 4 ] || fail "4 clean records should survive the scrub"
+
+# 4. Self-healing resume: re-serving the manifest recomputes only the
+#    quarantined tasks; the final store must be byte-identical to the
+#    fault-free reference. A clean store then scrubs clean (exit 0).
+"$EBRC" serve "$MANIFEST" --queue "$QSOAK" --workers 2 --quiet \
+  || fail "self-healing resume exited $?"
+[ "$(store_sum "$QSOAK/store")" = "$SUM_REF" ] || fail "healed store differs from the fault-free reference bytes"
+"$EBRC" scrub "$QSOAK/store" >/dev/null || fail "clean store should scrub clean"
+
+echo "chaos_ci: OK (soak exit $SOAK_RC; scrub quarantined 2/2 corrupt records; healed store byte-identical to fault-free run)"

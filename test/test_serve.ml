@@ -143,7 +143,7 @@ let claim_tt =
     ( = )
 
 let test_queue_basics () =
-  let q = Task_queue.create ~dir:(tmp_dir "queue") in
+  let q = Task_queue.create ~dir:(tmp_dir "queue") () in
   Alcotest.(check (list string)) "empty" [] (Task_queue.pending q);
   Task_queue.enqueue q ~digest:"bbb" ~spec:"{\"b\":1}";
   Task_queue.enqueue q ~digest:"aaa" ~spec:"{\"a\":1}";
@@ -177,7 +177,7 @@ let test_queue_basics () =
   | l -> Alcotest.failf "expected 1 failure record, got %d" (List.length l)
 
 let test_queue_expired_lease_reclaim () =
-  let q = Task_queue.create ~dir:(tmp_dir "reclaim") in
+  let q = Task_queue.create ~dir:(tmp_dir "reclaim") () in
   Task_queue.enqueue q ~digest:"t1" ~spec:"{}";
   (* Negative ttl: the lease is born expired. *)
   Alcotest.check claim_tt "claim with past deadline" Task_queue.Claimed
@@ -189,7 +189,7 @@ let test_queue_expired_lease_reclaim () =
 
 let test_queue_torn_lease () =
   let dir = tmp_dir "torn" in
-  let q = Task_queue.create ~dir in
+  let q = Task_queue.create ~dir () in
   Task_queue.enqueue q ~digest:"t1" ~spec:"{}";
   (* A claimant killed between O_EXCL create and write leaves an empty
      lease file. Within the grace period it still holds the lease;
@@ -204,19 +204,93 @@ let test_queue_torn_lease () =
   Alcotest.check claim_tt "aged torn lease is reclaimed" Task_queue.Claimed
     (Task_queue.claim q ~worker:"w" ~ttl:60.0 ~digest:"t1")
 
+let test_queue_torn_grace_config () =
+  (* Explicit parameter wins. *)
+  let q = Task_queue.create ~torn_grace:5.0 ~dir:(tmp_dir "grace-a") () in
+  Alcotest.(check (float 1e-9)) "explicit grace" 5.0 (Task_queue.torn_grace q);
+  (* EBRC_LEASE_GRACE steers the default; junk and empty fall back. *)
+  Unix.putenv "EBRC_LEASE_GRACE" "123.5";
+  let q = Task_queue.create ~dir:(tmp_dir "grace-b") () in
+  Alcotest.(check (float 1e-9)) "env grace" 123.5 (Task_queue.torn_grace q);
+  Unix.putenv "EBRC_LEASE_GRACE" "not-a-float";
+  let q = Task_queue.create ~dir:(tmp_dir "grace-c") () in
+  Alcotest.(check (float 1e-9)) "junk env falls back" 10.0
+    (Task_queue.torn_grace q);
+  Unix.putenv "EBRC_LEASE_GRACE" "123.5";
+  let q = Task_queue.create ~torn_grace:2.0 ~dir:(tmp_dir "grace-d") () in
+  Alcotest.(check (float 1e-9)) "explicit still beats env" 2.0
+    (Task_queue.torn_grace q);
+  Unix.putenv "EBRC_LEASE_GRACE" "";
+  (* A short grace turns a freshly torn lease reclaimable quickly. *)
+  let dir = tmp_dir "grace-e" in
+  let q = Task_queue.create ~torn_grace:0.05 ~dir () in
+  Task_queue.enqueue q ~digest:"t1" ~spec:"{}";
+  let lease = Filename.concat (Filename.concat dir "leases") "t1.lease" in
+  let oc = open_out lease in
+  close_out oc;
+  Unix.sleepf 0.2;
+  Alcotest.check claim_tt "torn lease expired past short grace"
+    Task_queue.Claimed
+    (Task_queue.claim q ~worker:"w" ~ttl:60.0 ~digest:"t1")
+
+let test_queue_poison_lifecycle () =
+  let q = Task_queue.create ~dir:(tmp_dir "poison") () in
+  Task_queue.enqueue q ~digest:"bad" ~spec:"{}";
+  Task_queue.enqueue q ~digest:"good" ~spec:"{}";
+  ignore (Task_queue.claim q ~worker:"w1" ~ttl:60.0 ~digest:"bad");
+  Task_queue.poison q ~digest:"bad" ~message:"3 worker death(s) while leased";
+  Alcotest.(check (list string)) "poisoned task dequeued" [ "good" ]
+    (Task_queue.pending q);
+  Alcotest.(check int) "poisoned lease dropped" 0 (Task_queue.leased q);
+  (match Task_queue.poisoned q with
+  | [ (d, m) ] ->
+      Alcotest.(check string) "poisoned digest" "bad" d;
+      Alcotest.(check string) "verdict message survives"
+        "3 worker death(s) while leased" m
+  | l -> Alcotest.failf "expected 1 poison record, got %d" (List.length l));
+  Alcotest.check claim_tt "poisoned task is gone to claimants"
+    Task_queue.Gone
+    (Task_queue.claim q ~worker:"w2" ~ttl:60.0 ~digest:"bad");
+  Task_queue.clear_poison q ~digest:"bad";
+  Alcotest.(check (list (pair string string))) "verdict cleared" []
+    (Task_queue.poisoned q);
+  Task_queue.clear_poison q ~digest:"bad" (* idempotent *)
+
+let test_queue_reclaim_worker () =
+  let q = Task_queue.create ~dir:(tmp_dir "reclaim-worker") () in
+  List.iter
+    (fun d -> Task_queue.enqueue q ~digest:d ~spec:"{}")
+    [ "a"; "b"; "c" ];
+  ignore (Task_queue.claim q ~worker:"w1" ~ttl:60.0 ~digest:"a");
+  ignore (Task_queue.claim q ~worker:"w1" ~ttl:60.0 ~digest:"b");
+  ignore (Task_queue.claim q ~worker:"w2" ~ttl:60.0 ~digest:"c");
+  Alcotest.(check (list (pair string string)))
+    "lease holders visible"
+    [ ("a", "w1"); ("b", "w1"); ("c", "w2") ]
+    (Task_queue.lease_holders q);
+  let freed = List.sort String.compare (Task_queue.reclaim_worker q ~worker:"w1") in
+  Alcotest.(check (list string)) "only w1's digests freed" [ "a"; "b" ] freed;
+  Alcotest.(check (list (pair string string)))
+    "w2's lease untouched" [ ("c", "w2") ]
+    (Task_queue.lease_holders q);
+  Alcotest.check claim_tt "freed digest reclaimable" Task_queue.Claimed
+    (Task_queue.claim q ~worker:"w3" ~ttl:60.0 ~digest:"a");
+  Alcotest.(check (list string)) "no-op for unknown worker" []
+    (Task_queue.reclaim_worker q ~worker:"ghost")
+
 (* Cross-process contention: fork claimants racing for one digest;
    the O_EXCL protocol must elect exactly one winner. Forked before
    any domain is spawned (this binary runs no pool work first). *)
 let test_queue_fork_contention () =
   let dir = tmp_dir "contention" in
-  let q = Task_queue.create ~dir in
+  let q = Task_queue.create ~dir () in
   Task_queue.enqueue q ~digest:"prize" ~spec:"{}";
   let n = 8 in
   let pids =
     List.init n (fun i ->
         match Unix.fork () with
         | 0 ->
-            let q = Task_queue.create ~dir in
+            let q = Task_queue.create ~dir () in
             let outcome =
               Task_queue.claim q
                 ~worker:(Printf.sprintf "c%d" i)
@@ -262,6 +336,24 @@ let test_gc_tmp () =
   Alcotest.(check int) "missing dir is safe" 0
     (Rc.gc_tmp (Filename.concat dir "nope"))
 
+(* Regression: the serve planner passes gc_tmp a threshold of 2× the
+   lease ttl, so a live peer's in-flight tmp file (younger than that)
+   must never be swept even when it is older than the default. *)
+let test_gc_tmp_age_threshold () =
+  let dir = tmp_dir "gc-age" in
+  let tmp = Filename.concat dir ".peer.789.tmp" in
+  let oc = open_out tmp in
+  output_string oc "x";
+  close_out oc;
+  let age = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes tmp age age;
+  Alcotest.(check int) "1h-old tmp survives a 2h threshold" 0
+    (Rc.gc_tmp ~max_age:7200.0 dir);
+  Alcotest.(check bool) "file still present" true (Sys.file_exists tmp);
+  Alcotest.(check int) "and falls to a 30min threshold" 1
+    (Rc.gc_tmp ~max_age:1800.0 dir);
+  Alcotest.(check bool) "file gone" false (Sys.file_exists tmp)
+
 (* --------------------------- worker + serve ----------------------- *)
 
 let demo_manifest = Manifest.demo ~tasks:3 ~duration:3.0 ()
@@ -279,7 +371,7 @@ let test_worker_drains_queue () =
   let root = tmp_dir "worker" in
   let qdir = Filename.concat root "queue" in
   let store = Filename.concat root "store" in
-  let q = Task_queue.create ~dir:qdir in
+  let q = Task_queue.create ~dir:qdir () in
   let outstanding = Serve.plan ~store_dir:store ~queue:q demo_manifest in
   Alcotest.(check int) "all tasks outstanding" 3 outstanding;
   let o = Worker.run { (Worker.default ~queue_dir:qdir) with store_dir = store } in
@@ -318,14 +410,14 @@ let test_worker_killed_recovery () =
   let root = tmp_dir "killed" in
   let qdir = Filename.concat root "queue" in
   let store = Filename.concat root "store" in
-  let q = Task_queue.create ~dir:qdir in
+  let q = Task_queue.create ~dir:qdir () in
   ignore (Serve.plan ~store_dir:store ~queue:q demo_manifest);
   (* Child claims the first task with a short ttl and dies without
      completing it — the claim-then-SIGKILL window. *)
   let victim = List.hd (Task_queue.pending q) in
   (match Unix.fork () with
   | 0 ->
-      let q = Task_queue.create ~dir:qdir in
+      let q = Task_queue.create ~dir:qdir () in
       ignore (Task_queue.claim q ~worker:"victim" ~ttl:0.3 ~digest:victim);
       Unix._exit 0
   | pid -> ignore (Unix.waitpid [] pid));
@@ -348,7 +440,7 @@ let test_worker_killed_recovery () =
 let test_worker_records_bad_spec () =
   let root = tmp_dir "badspec" in
   let qdir = Filename.concat root "queue" in
-  let q = Task_queue.create ~dir:qdir in
+  let q = Task_queue.create ~dir:qdir () in
   Task_queue.enqueue q ~digest:"nonsense" ~spec:"{\"not\":\"a config\"}";
   let o = Worker.run (Worker.default ~queue_dir:qdir) in
   Alcotest.(check int) "bad spec is a failure" 1 o.Worker.failed;
@@ -366,7 +458,7 @@ let test_serve_progress_and_exit_codes () =
   let cfg = { d with Serve.workers = 0; quiet = true } in
   (* Prime-only pass: queue primed, nothing published yet. *)
   Alcotest.(check int) "prime-only exits 0" 0 (Serve.run cfg);
-  let q = Task_queue.create ~dir:cfg.Serve.queue_dir in
+  let q = Task_queue.create ~dir:cfg.Serve.queue_dir () in
   let p = Serve.progress ~store_dir:cfg.Serve.store_dir ~queue:q demo_manifest in
   Alcotest.(check int) "total" 3 p.Serve.total;
   Alcotest.(check int) "queued" 3 p.Serve.queued;
@@ -386,6 +478,17 @@ let test_serve_progress_and_exit_codes () =
     (Serve.run
        { cfg with Serve.manifest_path = Filename.concat root "absent.json" })
 
+let test_serve_backoff () =
+  Alcotest.(check (float 1e-9)) "first respawn" 0.5 (Serve.backoff 0);
+  Alcotest.(check (float 1e-9)) "doubles" 1.0 (Serve.backoff 1);
+  Alcotest.(check (float 1e-9)) "doubles again" 2.0 (Serve.backoff 2);
+  Alcotest.(check (float 1e-9)) "caps at 15s" 15.0 (Serve.backoff 10);
+  Alcotest.(check (float 1e-9)) "stays capped" 15.0 (Serve.backoff 60);
+  let rec monotone n =
+    n > 12 || (Serve.backoff n <= Serve.backoff (n + 1) && monotone (n + 1))
+  in
+  Alcotest.(check bool) "monotone nondecreasing" true (monotone 0)
+
 let () =
   Alcotest.run "serve"
     [
@@ -402,10 +505,19 @@ let () =
           Alcotest.test_case "expired lease reclaim" `Quick
             test_queue_expired_lease_reclaim;
           Alcotest.test_case "torn lease" `Quick test_queue_torn_lease;
+          Alcotest.test_case "torn-grace config" `Quick
+            test_queue_torn_grace_config;
+          Alcotest.test_case "poison lifecycle" `Quick
+            test_queue_poison_lifecycle;
+          Alcotest.test_case "reclaim worker" `Quick test_queue_reclaim_worker;
           Alcotest.test_case "fork contention" `Quick
             test_queue_fork_contention;
         ] );
-      ("gc", [ Alcotest.test_case "store tmp gc" `Quick test_gc_tmp ]);
+      ( "gc",
+        [
+          Alcotest.test_case "store tmp gc" `Quick test_gc_tmp;
+          Alcotest.test_case "age threshold" `Quick test_gc_tmp_age_threshold;
+        ] );
       ( "worker",
         [
           Alcotest.test_case "drains queue" `Quick test_worker_drains_queue;
@@ -417,5 +529,6 @@ let () =
         [
           Alcotest.test_case "progress and exit codes" `Quick
             test_serve_progress_and_exit_codes;
+          Alcotest.test_case "restart backoff" `Quick test_serve_backoff;
         ] );
     ]
